@@ -1,0 +1,58 @@
+// §V-B ablation — Guidance-style constrained decoding.
+//
+// Applies the decimal-format grammar mask to the LLM stand-in and re-runs
+// a reduced §IV-A sweep.  Expected shape, per the paper's discussion:
+// format deviations vanish (parse rate -> 1.0), but prediction quality
+// does not improve — "the former often limit outputs in manners that may
+// be destructive to task success".  Steps where the mask had to force a
+// uniform digit (the model wanted to refuse) are counted.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/reporting.hpp"
+#include "core/sweep.hpp"
+#include "lm/constrain.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace lmpeel;
+
+  core::SweepSettings settings;
+  settings.icl_counts = {5, 25, 100};
+  settings.disjoint_sets = 3;
+  settings.seeds = 2;
+
+  core::Pipeline pipeline;
+
+  util::Table table({"decoding", "parse_rate", "mean_MARE", "mean_MSRE",
+                     "mean_R2"});
+  const auto add_row = [&](const std::string& name,
+                           const core::SweepResult& result) {
+    const auto summary = core::summarize(result);
+    table.add_row(
+        {name,
+         util::Table::num(static_cast<double>(summary.queries_parsed) /
+                              static_cast<double>(summary.queries_total),
+                          3),
+         util::Table::num(summary.mare.mean(), 4),
+         util::Table::num(summary.msre.mean(), 4),
+         util::Table::num(summary.r2.mean(), 4)});
+  };
+
+  add_row("free", core::run_llm_quality_sweep(pipeline, settings));
+
+  lm::GrammarConstrainedLm constrained(
+      pipeline.model(), pipeline.tokenizer(),
+      lm::DecimalValueMask(pipeline.tokenizer()));
+  add_row("grammar-constrained",
+          core::run_llm_quality_sweep(pipeline, settings, nullptr,
+                                      &constrained));
+
+  bench::emit("§V-B ablation — Guidance-style constrained decoding", table);
+  std::cout << "forced-uniform steps (model had zero mass on every legal "
+               "token): "
+            << constrained.forced_uniform_steps() << "\n";
+  std::cout << "Constraining the format fixes parseability, not insight — "
+               "the paper's caveat about template-enforcement tooling.\n";
+  return 0;
+}

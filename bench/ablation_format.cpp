@@ -1,0 +1,47 @@
+// §V-B ablation — output format: decimal vs scientific notation.
+//
+// The paper argues a stable output format could help, but that scientific
+// notation "often makes the prefixes of values *less* similar, which our
+// results indicate may harm the model's ability to generate useful
+// answers".  This ablation runs a reduced sweep under both formats and
+// compares MARE/MSRE and parse rates.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/reporting.hpp"
+#include "core/sweep.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace lmpeel;
+
+  core::SweepSettings settings;
+  settings.icl_counts = {5, 25, 100};
+  settings.disjoint_sets = 3;
+  settings.seeds = 2;
+
+  util::Table table({"format", "mean_MARE", "mean_MSRE", "mean_R2",
+                     "parse_rate", "copy_rate"});
+  for (const prompt::NumberFormat format :
+       {prompt::NumberFormat::Decimal, prompt::NumberFormat::Scientific}) {
+    core::PipelineConfig config;
+    config.prompt_options.number_format = format;
+    core::Pipeline pipeline(config);
+    const auto result = core::run_llm_quality_sweep(pipeline, settings);
+    const auto summary = core::summarize(result);
+    table.add_row(
+        {format == prompt::NumberFormat::Decimal ? "decimal" : "scientific",
+         util::Table::num(summary.mare.mean(), 4),
+         util::Table::num(summary.msre.mean(), 4),
+         util::Table::num(summary.r2.mean(), 4),
+         util::Table::num(static_cast<double>(summary.queries_parsed) /
+                              static_cast<double>(summary.queries_total),
+                          3),
+         util::Table::num(summary.copy_rate(), 3)});
+  }
+  bench::emit("§V-B ablation — decimal vs scientific output format", table);
+  std::cout << "Note: scientific notation moves the informative digits "
+               "into a shared mantissa shape; with a copy-driven model the "
+               "prefix structure (not the format) carries the signal.\n";
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Autotuner comparison — the systems framing of the paper's question.
+//
+// Runs complete tuning campaigns on the syr2k space with the classical
+// tuners (random search, GBT-surrogate search) and the three LLAMBO modes
+// wired to the calibrated LLM stand-in, and reports best-found runtime vs
+// evaluation budget.  The classical surrogate matches or beats the
+// LLM-in-the-loop variants — the operational consequence of §IV.
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "core/pipeline.hpp"
+#include "eval/aggregate.hpp"
+#include "tune/annealing_tuner.hpp"
+#include "tune/gbt_surrogate_tuner.hpp"
+#include "tune/genetic_tuner.hpp"
+#include "tune/llambo_tuner.hpp"
+#include "tune/random_search_tuner.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace lmpeel;
+  const int budget = bench::env_int("LMPEEL_TUNE_BUDGET", 30);
+  const int repeats = bench::env_int("LMPEEL_TUNE_REPEATS", 3);
+
+  core::Pipeline pipeline;
+  const perf::SizeClass size = perf::SizeClass::XL;
+  const auto& data = pipeline.dataset(size);
+  std::cout << "space optimum (oracle): "
+            << util::Table::num(data.min_runtime(), 4) << " s, median "
+            << util::Table::num(data[data.size() / 2].runtime, 4) << " s\n";
+
+  util::Stopwatch watch;
+  util::Table table({"tuner", "budget", "best_mean_s", "best_min_s",
+                     "best_at_half_budget_s"});
+
+  const auto run_tuner = [&](const std::string& name, auto make_tuner) {
+    eval::Aggregate best, half;
+    double best_min = 1e300;
+    for (int r = 0; r < repeats; ++r) {
+      auto tuner = make_tuner();
+      tune::CampaignOptions options;
+      options.budget = budget;
+      options.seed = 100 + r;
+      const auto result =
+          tune::run_campaign(*tuner, pipeline.perf_model(), size, options);
+      best.add(result.best_runtime());
+      half.add(result.best_so_far[budget / 2]);
+      best_min = std::min(best_min, result.best_runtime());
+    }
+    table.add_row({name, std::to_string(budget),
+                   util::Table::num(best.mean(), 4),
+                   util::Table::num(best_min, 4),
+                   util::Table::num(half.mean(), 4)});
+  };
+
+  run_tuner("random-search", [] {
+    return std::make_unique<tune::RandomSearchTuner>();
+  });
+  run_tuner("gbt-surrogate", [] {
+    tune::GbtSurrogateOptions options;
+    options.warmup = 8;
+    return std::make_unique<tune::GbtSurrogateTuner>(options);
+  });
+  run_tuner("simulated-annealing", [] {
+    return std::make_unique<tune::AnnealingTuner>();
+  });
+  run_tuner("genetic", [] {
+    tune::GeneticOptions options;
+    options.population = 10;
+    return std::make_unique<tune::GeneticTuner>(options);
+  });
+  for (const tune::LlamboMode mode :
+       {tune::LlamboMode::Discriminative, tune::LlamboMode::Generative,
+        tune::LlamboMode::CandidateSampling}) {
+    run_tuner(std::string("llambo-") + tune::llambo_mode_name(mode),
+              [&] {
+                tune::LlamboOptions options;
+                options.mode = mode;
+                options.candidate_pool = 4;
+                options.max_icl = 16;
+                return std::make_unique<tune::LlamboTuner>(
+                    pipeline.model(), pipeline.tokenizer(), size, options);
+              });
+  }
+
+  bench::emit("Autotuning campaigns on syr2k/XL", table);
+  std::cout << "elapsed: " << util::Table::num(watch.seconds(), 3) << " s\n";
+  return 0;
+}

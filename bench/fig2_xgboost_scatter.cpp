@@ -1,0 +1,97 @@
+// Figure 2 — XGBoost runtime predictions at 8519 training examples.
+//
+// The paper plots predicted-vs-true runtime for both sizes; the points hug
+// the diagonal.  This bench regenerates the underlying series: per test
+// point (truth, prediction), summarised as a quantile-binned table
+// (mean truth vs mean prediction per bin) plus the calibration statistics.
+// The full point cloud is written as CSV to fig2_points_<size>.csv in the
+// working directory.
+#include <algorithm>
+#include <iostream>
+#include <numeric>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "eval/metrics.hpp"
+#include "gbt/random_search.hpp"
+#include "perf/dataset.hpp"
+#include "util/math.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace lmpeel;
+  const int iterations = bench::env_int("LMPEEL_FIG2_ITERS", 30);
+  const perf::Syr2kModel model;
+
+  for (const perf::SizeClass size :
+       {perf::SizeClass::SM, perf::SizeClass::XL}) {
+    const perf::Dataset data = perf::Dataset::generate(model, size, 42);
+    const auto x = data.feature_matrix();
+    const auto y = data.targets();
+    const std::size_t cols = perf::ConfigSpace::kNumFeatures;
+
+    util::Rng split_rng(7);
+    const perf::Split split =
+        perf::train_test_split(data.size(), 8519, split_rng);
+
+    std::vector<double> tx, ty;
+    for (const std::size_t r : split.train) {
+      tx.insert(tx.end(), x.begin() + r * cols, x.begin() + (r + 1) * cols);
+      ty.push_back(y[r]);
+    }
+    gbt::RandomSearchOptions options;
+    options.iterations = iterations;
+    options.seed = 11;
+    const auto search = gbt::random_search(tx, cols, ty, options);
+
+    std::vector<std::pair<double, double>> points;  // (truth, pred)
+    points.reserve(split.test.size());
+    for (const std::size_t r : split.test) {
+      points.emplace_back(y[r],
+                          search.best_model.predict_row(
+                              std::span<const double>(x).subspan(r * cols,
+                                                                 cols)));
+    }
+    std::sort(points.begin(), points.end());
+
+    // Quantile-binned series: 20 bins over the truth axis.
+    util::Table table({"bin", "truth_mean", "pred_mean", "pred_p10",
+                       "pred_p90"});
+    const std::size_t bins = 20;
+    for (std::size_t b = 0; b < bins; ++b) {
+      const std::size_t lo = points.size() * b / bins;
+      const std::size_t hi = points.size() * (b + 1) / bins;
+      std::vector<double> t, p;
+      for (std::size_t i = lo; i < hi; ++i) {
+        t.push_back(points[i].first);
+        p.push_back(points[i].second);
+      }
+      table.add_row({std::to_string(b), util::Table::num(util::mean(t), 4),
+                     util::Table::num(util::mean(p), 4),
+                     util::Table::num(util::percentile(p, 10.0), 4),
+                     util::Table::num(util::percentile(p, 90.0), 4)});
+    }
+    bench::emit(std::string("Fig. 2 series — ") + perf::size_name(size),
+                table);
+
+    std::vector<double> truth, pred;
+    for (const auto& [t, p] : points) {
+      truth.push_back(t);
+      pred.push_back(p);
+    }
+    std::cout << "R2=" << util::Table::num(eval::r2_score(truth, pred), 4)
+              << "  pearson="
+              << util::Table::num(util::pearson(truth, pred), 4)
+              << "  (paper: tight diagonal, R2 0.80 SM / 0.98 XL)\n";
+
+    util::Table cloud({"truth", "pred"});
+    for (const auto& [t, p] : points) {
+      cloud.add_row({util::Table::num(t, 6), util::Table::num(p, 6)});
+    }
+    const std::string path =
+        std::string("fig2_points_") + perf::size_name(size) + ".csv";
+    cloud.write_csv(path);
+    std::cout << "point cloud written to " << path << "\n";
+  }
+  return 0;
+}

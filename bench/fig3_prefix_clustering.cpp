@@ -1,0 +1,84 @@
+// Figure 3 — generated values cluster around common prefixes of the
+// in-context values under minimal-edit-distance curation.
+//
+// For several curated prompts (SM, 25 nearest-neighbour examples) the
+// bench builds the reachable-value distribution from the recorded logit
+// trace and histograms it against the density of the in-context values
+// themselves.  The paper's observation — "peak probabilities occurring
+// near highly dense in-context examples" — shows up as aligned peaks in
+// the two columns.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/pipeline.hpp"
+#include "eval/histogram.hpp"
+#include "haystack/decoding_set.hpp"
+#include "haystack/value_distribution.hpp"
+#include "lm/generate.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace lmpeel;
+  core::Pipeline pipeline;
+  const auto& tz = pipeline.tokenizer();
+  const auto& data = pipeline.dataset(perf::SizeClass::SM);
+  const auto builder = pipeline.builder(perf::SizeClass::SM);
+
+  const std::size_t icl_count = 25;
+  const int prompts = bench::env_int("LMPEEL_FIG3_PROMPTS", 8);
+
+  // Common value axis across prompts: the SM runtime range.
+  eval::Histogram generated(data.min_runtime() * 0.8,
+                            data.max_runtime() * 1.2, 40);
+  eval::Histogram in_context(data.min_runtime() * 0.8,
+                             data.max_runtime() * 1.2, 40);
+
+  for (int p = 0; p < prompts; ++p) {
+    util::Rng rng(100 + p);
+    const auto nbh = perf::minimal_edit_neighborhood(data, icl_count, rng);
+    const auto& query = data[nbh[0]];
+    std::vector<perf::Sample> examples;
+    for (std::size_t i = 1; i < nbh.size(); ++i) {
+      examples.push_back(data[nbh[i]]);
+      in_context.add(data[nbh[i]].runtime);
+    }
+
+    const auto ids = builder.encode(tz, examples, query.config);
+    lm::GenerateOptions gen;
+    gen.sampler = {1.0, 0, 0.998};
+    gen.stop_token = tz.newline_token();
+    gen.seed = 500 + p;
+    const auto generation = lm::generate(pipeline.model(), ids, gen);
+    const auto span = haystack::find_value_span(generation.trace, tz);
+    if (!span.has_value()) continue;
+
+    haystack::DecodingOptions options;
+    options.exact_limit = 50000;
+    options.mc_samples = 20000;
+    options.seed = p;
+    const auto set = haystack::build_decoding_set(
+        generation.trace, tz, span->first, span->second, options);
+    for (const auto& wv : set.values) generated.add(wv.value, wv.weight);
+  }
+
+  util::Table table({"value_bin_center", "reachable_mass",
+                     "icl_value_count"});
+  for (std::size_t b = 0; b < generated.bins(); ++b) {
+    table.add_row({util::Table::num(generated.bin_center(b), 4),
+                   util::Table::num(generated.bin_density(b), 4),
+                   util::Table::num(in_context.bin_mass(b), 4)});
+  }
+  bench::emit("Fig. 3 — reachable-value density vs in-context density",
+              table);
+
+  const auto gen_modes = generated.modes(0.04);
+  const auto icl_modes = in_context.modes(0.04);
+  std::cout << "generated modes:";
+  for (const double m : gen_modes) std::cout << ' ' << util::Table::num(m, 4);
+  std::cout << "\nin-context modes:";
+  for (const double m : icl_modes) std::cout << ' ' << util::Table::num(m, 4);
+  std::cout << "\n(paper: response probability peaks align with dense ICL "
+               "value prefixes)\n";
+  return 0;
+}

@@ -1,0 +1,161 @@
+// Micro-benchmarks of the substrates (google-benchmark): tokenizer
+// throughput, induction-model logit computation, transformer forward pass,
+// GBT training, syr2k model evaluation, dataset generation and haystack
+// enumeration.  These validate that the HPC-parallel substrate is fast
+// enough for the paper-scale sweeps and catch performance regressions.
+#include <benchmark/benchmark.h>
+
+#include "core/pipeline.hpp"
+#include "gbt/booster.hpp"
+#include "haystack/decoding_set.hpp"
+#include "lm/generate.hpp"
+#include "lm/transformer.hpp"
+#include "perf/dataset.hpp"
+
+namespace {
+
+using namespace lmpeel;
+
+core::Pipeline& shared_pipeline() {
+  static core::Pipeline pipeline;
+  return pipeline;
+}
+
+void BM_TokenizerEncode(benchmark::State& state) {
+  auto& pipeline = shared_pipeline();
+  const auto builder = pipeline.builder(perf::SizeClass::SM);
+  const auto& data = pipeline.dataset(perf::SizeClass::SM);
+  std::vector<perf::Sample> examples(data.samples().begin(),
+                                     data.samples().begin() + 10);
+  const std::string text = builder.user_text(examples, data[77].config);
+  std::size_t tokens = 0;
+  for (auto _ : state) {
+    const auto ids = pipeline.tokenizer().encode(text);
+    benchmark::DoNotOptimize(ids.data());
+    tokens += ids.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(tokens));
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * text.size()));
+}
+BENCHMARK(BM_TokenizerEncode);
+
+void BM_InductionNextLogits(benchmark::State& state) {
+  auto& pipeline = shared_pipeline();
+  const auto builder = pipeline.builder(perf::SizeClass::SM);
+  const auto& data = pipeline.dataset(perf::SizeClass::SM);
+  std::vector<perf::Sample> examples(
+      data.samples().begin(),
+      data.samples().begin() + state.range(0));
+  auto ids = builder.encode(pipeline.tokenizer(), examples, data[5].config);
+  ids.push_back(pipeline.tokenizer().space_token());
+  std::vector<float> logits(pipeline.model().vocab_size());
+  for (auto _ : state) {
+    pipeline.model().next_logits(ids, logits);
+    benchmark::DoNotOptimize(logits.data());
+  }
+}
+BENCHMARK(BM_InductionNextLogits)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_TransformerForward(benchmark::State& state) {
+  lm::TransformerConfig config;
+  config.vocab = 1500;
+  config.d_model = 64;
+  config.n_head = 4;
+  config.n_layer = 2;
+  config.max_seq = 128;
+  lm::TransformerLm model(config, 1);
+  std::vector<int> context(state.range(0));
+  for (std::size_t i = 0; i < context.size(); ++i) {
+    context[i] = static_cast<int>(i * 37 % config.vocab);
+  }
+  std::vector<float> logits(config.vocab);
+  for (auto _ : state) {
+    model.next_logits(context, logits);
+    benchmark::DoNotOptimize(logits.data());
+  }
+}
+BENCHMARK(BM_TransformerForward)->Arg(32)->Arg(128);
+
+void BM_GbtFit(benchmark::State& state) {
+  auto& pipeline = shared_pipeline();
+  const auto& data = pipeline.dataset(perf::SizeClass::SM);
+  const auto x = data.feature_matrix();
+  const auto y = data.targets();
+  const std::size_t rows = static_cast<std::size_t>(state.range(0));
+  const std::size_t cols = perf::ConfigSpace::kNumFeatures;
+  const std::vector<double> tx(x.begin(), x.begin() + rows * cols);
+  const std::vector<double> ty(y.begin(), y.begin() + rows);
+  gbt::BoosterParams params;
+  params.n_estimators = 50;
+  params.max_depth = 5;
+  for (auto _ : state) {
+    gbt::GradientBoostedTrees model;
+    model.fit(tx, cols, ty, params, 1);
+    benchmark::DoNotOptimize(model.n_trees());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * rows));
+}
+BENCHMARK(BM_GbtFit)->Arg(500)->Arg(2000);
+
+void BM_Syr2kEvaluate(benchmark::State& state) {
+  const perf::Syr2kModel model;
+  const perf::ConfigSpace space;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const double t = model.expected_runtime(
+        space.at(i % space.size()), perf::SizeClass::XL);
+    benchmark::DoNotOptimize(t);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Syr2kEvaluate);
+
+void BM_DatasetGenerate(benchmark::State& state) {
+  const perf::Syr2kModel model;
+  for (auto _ : state) {
+    const auto data =
+        perf::Dataset::generate(model, perf::SizeClass::SM, 42);
+    benchmark::DoNotOptimize(data.size());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * perf::kSpaceSize));
+}
+BENCHMARK(BM_DatasetGenerate)->Unit(benchmark::kMillisecond);
+
+void BM_HaystackEnumeration(benchmark::State& state) {
+  auto& pipeline = shared_pipeline();
+  const auto& tz = pipeline.tokenizer();
+  const auto builder = pipeline.builder(perf::SizeClass::SM);
+  const auto& data = pipeline.dataset(perf::SizeClass::SM);
+  std::vector<perf::Sample> examples(data.samples().begin(),
+                                     data.samples().begin() + 25);
+  const auto ids = builder.encode(tz, examples, data[9].config);
+  lm::GenerateOptions gen;
+  gen.sampler = {1.0, 0, 1.0};
+  gen.stop_token = tz.newline_token();
+  gen.seed = 1;
+  const auto generation = lm::generate(pipeline.model(), ids, gen);
+  const auto span = haystack::find_value_span(generation.trace, tz);
+  if (!span.has_value()) {
+    state.SkipWithError("no value span");
+    return;
+  }
+  haystack::DecodingOptions options;
+  options.exact_limit = 1;  // force the Monte-Carlo path
+  options.mc_samples = 5000;
+  for (auto _ : state) {
+    const auto set = haystack::build_decoding_set(
+        generation.trace, tz, span->first, span->second, options);
+    benchmark::DoNotOptimize(set.values.size());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * options.mc_samples));
+}
+BENCHMARK(BM_HaystackEnumeration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

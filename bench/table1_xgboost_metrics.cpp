@@ -1,0 +1,95 @@
+// Table I — XGBoost prediction metrics (§III-D).
+//
+// For each array size (SM, XL) and training budget (100, 500, 1000, 5000,
+// 8519 = 80% of the space) the baseline is tuned by randomised
+// hyperparameter search and evaluated on the held-out 20%: R², MARE and
+// MSRE per cell.  The paper uses 1000 search iterations; the default here
+// is scaled for a laptop run — set LMPEEL_TABLE1_ITERS=1000 for the full
+// protocol (the selected models barely change beyond ~50 iterations).
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "eval/metrics.hpp"
+#include "gbt/random_search.hpp"
+#include "perf/dataset.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace lmpeel;
+
+struct PaperCell {
+  double r2_sm, r2_xl, mare_sm, mare_xl, msre_sm, msre_xl;
+};
+
+// Paper Table I, for side-by-side comparison in the output.
+const std::vector<std::pair<std::size_t, PaperCell>> kPaperRows = {
+    {100, {0.44, 0.69, 0.17, 0.13, 0.073, 0.058}},
+    {500, {0.67, 0.87, 0.12, 0.09, 0.038, 0.036}},
+    {1000, {0.72, 0.88, 0.11, 0.07, 0.025, 0.027}},
+    {5000, {0.80, 0.97, 0.09, 0.04, 0.015, 0.007}},
+    {8519, {0.80, 0.98, 0.08, 0.04, 0.013, 0.003}},
+};
+
+}  // namespace
+
+int main() {
+  const int iterations = bench::env_int("LMPEEL_TABLE1_ITERS", 30);
+  std::cout << "Table I: XGBoost prediction metrics ("
+            << iterations << " random-search iterations; "
+            << "LMPEEL_TABLE1_ITERS=1000 for the paper protocol)\n";
+
+  const perf::Syr2kModel model;
+  util::Table table({"train", "size", "R2", "R2(paper)", "MARE",
+                     "MARE(paper)", "MSRE", "MSRE(paper)"});
+
+  util::Stopwatch watch;
+  for (const perf::SizeClass size :
+       {perf::SizeClass::SM, perf::SizeClass::XL}) {
+    const perf::Dataset data = perf::Dataset::generate(model, size, 42);
+    const auto x = data.feature_matrix();
+    const auto y = data.targets();
+    const std::size_t cols = perf::ConfigSpace::kNumFeatures;
+
+    util::Rng split_rng(7);
+    const perf::Split split =
+        perf::train_test_split(data.size(), 8519, split_rng);
+
+    for (const auto& [train_count, paper] : kPaperRows) {
+      std::vector<double> tx, ty;
+      tx.reserve(train_count * cols);
+      for (std::size_t i = 0; i < train_count; ++i) {
+        const std::size_t r = split.train[i];
+        tx.insert(tx.end(), x.begin() + r * cols, x.begin() + (r + 1) * cols);
+        ty.push_back(y[r]);
+      }
+      gbt::RandomSearchOptions options;
+      options.iterations = iterations;
+      options.seed = 11;
+      const auto search = gbt::random_search(tx, cols, ty, options);
+
+      std::vector<double> truth, pred;
+      truth.reserve(split.test.size());
+      for (const std::size_t r : split.test) {
+        truth.push_back(y[r]);
+        pred.push_back(search.best_model.predict_row(
+            std::span<const double>(x).subspan(r * cols, cols)));
+      }
+      const bool sm = size == perf::SizeClass::SM;
+      table.add_row(
+          {std::to_string(train_count), perf::size_name(size),
+           util::Table::num(eval::r2_score(truth, pred), 3),
+           util::Table::num(sm ? paper.r2_sm : paper.r2_xl, 3),
+           util::Table::num(eval::mare(truth, pred), 3),
+           util::Table::num(sm ? paper.mare_sm : paper.mare_xl, 3),
+           util::Table::num(eval::msre(truth, pred), 3),
+           util::Table::num(sm ? paper.msre_sm : paper.msre_xl, 3)});
+    }
+  }
+
+  bench::emit("Table I — XGBoost prediction metrics", table);
+  std::cout << "elapsed: " << util::Table::num(watch.seconds(), 3) << " s\n";
+  return 0;
+}

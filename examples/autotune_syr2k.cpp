@@ -1,0 +1,72 @@
+// Autotuning scenario: tune the syr2k kernel end to end with three
+// different strategies — random search, a classical GBT-surrogate loop,
+// and an LLM-in-the-loop LLAMBO candidate sampler — and print the
+// best-so-far trajectory of each.
+//
+// Usage: autotune_syr2k [budget] [size: SM|XL]
+#include <cstring>
+#include <iostream>
+#include <memory>
+
+#include "core/pipeline.hpp"
+#include "tune/gbt_surrogate_tuner.hpp"
+#include "tune/llambo_tuner.hpp"
+#include "tune/random_search_tuner.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lmpeel;
+  const std::size_t budget =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 30;
+  const perf::SizeClass size =
+      (argc > 2 && std::strcmp(argv[2], "SM") == 0) ? perf::SizeClass::SM
+                                                    : perf::SizeClass::XL;
+
+  core::Pipeline pipeline;
+  const auto& data = pipeline.dataset(size);
+  std::cout << "tuning syr2k/" << perf::size_name(size) << " — space of "
+            << data.size() << " configurations, oracle best "
+            << util::Table::num(data.min_runtime(), 4) << " s\n\n";
+
+  struct Entry {
+    std::string name;
+    std::unique_ptr<tune::Tuner> tuner;
+  };
+  std::vector<Entry> entries;
+  entries.push_back({"random-search",
+                     std::make_unique<tune::RandomSearchTuner>()});
+  {
+    tune::GbtSurrogateOptions options;
+    options.warmup = 8;
+    entries.push_back({"gbt-surrogate",
+                       std::make_unique<tune::GbtSurrogateTuner>(options)});
+  }
+  {
+    tune::LlamboOptions options;
+    options.mode = tune::LlamboMode::CandidateSampling;
+    options.max_icl = 16;
+    entries.push_back(
+        {"llambo-candidate-sampling",
+         std::make_unique<tune::LlamboTuner>(
+             pipeline.model(), pipeline.tokenizer(), size, options)});
+  }
+
+  for (auto& [name, tuner] : entries) {
+    tune::CampaignOptions options;
+    options.budget = budget;
+    options.seed = 7;
+    const auto result =
+        tune::run_campaign(*tuner, pipeline.perf_model(), size, options);
+    std::cout << name << ": best " << util::Table::num(result.best_runtime(), 4)
+              << " s\n  best-so-far:";
+    for (std::size_t i = 0; i < result.best_so_far.size();
+         i += std::max<std::size_t>(1, budget / 10)) {
+      std::cout << ' ' << util::Table::num(result.best_so_far[i], 4);
+    }
+    std::cout << "\n  best config: "
+              << prompt::render_config(result.best_config(), size) << "\n\n";
+  }
+  std::cout << "The classical surrogate reaches lower runtimes within the "
+               "same budget — the practical takeaway of the paper.\n";
+  return 0;
+}

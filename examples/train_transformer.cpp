@@ -1,0 +1,63 @@
+// Train the from-scratch transformer on the linear-function ICL task and
+// watch it learn to complete y = a*x + b from in-context examples alone.
+//
+// Usage: train_transformer [steps]
+#include <cstdlib>
+#include <iostream>
+
+#include "lm/corpus.hpp"
+#include "lm/generate.hpp"
+#include "lm/trainer.hpp"
+#include "lm/transformer.hpp"
+#include "tok/tokenizer.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lmpeel;
+  const std::size_t steps =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 300;
+
+  tok::Tokenizer tz;
+  lm::TransformerConfig config;
+  config.vocab = tz.vocab_size();
+  config.d_model = 64;
+  config.n_head = 4;
+  config.n_layer = 2;
+  config.max_seq = 96;
+  lm::TransformerLm model(config, 1);
+  std::cout << "decoder-only transformer: " << config.n_layer << " layers, "
+            << config.d_model << "-dim, " << model.parameter_count()
+            << " parameters\n";
+
+  lm::LinearTaskOptions task;
+  task.n_examples = 5;
+  lm::TrainerOptions options;
+  options.steps = steps;
+  options.batch_size = 6;
+  options.optimizer.lr = 2.5e-3;
+  options.on_step = [](std::size_t step, double loss) {
+    std::cout << "step " << step << "  loss " << util::Table::num(loss, 4)
+              << '\n';
+  };
+  lm::train(
+      model,
+      [&](util::Rng& rng) {
+        return lm::encode_linear_example(tz, lm::make_linear_prompt(task, rng));
+      },
+      options);
+
+  std::cout << "\nheld-out prompts (greedy decoding):\n";
+  for (std::uint64_t seed = 7000; seed < 7005; ++seed) {
+    util::Rng rng(seed);
+    const auto prompt = lm::make_linear_prompt(task, rng);
+    std::vector<int> ids{tok::kBos};
+    tz.encode_append(prompt.text, ids);
+    lm::GenerateOptions gen;
+    gen.sampler = {0.0, 0, 1.0};
+    gen.max_tokens = 4;
+    const auto generation = lm::generate(model, ids, gen);
+    std::cout << "  " << prompt.text << tz.decode(generation.tokens)
+              << "   (truth " << prompt.answer << ")\n";
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+#include "core/experiment.hpp"
+
+#include <sstream>
+
+#include "eval/metrics.hpp"
+
+namespace lmpeel::core {
+
+const char* curation_name(Curation curation) {
+  switch (curation) {
+    case Curation::Random: return "random";
+    case Curation::MinimalEditDistance: return "min-edit";
+  }
+  return "?";
+}
+
+std::string SettingKey::to_string() const {
+  std::ostringstream os;
+  os << perf::size_name(size) << "/" << curation_name(curation) << "/icl="
+     << icl_count << "/set=" << set_id << "/seed=" << seed_id;
+  return os.str();
+}
+
+void SettingResult::finalize() {
+  std::vector<double> truth, pred;
+  for (const QueryRecord& q : queries) {
+    if (!q.predicted.has_value()) continue;
+    truth.push_back(q.truth);
+    pred.push_back(*q.predicted);
+  }
+  parsed = truth.size();
+  if (parsed >= 2) {
+    r2 = eval::r2_score(truth, pred);
+    mare = eval::mare(truth, pred);
+    msre = eval::msre(truth, pred);
+  } else {
+    r2.reset();
+    mare.reset();
+    msre.reset();
+  }
+}
+
+std::size_t SweepResult::total_queries() const {
+  std::size_t n = 0;
+  for (const SettingResult& s : settings) n += s.queries.size();
+  return n;
+}
+
+std::size_t SweepResult::total_parsed() const {
+  std::size_t n = 0;
+  for (const SettingResult& s : settings) n += s.parsed;
+  return n;
+}
+
+}  // namespace lmpeel::core

@@ -1,0 +1,83 @@
+// Types for the §IV-A LLM prediction-quality sweep.
+//
+// Protocol (following §III-B):
+//   * in-context example counts from one to one hundred;
+//   * five pairwise-disjoint in-context sets per count ("to limit the
+//     possibility of poor examples biasing the results");
+//   * three sampling seeds per prompt;
+//   * two array sizes (SM, XL);
+//   * two curation modes: random examples, and the minimal-edit-distance
+//     setting where examples and query are nearly identical configurations;
+//   * each (size, curation, count, set, seed) cell predicts a fixed panel
+//     of held-out query configurations, over which R2/MARE/MSRE are
+//     computed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lm/sampler.hpp"
+#include "lm/trace.hpp"
+#include "perf/config_space.hpp"
+
+namespace lmpeel::core {
+
+enum class Curation { Random, MinimalEditDistance };
+
+const char* curation_name(Curation curation);
+
+struct SweepSettings {
+  std::vector<std::size_t> icl_counts = {1, 5, 10, 25, 50, 100};
+  std::size_t disjoint_sets = 5;
+  std::size_t seeds = 3;
+  std::size_t queries_per_setting = 5;
+  std::vector<perf::SizeClass> sizes = {perf::SizeClass::SM,
+                                        perf::SizeClass::XL};
+  std::vector<Curation> curations = {Curation::Random,
+                                     Curation::MinimalEditDistance};
+  lm::SamplerConfig sampler{1.0, 0, 0.998};
+  std::uint64_t seed = 7;
+};
+
+struct SettingKey {
+  perf::SizeClass size = perf::SizeClass::SM;
+  Curation curation = Curation::Random;
+  std::size_t icl_count = 0;
+  std::size_t set_id = 0;
+  std::size_t seed_id = 0;
+
+  std::string to_string() const;
+};
+
+/// One query prediction within a setting (the trace itself is streamed to
+/// observers and not retained here).
+struct QueryRecord {
+  double truth = 0.0;
+  std::optional<double> predicted;
+  bool deviated = false;
+  bool verbatim_copy = false;
+  std::vector<std::size_t> candidate_counts;  ///< per value-token position
+  double permutations = 0.0;  ///< reachable decodings over the value span
+};
+
+struct SettingResult {
+  SettingKey key;
+  std::vector<QueryRecord> queries;
+  std::optional<double> r2;  ///< absent when fewer than 2 queries parsed
+  std::optional<double> mare;
+  std::optional<double> msre;
+  std::size_t parsed = 0;
+
+  void finalize();  ///< computes the metrics from `queries`
+};
+
+struct SweepResult {
+  std::vector<SettingResult> settings;
+
+  std::size_t total_queries() const;
+  std::size_t total_parsed() const;
+};
+
+}  // namespace lmpeel::core

@@ -1,0 +1,119 @@
+#include "core/reporting.hpp"
+
+#include <map>
+#include <tuple>
+
+#include "util/check.hpp"
+
+namespace lmpeel::core {
+
+double SweepSummary::nonnegative_r2_fraction() const {
+  if (settings_with_metrics == 0) return 0.0;
+  return static_cast<double>(nonnegative_r2) /
+         static_cast<double>(settings_with_metrics);
+}
+
+double SweepSummary::copy_rate() const {
+  if (queries_parsed == 0) return 0.0;
+  return static_cast<double>(verbatim_copies) /
+         static_cast<double>(queries_parsed);
+}
+
+SweepSummary summarize(const SweepResult& result) {
+  SweepSummary summary;
+  bool first = true;
+  for (const SettingResult& setting : result.settings) {
+    for (const QueryRecord& q : setting.queries) {
+      ++summary.queries_total;
+      if (q.predicted.has_value()) ++summary.queries_parsed;
+      if (q.verbatim_copy) ++summary.verbatim_copies;
+      if (q.deviated) ++summary.deviations;
+    }
+    if (!setting.r2.has_value()) continue;
+    ++summary.settings_with_metrics;
+    summary.r2.add(*setting.r2);
+    summary.mare.add(*setting.mare);
+    summary.msre.add(*setting.msre);
+    if (*setting.r2 >= 0.0) ++summary.nonnegative_r2;
+    if (first || *setting.r2 > summary.best_r2) {
+      summary.best_r2 = *setting.r2;
+      summary.best_r2_key = setting.key;
+      first = false;
+    }
+  }
+  return summary;
+}
+
+util::Table sweep_table(const SweepResult& result) {
+  using Key = std::tuple<perf::SizeClass, Curation, std::size_t>;
+  struct CellAgg {
+    eval::Aggregate r2, mare, msre;
+    std::size_t parsed = 0, total = 0, copies = 0;
+  };
+  std::map<Key, CellAgg> cells;
+  for (const SettingResult& setting : result.settings) {
+    CellAgg& agg = cells[{setting.key.size, setting.key.curation,
+                          setting.key.icl_count}];
+    if (setting.r2.has_value()) {
+      agg.r2.add(*setting.r2);
+      agg.mare.add(*setting.mare);
+      agg.msre.add(*setting.msre);
+    }
+    for (const QueryRecord& q : setting.queries) {
+      ++agg.total;
+      if (q.predicted.has_value()) ++agg.parsed;
+      if (q.verbatim_copy) ++agg.copies;
+    }
+  }
+
+  util::Table table({"size", "curation", "icl", "mean_R2", "best_R2",
+                     "mean_MARE", "mean_MSRE", "parsed", "copy_rate"});
+  for (const auto& [key, agg] : cells) {
+    const auto [size, curation, icl] = key;
+    table.add_row({perf::size_name(size), curation_name(curation),
+                   std::to_string(icl), util::Table::num(agg.r2.mean()),
+                   util::Table::num(agg.r2.max()),
+                   util::Table::num(agg.mare.mean()),
+                   util::Table::num(agg.msre.mean()),
+                   std::to_string(agg.parsed) + "/" +
+                       std::to_string(agg.total),
+                   util::Table::num(agg.parsed > 0
+                                        ? static_cast<double>(agg.copies) /
+                                              static_cast<double>(agg.parsed)
+                                        : 0.0)});
+  }
+  return table;
+}
+
+util::Table summary_table(const SweepSummary& summary) {
+  util::Table table({"statistic", "value", "paper"});
+  table.add_row({"settings with metrics",
+                 std::to_string(summary.settings_with_metrics), "-"});
+  table.add_row({"best R2", util::Table::num(summary.best_r2, 4), "0.4643"});
+  table.add_row({"best R2 setting", summary.best_r2_key.to_string(),
+                 "SM, 50 ICL"});
+  table.add_row({"mean R2", util::Table::num(summary.r2.mean(), 4),
+                 "-6.643"});
+  table.add_row({"std R2", util::Table::num(summary.r2.stddev(), 4),
+                 "22.766"});
+  table.add_row({"frac non-negative R2",
+                 util::Table::num(summary.nonnegative_r2_fraction(), 3),
+                 "~0.25"});
+  table.add_row({"mean MARE", util::Table::num(summary.mare.mean(), 4),
+                 "0.3593"});
+  table.add_row({"std MARE", util::Table::num(summary.mare.stddev(), 4),
+                 "0.2474"});
+  table.add_row({"mean MSRE", util::Table::num(summary.msre.mean(), 4),
+                 "0.1021"});
+  table.add_row({"std MSRE", util::Table::num(summary.msre.stddev(), 4),
+                 "3.2609"});
+  table.add_row({"verbatim copy rate",
+                 util::Table::num(summary.copy_rate(), 3), "~0.10"});
+  table.add_row({"parsed / total",
+                 std::to_string(summary.queries_parsed) + "/" +
+                     std::to_string(summary.queries_total),
+                 "-"});
+  return table;
+}
+
+}  // namespace lmpeel::core

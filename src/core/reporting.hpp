@@ -1,0 +1,38 @@
+// Aggregation and table emission for the sweep results (§IV-A headline
+// statistics and the per-cell breakdown tables the benches print).
+#pragma once
+
+#include "core/experiment.hpp"
+#include "eval/aggregate.hpp"
+#include "util/table.hpp"
+
+namespace lmpeel::core {
+
+struct SweepSummary {
+  eval::Aggregate r2;    ///< over all settings with computable metrics
+  eval::Aggregate mare;  ///< CLT aggregation across all settings (§IV-A)
+  eval::Aggregate msre;
+  std::size_t settings_with_metrics = 0;
+  std::size_t nonnegative_r2 = 0;
+  double best_r2 = 0.0;
+  SettingKey best_r2_key;
+  std::size_t queries_total = 0;
+  std::size_t queries_parsed = 0;
+  std::size_t verbatim_copies = 0;
+  std::size_t deviations = 0;
+
+  double nonnegative_r2_fraction() const;
+  /// Share of parsed predictions copied character-exactly from the ICL.
+  double copy_rate() const;
+};
+
+SweepSummary summarize(const SweepResult& result);
+
+/// Per-(size, curation, icl) mean metrics table — one row per cell, the
+/// machine-readable form of the paper's §IV-A discussion.
+util::Table sweep_table(const SweepResult& result);
+
+/// Headline-statistics table (mirrors the numbers quoted in §IV-A prose).
+util::Table summary_table(const SweepSummary& summary);
+
+}  // namespace lmpeel::core

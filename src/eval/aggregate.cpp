@@ -1,0 +1,41 @@
+#include "eval/aggregate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lmpeel::eval {
+
+void Aggregate::add(double value) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++n_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (value - mean_);
+}
+
+void Aggregate::add_all(std::span<const double> values) noexcept {
+  for (const double v : values) add(v);
+}
+
+double Aggregate::mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+
+double Aggregate::stddev() const noexcept {
+  if (n_ < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(n_ - 1));
+}
+
+double Aggregate::standard_error() const noexcept {
+  if (n_ == 0) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double Aggregate::ci95_halfwidth() const noexcept {
+  return 1.96 * standard_error();
+}
+
+}  // namespace lmpeel::eval

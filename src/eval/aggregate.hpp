@@ -1,0 +1,41 @@
+// Central-Limit-Theorem aggregation across experiments (§III-C / §IV-A).
+//
+// The paper aggregates MARE/MSRE across all experimental settings and
+// reports mean and standard deviation, arguing via the CLT that the sample
+// mean converges to the model's "expected true capability"; ref [31]
+// (Miller 2024) motivates attaching standard errors.  Aggregate implements
+// exactly that: streaming mean/std plus the standard error of the mean and
+// a 95% normal CI.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace lmpeel::eval {
+
+class Aggregate {
+ public:
+  void add(double value) noexcept;
+  void add_all(std::span<const double> values) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept;
+  /// Sample standard deviation (n-1); 0 when count < 2.
+  double stddev() const noexcept;
+  /// Standard error of the mean: stddev / sqrt(n).
+  double standard_error() const noexcept;
+  /// Normal-approximation 95% CI half-width (1.96 * SE).
+  double ci95_halfwidth() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  // Welford's streaming algorithm: numerically stable for long runs.
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace lmpeel::eval

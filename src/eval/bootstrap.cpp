@@ -1,0 +1,47 @@
+#include "eval/bootstrap.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace lmpeel::eval {
+
+BootstrapCi bootstrap_ci(
+    std::span<const double> values,
+    const std::function<double(std::span<const double>)>& statistic,
+    double confidence, std::size_t resamples, std::uint64_t seed) {
+  LMPEEL_CHECK(!values.empty());
+  LMPEEL_CHECK(confidence > 0.0 && confidence < 1.0);
+  LMPEEL_CHECK(resamples >= 2);
+
+  BootstrapCi out;
+  out.point = statistic(values);
+
+  std::vector<double> stats(resamples);
+  std::vector<double> resample(values.size());
+  for (std::size_t r = 0; r < resamples; ++r) {
+    util::Rng rng(seed, r);
+    for (double& v : resample) {
+      v = values[static_cast<std::size_t>(
+          rng.uniform_int(0, values.size() - 1))];
+    }
+    stats[r] = statistic(resample);
+  }
+  const double alpha = (1.0 - confidence) / 2.0;
+  out.lo = util::percentile(stats, 100.0 * alpha);
+  out.hi = util::percentile(stats, 100.0 * (1.0 - alpha));
+  return out;
+}
+
+BootstrapCi bootstrap_mean_ci(std::span<const double> values,
+                              double confidence, std::size_t resamples,
+                              std::uint64_t seed) {
+  return bootstrap_ci(
+      values, [](std::span<const double> x) { return util::mean(x); },
+      confidence, resamples, seed);
+}
+
+}  // namespace lmpeel::eval

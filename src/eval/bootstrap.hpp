@@ -1,0 +1,35 @@
+// Bootstrap confidence intervals for evaluation statistics.
+//
+// The paper leans on ref [31] (Miller 2024, "Adding Error Bars to Evals")
+// to argue its CLT aggregation approximates the model's true capability;
+// the nonparametric bootstrap is the standard way to attach intervals to
+// statistics whose sampling distribution is unknown (MARE over a
+// heavy-tailed error mix, the non-negative-R² fraction, …).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+namespace lmpeel::eval {
+
+struct BootstrapCi {
+  double point = 0.0;  ///< statistic on the original sample
+  double lo = 0.0;     ///< lower percentile bound
+  double hi = 0.0;     ///< upper percentile bound
+};
+
+/// Percentile-bootstrap CI for an arbitrary statistic of the sample.
+BootstrapCi bootstrap_ci(
+    std::span<const double> values,
+    const std::function<double(std::span<const double>)>& statistic,
+    double confidence = 0.95, std::size_t resamples = 2000,
+    std::uint64_t seed = 0);
+
+/// Convenience: CI of the sample mean.
+BootstrapCi bootstrap_mean_ci(std::span<const double> values,
+                              double confidence = 0.95,
+                              std::size_t resamples = 2000,
+                              std::uint64_t seed = 0);
+
+}  // namespace lmpeel::eval

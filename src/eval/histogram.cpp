@@ -1,0 +1,88 @@
+#include "eval/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace lmpeel::eval {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0.0) {
+  LMPEEL_CHECK(hi > lo);
+  LMPEEL_CHECK(bins > 0);
+}
+
+void Histogram::add(double value, double weight) {
+  LMPEEL_CHECK(weight >= 0.0);
+  const double t = (value - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::ptrdiff_t>(t * static_cast<double>(bins()));
+  bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                   static_cast<std::ptrdiff_t>(bins()) - 1);
+  counts_[bin] += weight;
+  total_ += weight;
+  w_sum_ += weight;
+  w_x_ += weight * value;
+  w_x2_ += weight * value * value;
+  w_x3_ += weight * value * value * value;
+  w_x4_ += weight * value * value * value * value;
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  LMPEEL_CHECK(i < bins());
+  const double width = (hi_ - lo_) / static_cast<double>(bins());
+  return lo_ + (static_cast<double>(i) + 0.5) * width;
+}
+
+double Histogram::bin_density(std::size_t i) const {
+  LMPEEL_CHECK(i < bins());
+  return total_ > 0.0 ? counts_[i] / total_ : 0.0;
+}
+
+std::vector<double> Histogram::modes(double min_fraction) const {
+  std::vector<std::pair<double, double>> found;  // (mass, center)
+  for (std::size_t i = 0; i < bins(); ++i) {
+    const double c = counts_[i];
+    if (total_ <= 0.0 || c < min_fraction * total_) continue;
+    const double left = i > 0 ? counts_[i - 1] : -1.0;
+    const double right = i + 1 < bins() ? counts_[i + 1] : -1.0;
+    if (c >= left && c > right) {
+      found.emplace_back(c, bin_center(i));
+    }
+  }
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<double> centers;
+  centers.reserve(found.size());
+  for (const auto& [mass, center] : found) centers.push_back(center);
+  return centers;
+}
+
+double Histogram::bimodality_coefficient() const {
+  if (w_sum_ <= 0.0) return 0.0;
+  const double mu = w_x_ / w_sum_;
+  const double ex2 = w_x2_ / w_sum_;
+  const double var = std::max(0.0, ex2 - mu * mu);
+  if (var <= 0.0) return 0.0;
+  const double sd = std::sqrt(var);
+  const double ex3 = w_x3_ / w_sum_;
+  const double ex4 = w_x4_ / w_sum_;
+  const double m3 = ex3 - 3 * mu * ex2 + 2 * mu * mu * mu;
+  const double m4 =
+      ex4 - 4 * mu * ex3 + 6 * mu * mu * ex2 - 3 * mu * mu * mu * mu;
+  const double skew = m3 / (sd * sd * sd);
+  const double kurt = m4 / (var * var);
+  if (kurt <= 0.0) return 0.0;
+  return (skew * skew + 1.0) / kurt;
+}
+
+std::vector<std::pair<double, double>> Histogram::rows() const {
+  std::vector<std::pair<double, double>> out;
+  out.reserve(bins());
+  for (std::size_t i = 0; i < bins(); ++i) {
+    out.emplace_back(bin_center(i), counts_[i]);
+  }
+  return out;
+}
+
+}  // namespace lmpeel::eval

@@ -1,0 +1,50 @@
+// Histogramming and bimodality detection for Figures 3 and 4.
+//
+// Figure 3 plots the density of LLM-generable values against the in-context
+// values; Figure 4 shows bimodal value distributions whose modes are keyed
+// by distinct string prefixes (e.g. "1.7…" vs "2.7…").  Histogram supports
+// weighted mass (logit-probability weighting) and mode extraction.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace lmpeel::eval {
+
+class Histogram {
+ public:
+  /// Uniform bins over [lo, hi]; values outside are clamped to edge bins.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value, double weight = 1.0);
+
+  std::size_t bins() const noexcept { return counts_.size(); }
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
+  double bin_center(std::size_t i) const;
+  double bin_mass(std::size_t i) const { return counts_[i]; }
+  double total_mass() const noexcept { return total_; }
+  /// Mass normalised to sum to 1 (0 if empty).
+  double bin_density(std::size_t i) const;
+
+  /// Local maxima above `min_fraction` of the total mass, sorted by mass
+  /// (descending).  Returns bin centers.
+  std::vector<double> modes(double min_fraction = 0.05) const;
+
+  /// Sarle's bimodality coefficient of the weighted sample:
+  /// (skew^2 + 1) / kurtosis.  Values above ~0.555 suggest bimodality.
+  double bimodality_coefficient() const;
+
+  /// "center mass" rows for table emission: (center, mass) pairs.
+  std::vector<std::pair<double, double>> rows() const;
+
+ private:
+  double lo_, hi_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+  // weighted raw moments for the bimodality coefficient
+  double w_sum_ = 0.0, w_x_ = 0.0, w_x2_ = 0.0, w_x3_ = 0.0, w_x4_ = 0.0;
+};
+
+}  // namespace lmpeel::eval

@@ -1,0 +1,117 @@
+#include "eval/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace lmpeel::eval {
+
+double r2_score(std::span<const double> truth, std::span<const double> pred) {
+  LMPEEL_CHECK(truth.size() == pred.size());
+  LMPEEL_CHECK(!truth.empty());
+  double mean = 0.0;
+  for (const double t : truth) mean += t;
+  mean /= static_cast<double>(truth.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    ss_res += (pred[i] - truth[i]) * (pred[i] - truth[i]);
+    ss_tot += (truth[i] - mean) * (truth[i] - mean);
+  }
+  if (ss_tot <= 0.0) return ss_res <= 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double relative_error(double truth, double pred) {
+  LMPEEL_CHECK_MSG(truth != 0.0, "relative error undefined for zero truth");
+  return std::abs(pred - truth) / std::abs(truth);
+}
+
+double mare(std::span<const double> truth, std::span<const double> pred) {
+  LMPEEL_CHECK(truth.size() == pred.size());
+  LMPEEL_CHECK(!truth.empty());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    sum += relative_error(truth[i], pred[i]);
+  }
+  return sum / static_cast<double>(truth.size());
+}
+
+namespace {
+
+/// Average ranks (1-based) with tie handling.
+std::vector<double> ranks_of(std::span<const double> x) {
+  std::vector<std::size_t> order(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return x[a] < x[b]; });
+  std::vector<double> ranks(x.size());
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() && x[order[j + 1]] == x[order[i]]) ++j;
+    const double avg_rank = (static_cast<double>(i) +
+                             static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double pearson_of(const std::vector<double>& x, const std::vector<double>& y) {
+  double mx = 0.0, my = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(x.size());
+  my /= static_cast<double>(x.size());
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace
+
+double spearman_rho(std::span<const double> x, std::span<const double> y) {
+  LMPEEL_CHECK(x.size() == y.size());
+  if (x.size() < 2) return 0.0;
+  return pearson_of(ranks_of(x), ranks_of(y));
+}
+
+double kendall_tau(std::span<const double> x, std::span<const double> y) {
+  LMPEEL_CHECK(x.size() == y.size());
+  const std::size_t n = x.size();
+  if (n < 2) return 0.0;
+  long concordant = 0, discordant = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = x[i] - x[j];
+      const double dy = y[i] - y[j];
+      const double s = dx * dy;
+      if (s > 0.0) ++concordant;
+      else if (s < 0.0) ++discordant;
+    }
+  }
+  const double pairs = static_cast<double>(n) * (n - 1) / 2.0;
+  return (concordant - discordant) / pairs;
+}
+
+double msre(std::span<const double> truth, std::span<const double> pred) {
+  LMPEEL_CHECK(truth.size() == pred.size());
+  LMPEEL_CHECK(!truth.empty());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double e = (pred[i] - truth[i]) / truth[i];
+    sum += e * e;
+  }
+  return sum / static_cast<double>(truth.size());
+}
+
+}  // namespace lmpeel::eval

@@ -1,0 +1,35 @@
+// The paper's success metrics (§III-C): R² score, Mean Absolute Relative
+// Error (MARE) and Mean Squared Relative Error (MSRE).  Relative errors are
+// taken against the ground truth value: e_i = (pred_i - true_i) / true_i.
+#pragma once
+
+#include <span>
+
+namespace lmpeel::eval {
+
+/// Coefficient of determination: 1 - SS_res / SS_tot.  When the truth is
+/// constant (SS_tot == 0) the score is 1 for exact predictions and -inf
+/// style large-negative is avoided by returning 0 — the convention used by
+/// scikit-learn's degenerate branch does not arise in our datasets.
+double r2_score(std::span<const double> truth, std::span<const double> pred);
+
+/// mean(|pred - true| / |true|); requires all |true| > 0.
+double mare(std::span<const double> truth, std::span<const double> pred);
+
+/// mean(((pred - true) / true)^2); requires all |true| > 0.
+double msre(std::span<const double> truth, std::span<const double> pred);
+
+/// |pred - true| / |true| for a single pair.
+double relative_error(double truth, double pred);
+
+/// Spearman rank correlation — the metric that matters when a surrogate is
+/// only used to *order* candidate configurations (an autotuner never needs
+/// the absolute runtime, just which candidate is best).  Ties receive
+/// average ranks.
+double spearman_rho(std::span<const double> x, std::span<const double> y);
+
+/// Kendall's tau-a: concordant-minus-discordant pair fraction.  O(n²);
+/// fine for the evaluation panel sizes used here.
+double kendall_tau(std::span<const double> x, std::span<const double> y);
+
+}  // namespace lmpeel::eval

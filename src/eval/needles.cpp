@@ -1,0 +1,36 @@
+#include "eval/needles.hpp"
+
+#include "eval/metrics.hpp"
+#include "util/check.hpp"
+
+namespace lmpeel::eval {
+
+double hit_rate(std::span<const double> truth, std::span<const double> pred,
+                double bound) {
+  LMPEEL_CHECK(truth.size() == pred.size());
+  LMPEEL_CHECK(!truth.empty());
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (relative_error(truth[i], pred[i]) <= bound) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+double needle_rate(std::span<const double> truth,
+                   std::span<const std::vector<double>> candidates,
+                   double bound) {
+  LMPEEL_CHECK(truth.size() == candidates.size());
+  LMPEEL_CHECK(!truth.empty());
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    for (const double value : candidates[i]) {
+      if (relative_error(truth[i], value) <= bound) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+}  // namespace lmpeel::eval

@@ -1,0 +1,29 @@
+// "Needles in a haystack" analysis (§IV-C-1).
+//
+// The paper treats the set of values an LLM could generate (its reachable
+// decodings) as a haystack and asks what fraction of experiments contain a
+// "needle" — a value within a given relative-error bound of the ground
+// truth — and compares the same hit rates for XGBoost's point predictions
+// at 50%, 10% and 1% bounds.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace lmpeel::eval {
+
+/// Fraction of (truth, pred) pairs with relative error <= bound.
+double hit_rate(std::span<const double> truth, std::span<const double> pred,
+                double bound);
+
+/// Fraction of experiments whose candidate-value set contains at least one
+/// value within `bound` relative error of its truth.  `candidates[i]` is
+/// the haystack for `truth[i]`.
+double needle_rate(std::span<const double> truth,
+                   std::span<const std::vector<double>> candidates,
+                   double bound);
+
+/// The paper's three thresholds.
+inline constexpr double kErrorBounds[] = {0.50, 0.10, 0.01};
+
+}  // namespace lmpeel::eval

@@ -1,0 +1,67 @@
+// Gradient-boosted regression trees (squared-error objective).
+//
+// The from-scratch equivalent of the paper's XGBoost baseline (§III-D):
+// additive trees fitted to residual gradients with shrinkage, row
+// subsampling, column subsampling and L2 leaf regularisation.  Targets are
+// modelled in log space by callers when appropriate (runtimes are
+// positive and relative metrics are what the paper reports).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gbt/tree.hpp"
+#include "util/rng.hpp"
+
+namespace lmpeel::gbt {
+
+struct BoosterParams {
+  int n_estimators = 100;
+  double learning_rate = 0.1;
+  int max_depth = 6;
+  std::size_t min_samples_leaf = 1;
+  double min_child_weight = 1.0;
+  double lambda = 1.0;
+  double subsample = 1.0;  ///< fraction of rows per tree
+  double colsample = 1.0;  ///< fraction of features per node
+
+  std::string to_string() const;
+};
+
+class GradientBoostedTrees {
+ public:
+  /// Fits on row-major features `x` (rows x cols) and targets `y`.
+  void fit(std::span<const double> x, std::size_t cols,
+           std::span<const double> y, const BoosterParams& params,
+           std::uint64_t seed);
+
+  /// Predicts a single row (`cols` values).
+  double predict_row(std::span<const double> row) const;
+
+  /// Predicts a row-major batch.
+  std::vector<double> predict(std::span<const double> x) const;
+
+  /// Training loss (MSE) after each boosting round; useful for tests.
+  const std::vector<double>& training_curve() const noexcept {
+    return train_mse_;
+  }
+
+  /// Split-gain importance accumulated across all trees (length cols).
+  std::vector<double> feature_importance() const;
+
+  std::size_t n_trees() const noexcept { return trees_.size(); }
+  std::size_t n_features() const noexcept { return cols_; }
+  bool fitted() const noexcept { return !trees_.empty() || base_set_; }
+
+ private:
+  std::vector<RegressionTree> trees_;
+  std::vector<double> train_mse_;
+  double base_prediction_ = 0.0;
+  double learning_rate_ = 0.1;
+  std::size_t cols_ = 0;
+  bool base_set_ = false;
+};
+
+}  // namespace lmpeel::gbt

@@ -1,0 +1,97 @@
+#include "gbt/random_search.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lmpeel::gbt {
+
+BoosterParams sample_booster_params(util::Rng& rng) {
+  BoosterParams p;
+  p.n_estimators = static_cast<int>(rng.uniform_int(25, 300));
+  // Log-uniform learning rate in [0.01, 0.5].
+  p.learning_rate = std::exp(rng.uniform(std::log(0.01), std::log(0.5)));
+  p.max_depth = static_cast<int>(rng.uniform_int(2, 10));
+  p.min_samples_leaf = static_cast<std::size_t>(rng.uniform_int(1, 16));
+  p.min_child_weight = static_cast<double>(p.min_samples_leaf);
+  p.lambda = std::exp(rng.uniform(std::log(1e-2), std::log(10.0)));
+  p.subsample = rng.uniform(0.6, 1.0);
+  p.colsample = rng.uniform(0.5, 1.0);
+  return p;
+}
+
+RandomSearchResult random_search(std::span<const double> x, std::size_t cols,
+                                 std::span<const double> y,
+                                 const RandomSearchOptions& options) {
+  LMPEEL_CHECK(cols > 0 && x.size() % cols == 0);
+  const std::size_t rows = x.size() / cols;
+  LMPEEL_CHECK(rows == y.size());
+  LMPEEL_CHECK(options.iterations > 0);
+  LMPEEL_CHECK(options.validation_fraction > 0.0 &&
+               options.validation_fraction < 1.0);
+
+  // One shared holdout split keeps candidate scores comparable.
+  util::Rng split_rng(options.seed, 0xf01d);
+  std::vector<std::size_t> order(rows);
+  std::iota(order.begin(), order.end(), 0);
+  split_rng.shuffle(order.begin(), order.end());
+  const std::size_t valid_count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::round(
+             static_cast<double>(rows) * options.validation_fraction)));
+  LMPEEL_CHECK_MSG(valid_count < rows, "holdout larger than dataset");
+
+  std::vector<double> fit_x, fit_y, valid_y;
+  std::vector<std::size_t> valid_rows;
+  fit_x.reserve((rows - valid_count) * cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const std::size_t r = order[i];
+    if (i < valid_count) {
+      valid_rows.push_back(r);
+      valid_y.push_back(y[r]);
+    } else {
+      fit_x.insert(fit_x.end(), x.begin() + r * cols,
+                   x.begin() + (r + 1) * cols);
+      fit_y.push_back(y[r]);
+    }
+  }
+
+  struct Candidate {
+    BoosterParams params;
+    double mse = std::numeric_limits<double>::infinity();
+  };
+  std::vector<Candidate> candidates(options.iterations);
+
+  util::parallel_for(0, candidates.size(), [&](std::size_t i) {
+    util::Rng rng(options.seed, /*stream=*/1000 + i);
+    Candidate& c = candidates[i];
+    c.params = sample_booster_params(rng);
+    GradientBoostedTrees model;
+    model.fit(fit_x, cols, fit_y, c.params, /*seed=*/options.seed ^ i);
+    double mse = 0.0;
+    for (std::size_t v = 0; v < valid_rows.size(); ++v) {
+      const std::size_t r = valid_rows[v];
+      const double pred =
+          model.predict_row(x.subspan(r * cols, cols));
+      const double err = pred - valid_y[v];
+      mse += err * err;
+    }
+    c.mse = mse / static_cast<double>(valid_rows.size());
+  });
+
+  const auto best_it = std::min_element(
+      candidates.begin(), candidates.end(),
+      [](const Candidate& a, const Candidate& b) { return a.mse < b.mse; });
+
+  RandomSearchResult result;
+  result.best_params = best_it->params;
+  result.best_validation_mse = best_it->mse;
+  result.evaluated = options.iterations;
+  result.best_model.fit(x, cols, y, result.best_params, options.seed);
+  return result;
+}
+
+}  // namespace lmpeel::gbt

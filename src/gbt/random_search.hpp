@@ -1,0 +1,43 @@
+// Randomised hyperparameter search for the boosted-tree baseline (§III-D):
+// "We find the best-fitting model through a randomized search with 1000
+// iterations for varying amounts of available training data."
+//
+// Candidates are drawn from the same knobs the paper lists (number of
+// estimators, learning rate, maximum tree depth, minimum samples per leaf)
+// plus the standard subsampling knobs; each candidate is scored on a
+// holdout fold of the training data and the best model is refitted on the
+// full training set.  Candidate evaluation fans out over the thread pool
+// with per-candidate RNG streams, so results are independent of the thread
+// count.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gbt/booster.hpp"
+
+namespace lmpeel::gbt {
+
+struct RandomSearchOptions {
+  int iterations = 1000;          ///< paper default; benches scale this down
+  double validation_fraction = 0.2;
+  std::uint64_t seed = 0;
+};
+
+struct RandomSearchResult {
+  BoosterParams best_params;
+  double best_validation_mse = 0.0;
+  GradientBoostedTrees best_model;  ///< refitted on the full training data
+  int evaluated = 0;
+};
+
+/// Draws one candidate from the search distribution.
+BoosterParams sample_booster_params(util::Rng& rng);
+
+/// Runs the search on row-major x (rows x cols) and y.
+RandomSearchResult random_search(std::span<const double> x, std::size_t cols,
+                                 std::span<const double> y,
+                                 const RandomSearchOptions& options);
+
+}  // namespace lmpeel::gbt

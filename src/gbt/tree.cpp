@@ -1,0 +1,158 @@
+#include "gbt/tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace lmpeel::gbt {
+
+namespace {
+
+struct SplitChoice {
+  double gain = 0.0;
+  int feature = -1;
+  double threshold = 0.0;
+};
+
+double leaf_value(double grad_sum, double hess_sum, double lambda) {
+  return -grad_sum / (hess_sum + lambda);
+}
+
+}  // namespace
+
+void RegressionTree::fit(const DataView& data,
+                         std::span<const double> gradients,
+                         std::span<const double> hessians,
+                         std::span<const std::size_t> row_indices,
+                         const TreeParams& params, util::Rng& rng) {
+  LMPEEL_CHECK(data.x != nullptr && data.rows > 0 && data.cols > 0);
+  LMPEEL_CHECK(gradients.size() == data.rows);
+  LMPEEL_CHECK(hessians.size() == data.rows);
+  LMPEEL_CHECK(!row_indices.empty());
+  LMPEEL_CHECK(params.max_depth >= 0);
+
+  nodes_.clear();
+  feature_gain_.assign(data.cols, 0.0);
+  std::vector<std::size_t> rows(row_indices.begin(), row_indices.end());
+  build(data, gradients, hessians, rows, 0, rows.size(), 0, params, rng);
+}
+
+std::int32_t RegressionTree::build(const DataView& data,
+                                   std::span<const double> gradients,
+                                   std::span<const double> hessians,
+                                   std::vector<std::size_t>& rows,
+                                   std::size_t begin, std::size_t end,
+                                   int depth, const TreeParams& params,
+                                   util::Rng& rng) {
+  double grad_sum = 0.0, hess_sum = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    grad_sum += gradients[rows[i]];
+    hess_sum += hessians[rows[i]];
+  }
+
+  const auto make_leaf = [&] {
+    Node leaf;
+    leaf.value = leaf_value(grad_sum, hess_sum, params.lambda);
+    nodes_.push_back(leaf);
+    return static_cast<std::int32_t>(nodes_.size() - 1);
+  };
+
+  const std::size_t count = end - begin;
+  if (depth >= params.max_depth || count < 2 * params.min_samples_leaf) {
+    return make_leaf();
+  }
+
+  // Column subsampling: choose which features this node may split on.
+  std::vector<int> candidate_features;
+  candidate_features.reserve(data.cols);
+  for (std::size_t f = 0; f < data.cols; ++f) {
+    if (params.colsample >= 1.0 || rng.bernoulli(params.colsample)) {
+      candidate_features.push_back(static_cast<int>(f));
+    }
+  }
+  if (candidate_features.empty()) {
+    candidate_features.push_back(
+        static_cast<int>(rng.uniform_int(0, data.cols - 1)));
+  }
+
+  const double parent_score = grad_sum * grad_sum / (hess_sum + params.lambda);
+  SplitChoice best;
+
+  // (value, gradient, hessian) triples sorted per feature; the feature
+  // spaces here are tiny, so sorting row slices is the dominant cost and
+  // remains O(n log n) per node.
+  std::vector<std::size_t> sorted(rows.begin() + begin, rows.begin() + end);
+  for (const int f : candidate_features) {
+    std::sort(sorted.begin(), sorted.end(), [&](std::size_t a, std::size_t b) {
+      return data.at(a, f) < data.at(b, f);
+    });
+    double gl = 0.0, hl = 0.0;
+    std::size_t left_count = 0;
+    for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+      gl += gradients[sorted[i]];
+      hl += hessians[sorted[i]];
+      ++left_count;
+      const double v = data.at(sorted[i], f);
+      const double v_next = data.at(sorted[i + 1], f);
+      if (v == v_next) continue;  // can only split between distinct values
+      if (left_count < params.min_samples_leaf ||
+          sorted.size() - left_count < params.min_samples_leaf) {
+        continue;
+      }
+      const double gr = grad_sum - gl;
+      const double hr = hess_sum - hl;
+      if (hl < params.min_child_weight || hr < params.min_child_weight) {
+        continue;
+      }
+      const double gain = 0.5 * (gl * gl / (hl + params.lambda) +
+                                 gr * gr / (hr + params.lambda) -
+                                 parent_score);
+      if (gain > best.gain) {
+        best.gain = gain;
+        best.feature = f;
+        best.threshold = 0.5 * (v + v_next);
+      }
+    }
+  }
+
+  if (best.feature < 0 || best.gain <= 1e-12) {
+    return make_leaf();
+  }
+
+  // Partition the row slice in place around the chosen threshold.
+  const auto mid_it = std::partition(
+      rows.begin() + begin, rows.begin() + end, [&](std::size_t r) {
+        return data.at(r, best.feature) <= best.threshold;
+      });
+  const std::size_t mid = static_cast<std::size_t>(mid_it - rows.begin());
+  LMPEEL_CHECK(mid > begin && mid < end);  // both sides non-empty by search
+
+  feature_gain_[best.feature] += best.gain;
+
+  const auto self = static_cast<std::int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[self].feature = best.feature;
+  nodes_[self].threshold = best.threshold;
+  const std::int32_t left = build(data, gradients, hessians, rows, begin, mid,
+                                  depth + 1, params, rng);
+  const std::int32_t right =
+      build(data, gradients, hessians, rows, mid, end, depth + 1, params, rng);
+  nodes_[self].left = left;
+  nodes_[self].right = right;
+  return self;
+}
+
+double RegressionTree::predict_row(const double* row) const {
+  LMPEEL_CHECK(!nodes_.empty());
+  std::int32_t node = 0;
+  for (;;) {
+    const Node& n = nodes_[node];
+    if (n.feature < 0) return n.value;
+    node = row[n.feature] <= n.threshold ? n.left : n.right;
+  }
+}
+
+}  // namespace lmpeel::gbt

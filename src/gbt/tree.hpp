@@ -1,0 +1,82 @@
+// Regression tree with exact greedy split finding.
+//
+// This is the weak learner inside the gradient-boosting baseline
+// (DESIGN.md S5).  Splits minimise the regularised squared-error objective
+// used by XGBoost: for a node with gradient sum G and hessian sum H (here
+// hessians are 1 per sample, i.e. plain squared error), the gain of a split
+// is  1/2 * [GL^2/(HL+λ) + GR^2/(HR+λ) - G^2/(H+λ)].
+// The syr2k feature space is low-cardinality (11-valued tile ranks and
+// booleans), so exact enumeration over sorted unique values is both faster
+// and more faithful than histogram approximation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace lmpeel::gbt {
+
+/// Column-major view of a row-major flat feature matrix.
+struct DataView {
+  const double* x = nullptr;  ///< row-major, rows x cols
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+
+  double at(std::size_t row, std::size_t col) const {
+    return x[row * cols + col];
+  }
+};
+
+struct TreeParams {
+  int max_depth = 6;
+  std::size_t min_samples_leaf = 1;
+  double min_child_weight = 1.0;  ///< minimum hessian sum per child
+  double lambda = 1.0;            ///< L2 leaf regularisation
+  double colsample = 1.0;         ///< fraction of features tried per node
+};
+
+/// Flattened binary tree; nodes are stored in a vector, children by index.
+class RegressionTree {
+ public:
+  /// Fits to gradients/hessians over the given row subset.
+  /// For plain squared-error boosting pass hessians of all ones and
+  /// gradients = (prediction - target).  Leaf values are the regularised
+  /// Newton step -G/(H+λ).
+  void fit(const DataView& data, std::span<const double> gradients,
+           std::span<const double> hessians,
+           std::span<const std::size_t> row_indices, const TreeParams& params,
+           util::Rng& rng);
+
+  double predict_row(const double* row) const;
+
+  /// Total gain contributed by splits on each feature (length = cols).
+  const std::vector<double>& feature_gain() const noexcept {
+    return feature_gain_;
+  }
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  bool empty() const noexcept { return nodes_.empty(); }
+
+ private:
+  struct Node {
+    // Leaves have feature == -1 and `value` set.
+    int feature = -1;
+    double threshold = 0.0;  ///< go left when x[feature] <= threshold
+    double value = 0.0;
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+  };
+
+  std::int32_t build(const DataView& data, std::span<const double> gradients,
+                     std::span<const double> hessians,
+                     std::vector<std::size_t>& rows, std::size_t begin,
+                     std::size_t end, int depth, const TreeParams& params,
+                     util::Rng& rng);
+
+  std::vector<Node> nodes_;
+  std::vector<double> feature_gain_;
+};
+
+}  // namespace lmpeel::gbt

@@ -1,0 +1,24 @@
+#include "haystack/permutations.hpp"
+
+namespace lmpeel::haystack {
+
+bool TokenPositionStats::add_trace(const lm::GenerationTrace& trace,
+                                   const tok::Tokenizer& tokenizer) {
+  const auto span = find_value_span(trace, tokenizer);
+  if (!span.has_value()) {
+    ++traces_without_value;
+    return false;
+  }
+  const auto [first, last] = *span;
+  const std::size_t len = last - first;
+  if (per_position.size() < len) per_position.resize(len);
+  for (std::size_t k = 0; k < len; ++k) {
+    per_position[k].add(
+        static_cast<double>(trace.step(first + k).candidates.size()));
+  }
+  permutations.add(trace.permutations(first, last));
+  ++traces_with_value;
+  return true;
+}
+
+}  // namespace lmpeel::haystack

@@ -1,0 +1,30 @@
+// Table II aggregation: per-position selectable-token statistics across
+// all recorded generations, plus the total reachable-permutation counts.
+#pragma once
+
+#include <vector>
+
+#include "eval/aggregate.hpp"
+#include "haystack/decoding_set.hpp"
+#include "lm/trace.hpp"
+#include "tok/tokenizer.hpp"
+
+namespace lmpeel::haystack {
+
+struct TokenPositionStats {
+  /// stats[k] aggregates the candidate count of the (k+1)-th token of the
+  /// numeric value across every trace that reached that position.
+  std::vector<eval::Aggregate> per_position;
+  /// Reachable-permutation product per trace (over the value span).
+  eval::Aggregate permutations;
+  std::size_t traces_with_value = 0;
+  std::size_t traces_without_value = 0;
+
+  /// Folds one response trace in; returns false when the trace contains no
+  /// well-formed value (counted separately, like the paper's discarded
+  /// outputs).
+  bool add_trace(const lm::GenerationTrace& trace,
+                 const tok::Tokenizer& tokenizer);
+};
+
+}  // namespace lmpeel::haystack

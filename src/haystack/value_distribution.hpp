@@ -1,0 +1,70 @@
+// Weighted statistics over a reachable-value set (§IV-C).
+//
+// Supports the paper's distribution-search experiments: the mean/median of
+// generable values as alternative predictors, mode analysis, and
+// error-bounded needle queries.
+#pragma once
+
+#include <vector>
+
+#include "haystack/decoding_set.hpp"
+
+namespace lmpeel::haystack {
+
+class ValueDistribution {
+ public:
+  /// Takes ownership of a decoding set's values; weights are normalised.
+  explicit ValueDistribution(std::vector<WeightedValue> values);
+
+  bool empty() const noexcept { return values_.empty(); }
+  std::size_t support_size() const noexcept { return values_.size(); }
+
+  double min() const;
+  double max() const;
+  /// Probability-weighted mean.
+  double mean() const;
+  /// Probability-weighted median (smallest v with CDF(v) >= 1/2).
+  double median() const;
+  /// Probability-weighted quantile, q in [0, 1].
+  double quantile(double q) const;
+
+  /// Unweighted statistics over the reachable-value *set* (every distinct
+  /// value counts once) — the paper's §IV-C "mean or median of the
+  /// distribution of possible values" decoder, which ignores how likely
+  /// each decoding is.
+  double mean_unweighted() const;
+  double median_unweighted() const;
+
+  /// Total probability mass within `bound` relative error of `truth`.
+  double mass_within(double truth, double bound) const;
+  /// True when any reachable value is within the bound (a "needle").
+  bool contains_within(double truth, double bound) const;
+  /// The reachable value with the smallest relative error to `truth`.
+  double closest_to(double truth) const;
+
+  const std::vector<WeightedValue>& values() const noexcept {
+    return values_;
+  }
+
+ private:
+  std::vector<WeightedValue> values_;  ///< sorted by value, weights sum to 1
+};
+
+/// Exact first/second moments of the reachable-value distribution,
+/// computed by dynamic programming over (step, dot-seen, fraction-digit
+/// count) states instead of path enumeration.  Appending a digit group g
+/// of length L is an *affine* map of the running value
+/// (v -> v*10^L + g before the dot, v -> v + g*10^-(f+L) after), so
+/// probability mass, E[v] and E[v²] propagate in closed form — O(steps ×
+/// offsets × candidates) regardless of the 10⁵–10⁸ path count.
+struct ExactMoments {
+  double mass = 0.0;      ///< probability of a well-formed value
+  double mean = 0.0;      ///< E[value | well-formed]
+  double variance = 0.0;  ///< Var[value | well-formed]
+};
+
+ExactMoments exact_moments(const lm::GenerationTrace& trace,
+                           const tok::Tokenizer& tokenizer,
+                           std::size_t first, std::size_t last);
+
+}  // namespace lmpeel::haystack

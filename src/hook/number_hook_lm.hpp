@@ -1,0 +1,110 @@
+// The paper's §V-D proposal, implemented: a number-generation hook.
+//
+//   "an LLM can be given a unique token to signal to a supporting model
+//    that a number should be generated at a particular position within its
+//    response. This mimics modern LLM tool usage patterns by providing a
+//    hook for any number-generating process to transparently assist the
+//    LLM in providing higher-quality answers."
+//
+// NumberHookLm wraps any LanguageModel.  Text generation is delegated to
+// the wrapped model unchanged; the moment the wrapped model would start a
+// numeric value in a response slot (the same state its number machine
+// would enter), the hook consults a NumberGenerator — a small quantitative
+// model that sees the prompt's structured content — and force-decodes that
+// value's token sequence instead.  The "world-knowledge prefix" behaviour
+// of §V-D is preserved: deviation preambles, format scaffolding and
+// terminators still come from the language model.
+//
+// The reference NumberGenerator (GbtNumberGenerator) fits a
+// gradient-boosted-tree regressor on the (configuration, runtime) examples
+// parsed out of the prompt and predicts the query configuration's runtime
+// — exactly the "separate component … fine-tuned … only operating in
+// quantitative domains" the paper sketches.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gbt/booster.hpp"
+#include "lm/language_model.hpp"
+#include "perf/config_space.hpp"
+#include "tok/tokenizer.hpp"
+
+namespace lmpeel::lm {
+
+/// The quantitative sidecar: maps the prompt's structured content to a
+/// numeric prediction.
+class NumberGenerator {
+ public:
+  virtual ~NumberGenerator() = default;
+
+  /// Returns the value to emit for the current response, or nullopt to
+  /// fall back to the language model's own number generation.
+  /// `prompt_text` is the decoded prompt (everything before the response).
+  virtual std::optional<double> generate(const std::string& prompt_text) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Fits boosted trees on the "Hyperparameter configuration: … /
+/// Performance: …" pairs found in the prompt and predicts the runtime of
+/// the final (query) configuration.  Falls back when fewer than
+/// `min_examples` pairs parse.
+class GbtNumberGenerator final : public NumberGenerator {
+ public:
+  explicit GbtNumberGenerator(gbt::BoosterParams params = {
+                                  .n_estimators = 60,
+                                  .learning_rate = 0.15,
+                                  .max_depth = 4,
+                              },
+                              std::size_t min_examples = 3);
+
+  std::optional<double> generate(const std::string& prompt_text) override;
+  std::string name() const override { return "gbt-number-generator"; }
+
+ private:
+  gbt::BoosterParams params_;
+  std::size_t min_examples_;
+};
+
+/// LanguageModel wrapper implementing the hook.
+class NumberHookLm final : public LanguageModel {
+ public:
+  /// All three collaborators must outlive the wrapper.
+  NumberHookLm(LanguageModel& base, const tok::Tokenizer& tokenizer,
+               NumberGenerator& generator);
+
+  int vocab_size() const override { return base_->vocab_size(); }
+  void next_logits(std::span<const int> context,
+                   std::span<float> out) override;
+  void set_seed(std::uint64_t seed) override { base_->set_seed(seed); }
+  std::string name() const override;
+
+  /// How often the hook fired vs fell back to the base model.
+  std::size_t hook_invocations() const noexcept { return invocations_; }
+  std::size_t hook_fallbacks() const noexcept { return fallbacks_; }
+
+ private:
+  /// Detects whether the next token starts/continues a hooked value and
+  /// returns the remaining tokens to force, if any.
+  std::optional<int> forced_token(std::span<const int> context);
+
+  LanguageModel* base_;
+  const tok::Tokenizer* tokenizer_;
+  NumberGenerator* generator_;
+  std::vector<int> marker_;
+
+  // Per-response memo: the value decided for the current response slot,
+  // keyed by the prompt fingerprint so repeated next_logits calls within
+  // one generation agree.
+  std::uint64_t memo_key_ = 0;
+  std::vector<int> memo_value_tokens_;
+  bool memo_valid_ = false;
+
+  std::size_t invocations_ = 0;
+  std::size_t fallbacks_ = 0;
+};
+
+}  // namespace lmpeel::lm

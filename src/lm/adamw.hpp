@@ -1,0 +1,47 @@
+// AdamW with decoupled weight decay and global gradient-norm clipping.
+#pragma once
+
+#include <vector>
+
+#include "lm/tensor.hpp"
+
+namespace lmpeel::lm {
+
+struct AdamWConfig {
+  double lr = 3e-4;
+  double beta1 = 0.9;
+  double beta2 = 0.95;
+  double eps = 1e-8;
+  double weight_decay = 0.01;
+  double clip_norm = 1.0;  ///< <= 0 disables clipping
+};
+
+class AdamW {
+ public:
+  /// Binds to a fixed parameter/gradient set; the vectors must stay alive
+  /// and keep their shapes for the optimiser's lifetime.
+  AdamW(std::vector<Tensor*> params, std::vector<Tensor*> grads,
+        AdamWConfig config);
+
+  /// One update with the given learning rate (callers drive the schedule);
+  /// pass a negative value to use config.lr.
+  void step(double lr_override = -1.0);
+
+  /// Global L2 norm of the current gradients (pre-clipping).
+  double gradient_norm() const;
+
+  std::size_t steps_taken() const noexcept { return t_; }
+
+ private:
+  std::vector<Tensor*> params_;
+  std::vector<Tensor*> grads_;
+  std::vector<std::vector<float>> m_, v_;
+  AdamWConfig config_;
+  std::size_t t_ = 0;
+};
+
+/// Cosine schedule with linear warmup, the standard LM training schedule.
+double cosine_lr(double base_lr, std::size_t step, std::size_t warmup,
+                 std::size_t total_steps, double min_ratio = 0.1);
+
+}  // namespace lmpeel::lm

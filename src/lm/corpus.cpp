@@ -1,0 +1,61 @@
+#include "lm/corpus.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/str.hpp"
+
+namespace lmpeel::lm {
+
+LinearPrompt make_linear_prompt(const LinearTaskOptions& options,
+                                util::Rng& rng) {
+  LMPEEL_CHECK(options.n_examples >= 1);
+  LinearPrompt out;
+  out.slope = static_cast<int>(
+      rng.uniform_int(options.slope_min, options.slope_max));
+  out.intercept = static_cast<int>(
+      rng.uniform_int(options.intercept_min, options.intercept_max));
+  std::ostringstream os;
+  for (int i = 0; i < options.n_examples; ++i) {
+    const int x =
+        static_cast<int>(rng.uniform_int(options.x_min, options.x_max));
+    os << "x=" << x << ", y=" << (out.slope * x + out.intercept) << "; ";
+  }
+  out.query_x =
+      static_cast<int>(rng.uniform_int(options.x_min, options.x_max));
+  os << "x=" << out.query_x << ", y=";
+  out.text = os.str();
+  out.answer = std::to_string(out.slope * out.query_x + out.intercept);
+  return out;
+}
+
+MaskedSequence encode_linear_example(const tok::Tokenizer& tokenizer,
+                                     const LinearPrompt& prompt) {
+  MaskedSequence out;
+  out.tokens.push_back(tok::kBos);
+  tokenizer.encode_append(prompt.text, out.tokens);
+  const std::size_t answer_begin = out.tokens.size();
+  tokenizer.encode_append(prompt.answer, out.tokens);
+  out.tokens.push_back(tok::kEos);
+
+  // Mask: positions predicting the answer tokens and the closing <eos>.
+  out.target_mask.assign(out.tokens.size() - 1, 0);
+  for (std::size_t t = answer_begin - 1; t + 1 < out.tokens.size(); ++t) {
+    out.target_mask[t] = 1;
+  }
+  return out;
+}
+
+std::string make_decimal_corpus(std::size_t lines, double lo, double hi,
+                                util::Rng& rng) {
+  LMPEEL_CHECK(lo > 0.0 && hi > lo);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < lines; ++i) {
+    const double v = std::exp(rng.uniform(std::log(lo), std::log(hi)));
+    os << "Performance: " << util::format_runtime(v, 5) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace lmpeel::lm

@@ -1,0 +1,57 @@
+// Synthetic training corpora for the from-scratch transformer.
+//
+// Two task families:
+//   * function-class in-context learning (the setting of the paper's §I
+//     refs [9]–[13]): prompts of (x, y) pairs from a random linear function
+//     followed by a query x; the model must emit y.  Training from scratch
+//     on this distribution is exactly the regime in which transformers
+//     provably learn linear functions in-context — the contrast case to the
+//     pretrained-LLM failure on syr2k.
+//   * decimal-literal pretraining text: "Performance: 0.00123"-style lines,
+//     teaching number syntax so the transformer can also be plugged into
+//     the syr2k pipeline for ablations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tok/tokenizer.hpp"
+#include "util/rng.hpp"
+
+namespace lmpeel::lm {
+
+struct LinearTaskOptions {
+  int n_examples = 8;   ///< in-context (x, y) pairs per prompt
+  int slope_min = 1, slope_max = 7;
+  int intercept_min = 0, intercept_max = 15;
+  int x_min = 1, x_max = 30;
+};
+
+/// One function-class prompt: text plus the character-exact answer.
+struct LinearPrompt {
+  std::string text;    ///< "x=3, y=10; x=5, y=16; ...; x=9, y="
+  std::string answer;  ///< "38"
+  int slope = 0, intercept = 0, query_x = 0;
+};
+
+LinearPrompt make_linear_prompt(const LinearTaskOptions& options,
+                                util::Rng& rng);
+
+/// Token sequence + target mask for training: the mask selects only the
+/// positions whose *next* token belongs to the answer (so the model is
+/// graded on the y it produces, not on parroting the prompt).
+struct MaskedSequence {
+  std::vector<int> tokens;
+  std::vector<std::uint8_t> target_mask;  ///< size tokens.size() - 1
+};
+
+MaskedSequence encode_linear_example(const tok::Tokenizer& tokenizer,
+                                     const LinearPrompt& prompt);
+
+/// A block of "Performance: <decimal>" lines spanning the given magnitude
+/// range; used as generic numeric pretraining text.
+std::string make_decimal_corpus(std::size_t lines, double lo, double hi,
+                                util::Rng& rng);
+
+}  // namespace lmpeel::lm

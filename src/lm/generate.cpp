@@ -1,0 +1,55 @@
+#include "lm/generate.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "tok/vocab.hpp"
+#include "util/check.hpp"
+
+namespace lmpeel::lm {
+
+double sequence_log_probability(LanguageModel& model,
+                                std::span<const int> context,
+                                std::span<const int> continuation) {
+  LMPEEL_CHECK(!continuation.empty());
+  std::vector<int> ctx(context.begin(), context.end());
+  std::vector<float> logits(model.vocab_size());
+  std::vector<float> probs(model.vocab_size());
+  double log_prob = 0.0;
+  for (const int token : continuation) {
+    LMPEEL_CHECK(token >= 0 && token < model.vocab_size());
+    model.next_logits(ctx, logits);
+    if (logits[token] == kNegInf) {
+      return -std::numeric_limits<double>::infinity();
+    }
+    probabilities(logits, probs);
+    log_prob += std::log(static_cast<double>(probs[token]));
+    ctx.push_back(token);
+  }
+  return log_prob;
+}
+
+Generation generate(LanguageModel& model, std::span<const int> prompt,
+                    const GenerateOptions& options) {
+  LMPEEL_CHECK(options.max_tokens > 0);
+  model.set_seed(options.seed);
+  util::Rng rng(options.seed, /*stream=*/0x5a3c);
+
+  std::vector<int> context(prompt.begin(), prompt.end());
+  std::vector<float> logits(model.vocab_size());
+
+  Generation out;
+  for (std::size_t i = 0; i < options.max_tokens; ++i) {
+    model.next_logits(context, logits);
+    const int token = sample(logits, options.sampler, rng);
+    if (options.stop_on_eos && token == tok::kEos) break;
+    if (token == options.stop_token) break;
+    out.trace.add_step(make_step(logits, token));
+    out.tokens.push_back(token);
+    context.push_back(token);
+    if (i + 1 == options.max_tokens) out.hit_max_tokens = true;
+  }
+  return out;
+}
+
+}  // namespace lmpeel::lm

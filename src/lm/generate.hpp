@@ -1,0 +1,40 @@
+// The generation loop: prompt ids in, sampled continuation + full trace out.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "lm/language_model.hpp"
+#include "lm/sampler.hpp"
+#include "lm/trace.hpp"
+
+namespace lmpeel::lm {
+
+struct GenerateOptions {
+  SamplerConfig sampler;
+  std::size_t max_tokens = 64;
+  int stop_token = -1;        ///< stop *before* emitting this token (-1: off)
+  bool stop_on_eos = true;    ///< stop when <|eos|> is sampled
+  std::uint64_t seed = 0;     ///< sampling stream; also passed to the model
+};
+
+struct Generation {
+  std::vector<int> tokens;  ///< emitted continuation (no prompt, no eos)
+  GenerationTrace trace;    ///< one step per emitted position
+  bool hit_max_tokens = false;
+};
+
+/// Generates a continuation of `prompt`, recording a trace step (the full
+/// selectable-candidate set) for every emitted token.
+Generation generate(LanguageModel& model, std::span<const int> prompt,
+                    const GenerateOptions& options);
+
+/// Teacher-forced log-probability of `continuation` given `context`
+/// (sum of per-token log softmax values; -inf if any token is ungenerable).
+/// Used by the LLAMBO generative-classifier mode to score label strings.
+double sequence_log_probability(LanguageModel& model,
+                                std::span<const int> context,
+                                std::span<const int> continuation);
+
+}  // namespace lmpeel::lm

@@ -1,0 +1,96 @@
+#include "lm/sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "lm/language_model.hpp"
+#include "util/check.hpp"
+
+namespace lmpeel::lm {
+
+int sample_greedy(std::span<const float> logits) {
+  LMPEEL_CHECK(!logits.empty());
+  int best = 0;
+  for (int i = 1; i < static_cast<int>(logits.size()); ++i) {
+    if (logits[i] > logits[best]) best = i;
+  }
+  LMPEEL_CHECK_MSG(logits[best] != kNegInf, "all logits are -inf");
+  return best;
+}
+
+void probabilities(std::span<const float> logits, std::span<float> out) {
+  LMPEEL_CHECK(logits.size() == out.size());
+  float hi = kNegInf;
+  for (const float l : logits) hi = std::max(hi, l);
+  LMPEEL_CHECK_MSG(hi != kNegInf, "all logits are -inf");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    const double e = logits[i] == kNegInf
+                         ? 0.0
+                         : std::exp(static_cast<double>(logits[i] - hi));
+    out[i] = static_cast<float>(e);
+    sum += e;
+  }
+  const auto inv = static_cast<float>(1.0 / sum);
+  for (float& p : out) p *= inv;
+}
+
+int sample(std::span<const float> logits, const SamplerConfig& config,
+           util::Rng& rng) {
+  LMPEEL_CHECK(!logits.empty());
+  if (config.temperature <= 0.0) return sample_greedy(logits);
+
+  struct Entry {
+    int token;
+    double weight;  // unnormalised probability
+  };
+  // Work over the finite-logit support only.
+  float hi = kNegInf;
+  for (const float l : logits) hi = std::max(hi, l);
+  LMPEEL_CHECK_MSG(hi != kNegInf, "all logits are -inf");
+
+  std::vector<Entry> entries;
+  entries.reserve(64);
+  for (int i = 0; i < static_cast<int>(logits.size()); ++i) {
+    if (logits[i] == kNegInf) continue;
+    const double scaled =
+        (static_cast<double>(logits[i]) - hi) / config.temperature;
+    entries.push_back({i, std::exp(scaled)});
+  }
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    if (a.weight != b.weight) return a.weight > b.weight;
+    return a.token < b.token;
+  });
+
+  if (config.top_k > 0 &&
+      entries.size() > static_cast<std::size_t>(config.top_k)) {
+    entries.resize(config.top_k);
+  }
+  if (config.top_p < 1.0) {
+    double total = 0.0;
+    for (const Entry& e : entries) total += e.weight;
+    double cum = 0.0;
+    std::size_t keep = 0;
+    for (; keep < entries.size(); ++keep) {
+      cum += entries[keep].weight;
+      if (cum >= config.top_p * total) {
+        ++keep;
+        break;
+      }
+    }
+    entries.resize(std::max<std::size_t>(1, keep));
+  }
+
+  double total = 0.0;
+  for (const Entry& e : entries) total += e.weight;
+  double r = rng.uniform() * total;
+  for (const Entry& e : entries) {
+    r -= e.weight;
+    if (r < 0.0) return e.token;
+  }
+  return entries.back().token;
+}
+
+}  // namespace lmpeel::lm

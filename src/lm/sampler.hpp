@@ -1,0 +1,27 @@
+// Token sampling strategies: greedy, temperature, top-k and top-p.
+#pragma once
+
+#include <span>
+
+#include "util/rng.hpp"
+
+namespace lmpeel::lm {
+
+struct SamplerConfig {
+  double temperature = 1.0;  ///< <= 0 means greedy
+  int top_k = 0;             ///< 0 disables
+  double top_p = 1.0;        ///< 1 disables
+};
+
+/// Returns the argmax token (first one on ties).
+int sample_greedy(std::span<const float> logits);
+
+/// Samples according to `config`; temperature is applied first, then top-k,
+/// then top-p renormalisation.  -inf logits are never selected.
+int sample(std::span<const float> logits, const SamplerConfig& config,
+           util::Rng& rng);
+
+/// Normalised probabilities (softmax) of the logits; -inf maps to 0.
+void probabilities(std::span<const float> logits, std::span<float> out);
+
+}  // namespace lmpeel::lm

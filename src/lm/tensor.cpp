@@ -1,0 +1,174 @@
+#include "lm/tensor.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace lmpeel::lm {
+
+void Tensor::randomize(util::Rng& rng, float std) {
+  for (float& v : data_) {
+    v = static_cast<float>(rng.normal(0.0, std));
+  }
+}
+
+void matmul(const Tensor& a, const Tensor& b, Tensor& out) {
+  LMPEEL_CHECK(a.cols() == b.rows());
+  LMPEEL_CHECK(out.rows() == a.rows() && out.cols() == b.cols());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  out.zero();
+  // i-k-j order: streams through b and out rows contiguously (Per.19).
+  for (std::size_t i = 0; i < m; ++i) {
+    float* out_row = out.data() + i * n;
+    const float* a_row = a.data() + i * k;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aik = a_row[kk];
+      if (aik == 0.0f) continue;
+      const float* b_row = b.data() + kk * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        out_row[j] += aik * b_row[j];
+      }
+    }
+  }
+}
+
+void matmul_grad_a(const Tensor& grad, const Tensor& b, Tensor& da) {
+  LMPEEL_CHECK(grad.cols() == b.cols());
+  LMPEEL_CHECK(da.rows() == grad.rows() && da.cols() == b.rows());
+  const std::size_t m = grad.rows(), n = grad.cols(), k = b.rows();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* g_row = grad.data() + i * n;
+    float* da_row = da.data() + i * k;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float* b_row = b.data() + kk * n;
+      float acc = 0.0f;
+      for (std::size_t j = 0; j < n; ++j) acc += g_row[j] * b_row[j];
+      da_row[kk] += acc;
+    }
+  }
+}
+
+void matmul_grad_b(const Tensor& a, const Tensor& grad, Tensor& db) {
+  LMPEEL_CHECK(a.rows() == grad.rows());
+  LMPEEL_CHECK(db.rows() == a.cols() && db.cols() == grad.cols());
+  const std::size_t m = a.rows(), k = a.cols(), n = grad.cols();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* a_row = a.data() + i * k;
+    const float* g_row = grad.data() + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aik = a_row[kk];
+      if (aik == 0.0f) continue;
+      float* db_row = db.data() + kk * n;
+      for (std::size_t j = 0; j < n; ++j) db_row[j] += aik * g_row[j];
+    }
+  }
+}
+
+void layer_norm(const Tensor& x, std::span<const float> gamma,
+                std::span<const float> beta, Tensor& y,
+                LayerNormCache& cache) {
+  const std::size_t rows = x.rows(), cols = x.cols();
+  LMPEEL_CHECK(gamma.size() == cols && beta.size() == cols);
+  LMPEEL_CHECK(y.rows() == rows && y.cols() == cols);
+  cache.mean.resize(rows);
+  cache.inv_std.resize(rows);
+  constexpr float kEps = 1e-5f;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* xr = x.data() + r * cols;
+    float mean = 0.0f;
+    for (std::size_t c = 0; c < cols; ++c) mean += xr[c];
+    mean /= static_cast<float>(cols);
+    float var = 0.0f;
+    for (std::size_t c = 0; c < cols; ++c) {
+      var += (xr[c] - mean) * (xr[c] - mean);
+    }
+    var /= static_cast<float>(cols);
+    const float inv_std = 1.0f / std::sqrt(var + kEps);
+    cache.mean[r] = mean;
+    cache.inv_std[r] = inv_std;
+    float* yr = y.data() + r * cols;
+    for (std::size_t c = 0; c < cols; ++c) {
+      yr[c] = (xr[c] - mean) * inv_std * gamma[c] + beta[c];
+    }
+  }
+}
+
+void layer_norm_backward(const Tensor& x, std::span<const float> gamma,
+                         const Tensor& dy, const LayerNormCache& cache,
+                         Tensor& dx, std::span<float> dgamma,
+                         std::span<float> dbeta) {
+  const std::size_t rows = x.rows(), cols = x.cols();
+  LMPEEL_CHECK(dx.rows() == rows && dx.cols() == cols);
+  const auto n = static_cast<float>(cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* xr = x.data() + r * cols;
+    const float* dyr = dy.data() + r * cols;
+    float* dxr = dx.data() + r * cols;
+    const float mean = cache.mean[r];
+    const float inv_std = cache.inv_std[r];
+
+    // x_hat = (x - mean) * inv_std;  dy/dx via the standard two-reduction
+    // layer-norm backward.
+    float sum_dy_g = 0.0f, sum_dy_g_xhat = 0.0f;
+    for (std::size_t c = 0; c < cols; ++c) {
+      const float xhat = (xr[c] - mean) * inv_std;
+      const float dyg = dyr[c] * gamma[c];
+      sum_dy_g += dyg;
+      sum_dy_g_xhat += dyg * xhat;
+      dgamma[c] += dyr[c] * xhat;
+      dbeta[c] += dyr[c];
+    }
+    for (std::size_t c = 0; c < cols; ++c) {
+      const float xhat = (xr[c] - mean) * inv_std;
+      const float dyg = dyr[c] * gamma[c];
+      dxr[c] += inv_std * (dyg - sum_dy_g / n - xhat * sum_dy_g_xhat / n);
+    }
+  }
+}
+
+namespace {
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+}
+
+void gelu(const Tensor& x, Tensor& y) {
+  LMPEEL_CHECK(x.rows() == y.rows() && x.cols() == y.cols());
+  const float* xs = x.data();
+  float* ys = y.data();
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const float v = xs[i];
+    const float t = std::tanh(kGeluC * (v + 0.044715f * v * v * v));
+    ys[i] = 0.5f * v * (1.0f + t);
+  }
+}
+
+void gelu_backward(const Tensor& x, const Tensor& dy, Tensor& dx) {
+  LMPEEL_CHECK(x.size() == dy.size() && x.size() == dx.size());
+  const float* xs = x.data();
+  const float* dys = dy.data();
+  float* dxs = dx.data();
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const float v = xs[i];
+    const float u = kGeluC * (v + 0.044715f * v * v * v);
+    const float t = std::tanh(u);
+    const float du = kGeluC * (1.0f + 3.0f * 0.044715f * v * v);
+    const float grad = 0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * du;
+    dxs[i] += dys[i] * grad;
+  }
+}
+
+void softmax_rows(Tensor& x) {
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    float* row = x.data() + r * x.cols();
+    float hi = row[0];
+    for (std::size_t c = 1; c < x.cols(); ++c) hi = std::max(hi, row[c]);
+    float sum = 0.0f;
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      row[c] = std::exp(row[c] - hi);
+      sum += row[c];
+    }
+    const float inv = 1.0f / sum;
+    for (std::size_t c = 0; c < x.cols(); ++c) row[c] *= inv;
+  }
+}
+
+}  // namespace lmpeel::lm

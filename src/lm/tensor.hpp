@@ -1,0 +1,73 @@
+// Minimal dense float tensor + the handful of kernels the transformer
+// needs.  Row-major storage; shapes up to rank 3.  These are deliberately
+// straightforward loops: at d_model <= 128 the working sets live in L1/L2
+// and the compiler vectorises the inner products; no BLAS dependency.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace lmpeel::lm {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t size() const noexcept { return data_.size(); }
+
+  float* data() noexcept { return data_.data(); }
+  const float* data() const noexcept { return data_.data(); }
+  float& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  float at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+  std::span<float> row(std::size_t r) {
+    return std::span<float>(data_).subspan(r * cols_, cols_);
+  }
+  std::span<const float> row(std::size_t r) const {
+    return std::span<const float>(data_).subspan(r * cols_, cols_);
+  }
+
+  void zero() { std::fill(data_.begin(), data_.end(), 0.0f); }
+
+  /// Kaiming/Xavier-ish init: N(0, std).
+  void randomize(util::Rng& rng, float std);
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<float> data_;
+};
+
+// out[M,N] = a[M,K] * b[K,N]
+void matmul(const Tensor& a, const Tensor& b, Tensor& out);
+// out[M,K] += grad[M,N] * b^T[N,K]   (dA of matmul)
+void matmul_grad_a(const Tensor& grad, const Tensor& b, Tensor& da);
+// out[K,N] += a^T * grad             (dB of matmul)
+void matmul_grad_b(const Tensor& a, const Tensor& grad, Tensor& db);
+
+/// y = x * gamma + beta after per-row standardisation; returns cached
+/// inverse-stddev and means needed for the backward pass.
+struct LayerNormCache {
+  std::vector<float> mean;
+  std::vector<float> inv_std;
+};
+void layer_norm(const Tensor& x, std::span<const float> gamma,
+                std::span<const float> beta, Tensor& y, LayerNormCache& cache);
+void layer_norm_backward(const Tensor& x, std::span<const float> gamma,
+                         const Tensor& dy, const LayerNormCache& cache,
+                         Tensor& dx, std::span<float> dgamma,
+                         std::span<float> dbeta);
+
+/// GELU (tanh approximation) and its derivative-times-grad.
+void gelu(const Tensor& x, Tensor& y);
+void gelu_backward(const Tensor& x, const Tensor& dy, Tensor& dx);
+
+/// Row-wise softmax in place.
+void softmax_rows(Tensor& x);
+
+}  // namespace lmpeel::lm

@@ -1,0 +1,69 @@
+#include "lm/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "lm/sampler.hpp"
+#include "util/check.hpp"
+
+namespace lmpeel::lm {
+
+float Step::chosen_prob() const noexcept {
+  for (const Candidate& c : candidates) {
+    if (c.token == chosen) return c.prob;
+  }
+  return 0.0f;
+}
+
+bool Step::contains(int token) const noexcept {
+  return std::any_of(candidates.begin(), candidates.end(),
+                     [token](const Candidate& c) { return c.token == token; });
+}
+
+std::vector<int> GenerationTrace::tokens() const {
+  std::vector<int> out;
+  out.reserve(steps_.size());
+  for (const Step& s : steps_) out.push_back(s.chosen);
+  return out;
+}
+
+double GenerationTrace::permutations(std::size_t first,
+                                     std::size_t last) const {
+  LMPEEL_CHECK(first <= last && last <= steps_.size());
+  double product = 1.0;
+  for (std::size_t i = first; i < last; ++i) {
+    product *= static_cast<double>(steps_[i].candidates.size());
+    if (!std::isfinite(product)) {
+      return std::numeric_limits<double>::max();
+    }
+  }
+  return product;
+}
+
+Step make_step(std::span<const float> logits, int chosen) {
+  std::vector<float> probs(logits.size());
+  probabilities(logits, probs);
+
+  Step step;
+  step.chosen = chosen;
+  for (int i = 0; i < static_cast<int>(logits.size()); ++i) {
+    if (probs[i] >= kSelectableProb) {
+      step.candidates.push_back({i, logits[i], probs[i]});
+    }
+  }
+  std::sort(step.candidates.begin(), step.candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.prob != b.prob) return a.prob > b.prob;
+              return a.token < b.token;
+            });
+  // The sampled token must remain part of the recorded support even if its
+  // mass fell below the threshold (possible under high temperature).
+  if (!step.contains(chosen) && chosen >= 0) {
+    step.candidates.push_back(
+        {chosen, logits[chosen], probs[chosen]});
+  }
+  return step;
+}
+
+}  // namespace lmpeel::lm

@@ -1,0 +1,64 @@
+// Generation traces: the per-step record of every selectable token.
+//
+// The paper runs its model locally precisely to "record all generated
+// nonzero logit values" (§III-C) and later enumerates "all combinations
+// reachable via alternative decodings of the original generation".
+// A GenerationTrace captures exactly that: for each emitted position, the
+// candidate set (token, logit, probability) above a selectability
+// threshold, plus which candidate was actually sampled.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lmpeel::lm {
+
+/// Probability mass below which a token does not count as "selectable".
+/// Real sampling stacks drop such tails via top-p/top-k; the paper's
+/// per-position possibility counts (Table II) are over this finite support.
+inline constexpr float kSelectableProb = 2.5e-5f;
+
+struct Candidate {
+  int token = -1;
+  float logit = 0.0f;
+  float prob = 0.0f;
+};
+
+struct Step {
+  /// Selectable candidates, sorted by descending probability.
+  std::vector<Candidate> candidates;
+  int chosen = -1;  ///< token actually sampled at this position
+
+  /// Probability of the chosen token (0 if absent from candidates —
+  /// cannot happen for samplers that respect the threshold, but the
+  /// accessor stays total).
+  float chosen_prob() const noexcept;
+  bool contains(int token) const noexcept;
+};
+
+class GenerationTrace {
+ public:
+  void add_step(Step step) { steps_.push_back(std::move(step)); }
+
+  std::size_t length() const noexcept { return steps_.size(); }
+  const Step& step(std::size_t i) const { return steps_[i]; }
+  const std::vector<Step>& steps() const noexcept { return steps_; }
+
+  /// The emitted token sequence.
+  std::vector<int> tokens() const;
+
+  /// Product of per-step candidate counts over steps [first, last):
+  /// the number of alternative decodings reachable through this trace.
+  /// Saturates at std::numeric_limits<double>::max().
+  double permutations(std::size_t first, std::size_t last) const;
+
+ private:
+  std::vector<Step> steps_;
+};
+
+/// Builds a Step's candidate list from raw logits: keeps entries whose
+/// softmax probability is >= kSelectableProb, sorted by descending prob.
+Step make_step(std::span<const float> logits, int chosen);
+
+}  // namespace lmpeel::lm

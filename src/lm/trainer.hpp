@@ -1,0 +1,39 @@
+// Training loop for TransformerLm over masked sequences.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "lm/adamw.hpp"
+#include "lm/corpus.hpp"
+#include "lm/transformer.hpp"
+
+namespace lmpeel::lm {
+
+struct TrainerOptions {
+  std::size_t steps = 300;
+  std::size_t batch_size = 8;     ///< sequences per optimiser step
+  std::size_t warmup_steps = 20;
+  AdamWConfig optimizer;
+  std::uint64_t seed = 0;
+  /// Progress callback: (step, mean loss); may be empty.
+  std::function<void(std::size_t, double)> on_step;
+  std::size_t report_every = 50;
+};
+
+struct TrainResult {
+  std::vector<double> loss_curve;  ///< mean batch loss per step
+  double final_loss = 0.0;
+};
+
+/// Trains the model on sequences drawn by `next_sequence` (called once per
+/// sequence; it receives a per-draw RNG).  Gradients from each batch are
+/// averaged implicitly by the per-sequence 1/n_targets scaling plus a
+/// 1/batch rescale inside the optimiser step.
+TrainResult train(
+    TransformerLm& model,
+    const std::function<MaskedSequence(util::Rng&)>& next_sequence,
+    const TrainerOptions& options);
+
+}  // namespace lmpeel::lm

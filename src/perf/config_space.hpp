@@ -1,0 +1,85 @@
+// The syr2k tuning space from the paper (§III-A).
+//
+// The space mirrors the Polly/LLVM loop-optimisation knobs applied to the
+// Polybench/C syr2k loop nest:
+//   * three tile-size factors (outer/middle/inner loop), each drawn from a
+//     fixed 11-value grid,
+//   * two independent optional packing transformations (arrays A and B),
+//   * an optional interchange of the outermost two loops.
+// That yields 11^3 * 2^3 = 10,648 unique configurations, exactly the
+// cardinality evaluated in the paper.  Dataset sizes follow the paper's
+// S..XL ladder with SM fixed at M=130, N=160 (as stated in Fig. 1's prompt).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lmpeel::perf {
+
+/// Tile-size grid shared by all three loop levels.
+inline constexpr std::array<int, 11> kTileValues = {
+    4, 8, 16, 20, 32, 48, 64, 80, 96, 100, 128};
+
+inline constexpr std::size_t kNumTileValues = kTileValues.size();
+inline constexpr std::size_t kSpaceSize =
+    kNumTileValues * kNumTileValues * kNumTileValues * 2 * 2 * 2;  // 10,648
+
+/// Problem-size ladder (paper §III-B: "S, SM, M, ML, L, XL").
+enum class SizeClass : std::uint8_t { S, SM, M, ML, L, XL };
+
+inline constexpr std::array<SizeClass, 6> kAllSizes = {
+    SizeClass::S,  SizeClass::SM, SizeClass::M,
+    SizeClass::ML, SizeClass::L,  SizeClass::XL};
+
+struct ProblemSize {
+  int m = 0;  ///< reduction extent (columns of A and B)
+  int n = 0;  ///< output extent (C is N x N)
+};
+
+/// M/N extents per size class; SM matches the paper (M=130, N=160), the
+/// others interpolate the Polybench presets the paper's ladder is based on.
+ProblemSize problem_size(SizeClass size) noexcept;
+
+const char* size_name(SizeClass size) noexcept;
+
+/// A single point in the tuning space.
+struct Syr2kConfig {
+  bool pack_a = false;       ///< pack (copy-prefetch) tiles of array A
+  bool pack_b = false;       ///< pack tiles of array B
+  bool interchange = false;  ///< interchange the outermost two loops
+  int tile_outer = 4;        ///< tile size of the outer (i) loop
+  int tile_middle = 4;       ///< tile size of the middle (j) loop
+  int tile_inner = 4;        ///< tile size of the inner (k) loop
+
+  bool operator==(const Syr2kConfig&) const = default;
+};
+
+/// Enumerates, indexes and measures distances over the full space.
+class ConfigSpace {
+ public:
+  ConfigSpace();
+
+  std::size_t size() const noexcept { return kSpaceSize; }
+
+  /// index <-> configuration bijection over [0, size()).
+  Syr2kConfig at(std::size_t index) const;
+  std::size_t index_of(const Syr2kConfig& config) const;
+
+  /// Rank of a tile value within kTileValues; throws for foreign values.
+  static std::size_t tile_rank(int tile_value);
+
+  /// Editing distance used for the paper's "minimal edit distance"
+  /// curation: number of differing boolean knobs plus the rank distance of
+  /// each tile knob (so tile 4 -> 8 counts 1, tile 4 -> 128 counts 10).
+  static int edit_distance(const Syr2kConfig& a, const Syr2kConfig& b);
+
+  /// Numeric feature encoding for surrogate models:
+  /// [pack_a, pack_b, interchange, log2(tile_o), log2(tile_m), log2(tile_i)].
+  static std::vector<double> features(const Syr2kConfig& config);
+  static constexpr std::size_t kNumFeatures = 6;
+  static const std::array<std::string, kNumFeatures>& feature_names();
+};
+
+}  // namespace lmpeel::perf

@@ -1,0 +1,177 @@
+#include "perf/dataset.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <istream>
+#include <numeric>
+#include <ostream>
+#include <string>
+
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lmpeel::perf {
+
+Dataset Dataset::generate(const Syr2kModel& model, SizeClass size,
+                          std::uint64_t seed) {
+  Dataset out;
+  out.size_ = size;
+  out.samples_.resize(kSpaceSize);
+  const ConfigSpace space;
+  util::parallel_for(0, kSpaceSize, [&](std::size_t i) {
+    util::Rng rng(seed, /*stream=*/i);
+    Sample& s = out.samples_[i];
+    s.config_index = i;
+    s.config = space.at(i);
+    s.runtime = model.measure(s.config, size, rng);
+  }, /*grain=*/256);
+  return out;
+}
+
+const Sample& Dataset::operator[](std::size_t i) const {
+  LMPEEL_CHECK(i < samples_.size());
+  return samples_[i];
+}
+
+std::vector<double> Dataset::feature_matrix() const {
+  std::vector<double> flat;
+  flat.reserve(samples_.size() * ConfigSpace::kNumFeatures);
+  for (const Sample& s : samples_) {
+    const auto f = ConfigSpace::features(s.config);
+    flat.insert(flat.end(), f.begin(), f.end());
+  }
+  return flat;
+}
+
+std::vector<double> Dataset::targets() const {
+  std::vector<double> y;
+  y.reserve(samples_.size());
+  for (const Sample& s : samples_) y.push_back(s.runtime);
+  return y;
+}
+
+double Dataset::min_runtime() const {
+  LMPEEL_CHECK(!samples_.empty());
+  return std::min_element(samples_.begin(), samples_.end(),
+                          [](const Sample& a, const Sample& b) {
+                            return a.runtime < b.runtime;
+                          })
+      ->runtime;
+}
+
+double Dataset::max_runtime() const {
+  LMPEEL_CHECK(!samples_.empty());
+  return std::max_element(samples_.begin(), samples_.end(),
+                          [](const Sample& a, const Sample& b) {
+                            return a.runtime < b.runtime;
+                          })
+      ->runtime;
+}
+
+void Dataset::write_csv(std::ostream& out) const {
+  out << "size,config_index,runtime\n";
+  char buffer[64];
+  for (const Sample& s : samples_) {
+    std::snprintf(buffer, sizeof buffer, "%.17g", s.runtime);
+    out << size_name(size_) << ',' << s.config_index << ',' << buffer
+        << '\n';
+  }
+}
+
+Dataset Dataset::read_csv(std::istream& in) {
+  Dataset out;
+  const ConfigSpace space;
+  std::string line;
+  LMPEEL_CHECK_MSG(std::getline(in, line) &&
+                       line == "size,config_index,runtime",
+                   "unexpected dataset CSV header");
+  bool size_known = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::size_t c1 = line.find(',');
+    const std::size_t c2 = line.find(',', c1 + 1);
+    LMPEEL_CHECK_MSG(c1 != std::string::npos && c2 != std::string::npos,
+                     "malformed dataset CSV row: " + line);
+    const std::string size_text = line.substr(0, c1);
+    if (!size_known) {
+      bool found = false;
+      for (const SizeClass s : kAllSizes) {
+        if (size_text == size_name(s)) {
+          out.size_ = s;
+          found = true;
+          break;
+        }
+      }
+      LMPEEL_CHECK_MSG(found, "unknown size class: " + size_text);
+      size_known = true;
+    } else {
+      LMPEEL_CHECK_MSG(size_text == size_name(out.size_),
+                       "mixed size classes in dataset CSV");
+    }
+    Sample sample;
+    sample.config_index = std::stoull(line.substr(c1 + 1, c2 - c1 - 1));
+    LMPEEL_CHECK(sample.config_index < kSpaceSize);
+    sample.config = space.at(sample.config_index);
+    sample.runtime = std::stod(line.substr(c2 + 1));
+    LMPEEL_CHECK_MSG(sample.runtime > 0.0, "non-positive runtime in CSV");
+    out.samples_.push_back(sample);
+  }
+  LMPEEL_CHECK_MSG(!out.samples_.empty(), "empty dataset CSV");
+  return out;
+}
+
+Split train_test_split(std::size_t n, std::size_t train_count,
+                       util::Rng& rng) {
+  LMPEEL_CHECK(train_count <= n);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order.begin(), order.end());
+  Split split;
+  split.train.assign(order.begin(), order.begin() + train_count);
+  split.test.assign(order.begin() + train_count, order.end());
+  return split;
+}
+
+std::vector<std::vector<std::size_t>> disjoint_subsets(
+    std::size_t n, std::size_t count, std::size_t subset_size,
+    util::Rng& rng) {
+  LMPEEL_CHECK_MSG(count * subset_size <= n,
+                   "not enough elements for disjoint subsets");
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order.begin(), order.end());
+  std::vector<std::vector<std::size_t>> subsets(count);
+  std::size_t next = 0;
+  for (auto& subset : subsets) {
+    subset.assign(order.begin() + next, order.begin() + next + subset_size);
+    next += subset_size;
+  }
+  return subsets;
+}
+
+std::vector<std::size_t> minimal_edit_neighborhood(const Dataset& data,
+                                                   std::size_t count,
+                                                   util::Rng& rng) {
+  LMPEEL_CHECK(count + 1 <= data.size());
+  const std::size_t centre =
+      static_cast<std::size_t>(rng.uniform_int(0, data.size() - 1));
+  const Syr2kConfig& centre_cfg = data[centre].config;
+
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     const int da = ConfigSpace::edit_distance(
+                         data[a].config, centre_cfg);
+                     const int db = ConfigSpace::edit_distance(
+                         data[b].config, centre_cfg);
+                     if (da != db) return da < db;
+                     return a < b;
+                   });
+  // order[0] is the centre (distance 0) — the query — followed by its
+  // nearest neighbours as in-context examples.
+  order.resize(count + 1);
+  return order;
+}
+
+}  // namespace lmpeel::perf

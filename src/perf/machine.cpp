@@ -1,0 +1,15 @@
+#include "perf/machine.hpp"
+
+namespace lmpeel::perf {
+
+double Machine::bandwidth_for_working_set(
+    std::size_t working_set) const noexcept {
+  if (working_set <= l1.bytes) return l1.bandwidth_gbs;
+  if (working_set <= l2.bytes) return l2.bandwidth_gbs;
+  if (working_set <= l3.bytes) return l3.bandwidth_gbs;
+  return dram_bandwidth_gbs;
+}
+
+Machine default_machine() noexcept { return Machine{}; }
+
+}  // namespace lmpeel::perf

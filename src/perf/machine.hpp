@@ -1,0 +1,42 @@
+// Hardware description used by the analytic performance model.
+//
+// Defaults approximate one core of the paper's measurement platform
+// (2x AMD EPYC 7742, DDR4): 32 KiB L1d, 512 KiB L2, a 16 MiB L3 slice,
+// ~2.25 GHz sustained, AVX2 FMA peak with realistic efficiency losses, and
+// ~20 GB/s single-stream DRAM bandwidth.  The model only needs relative
+// magnitudes to reproduce the paper's dataset *shape*; see DESIGN.md S4.
+#pragma once
+
+#include <cstddef>
+
+namespace lmpeel::perf {
+
+struct CacheLevel {
+  std::size_t bytes = 0;        ///< capacity
+  double bandwidth_gbs = 0.0;   ///< sustained load bandwidth, GB/s
+};
+
+struct Machine {
+  CacheLevel l1{32u * 1024u, 200.0};
+  CacheLevel l2{512u * 1024u, 100.0};
+  CacheLevel l3{16u * 1024u * 1024u, 50.0};
+  double dram_bandwidth_gbs = 20.0;   ///< single-core sustained
+  double copy_bandwidth_gbs = 12.0;   ///< packing memcpy (read+write)
+  double frequency_ghz = 2.25;
+  double peak_flops_per_cycle = 16.0; ///< AVX2: 2 FMA ports x 4 lanes x 2
+  std::size_t cache_line_bytes = 64;
+  std::size_t page_bytes = 4096;
+
+  double peak_gflops() const noexcept {
+    return frequency_ghz * peak_flops_per_cycle;
+  }
+
+  /// Bandwidth (GB/s) of the smallest level that holds `working_set` bytes.
+  double bandwidth_for_working_set(std::size_t working_set) const noexcept;
+};
+
+/// The default machine all experiments use (value-returning: no global
+/// mutable state).
+Machine default_machine() noexcept;
+
+}  // namespace lmpeel::perf

@@ -1,0 +1,68 @@
+// Analytic cache-aware cost model of the tiled syr2k loop nest.
+//
+// Stands in for the paper's empirically measured dataset (DESIGN.md S4).
+// The model follows classic tiling reuse analysis of the nest
+//
+//   for i = 0..N  step tile_outer        (interchange swaps i/j tiling roles)
+//     for j = 0..M  step tile_middle
+//       for k = 0..i  step tile_inner
+//         C[i,k] += A[k,j]*alpha*B[i,j] + B[k,j]*alpha*A[i,j]
+//
+// with five logical data streams per iteration:
+//   C[i,k]   stride-1, reusable across the whole j loop when its tile fits,
+//   A[k,j]   row-stride (M doubles) unless packed,
+//   B[k,j]   row-stride unless packed,
+//   B[i,j]   loop-invariant in k (register/L1 resident, reused tile_inner x),
+//   A[i,j]   loop-invariant in k.
+//
+// Runtime = max(compute, memory) + packing copies + loop/tiling overheads,
+// multiplied by lognormal measurement noise.  The structural consequences
+// the paper depends on all emerge from this analysis:
+//   * SM arrays fit in L2/L3, so packing is pure overhead and tiling is a
+//     second-order effect -> narrow sub-second runtime spread;
+//   * XL arrays exceed L3, so strided streams thrash and packing/tiling
+//     dominate -> single-digit-second runtimes with multi-x spread;
+//   * interchange flips which extent (M vs N) amortises C traffic, making
+//     its sign size-dependent (the paper: array size "changes the
+//     importance of features").
+#pragma once
+
+#include <cstdint>
+
+#include "perf/config_space.hpp"
+#include "perf/machine.hpp"
+#include "util/rng.hpp"
+
+namespace lmpeel::perf {
+
+/// Decomposed cost terms (seconds), useful for tests and ablation benches.
+struct CostBreakdown {
+  double compute = 0.0;   ///< flop-limited time
+  double memory = 0.0;    ///< traffic-limited time
+  double packing = 0.0;   ///< tile copy time for pack_a/pack_b
+  double overhead = 0.0;  ///< loop/tile-boundary and remainder overhead
+  double total = 0.0;     ///< max(compute, memory) + packing + overhead
+};
+
+class Syr2kModel {
+ public:
+  explicit Syr2kModel(Machine machine = default_machine()) noexcept;
+
+  /// Deterministic (noise-free) runtime in seconds.
+  double expected_runtime(const Syr2kConfig& config, SizeClass size) const;
+
+  /// Full cost decomposition (noise-free).
+  CostBreakdown breakdown(const Syr2kConfig& config, SizeClass size) const;
+
+  /// One "measurement": expected runtime with multiplicative lognormal
+  /// noise (sigma ~3%, heavier in the memory-bound regime).
+  double measure(const Syr2kConfig& config, SizeClass size,
+                 util::Rng& rng) const;
+
+  const Machine& machine() const noexcept { return machine_; }
+
+ private:
+  Machine machine_;
+};
+
+}  // namespace lmpeel::perf

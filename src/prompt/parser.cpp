@@ -1,0 +1,119 @@
+#include "prompt/parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/str.hpp"
+
+namespace lmpeel::prompt {
+
+namespace {
+bool is_digit(char c) { return c >= '0' && c <= '9'; }
+}  // namespace
+
+ParsedResponse parse_response(std::string_view response) {
+  ParsedResponse out;
+  // Find the first "digits . digits" span.
+  for (std::size_t i = 0; i < response.size(); ++i) {
+    if (!is_digit(response[i])) continue;
+    std::size_t j = i;
+    while (j < response.size() && is_digit(response[j])) ++j;
+    if (j < response.size() && response[j] == '.' && j + 1 < response.size() &&
+        is_digit(response[j + 1])) {
+      std::size_t k = j + 1;
+      while (k < response.size() && is_digit(response[k])) ++k;
+      // Optional scientific-notation exponent: [eE][+-]?digits.
+      if (k < response.size() && (response[k] == 'e' || response[k] == 'E')) {
+        std::size_t x = k + 1;
+        if (x < response.size() &&
+            (response[x] == '+' || response[x] == '-')) {
+          ++x;
+        }
+        if (x < response.size() && is_digit(response[x])) {
+          while (x < response.size() && is_digit(response[x])) ++x;
+          k = x;
+        }
+      }
+      out.value_text = std::string(response.substr(i, k - i));
+      out.value = util::parse_double(out.value_text);
+      // Anything outside "[space] value [newline]" counts as a deviation.
+      const std::string_view before = util::trim(response.substr(0, i));
+      const std::string_view after = util::trim(response.substr(k));
+      out.deviated = !before.empty() || !after.empty();
+      return out;
+    }
+    i = j;  // integer without a fraction: keep scanning
+  }
+  out.deviated = !util::trim(response).empty();
+  return out;
+}
+
+bool is_verbatim_copy(std::string_view value_text,
+                      std::span<const std::string> icl_value_texts) {
+  return std::any_of(icl_value_texts.begin(), icl_value_texts.end(),
+                     [&](const std::string& s) { return s == value_text; });
+}
+
+namespace {
+
+/// Finds "<key> is <value>" and returns the value text up to ',' or EOL.
+std::optional<std::string> field_after(std::string_view line,
+                                       std::string_view key) {
+  const std::size_t at = line.find(key);
+  if (at == std::string_view::npos) return std::nullopt;
+  std::size_t p = at + key.size();
+  const std::string_view is_marker = " is ";
+  if (line.substr(p, is_marker.size()) != is_marker) return std::nullopt;
+  p += is_marker.size();
+  std::size_t end = line.find_first_of(",\n", p);
+  if (end == std::string_view::npos) end = line.size();
+  return std::string(util::trim(line.substr(p, end - p)));
+}
+
+std::optional<bool> parse_bool(const std::string& text) {
+  if (text == "True") return true;
+  if (text == "False") return false;
+  return std::nullopt;
+}
+
+std::optional<int> parse_tile(const std::string& text) {
+  const auto v = util::parse_double(text);
+  if (!v.has_value()) return std::nullopt;
+  const int tile = static_cast<int>(*v);
+  if (static_cast<double>(tile) != *v) return std::nullopt;
+  for (const int legal : perf::kTileValues) {
+    if (legal == tile) return tile;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<perf::Syr2kConfig> parse_config_line(std::string_view line) {
+  perf::Syr2kConfig config;
+  const auto pack_a = field_after(line, "first_array_packed");
+  const auto pack_b = field_after(line, "second_array_packed");
+  const auto inter = field_after(line, "interchange_first_two_loops");
+  const auto t_out = field_after(line, "outer_loop_tiling_factor");
+  const auto t_mid = field_after(line, "middle_loop_tiling_factor");
+  const auto t_in = field_after(line, "inner_loop_tiling_factor");
+  if (!pack_a || !pack_b || !inter || !t_out || !t_mid || !t_in) {
+    return std::nullopt;
+  }
+  const auto a = parse_bool(*pack_a);
+  const auto b = parse_bool(*pack_b);
+  const auto ic = parse_bool(*inter);
+  const auto to = parse_tile(*t_out);
+  const auto tm = parse_tile(*t_mid);
+  const auto ti = parse_tile(*t_in);
+  if (!a || !b || !ic || !to || !tm || !ti) return std::nullopt;
+  config.pack_a = *a;
+  config.pack_b = *b;
+  config.interchange = *ic;
+  config.tile_outer = *to;
+  config.tile_middle = *tm;
+  config.tile_inner = *ti;
+  return config;
+}
+
+}  // namespace lmpeel::prompt

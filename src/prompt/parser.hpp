@@ -1,0 +1,41 @@
+// Response parsing: the deterministic equivalent of the paper's manual
+// output harvesting ("we manually identify all relevant portions of all
+// outputs produced by the LLM", §III-C).
+//
+// Instruction-tuned models deviate from the demonstrated format, so the
+// parser accepts a plain value, a value after a natural-language preamble,
+// or a value embedded in an echoed "Performance:" line, and reports when no
+// value can be recovered at all.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "perf/config_space.hpp"
+
+namespace lmpeel::prompt {
+
+struct ParsedResponse {
+  std::optional<double> value;  ///< the predicted runtime, if recoverable
+  std::string value_text;       ///< the exact substring parsed as the value
+  bool deviated = false;        ///< response had text besides the value
+};
+
+/// Extracts the first decimal literal (digits '.' digits) from `response`.
+ParsedResponse parse_response(std::string_view response);
+
+/// True when `value_text` is a character-exact copy of one of the
+/// in-context value strings (the paper's "directly copied from ICL" rate).
+bool is_verbatim_copy(std::string_view value_text,
+                      std::span<const std::string> icl_value_texts);
+
+/// Parses a rendered configuration line back into a Syr2kConfig (the
+/// inverse of render_config, used by the LLAMBO candidate-sampling mode to
+/// harvest model-proposed configurations).  Tile values must come from the
+/// legal grid; returns nullopt for malformed or out-of-space proposals.
+std::optional<perf::Syr2kConfig> parse_config_line(std::string_view line);
+
+}  // namespace lmpeel::prompt

@@ -1,0 +1,36 @@
+#include "prompt/render.hpp"
+
+#include <sstream>
+
+#include "util/str.hpp"
+
+namespace lmpeel::prompt {
+
+namespace {
+const char* bool_text(bool b) { return b ? "True" : "False"; }
+}  // namespace
+
+std::string render_config(const perf::Syr2kConfig& config,
+                          perf::SizeClass size) {
+  std::ostringstream os;
+  os << "Hyperparameter configuration: size is " << perf::size_name(size)
+     << ", first_array_packed is " << bool_text(config.pack_a)
+     << ", second_array_packed is " << bool_text(config.pack_b)
+     << ", interchange_first_two_loops is " << bool_text(config.interchange)
+     << ", outer_loop_tiling_factor is " << config.tile_outer
+     << ", middle_loop_tiling_factor is " << config.tile_middle
+     << ", inner_loop_tiling_factor is " << config.tile_inner;
+  return os.str();
+}
+
+std::string render_value(double runtime_seconds, NumberFormat format) {
+  return format == NumberFormat::Decimal
+             ? util::format_runtime(runtime_seconds, 5)
+             : util::format_runtime_scientific(runtime_seconds, 5);
+}
+
+std::string render_performance(double runtime_seconds, NumberFormat format) {
+  return "Performance: " + render_value(runtime_seconds, format);
+}
+
+}  // namespace lmpeel::prompt

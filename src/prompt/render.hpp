@@ -1,0 +1,33 @@
+// Natural-language rendering of configurations and runtimes (Fig. 1).
+//
+// Configurations are described "in a feature-rich text-based CSV format":
+//   Hyperparameter configuration: size is SM, first_array_packed is True,
+//   second_array_packed is False, interchange_first_two_loops is False,
+//   outer_loop_tiling_factor is 80, middle_loop_tiling_factor is 64,
+//   inner_loop_tiling_factor is 100
+// Runtimes render as plain decimals with five significant digits
+// ("Performance: 0.0022155"); the scientific-notation variant feeds the
+// §V-B output-format ablation.
+#pragma once
+
+#include <string>
+
+#include "perf/config_space.hpp"
+
+namespace lmpeel::prompt {
+
+enum class NumberFormat { Decimal, Scientific };
+
+/// "Hyperparameter configuration: size is SM, first_array_packed is …"
+std::string render_config(const perf::Syr2kConfig& config,
+                          perf::SizeClass size);
+
+/// "Performance: 0.0022155"
+std::string render_performance(double runtime_seconds,
+                               NumberFormat format = NumberFormat::Decimal);
+
+/// Just the value string ("0.0022155").
+std::string render_value(double runtime_seconds,
+                         NumberFormat format = NumberFormat::Decimal);
+
+}  // namespace lmpeel::prompt

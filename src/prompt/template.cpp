@@ -1,0 +1,96 @@
+#include "prompt/template.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace lmpeel::prompt {
+
+PromptBuilder::PromptBuilder(perf::SizeClass size, PromptOptions options)
+    : size_(size), options_(options) {}
+
+std::string PromptBuilder::system_text() const {
+  return
+      "The user may describe their optimization problem to give specific "
+      "context. Then they will demonstrate hyperparameter configurations "
+      "for a regression problem in a feature-rich text-based CSV format. "
+      "Following the examples, the user will provide a number of "
+      "configurations without performance values; you will need to infer "
+      "the objective based on their prior examples. Do not alter the "
+      "user's proposed configurations. Do NOT explain your thought "
+      "process. ONLY respond with your answer following the format that "
+      "the user demonstrated for you.";
+}
+
+std::string PromptBuilder::problem_text() const {
+  const perf::ProblemSize ps = perf::problem_size(size_);
+  std::ostringstream os;
+  os << "The problem considers source-code optimization for a loop nest in "
+        "C++ code. The 'size' parameter is invariant, but denotes a "
+        "relativistic measure of the size of data inputs to the loop nest. "
+        "Sizes can be represented by the following values sorted "
+        "smallest-to-largest: S, SM, M, ML, L, XL\n"
+     << "For size '" << perf::size_name(size_) << "', M=" << ps.m
+     << " and N=" << ps.n << ". Size is NOT a tunable component of the "
+        "problem.\n"
+        "Tunable options in the configuration space are:\n"
+        "* The first and second array inputs to the problem can be "
+        "independently packed, represented as True/False for each\n"
+        "* The outermost two loops in the nest may be interchanged, "
+        "represented as True to perform interchange, else False\n"
+        "* Each loop (outer, middle, and inner) are tiled, and the tile "
+        "sizes can all be independently specified.\n"
+        "The performance objective is the runtime of a program compiled "
+        "with the modified source, so lower is better.\n"
+        "A pseudocode representation of the problem is:\n"
+        "input: Arrays A[N,M], B[N,M], C[N,N], scalar constant alpha\n"
+        "code segment:\n"
+        "# Optional packing array A\n"
+        "# Optional packing array B\n"
+        "# Optional interchange on outermost two loops\n"
+        "for i=0...N in tiles of size outer_loop_tiling_factor\n"
+        "  for j=0...M in tiles of size middle_loop_tiling_factor\n"
+        "    for k=0...i in tiles of size inner_loop_tiling_factor\n"
+        "      C[i,k] = A[k,j]*alpha*B[i,j] + B[k,j]*alpha*A[i,j]";
+  return os.str();
+}
+
+std::string PromptBuilder::icl_text(
+    std::span<const perf::Sample> examples) const {
+  LMPEEL_CHECK(!examples.empty());
+  std::ostringstream os;
+  os << "Here are the examples:\n";
+  for (const perf::Sample& s : examples) {
+    os << render_config(s.config, size_) << '\n'
+       << render_performance(s.runtime, options_.number_format) << "\n\n";
+  }
+  return os.str();
+}
+
+std::string PromptBuilder::query_text(const perf::Syr2kConfig& query) const {
+  std::ostringstream os;
+  os << "Please complete the following:\n"
+     << render_config(query, size_) << '\n'
+     << "Performance:";
+  return os.str();
+}
+
+std::string PromptBuilder::user_text(std::span<const perf::Sample> examples,
+                                     const perf::Syr2kConfig& query) const {
+  return problem_text() + "\n" + icl_text(examples) + query_text(query);
+}
+
+std::vector<int> PromptBuilder::encode(
+    const tok::Tokenizer& tokenizer, std::span<const perf::Sample> examples,
+    const perf::Syr2kConfig& query) const {
+  std::vector<int> ids;
+  ids.push_back(tok::kBos);
+  ids.push_back(tok::kSystem);
+  tokenizer.encode_append(system_text(), ids);
+  ids.push_back(tok::kUser);
+  tokenizer.encode_append(user_text(examples, query), ids);
+  ids.push_back(tok::kAssistant);
+  return ids;
+}
+
+}  // namespace lmpeel::prompt

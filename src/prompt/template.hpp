@@ -1,0 +1,55 @@
+// The three-part LLAMBO-style prompt of §III-B / Fig. 1:
+// system instructions, problem description, user ICL examples + query.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "perf/config_space.hpp"
+#include "perf/dataset.hpp"
+#include "prompt/render.hpp"
+#include "tok/tokenizer.hpp"
+
+namespace lmpeel::prompt {
+
+struct PromptOptions {
+  NumberFormat number_format = NumberFormat::Decimal;
+};
+
+class PromptBuilder {
+ public:
+  explicit PromptBuilder(perf::SizeClass size, PromptOptions options = {});
+
+  /// The fixed system instructions (verbatim structure of Fig. 1).
+  std::string system_text() const;
+
+  /// The natural-language problem description, including the pseudocode.
+  std::string problem_text() const;
+
+  /// "Here are the examples:" block for the given in-context samples.
+  std::string icl_text(std::span<const perf::Sample> examples) const;
+
+  /// "Please complete the following:" block; ends with "Performance:" so
+  /// the assistant's turn starts exactly at the value.
+  std::string query_text(const perf::Syr2kConfig& query) const;
+
+  /// Full user-section text (problem + ICL + query).
+  std::string user_text(std::span<const perf::Sample> examples,
+                        const perf::Syr2kConfig& query) const;
+
+  /// Token encoding of the whole prompt:
+  /// [bos, <|system|>, …, <|user|>, …, <|assistant|>].
+  std::vector<int> encode(const tok::Tokenizer& tokenizer,
+                          std::span<const perf::Sample> examples,
+                          const perf::Syr2kConfig& query) const;
+
+  perf::SizeClass size() const noexcept { return size_; }
+  const PromptOptions& options() const noexcept { return options_; }
+
+ private:
+  perf::SizeClass size_;
+  PromptOptions options_;
+};
+
+}  // namespace lmpeel::prompt

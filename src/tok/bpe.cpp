@@ -1,0 +1,158 @@
+#include "tok/bpe.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <limits>
+#include <map>
+
+#include "tok/pretokenize.hpp"
+#include "util/check.hpp"
+
+namespace lmpeel::tok {
+
+void Bpe::train(const std::string& corpus, Vocab& vocab,
+                std::size_t max_merges, std::size_t min_frequency) {
+  merges_.clear();
+  rank_.clear();
+
+  // Collect unique word pieces with multiplicity.
+  std::unordered_map<std::string, std::size_t> word_counts;
+  for (const Piece& piece : pretokenize(corpus)) {
+    if (piece.kind == PieceKind::Word) ++word_counts[piece.text];
+  }
+
+  struct WordState {
+    std::vector<int> tokens;
+    std::size_t count;
+  };
+  std::vector<WordState> words;
+  words.reserve(word_counts.size());
+  for (const auto& [text, count] : word_counts) {
+    WordState w;
+    w.count = count;
+    w.tokens.reserve(text.size());
+    for (const char c : text) {
+      w.tokens.push_back(vocab.byte_token(static_cast<unsigned char>(c)));
+    }
+    words.push_back(std::move(w));
+  }
+  // Deterministic iteration order regardless of hash-map layout.
+  std::sort(words.begin(), words.end(),
+            [&](const WordState& a, const WordState& b) {
+              return a.tokens < b.tokens;
+            });
+
+  for (std::size_t round = 0; round < max_merges; ++round) {
+    // Count adjacent pairs.  An ordered map keyed by the pair's token texts
+    // makes tie-breaking deterministic and human-meaningful.
+    std::map<std::pair<std::string, std::string>, std::size_t> pair_counts;
+    std::map<std::pair<std::string, std::string>, std::pair<int, int>> ids;
+    for (const WordState& w : words) {
+      for (std::size_t i = 0; i + 1 < w.tokens.size(); ++i) {
+        const auto key = std::make_pair(vocab.text(w.tokens[i]),
+                                        vocab.text(w.tokens[i + 1]));
+        pair_counts[key] += w.count;
+        ids[key] = {w.tokens[i], w.tokens[i + 1]};
+      }
+    }
+    if (pair_counts.empty()) break;
+
+    const auto best = std::max_element(
+        pair_counts.begin(), pair_counts.end(),
+        [](const auto& a, const auto& b) {
+          if (a.second != b.second) return a.second < b.second;
+          return a.first > b.first;  // lexicographically smaller pair wins
+        });
+    if (best->second < min_frequency) break;
+
+    const auto [left, right] = ids[best->first];
+    const std::string merged_text = best->first.first + best->first.second;
+    // Skip if the merged text collides with an existing token (e.g. a
+    // special token); extremely unlikely for letter sequences but cheap to
+    // guard.
+    if (vocab.find(merged_text).has_value()) break;
+    const int merged = vocab.add(merged_text);
+
+    Merge merge{left, right, merged};
+    rank_.emplace(pair_key(left, right), merges_.size());
+    merges_.push_back(merge);
+
+    // Apply the merge to every word.
+    for (WordState& w : words) {
+      std::vector<int>& t = w.tokens;
+      std::size_t out = 0;
+      for (std::size_t i = 0; i < t.size(); ++i) {
+        if (i + 1 < t.size() && t[i] == left && t[i + 1] == right) {
+          t[out++] = merged;
+          ++i;
+        } else {
+          t[out++] = t[i];
+        }
+      }
+      t.resize(out);
+    }
+  }
+}
+
+void Bpe::save(std::ostream& out, const Vocab& vocab) const {
+  // Merged tokens only ever contain letters, underscores and interior
+  // spaces (words come from the pretokenizer), so a TAB separator is
+  // unambiguous.
+  for (const Merge& merge : merges_) {
+    out << vocab.text(merge.left) << '\t' << vocab.text(merge.right) << '\n';
+  }
+}
+
+void Bpe::load(std::istream& in, Vocab& vocab) {
+  merges_.clear();
+  rank_.clear();
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::size_t tab = line.find('\t');
+    LMPEEL_CHECK_MSG(tab != std::string::npos, "malformed merge line");
+    const std::string left_text = line.substr(0, tab);
+    const std::string right_text = line.substr(tab + 1);
+    const auto left = vocab.find(left_text);
+    const auto right = vocab.find(right_text);
+    LMPEEL_CHECK_MSG(left.has_value() && right.has_value(),
+                     "merge references unknown token: " + line);
+    const std::string merged_text = left_text + right_text;
+    const auto existing = vocab.find(merged_text);
+    const int merged =
+        existing.has_value() ? *existing : vocab.add(merged_text);
+    rank_.emplace(pair_key(*left, *right), merges_.size());
+    merges_.push_back({*left, *right, merged});
+  }
+}
+
+std::vector<int> Bpe::encode_word(std::string_view word,
+                                  const Vocab& vocab) const {
+  std::vector<int> tokens;
+  tokens.reserve(word.size());
+  for (const char c : word) {
+    tokens.push_back(vocab.byte_token(static_cast<unsigned char>(c)));
+  }
+  if (merges_.empty()) return tokens;
+
+  // Greedy BPE: repeatedly apply the lowest-rank (earliest learned)
+  // applicable merge until none applies.
+  for (;;) {
+    std::size_t best_rank = std::numeric_limits<std::size_t>::max();
+    std::size_t best_pos = 0;
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+      const auto it = rank_.find(pair_key(tokens[i], tokens[i + 1]));
+      if (it != rank_.end() && it->second < best_rank) {
+        best_rank = it->second;
+        best_pos = i;
+      }
+    }
+    if (best_rank == std::numeric_limits<std::size_t>::max()) break;
+    tokens[best_pos] = merges_[best_rank].result;
+    tokens.erase(tokens.begin() + best_pos + 1);
+  }
+  return tokens;
+}
+
+}  // namespace lmpeel::tok

@@ -1,0 +1,59 @@
+// Byte-pair encoding over Word pieces.
+//
+// Training repeatedly merges the most frequent adjacent token pair across
+// the word-piece corpus (ties broken lexicographically for determinism).
+// Encoding applies learned merges in priority order, the standard greedy
+// BPE procedure.  Digits never reach BPE (see pretokenize.hpp), so merges
+// only ever involve letters/spaces.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "tok/vocab.hpp"
+
+namespace lmpeel::tok {
+
+struct Merge {
+  int left = -1;
+  int right = -1;
+  int result = -1;  ///< id of the merged token
+};
+
+class Bpe {
+ public:
+  /// Learns up to `max_merges` merges from the Word pieces of `corpus`,
+  /// registering merged tokens in `vocab`.  Pairs occurring fewer than
+  /// `min_frequency` times are never merged.
+  void train(const std::string& corpus, Vocab& vocab, std::size_t max_merges,
+             std::size_t min_frequency = 2);
+
+  /// Encodes one Word piece to token ids (bytes + learned merges).
+  std::vector<int> encode_word(std::string_view word,
+                               const Vocab& vocab) const;
+
+  std::size_t merge_count() const noexcept { return merges_.size(); }
+  const std::vector<Merge>& merges() const noexcept { return merges_; }
+
+  /// Writes the merge list as "left<TAB>right" token-text lines.
+  void save(std::ostream& out, const Vocab& vocab) const;
+  /// Replays a saved merge list, registering merged tokens in `vocab`.
+  void load(std::istream& in, Vocab& vocab);
+
+ private:
+  std::vector<Merge> merges_;
+  /// (left id, right id) -> merge priority index.
+  std::unordered_map<std::uint64_t, std::size_t> rank_;
+
+  static std::uint64_t pair_key(int left, int right) noexcept {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(left))
+            << 32) |
+           static_cast<std::uint32_t>(right);
+  }
+};
+
+}  // namespace lmpeel::tok

@@ -1,0 +1,55 @@
+#include "tok/pretokenize.hpp"
+
+#include <cctype>
+
+#include "util/check.hpp"
+
+namespace lmpeel::tok {
+
+namespace {
+bool is_digit(char c) { return c >= '0' && c <= '9'; }
+bool is_letter(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+}  // namespace
+
+std::vector<Piece> pretokenize(std::string_view text) {
+  std::vector<Piece> pieces;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (is_digit(c)) {
+      std::size_t j = i;
+      while (j < text.size() && is_digit(text[j])) ++j;
+      pieces.push_back({PieceKind::Digits, std::string(text.substr(i, j - i))});
+      i = j;
+      continue;
+    }
+    if (is_letter(c) ||
+        (c == ' ' && i + 1 < text.size() && is_letter(text[i + 1]))) {
+      std::size_t j = i;
+      if (text[j] == ' ') ++j;  // leading space glues to the word
+      while (j < text.size() && is_letter(text[j])) ++j;
+      pieces.push_back({PieceKind::Word, std::string(text.substr(i, j - i))});
+      i = j;
+      continue;
+    }
+    pieces.push_back({PieceKind::Other, std::string(1, c)});
+    ++i;
+  }
+  return pieces;
+}
+
+std::vector<std::string> chunk_digits(std::string_view digits) {
+  LMPEEL_CHECK(!digits.empty());
+  std::vector<std::string> chunks;
+  std::size_t i = 0;
+  while (i < digits.size()) {
+    const std::size_t take = std::min<std::size_t>(3, digits.size() - i);
+    chunks.emplace_back(digits.substr(i, take));
+    i += take;
+  }
+  return chunks;
+}
+
+}  // namespace lmpeel::tok

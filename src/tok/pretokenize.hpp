@@ -1,0 +1,32 @@
+// Pre-tokenisation: splits raw text into pieces before BPE/number encoding.
+//
+// Rules (a simplified GPT-style regex, implemented by hand):
+//   * a run of ASCII digits is one Digits piece (later chunked into 1–3
+//     digit number tokens, left to right);
+//   * an optional single leading space plus a run of letters is one Word
+//     piece (BPE applies within it);
+//   * anything else is a one-character Other piece (encoded as its byte).
+// Keeping digits out of BPE is what gives the model the Llama-3-like
+// numeric token structure the paper analyses.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lmpeel::tok {
+
+enum class PieceKind { Word, Digits, Other };
+
+struct Piece {
+  PieceKind kind;
+  std::string text;
+};
+
+std::vector<Piece> pretokenize(std::string_view text);
+
+/// Splits a digit run into number-token chunks of up to three digits,
+/// left to right ("0022155" -> "002", "215", "5").
+std::vector<std::string> chunk_digits(std::string_view digits);
+
+}  // namespace lmpeel::tok

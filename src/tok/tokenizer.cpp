@@ -1,0 +1,60 @@
+#include "tok/tokenizer.hpp"
+
+#include "tok/pretokenize.hpp"
+#include "util/check.hpp"
+
+namespace lmpeel::tok {
+
+void Tokenizer::train_bpe(const std::string& corpus, std::size_t max_merges,
+                          std::size_t min_frequency) {
+  bpe_.train(corpus, vocab_, max_merges, min_frequency);
+}
+
+void Tokenizer::save(std::ostream& out) const { bpe_.save(out, vocab_); }
+
+Tokenizer Tokenizer::load(std::istream& in) {
+  Tokenizer tokenizer;
+  tokenizer.bpe_.load(in, tokenizer.vocab_);
+  return tokenizer;
+}
+
+void Tokenizer::encode_append(std::string_view text,
+                              std::vector<int>& out) const {
+  for (const Piece& piece : pretokenize(text)) {
+    switch (piece.kind) {
+      case PieceKind::Digits:
+        for (const std::string& chunk : chunk_digits(piece.text)) {
+          out.push_back(vocab_.number_token(chunk));
+        }
+        break;
+      case PieceKind::Word: {
+        const auto ids = bpe_.encode_word(piece.text, vocab_);
+        out.insert(out.end(), ids.begin(), ids.end());
+        break;
+      }
+      case PieceKind::Other:
+        out.push_back(vocab_.byte_token(
+            static_cast<unsigned char>(piece.text[0])));
+        break;
+    }
+  }
+}
+
+std::vector<int> Tokenizer::encode(std::string_view text) const {
+  std::vector<int> out;
+  out.reserve(text.size() / 2 + 8);
+  encode_append(text, out);
+  return out;
+}
+
+std::string Tokenizer::decode(std::span<const int> ids) const {
+  std::string out;
+  for (const int id : ids) {
+    LMPEEL_CHECK(id >= 0 && id < vocab_.size());
+    if (id < kNumSpecial) continue;  // specials render as nothing
+    out += vocab_.text(id);
+  }
+  return out;
+}
+
+}  // namespace lmpeel::tok

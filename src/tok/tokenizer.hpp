@@ -1,0 +1,62 @@
+// The full tokenizer: pretokenise -> number chunking / BPE / bytes.
+//
+// This is the model-facing API; everything downstream (the induction model,
+// the transformer, trace analysis, haystack enumeration) works in the id
+// space defined here.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tok/bpe.hpp"
+#include "tok/vocab.hpp"
+
+namespace lmpeel::tok {
+
+class Tokenizer {
+ public:
+  /// Base tokenizer: specials + bytes + number tokens, no merges.
+  Tokenizer() = default;
+
+  /// Learns BPE merges from `corpus` (letters only; numbers stay atomic).
+  void train_bpe(const std::string& corpus, std::size_t max_merges,
+                 std::size_t min_frequency = 2);
+
+  /// Persists the learned merges (the base vocabulary is canonical and is
+  /// not written); load() replays them onto a fresh base vocabulary,
+  /// reproducing the identical id space.
+  void save(std::ostream& out) const;
+  static Tokenizer load(std::istream& in);
+
+  std::vector<int> encode(std::string_view text) const;
+  /// Encode and append to an existing id buffer.
+  void encode_append(std::string_view text, std::vector<int>& out) const;
+
+  std::string decode(std::span<const int> ids) const;
+  /// Decode a single token (specials decode to their <|name|> form).
+  const std::string& token_text(int id) const { return vocab_.text(id); }
+
+  int vocab_size() const noexcept { return vocab_.size(); }
+  const Vocab& vocab() const noexcept { return vocab_; }
+
+  bool is_number_token(int id) const { return vocab_.is_number(id); }
+  bool is_dot_token(int id) const noexcept { return vocab_.is_dot(id); }
+  int dot_token() const noexcept {
+    return vocab_.byte_token(static_cast<unsigned char>('.'));
+  }
+  int newline_token() const noexcept {
+    return vocab_.byte_token(static_cast<unsigned char>('\n'));
+  }
+  int space_token() const noexcept {
+    return vocab_.byte_token(static_cast<unsigned char>(' '));
+  }
+
+ private:
+  Vocab vocab_;
+  Bpe bpe_;
+};
+
+}  // namespace lmpeel::tok

@@ -1,0 +1,96 @@
+#include "tune/annealing_tuner.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace lmpeel::tune {
+
+AnnealingTuner::AnnealingTuner(AnnealingOptions options)
+    : options_(options), temperature_(options.initial_temperature) {
+  LMPEEL_CHECK(options_.initial_temperature > 0.0);
+  LMPEEL_CHECK(options_.cooling > 0.0 && options_.cooling < 1.0);
+}
+
+perf::Syr2kConfig AnnealingTuner::mutate(const perf::Syr2kConfig& config,
+                                         util::Rng& rng) const {
+  perf::Syr2kConfig next = config;
+  switch (rng.uniform_int(0, 5)) {
+    case 0: next.pack_a = !next.pack_a; break;
+    case 1: next.pack_b = !next.pack_b; break;
+    case 2: next.interchange = !next.interchange; break;
+    default: {
+      int* tile = nullptr;
+      switch (rng.uniform_int(0, 2)) {
+        case 0: tile = &next.tile_outer; break;
+        case 1: tile = &next.tile_middle; break;
+        default: tile = &next.tile_inner; break;
+      }
+      const auto rank =
+          static_cast<int>(perf::ConfigSpace::tile_rank(*tile));
+      const int step = rng.bernoulli(0.5) ? 1 : -1;
+      const int hop = rng.bernoulli(0.25) ? 2 : 1;  // occasional long jump
+      int next_rank = rank + step * hop;
+      next_rank = std::max(
+          0, std::min(static_cast<int>(perf::kNumTileValues) - 1, next_rank));
+      *tile = perf::kTileValues[next_rank];
+      break;
+    }
+  }
+  return next;
+}
+
+perf::Syr2kConfig AnnealingTuner::propose(util::Rng& rng) {
+  LMPEEL_CHECK_MSG(seen_.size() < space_.size(),
+                   "configuration space exhausted");
+  const auto random_unseen = [&] {
+    for (;;) {
+      const auto idx =
+          static_cast<std::size_t>(rng.uniform_int(0, space_.size() - 1));
+      if (!seen_.contains(idx)) return space_.at(idx);
+    }
+  };
+
+  perf::Syr2kConfig proposal;
+  if (!current_.has_value()) {
+    proposal = random_unseen();
+  } else {
+    bool found = false;
+    for (int attempt = 0; attempt < options_.mutation_attempts; ++attempt) {
+      proposal = mutate(*current_, rng);
+      if (!seen_.contains(space_.index_of(proposal))) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) proposal = random_unseen();  // basin exhausted: restart
+  }
+  seen_.insert(space_.index_of(proposal));
+  pending_ = proposal;
+  return proposal;
+}
+
+void AnnealingTuner::observe(const perf::Syr2kConfig& config,
+                             double runtime) {
+  LMPEEL_CHECK(runtime > 0.0);
+  if (!current_.has_value()) {
+    current_ = config;
+    current_runtime_ = runtime;
+    return;
+  }
+  // Metropolis on *relative* runtime difference, so the schedule is
+  // size-independent.
+  const double delta = (runtime - current_runtime_) / current_runtime_;
+  util::Rng accept_rng(util::hash_combine(
+      0xacce97, space_.index_of(config)));
+  if (delta <= 0.0 ||
+      accept_rng.uniform() < std::exp(-delta / temperature_)) {
+    current_ = config;
+    current_runtime_ = runtime;
+  }
+  temperature_ =
+      std::max(options_.min_temperature, temperature_ * options_.cooling);
+  pending_.reset();
+}
+
+}  // namespace lmpeel::tune

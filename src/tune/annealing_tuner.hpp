@@ -1,0 +1,44 @@
+// Simulated annealing over the syr2k space: a standard lightweight
+// autotuning baseline (neighbourhood moves over the knob grid with a
+// Metropolis acceptance rule and geometric cooling).
+#pragma once
+
+#include <optional>
+#include <unordered_set>
+
+#include "tune/campaign.hpp"
+
+namespace lmpeel::tune {
+
+struct AnnealingOptions {
+  double initial_temperature = 0.35;  ///< relative-runtime units
+  double cooling = 0.92;              ///< geometric factor per evaluation
+  double min_temperature = 0.01;
+  int mutation_attempts = 32;  ///< tries to find an unseen neighbour
+};
+
+class AnnealingTuner final : public Tuner {
+ public:
+  explicit AnnealingTuner(AnnealingOptions options = {});
+
+  perf::Syr2kConfig propose(util::Rng& rng) override;
+  void observe(const perf::Syr2kConfig& config, double runtime) override;
+  std::string name() const override { return "simulated-annealing"; }
+
+  double temperature() const noexcept { return temperature_; }
+
+ private:
+  /// One random single-knob move: flip a boolean or step a tile rank.
+  perf::Syr2kConfig mutate(const perf::Syr2kConfig& config,
+                           util::Rng& rng) const;
+
+  AnnealingOptions options_;
+  perf::ConfigSpace space_;
+  std::unordered_set<std::size_t> seen_;
+  std::optional<perf::Syr2kConfig> current_;
+  double current_runtime_ = 0.0;
+  std::optional<perf::Syr2kConfig> pending_;
+  double temperature_;
+};
+
+}  // namespace lmpeel::tune

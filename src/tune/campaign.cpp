@@ -1,0 +1,50 @@
+#include "tune/campaign.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace lmpeel::tune {
+
+double CampaignResult::best_runtime() const {
+  LMPEEL_CHECK(!best_so_far.empty());
+  return best_so_far.back();
+}
+
+const perf::Syr2kConfig& CampaignResult::best_config() const {
+  LMPEEL_CHECK(!evaluated.empty());
+  const auto it = std::min_element(
+      evaluated.begin(), evaluated.end(),
+      [](const perf::Sample& a, const perf::Sample& b) {
+        return a.runtime < b.runtime;
+      });
+  return it->config;
+}
+
+CampaignResult run_campaign(Tuner& tuner, const perf::Syr2kModel& model,
+                            perf::SizeClass size,
+                            const CampaignOptions& options) {
+  LMPEEL_CHECK(options.budget > 0);
+  const perf::ConfigSpace space;
+  CampaignResult result;
+  result.evaluated.reserve(options.budget);
+  result.best_so_far.reserve(options.budget);
+
+  util::Rng propose_rng(options.seed, 0x9c0);
+  util::Rng measure_rng(options.seed, 0x9c1);
+  double best = 0.0;
+  for (std::size_t i = 0; i < options.budget; ++i) {
+    perf::Sample sample;
+    sample.config = tuner.propose(propose_rng);
+    sample.config_index = space.index_of(sample.config);
+    sample.runtime = model.measure(sample.config, size, measure_rng);
+    tuner.observe(sample.config, sample.runtime);
+
+    best = i == 0 ? sample.runtime : std::min(best, sample.runtime);
+    result.evaluated.push_back(sample);
+    result.best_so_far.push_back(best);
+  }
+  return result;
+}
+
+}  // namespace lmpeel::tune

@@ -1,0 +1,50 @@
+// Autotuning campaign harness.
+//
+// An autotuner proposes configurations; the campaign evaluates each on the
+// performance model (one "empirical evaluation" in the paper's terms) and
+// feeds the observation back.  This is the surrounding system the paper's
+// question is about: whether an LLM can take the surrogate-model seat
+// inside this loop.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "perf/config_space.hpp"
+#include "perf/dataset.hpp"
+#include "perf/syr2k_model.hpp"
+#include "util/rng.hpp"
+
+namespace lmpeel::tune {
+
+class Tuner {
+ public:
+  virtual ~Tuner() = default;
+
+  /// Proposes the next configuration to evaluate.
+  virtual perf::Syr2kConfig propose(util::Rng& rng) = 0;
+
+  /// Receives the measured runtime of a proposed configuration.
+  virtual void observe(const perf::Syr2kConfig& config, double runtime) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+struct CampaignOptions {
+  std::size_t budget = 50;  ///< number of empirical evaluations
+  std::uint64_t seed = 0;
+};
+
+struct CampaignResult {
+  std::vector<perf::Sample> evaluated;   ///< in evaluation order
+  std::vector<double> best_so_far;       ///< running minimum runtime
+  double best_runtime() const;
+  const perf::Syr2kConfig& best_config() const;
+};
+
+CampaignResult run_campaign(Tuner& tuner, const perf::Syr2kModel& model,
+                            perf::SizeClass size,
+                            const CampaignOptions& options);
+
+}  // namespace lmpeel::tune

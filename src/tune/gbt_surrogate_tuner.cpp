@@ -1,0 +1,84 @@
+#include "tune/gbt_surrogate_tuner.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace lmpeel::tune {
+
+GbtSurrogateTuner::GbtSurrogateTuner(GbtSurrogateOptions options)
+    : options_(options) {
+  LMPEEL_CHECK(options_.ensemble >= 1);
+  LMPEEL_CHECK(options_.candidate_pool >= 1);
+}
+
+perf::Syr2kConfig GbtSurrogateTuner::propose(util::Rng& rng) {
+  LMPEEL_CHECK_MSG(seen_.size() < space_.size(),
+                   "configuration space exhausted");
+  const auto random_unseen = [&] {
+    for (;;) {
+      const auto idx =
+          static_cast<std::size_t>(rng.uniform_int(0, space_.size() - 1));
+      if (!seen_.contains(idx)) return idx;
+    }
+  };
+
+  if (y_.size() < options_.warmup) {
+    const std::size_t idx = random_unseen();
+    seen_.insert(idx);
+    return space_.at(idx);
+  }
+
+  // Fit the bootstrap ensemble on everything observed so far.
+  const std::size_t cols = perf::ConfigSpace::kNumFeatures;
+  std::vector<gbt::GradientBoostedTrees> ensemble(options_.ensemble);
+  for (std::size_t e = 0; e < ensemble.size(); ++e) {
+    util::Rng boot_rng(0xb007, e * 1000 + y_.size());
+    std::vector<double> bx, by;
+    bx.reserve(x_.size());
+    by.reserve(y_.size());
+    for (std::size_t i = 0; i < y_.size(); ++i) {
+      const auto pick =
+          static_cast<std::size_t>(boot_rng.uniform_int(0, y_.size() - 1));
+      bx.insert(bx.end(), x_.begin() + pick * cols,
+                x_.begin() + (pick + 1) * cols);
+      by.push_back(y_[pick]);
+    }
+    ensemble[e].fit(bx, cols, by, options_.booster, /*seed=*/e);
+  }
+
+  // Score a random candidate pool by the optimistic lower bound.
+  double best_score = std::numeric_limits<double>::infinity();
+  std::size_t best_idx = random_unseen();
+  for (std::size_t c = 0; c < options_.candidate_pool; ++c) {
+    const std::size_t idx = random_unseen();
+    const auto features = perf::ConfigSpace::features(space_.at(idx));
+    double mean = 0.0, sq = 0.0;
+    for (const auto& model : ensemble) {
+      const double p = model.predict_row(features);
+      mean += p;
+      sq += p * p;
+    }
+    mean /= static_cast<double>(ensemble.size());
+    const double var =
+        std::max(0.0, sq / static_cast<double>(ensemble.size()) - mean * mean);
+    const double score = mean - options_.kappa * std::sqrt(var);
+    if (score < best_score) {
+      best_score = score;
+      best_idx = idx;
+    }
+  }
+  seen_.insert(best_idx);
+  return space_.at(best_idx);
+}
+
+void GbtSurrogateTuner::observe(const perf::Syr2kConfig& config,
+                                double runtime) {
+  LMPEEL_CHECK(runtime > 0.0);
+  const auto features = perf::ConfigSpace::features(config);
+  x_.insert(x_.end(), features.begin(), features.end());
+  y_.push_back(std::log(runtime));
+}
+
+}  // namespace lmpeel::tune

@@ -1,0 +1,43 @@
+// Surrogate-model autotuner in the Bayesian-optimisation style of the
+// classical tools the paper cites (ytopt/GPTune/Bliss): after a random
+// warmup, fit a small bootstrap ensemble of gradient-boosted-tree
+// surrogates on log-runtimes and propose the candidate minimising a
+// lower-confidence bound (ensemble mean minus kappa times ensemble spread).
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "gbt/booster.hpp"
+#include "tune/campaign.hpp"
+
+namespace lmpeel::tune {
+
+struct GbtSurrogateOptions {
+  std::size_t warmup = 8;           ///< random evaluations before modelling
+  std::size_t candidate_pool = 256; ///< random candidates scored per step
+  std::size_t ensemble = 3;
+  double kappa = 1.0;               ///< exploration strength
+  gbt::BoosterParams booster{.n_estimators = 60,
+                             .learning_rate = 0.15,
+                             .max_depth = 4,
+                             .subsample = 0.8};
+};
+
+class GbtSurrogateTuner final : public Tuner {
+ public:
+  explicit GbtSurrogateTuner(GbtSurrogateOptions options = {});
+
+  perf::Syr2kConfig propose(util::Rng& rng) override;
+  void observe(const perf::Syr2kConfig& config, double runtime) override;
+  std::string name() const override { return "gbt-surrogate"; }
+
+ private:
+  GbtSurrogateOptions options_;
+  perf::ConfigSpace space_;
+  std::unordered_set<std::size_t> seen_;
+  std::vector<double> x_;  // row-major features of observations
+  std::vector<double> y_;  // log runtimes
+};
+
+}  // namespace lmpeel::tune

@@ -1,0 +1,132 @@
+#include "tune/genetic_tuner.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace lmpeel::tune {
+
+GeneticTuner::GeneticTuner(GeneticOptions options) : options_(options) {
+  LMPEEL_CHECK(options_.population >= 2);
+  LMPEEL_CHECK(options_.elites < options_.population);
+  LMPEEL_CHECK(options_.tournament >= 1);
+}
+
+perf::Syr2kConfig GeneticTuner::crossover(const perf::Syr2kConfig& a,
+                                          const perf::Syr2kConfig& b,
+                                          util::Rng& rng) const {
+  perf::Syr2kConfig child;
+  child.pack_a = rng.bernoulli(0.5) ? a.pack_a : b.pack_a;
+  child.pack_b = rng.bernoulli(0.5) ? a.pack_b : b.pack_b;
+  child.interchange = rng.bernoulli(0.5) ? a.interchange : b.interchange;
+  child.tile_outer = rng.bernoulli(0.5) ? a.tile_outer : b.tile_outer;
+  child.tile_middle = rng.bernoulli(0.5) ? a.tile_middle : b.tile_middle;
+  child.tile_inner = rng.bernoulli(0.5) ? a.tile_inner : b.tile_inner;
+  return child;
+}
+
+void GeneticTuner::mutate(perf::Syr2kConfig& config, util::Rng& rng) const {
+  const auto mutate_tile = [&](int& tile) {
+    if (!rng.bernoulli(options_.mutation_rate)) return;
+    tile = perf::kTileValues[static_cast<std::size_t>(
+        rng.uniform_int(0, perf::kNumTileValues - 1))];
+  };
+  if (rng.bernoulli(options_.mutation_rate)) config.pack_a = !config.pack_a;
+  if (rng.bernoulli(options_.mutation_rate)) config.pack_b = !config.pack_b;
+  if (rng.bernoulli(options_.mutation_rate)) {
+    config.interchange = !config.interchange;
+  }
+  mutate_tile(config.tile_outer);
+  mutate_tile(config.tile_middle);
+  mutate_tile(config.tile_inner);
+}
+
+const GeneticTuner::Individual& GeneticTuner::tournament_pick(
+    util::Rng& rng) const {
+  const Individual* best = nullptr;
+  for (std::size_t i = 0; i < options_.tournament; ++i) {
+    const auto pick = static_cast<std::size_t>(
+        rng.uniform_int(0, population_.size() - 1));
+    if (best == nullptr || population_[pick].runtime < best->runtime) {
+      best = &population_[pick];
+    }
+  }
+  return *best;
+}
+
+void GeneticTuner::breed_next_generation(util::Rng& rng) {
+  // Elites first (sorted ascending by runtime), then offspring.
+  std::sort(population_.begin(), population_.end(),
+            [](const Individual& a, const Individual& b) {
+              return a.runtime < b.runtime;
+            });
+  next_.clear();
+  for (std::size_t e = 0; e < options_.elites; ++e) {
+    // Elites were already evaluated; re-seed the gene pool without
+    // re-spending budget by mutating them slightly.
+    Individual elite;
+    elite.config = population_[e].config;
+    mutate(elite.config, rng);
+    next_.push_back(elite);
+  }
+  while (next_.size() < options_.population) {
+    Individual child;
+    child.config =
+        crossover(tournament_pick(rng).config, tournament_pick(rng).config,
+                  rng);
+    mutate(child.config, rng);
+    next_.push_back(child);
+  }
+  cursor_ = 0;
+  ++generation_;
+}
+
+perf::Syr2kConfig GeneticTuner::propose(util::Rng& rng) {
+  LMPEEL_CHECK_MSG(seen_.size() < space_.size(),
+                   "configuration space exhausted");
+  const auto unseen_or_random = [&](perf::Syr2kConfig candidate) {
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      if (!seen_.contains(space_.index_of(candidate))) return candidate;
+      mutate(candidate, rng);
+    }
+    for (;;) {
+      const auto idx =
+          static_cast<std::size_t>(rng.uniform_int(0, space_.size() - 1));
+      if (!seen_.contains(idx)) return space_.at(idx);
+    }
+  };
+
+  if (generation_ == 0 && next_.size() < options_.population) {
+    // Initial population: random.
+    Individual ind;
+    ind.config = unseen_or_random(space_.at(static_cast<std::size_t>(
+        rng.uniform_int(0, space_.size() - 1))));
+    next_.push_back(ind);
+    cursor_ = next_.size() - 1;
+  } else {
+    if (cursor_ >= next_.size()) {
+      population_ = next_;
+      breed_next_generation(rng);
+    }
+    next_[cursor_].config = unseen_or_random(next_[cursor_].config);
+  }
+  const perf::Syr2kConfig chosen = next_[cursor_].config;
+  seen_.insert(space_.index_of(chosen));
+  return chosen;
+}
+
+void GeneticTuner::observe(const perf::Syr2kConfig& config, double runtime) {
+  LMPEEL_CHECK(runtime > 0.0);
+  LMPEEL_CHECK(cursor_ < next_.size());
+  next_[cursor_].config = config;
+  next_[cursor_].runtime = runtime;
+  next_[cursor_].evaluated = true;
+  ++cursor_;
+  if (generation_ == 0 && cursor_ >= options_.population) {
+    population_ = next_;
+    util::Rng rng(0x6e6e, cursor_);
+    breed_next_generation(rng);
+  }
+}
+
+}  // namespace lmpeel::tune

@@ -1,0 +1,53 @@
+// Generational genetic algorithm over the syr2k knobs: tournament
+// selection, uniform crossover, per-knob mutation.  Another classic
+// lightweight baseline from the autotuning literature.
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "tune/campaign.hpp"
+
+namespace lmpeel::tune {
+
+struct GeneticOptions {
+  std::size_t population = 12;
+  std::size_t elites = 2;        ///< best individuals copied unchanged
+  double mutation_rate = 0.2;    ///< per-knob
+  std::size_t tournament = 3;
+};
+
+class GeneticTuner final : public Tuner {
+ public:
+  explicit GeneticTuner(GeneticOptions options = {});
+
+  perf::Syr2kConfig propose(util::Rng& rng) override;
+  void observe(const perf::Syr2kConfig& config, double runtime) override;
+  std::string name() const override { return "genetic"; }
+
+  std::size_t generation() const noexcept { return generation_; }
+
+ private:
+  struct Individual {
+    perf::Syr2kConfig config;
+    double runtime = 0.0;
+    bool evaluated = false;
+  };
+
+  void breed_next_generation(util::Rng& rng);
+  perf::Syr2kConfig crossover(const perf::Syr2kConfig& a,
+                              const perf::Syr2kConfig& b,
+                              util::Rng& rng) const;
+  void mutate(perf::Syr2kConfig& config, util::Rng& rng) const;
+  const Individual& tournament_pick(util::Rng& rng) const;
+
+  GeneticOptions options_;
+  perf::ConfigSpace space_;
+  std::unordered_set<std::size_t> seen_;
+  std::vector<Individual> population_;  ///< previous, fully evaluated gen
+  std::vector<Individual> next_;        ///< being evaluated
+  std::size_t cursor_ = 0;              ///< next individual to propose
+  std::size_t generation_ = 0;
+};
+
+}  // namespace lmpeel::tune

@@ -1,0 +1,241 @@
+#include "tune/llambo_tuner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "prompt/parser.hpp"
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace lmpeel::tune {
+
+const char* llambo_mode_name(LlamboMode mode) {
+  switch (mode) {
+    case LlamboMode::Discriminative: return "discriminative";
+    case LlamboMode::Generative: return "generative";
+    case LlamboMode::CandidateSampling: return "candidate-sampling";
+  }
+  return "?";
+}
+
+LlamboTuner::LlamboTuner(lm::LanguageModel& model,
+                         const tok::Tokenizer& tokenizer,
+                         perf::SizeClass size, LlamboOptions options)
+    : model_(&model),
+      tokenizer_(&tokenizer),
+      size_(size),
+      options_(options),
+      builder_(size) {
+  LMPEEL_CHECK(options_.candidate_pool >= 1);
+  LMPEEL_CHECK(options_.max_icl >= 1);
+}
+
+std::string LlamboTuner::name() const {
+  return std::string("llambo-") + llambo_mode_name(options_.mode);
+}
+
+perf::Syr2kConfig LlamboTuner::random_unseen(util::Rng& rng) {
+  LMPEEL_CHECK_MSG(seen_.size() < space_.size(),
+                   "configuration space exhausted");
+  for (;;) {
+    const auto idx =
+        static_cast<std::size_t>(rng.uniform_int(0, space_.size() - 1));
+    if (!seen_.contains(idx)) return space_.at(idx);
+  }
+}
+
+std::vector<perf::Sample> LlamboTuner::context_examples() const {
+  const std::size_t keep = std::min(options_.max_icl, observations_.size());
+  return {observations_.end() - keep, observations_.end()};
+}
+
+perf::Syr2kConfig LlamboTuner::propose(util::Rng& rng) {
+  ++proposal_counter_;
+  perf::Syr2kConfig chosen;
+  if (observations_.size() < options_.warmup) {
+    chosen = random_unseen(rng);
+  } else {
+    switch (options_.mode) {
+      case LlamboMode::Discriminative:
+        chosen = propose_discriminative(rng);
+        break;
+      case LlamboMode::Generative:
+        chosen = propose_generative(rng);
+        break;
+      case LlamboMode::CandidateSampling:
+        chosen = propose_candidate_sampling(rng);
+        break;
+    }
+  }
+  seen_.insert(space_.index_of(chosen));
+  return chosen;
+}
+
+void LlamboTuner::observe(const perf::Syr2kConfig& config, double runtime) {
+  LMPEEL_CHECK(runtime > 0.0);
+  perf::Sample s;
+  s.config = config;
+  s.config_index = space_.index_of(config);
+  s.runtime = runtime;
+  observations_.push_back(s);
+}
+
+perf::Syr2kConfig LlamboTuner::propose_discriminative(util::Rng& rng) {
+  const auto examples = context_examples();
+  double best_pred = std::numeric_limits<double>::infinity();
+  perf::Syr2kConfig best = random_unseen(rng);
+  bool any_parsed = false;
+  for (std::size_t c = 0; c < options_.candidate_pool; ++c) {
+    const perf::Syr2kConfig candidate = random_unseen(rng);
+    const auto prompt_ids = builder_.encode(*tokenizer_, examples, candidate);
+    lm::GenerateOptions gen;
+    gen.sampler = options_.sampler;
+    gen.stop_token = tokenizer_->newline_token();
+    gen.max_tokens = 48;
+    gen.seed = util::hash_combine(proposal_counter_, c);
+    const auto generation = lm::generate(*model_, prompt_ids, gen);
+    const auto parsed =
+        prompt::parse_response(tokenizer_->decode(generation.tokens));
+    if (!parsed.value.has_value()) {
+      ++parse_failures_;
+      continue;
+    }
+    any_parsed = true;
+    if (*parsed.value < best_pred) {
+      best_pred = *parsed.value;
+      best = candidate;
+    }
+  }
+  if (!any_parsed) return random_unseen(rng);
+  return best;
+}
+
+perf::Syr2kConfig LlamboTuner::propose_generative(util::Rng& rng) {
+  LMPEEL_CHECK(options_.n_classes >= 2 && options_.n_classes <= 4);
+  static const char* kLabels[] = {"good", "fair", "poor", "bad"};
+  const std::size_t k = options_.n_classes;
+
+  const auto examples = context_examples();
+  // Quantile class boundaries over the observed runtimes.
+  std::vector<double> runtimes;
+  runtimes.reserve(examples.size());
+  for (const auto& e : examples) runtimes.push_back(e.runtime);
+  std::vector<double> cuts;
+  for (std::size_t q = 1; q < k; ++q) {
+    cuts.push_back(util::percentile(
+        runtimes, 100.0 * static_cast<double>(q) / static_cast<double>(k)));
+  }
+  const auto class_of = [&](double runtime) {
+    std::size_t cls = 0;
+    while (cls < cuts.size() && runtime > cuts[cls]) ++cls;
+    return cls;
+  };
+
+  // Build the labelled in-context block once; each candidate swaps in its
+  // own query line.
+  std::ostringstream icl;
+  icl << "Here are the examples:\n";
+  for (const auto& e : examples) {
+    icl << prompt::render_config(e.config, size_) << '\n'
+        << "Performance class: " << kLabels[class_of(e.runtime)] << "\n\n";
+  }
+
+  std::vector<std::vector<int>> label_ids;
+  for (std::size_t cls = 0; cls < k; ++cls) {
+    label_ids.push_back(
+        tokenizer_->encode(std::string(" ") + kLabels[cls]));
+  }
+
+  // Pick the candidate whose expected class index (under the model's label
+  // distribution) is lowest — the N-ary generalisation of "most likely
+  // good".
+  double best_score = std::numeric_limits<double>::infinity();
+  perf::Syr2kConfig best = random_unseen(rng);
+  for (std::size_t c = 0; c < options_.candidate_pool; ++c) {
+    const perf::Syr2kConfig candidate = random_unseen(rng);
+    std::vector<int> ids;
+    ids.push_back(tok::kBos);
+    ids.push_back(tok::kSystem);
+    tokenizer_->encode_append(builder_.system_text(), ids);
+    ids.push_back(tok::kUser);
+    tokenizer_->encode_append(builder_.problem_text(), ids);
+    tokenizer_->encode_append("\n" + icl.str(), ids);
+    tokenizer_->encode_append("Please complete the following:\n" +
+                                  prompt::render_config(candidate, size_) +
+                                  "\nPerformance class:",
+                              ids);
+    ids.push_back(tok::kAssistant);
+    model_->set_seed(util::hash_combine(proposal_counter_, c));
+    std::vector<double> log_probs(k);
+    double lse_max = -std::numeric_limits<double>::infinity();
+    for (std::size_t cls = 0; cls < k; ++cls) {
+      log_probs[cls] =
+          lm::sequence_log_probability(*model_, ids, label_ids[cls]);
+      lse_max = std::max(lse_max, log_probs[cls]);
+    }
+    double z = 0.0, expectation = 0.0;
+    for (std::size_t cls = 0; cls < k; ++cls) {
+      const double p = std::exp(log_probs[cls] - lse_max);
+      z += p;
+      expectation += p * static_cast<double>(cls);
+    }
+    const double score = expectation / z;
+    if (score < best_score) {
+      best_score = score;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+perf::Syr2kConfig LlamboTuner::propose_candidate_sampling(util::Rng& rng) {
+  // Invert the mapping: show runtime -> configuration, worst first so the
+  // model's recency bias points at the best region, then ask for a
+  // configuration achieving an ambitious target.
+  auto examples = context_examples();
+  std::sort(examples.begin(), examples.end(),
+            [](const perf::Sample& a, const perf::Sample& b) {
+              return a.runtime > b.runtime;
+            });
+  const double target = examples.back().runtime * options_.target_fraction;
+
+  std::ostringstream user;
+  user << builder_.problem_text() << '\n'
+       << "Here are examples of performance values and configurations that "
+          "achieved them:\n";
+  for (const auto& e : examples) {
+    user << prompt::render_performance(e.runtime) << '\n'
+         << prompt::render_config(e.config, size_) << "\n\n";
+  }
+  user << "Please propose a configuration for the following target:\n"
+       << prompt::render_performance(target) << '\n'
+       << "Hyperparameter configuration:";
+
+  std::vector<int> ids;
+  ids.push_back(tok::kBos);
+  ids.push_back(tok::kSystem);
+  tokenizer_->encode_append(builder_.system_text(), ids);
+  ids.push_back(tok::kUser);
+  tokenizer_->encode_append(user.str(), ids);
+  ids.push_back(tok::kAssistant);
+
+  lm::GenerateOptions gen;
+  gen.sampler = options_.sampler;
+  gen.stop_token = tokenizer_->newline_token();
+  gen.max_tokens = 96;
+  gen.seed = util::hash_combine(proposal_counter_, 0x5a);
+  const auto generation = lm::generate(*model_, ids, gen);
+  const std::string text =
+      "Hyperparameter configuration:" + tokenizer_->decode(generation.tokens);
+
+  const auto parsed = prompt::parse_config_line(text);
+  if (!parsed.has_value() || seen_.contains(space_.index_of(*parsed))) {
+    if (!parsed.has_value()) ++parse_failures_;
+    return random_unseen(rng);
+  }
+  return *parsed;
+}
+
+}  // namespace lmpeel::tune

@@ -1,0 +1,79 @@
+// The three LLAMBO prompting modes (§II-B), wired to any LanguageModel:
+//
+//  * Discriminative surrogate — prompt the model with observed
+//    (configuration, runtime) pairs and a candidate configuration; parse
+//    the predicted runtime; propose the candidate with the lowest
+//    prediction.
+//  * Generative surrogate — same, but each example carries an N-ary class
+//    label ("Performance class: good|bad" split at the observed median);
+//    candidates are scored by the model's label log-probability.
+//  * Candidate sampling — invert the relationship: show
+//    runtime -> configuration pairs and ask the model to complete a
+//    configuration for an ambitious target runtime; parse the proposed
+//    configuration out of the generated text.
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "lm/generate.hpp"
+#include "lm/language_model.hpp"
+#include "prompt/template.hpp"
+#include "tok/tokenizer.hpp"
+#include "tune/campaign.hpp"
+
+namespace lmpeel::tune {
+
+enum class LlamboMode { Discriminative, Generative, CandidateSampling };
+
+const char* llambo_mode_name(LlamboMode mode);
+
+struct LlamboOptions {
+  LlamboMode mode = LlamboMode::Discriminative;
+  std::size_t warmup = 4;          ///< random evaluations before prompting
+  std::size_t candidate_pool = 8;  ///< candidates scored per proposal
+  std::size_t max_icl = 24;        ///< most recent observations in context
+  lm::SamplerConfig sampler{0.8, 0, 1.0};
+  /// Target runtime for candidate sampling: best-so-far times this factor.
+  double target_fraction = 0.9;
+  /// Generative mode: number of quantile classes (the paper's "N-ary
+  /// classification labels"); 2..4 supported ("good", "fair", "poor",
+  /// "bad").
+  std::size_t n_classes = 2;
+};
+
+class LlamboTuner final : public Tuner {
+ public:
+  /// Model and tokenizer must outlive the tuner.
+  LlamboTuner(lm::LanguageModel& model, const tok::Tokenizer& tokenizer,
+              perf::SizeClass size, LlamboOptions options = {});
+
+  perf::Syr2kConfig propose(util::Rng& rng) override;
+  void observe(const perf::Syr2kConfig& config, double runtime) override;
+  std::string name() const override;
+
+  /// Diagnostics: how often each fallback path fired.
+  std::size_t parse_failures() const noexcept { return parse_failures_; }
+
+ private:
+  perf::Syr2kConfig random_unseen(util::Rng& rng);
+  perf::Syr2kConfig propose_discriminative(util::Rng& rng);
+  perf::Syr2kConfig propose_generative(util::Rng& rng);
+  perf::Syr2kConfig propose_candidate_sampling(util::Rng& rng);
+
+  /// The most recent max_icl observations, oldest first.
+  std::vector<perf::Sample> context_examples() const;
+
+  lm::LanguageModel* model_;
+  const tok::Tokenizer* tokenizer_;
+  perf::SizeClass size_;
+  LlamboOptions options_;
+  prompt::PromptBuilder builder_;
+  perf::ConfigSpace space_;
+  std::vector<perf::Sample> observations_;
+  std::unordered_set<std::size_t> seen_;
+  std::size_t parse_failures_ = 0;
+  std::uint64_t proposal_counter_ = 0;
+};
+
+}  // namespace lmpeel::tune

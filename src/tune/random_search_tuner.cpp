@@ -1,0 +1,20 @@
+#include "tune/random_search_tuner.hpp"
+
+#include "util/check.hpp"
+
+namespace lmpeel::tune {
+
+perf::Syr2kConfig RandomSearchTuner::propose(util::Rng& rng) {
+  LMPEEL_CHECK_MSG(seen_.size() < space_.size(),
+                   "configuration space exhausted");
+  for (;;) {
+    const auto idx =
+        static_cast<std::size_t>(rng.uniform_int(0, space_.size() - 1));
+    if (seen_.insert(idx).second) return space_.at(idx);
+  }
+}
+
+void RandomSearchTuner::observe(const perf::Syr2kConfig& /*config*/,
+                                double /*runtime*/) {}
+
+}  // namespace lmpeel::tune

@@ -1,0 +1,24 @@
+// Uniform random search over the configuration space, without repeats —
+// the weakest standard autotuning baseline.
+#pragma once
+
+#include <unordered_set>
+
+#include "tune/campaign.hpp"
+
+namespace lmpeel::tune {
+
+class RandomSearchTuner final : public Tuner {
+ public:
+  RandomSearchTuner() = default;
+
+  perf::Syr2kConfig propose(util::Rng& rng) override;
+  void observe(const perf::Syr2kConfig& config, double runtime) override;
+  std::string name() const override { return "random-search"; }
+
+ private:
+  perf::ConfigSpace space_;
+  std::unordered_set<std::size_t> seen_;
+};
+
+}  // namespace lmpeel::tune

@@ -1,0 +1,36 @@
+// Lightweight runtime-contract checking.
+//
+// LMPEEL_CHECK is used for preconditions on public APIs: it is always active
+// (including in Release builds, which this project defaults to) and throws
+// std::invalid_argument / std::runtime_error with a message that names the
+// failing expression and location.  Internal invariants that are provably
+// maintained use assert() instead.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace lmpeel::util {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "LMPEEL_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::runtime_error(os.str());
+}
+
+}  // namespace lmpeel::util
+
+#define LMPEEL_CHECK(expr)                                              \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::lmpeel::util::check_failed(#expr, __FILE__, __LINE__, "");      \
+  } while (0)
+
+#define LMPEEL_CHECK_MSG(expr, msg)                                     \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::lmpeel::util::check_failed(#expr, __FILE__, __LINE__, (msg));   \
+  } while (0)

@@ -1,0 +1,133 @@
+#include "util/math.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace lmpeel::util {
+
+namespace {
+
+template <typename T>
+double logsumexp_impl(std::span<const T> x) noexcept {
+  if (x.empty()) return -std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const T v : x) hi = std::max(hi, static_cast<double>(v));
+  if (!std::isfinite(hi)) return hi;  // all -inf (or a stray +inf/NaN)
+  double sum = 0.0;
+  for (const T v : x) sum += std::exp(static_cast<double>(v) - hi);
+  return hi + std::log(sum);
+}
+
+template <typename T>
+void softmax_impl(std::span<T> x) noexcept {
+  if (x.empty()) return;
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const T v : x) hi = std::max(hi, static_cast<double>(v));
+  double sum = 0.0;
+  for (T& v : x) {
+    const double e = std::exp(static_cast<double>(v) - hi);
+    v = static_cast<T>(e);
+    sum += e;
+  }
+  const double inv = 1.0 / sum;
+  for (T& v : x) v = static_cast<T>(static_cast<double>(v) * inv);
+}
+
+}  // namespace
+
+double logsumexp(std::span<const double> x) noexcept {
+  return logsumexp_impl(x);
+}
+float logsumexp(std::span<const float> x) noexcept {
+  return static_cast<float>(logsumexp_impl(x));
+}
+
+void softmax_inplace(std::span<double> x) noexcept { softmax_impl(x); }
+void softmax_inplace(std::span<float> x) noexcept { softmax_impl(x); }
+
+double mean(std::span<const double> x) noexcept {
+  if (x.empty()) return 0.0;
+  double s = 0.0;
+  for (const double v : x) s += v;
+  return s / static_cast<double>(x.size());
+}
+
+double sample_stddev(std::span<const double> x) noexcept {
+  if (x.size() < 2) return 0.0;
+  const double m = mean(x);
+  double ss = 0.0;
+  for (const double v : x) ss += (v - m) * (v - m);
+  return std::sqrt(ss / static_cast<double>(x.size() - 1));
+}
+
+double population_variance(std::span<const double> x) noexcept {
+  if (x.empty()) return 0.0;
+  const double m = mean(x);
+  double ss = 0.0;
+  for (const double v : x) ss += (v - m) * (v - m);
+  return ss / static_cast<double>(x.size());
+}
+
+double median(std::span<const double> x) {
+  LMPEEL_CHECK(!x.empty());
+  std::vector<double> tmp(x.begin(), x.end());
+  const std::size_t mid = tmp.size() / 2;
+  std::nth_element(tmp.begin(), tmp.begin() + mid, tmp.end());
+  if (tmp.size() % 2 == 1) return tmp[mid];
+  const double upper = tmp[mid];
+  const double lower = *std::max_element(tmp.begin(), tmp.begin() + mid);
+  return 0.5 * (lower + upper);
+}
+
+double percentile(std::span<const double> x, double p) {
+  LMPEEL_CHECK(!x.empty());
+  LMPEEL_CHECK(p >= 0.0 && p <= 100.0);
+  std::vector<double> tmp(x.begin(), x.end());
+  std::sort(tmp.begin(), tmp.end());
+  const double rank = p / 100.0 * static_cast<double>(tmp.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, tmp.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return tmp[lo] * (1.0 - frac) + tmp[hi] * frac;
+}
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  LMPEEL_CHECK(x.size() == y.size());
+  if (x.size() < 2) return 0.0;
+  const double mx = mean(x), my = mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx, dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double weighted_mean(std::span<const double> x, std::span<const double> w) {
+  LMPEEL_CHECK(x.size() == w.size());
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    num += x[i] * w[i];
+    den += w[i];
+  }
+  LMPEEL_CHECK_MSG(den > 0.0, "weighted_mean: weights sum to zero");
+  return num / den;
+}
+
+double clamp(double v, double lo, double hi) noexcept {
+  return std::min(std::max(v, lo), hi);
+}
+
+std::size_t ipow(std::size_t base, unsigned exp) noexcept {
+  std::size_t r = 1;
+  while (exp-- > 0) r *= base;
+  return r;
+}
+
+}  // namespace lmpeel::util

@@ -1,0 +1,46 @@
+// Numerically careful scalar/vector helpers shared across modules.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace lmpeel::util {
+
+/// log(sum_i exp(x_i)) computed with the max-shift trick.
+/// Returns -inf for an empty span.
+double logsumexp(std::span<const double> x) noexcept;
+float logsumexp(std::span<const float> x) noexcept;
+
+/// In-place softmax with max-shift; a no-op on an empty span.
+void softmax_inplace(std::span<double> x) noexcept;
+void softmax_inplace(std::span<float> x) noexcept;
+
+/// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> x) noexcept;
+
+/// Sample standard deviation (n-1 denominator); 0 when size < 2.
+double sample_stddev(std::span<const double> x) noexcept;
+
+/// Population variance (n denominator); 0 for an empty span.
+double population_variance(std::span<const double> x) noexcept;
+
+/// Exact median (copies and nth_element's); requires a non-empty span.
+double median(std::span<const double> x);
+
+/// Linear-interpolated percentile, p in [0, 100]; requires non-empty span.
+double percentile(std::span<const double> x, double p);
+
+/// Pearson correlation of two equally sized spans; 0 if either is constant.
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Weighted mean; weights must sum to a positive value.
+double weighted_mean(std::span<const double> x, std::span<const double> w);
+
+/// Clamp helper kept for symmetry with the C++17-era call sites.
+double clamp(double v, double lo, double hi) noexcept;
+
+/// Integer power for small exponents (no floating-point drift).
+std::size_t ipow(std::size_t base, unsigned exp) noexcept;
+
+}  // namespace lmpeel::util

@@ -1,0 +1,25 @@
+// Monotonic wall-clock stopwatch for coarse experiment timing.
+#pragma once
+
+#include <chrono>
+
+namespace lmpeel::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double milliseconds() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace lmpeel::util

@@ -1,0 +1,131 @@
+#include "util/str.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace lmpeel::util {
+
+std::vector<std::string> split(std::string_view text, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == delim) {
+      out.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view text) noexcept {
+  std::size_t b = 0, e = text.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(text[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1]))) --e;
+  return text.substr(b, e - b);
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) noexcept {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) noexcept {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string replace_all(std::string_view text, std::string_view from,
+                        std::string_view to) {
+  LMPEEL_CHECK(!from.empty());
+  std::string out;
+  out.reserve(text.size());
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t hit = text.find(from, pos);
+    if (hit == std::string_view::npos) {
+      out.append(text.substr(pos));
+      return out;
+    }
+    out.append(text.substr(pos, hit - pos));
+    out.append(to);
+    pos = hit + from.size();
+  }
+}
+
+std::string format_runtime(double seconds, int sig) {
+  LMPEEL_CHECK(sig >= 1 && sig <= 17);
+  LMPEEL_CHECK_MSG(seconds > 0.0, "runtimes are strictly positive");
+  // Fixed decimal with `sig` significant digits: compute how many fractional
+  // digits that requires given the magnitude.
+  const int int_digits =
+      seconds >= 1.0 ? static_cast<int>(std::floor(std::log10(seconds))) + 1
+                     : 0;
+  int frac_digits;
+  if (seconds >= 1.0) {
+    frac_digits = std::max(0, sig - int_digits);
+  } else {
+    // Leading zeros after the point do not count as significant digits.
+    const int leading = -static_cast<int>(std::floor(std::log10(seconds))) - 1;
+    frac_digits = leading + sig;
+  }
+  frac_digits = std::min(frac_digits, 17);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", frac_digits, seconds);
+  std::string s(buf);
+  // Trim trailing zeros but keep at least one fractional digit so the token
+  // stream always contains the "." separator the paper's Table II analyses.
+  if (s.find('.') != std::string::npos) {
+    while (ends_with(s, "0") && !ends_with(s, ".0")) s.pop_back();
+  }
+  return s;
+}
+
+std::string format_runtime_scientific(double seconds, int sig) {
+  LMPEEL_CHECK(sig >= 1 && sig <= 17);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*e", sig - 1, seconds);
+  return std::string(buf);
+}
+
+std::optional<double> parse_double(std::string_view text) noexcept {
+  const std::string_view t = trim(text);
+  if (t.empty()) return std::nullopt;
+  double value = 0.0;
+  const auto* begin = t.data();
+  const auto* end = t.data() + t.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+bool all_digits(std::string_view text) noexcept {
+  if (text.empty()) return false;
+  return std::all_of(text.begin(), text.end(), [](char c) {
+    return c >= '0' && c <= '9';
+  });
+}
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+}  // namespace lmpeel::util

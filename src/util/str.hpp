@@ -1,0 +1,46 @@
+// Small string helpers used by the tokenizer, prompt builder and parsers.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lmpeel::util {
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Joins pieces with a separator.
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view trim(std::string_view text) noexcept;
+
+bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+bool ends_with(std::string_view text, std::string_view suffix) noexcept;
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string replace_all(std::string_view text, std::string_view from,
+                        std::string_view to);
+
+/// Formats a runtime the way the paper's prompts do: fixed notation with
+/// `sig` significant digits and no trailing zeros (e.g. 0.0022155, 2.7345).
+std::string format_runtime(double seconds, int sig = 5);
+
+/// Formats in scientific notation with `sig` significant digits
+/// (for the §V-B output-format ablation), e.g. "2.2155e-03".
+std::string format_runtime_scientific(double seconds, int sig = 5);
+
+/// Parses a decimal literal (optional sign/exponent). Returns nullopt when
+/// `text` is not entirely a number after trimming.
+std::optional<double> parse_double(std::string_view text) noexcept;
+
+/// True when every character is an ASCII digit (and text is non-empty).
+bool all_digits(std::string_view text) noexcept;
+
+/// Lowercases ASCII letters.
+std::string to_lower(std::string_view text);
+
+}  // namespace lmpeel::util

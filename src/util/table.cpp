@@ -1,0 +1,107 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace lmpeel::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  LMPEEL_CHECK(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  LMPEEL_CHECK_MSG(row.size() == header_.size(),
+                   "row arity does not match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+  return std::string(buf);
+}
+
+std::string Table::to_text() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c] << std::string(width[c] - row[c].size() + 2, ' ');
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (const auto w : width) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ',';
+      os << csv_escape(row[c]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string Table::to_markdown() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    os << "| ";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << " | ";
+      os << row[c];
+    }
+    os << " |\n";
+  };
+  emit(header_);
+  os << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) os << "---|";
+  os << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  LMPEEL_CHECK_MSG(out.good(), "cannot open CSV output path: " + path);
+  out << to_csv();
+}
+
+void print_banner(std::ostream& os, const std::string& title) {
+  os << "\n=== " << title << " ===\n";
+}
+
+}  // namespace lmpeel::util

@@ -1,0 +1,47 @@
+// Table emission: every bench binary prints the rows of the paper table or
+// figure series it regenerates, in both aligned-plaintext and CSV form, so
+// EXPERIMENTS.md can be filled in mechanically.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lmpeel::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` significant digits.
+  static std::string num(double v, int precision = 4);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::size_t cols() const noexcept { return header_.size(); }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_[i]; }
+
+  /// Column-aligned plaintext rendering (for stdout).
+  std::string to_text() const;
+
+  /// RFC-4180-ish CSV rendering (fields with commas/quotes are quoted).
+  std::string to_csv() const;
+
+  /// GitHub-flavoured markdown rendering (for EXPERIMENTS.md snippets).
+  std::string to_markdown() const;
+
+  /// Writes CSV to `path`, creating parent directories is NOT attempted;
+  /// callers pass paths inside the build/output tree.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner so concatenated bench output stays navigable.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace lmpeel::util

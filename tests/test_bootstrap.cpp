@@ -1,0 +1,72 @@
+#include "eval/bootstrap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace lmpeel::eval {
+namespace {
+
+TEST(Bootstrap, PointEstimateIsSampleStatistic) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const auto ci = bootstrap_mean_ci(x, 0.95, 200, 1);
+  EXPECT_DOUBLE_EQ(ci.point, 2.5);
+  EXPECT_LE(ci.lo, ci.point);
+  EXPECT_GE(ci.hi, ci.point);
+}
+
+TEST(Bootstrap, IntervalCoversTrueMeanMostOfTheTime) {
+  // 95% CI over N(5, 1) samples should cover 5 in the clear majority of
+  // repetitions (exact coverage needs far more repetitions than a unit
+  // test should run).
+  int covered = 0;
+  const int reps = 40;
+  for (int r = 0; r < reps; ++r) {
+    util::Rng rng(100 + r);
+    std::vector<double> x(50);
+    for (double& v : x) v = rng.normal(5.0, 1.0);
+    const auto ci = bootstrap_mean_ci(x, 0.95, 400, r);
+    if (ci.lo <= 5.0 && 5.0 <= ci.hi) ++covered;
+  }
+  EXPECT_GE(covered, reps * 8 / 10);
+}
+
+TEST(Bootstrap, NarrowsWithSampleSize) {
+  util::Rng rng(7);
+  std::vector<double> small(20), large(2000);
+  for (double& v : small) v = rng.normal(0.0, 1.0);
+  for (double& v : large) v = rng.normal(0.0, 1.0);
+  const auto ci_small = bootstrap_mean_ci(small, 0.95, 500, 1);
+  const auto ci_large = bootstrap_mean_ci(large, 0.95, 500, 1);
+  EXPECT_LT(ci_large.hi - ci_large.lo, ci_small.hi - ci_small.lo);
+}
+
+TEST(Bootstrap, ArbitraryStatistic) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0, 5.0,
+                              6.0, 7.0, 8.0, 9.0, 100.0};
+  const auto ci = bootstrap_ci(
+      x, [](std::span<const double> v) { return util::median(v); }, 0.9,
+      300, 2);
+  EXPECT_DOUBLE_EQ(ci.point, 5.5);
+  EXPECT_LT(ci.hi, 50.0);  // the median resists the outlier
+}
+
+TEST(Bootstrap, DeterministicForSeed) {
+  const std::vector<double> x{1.0, 5.0, 2.0, 8.0, 3.0};
+  const auto a = bootstrap_mean_ci(x, 0.95, 300, 9);
+  const auto b = bootstrap_mean_ci(x, 0.95, 300, 9);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+TEST(Bootstrap, RejectsDegenerateArguments) {
+  const std::vector<double> empty;
+  EXPECT_THROW(bootstrap_mean_ci(empty), std::runtime_error);
+  const std::vector<double> x{1.0};
+  EXPECT_THROW(bootstrap_mean_ci(x, 1.5), std::runtime_error);
+  EXPECT_THROW(bootstrap_mean_ci(x, 0.95, 1), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace lmpeel::eval

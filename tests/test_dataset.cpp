@@ -1,0 +1,109 @@
+#include "perf/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace lmpeel::perf {
+namespace {
+
+class DatasetFixture : public ::testing::Test {
+ protected:
+  static const Dataset& data() {
+    static const Dataset d =
+        Dataset::generate(Syr2kModel{}, SizeClass::SM, 42);
+    return d;
+  }
+};
+
+TEST_F(DatasetFixture, CoversFullSpace) {
+  EXPECT_EQ(data().size(), kSpaceSize);
+  // config_index matches position and the space mapping.
+  ConfigSpace space;
+  for (std::size_t i = 0; i < data().size(); i += 331) {
+    EXPECT_EQ(data()[i].config_index, i);
+    EXPECT_EQ(space.index_of(data()[i].config), i);
+    EXPECT_GT(data()[i].runtime, 0.0);
+  }
+}
+
+TEST_F(DatasetFixture, GenerationIsSeedDeterministic) {
+  const Dataset again = Dataset::generate(Syr2kModel{}, SizeClass::SM, 42);
+  for (std::size_t i = 0; i < data().size(); i += 101) {
+    EXPECT_DOUBLE_EQ(again[i].runtime, data()[i].runtime);
+  }
+  const Dataset other = Dataset::generate(Syr2kModel{}, SizeClass::SM, 43);
+  std::size_t diff = 0;
+  for (std::size_t i = 0; i < data().size(); i += 101) {
+    if (other[i].runtime != data()[i].runtime) ++diff;
+  }
+  EXPECT_GT(diff, 50u);
+}
+
+TEST_F(DatasetFixture, FeatureMatrixShape) {
+  const auto x = data().feature_matrix();
+  const auto y = data().targets();
+  EXPECT_EQ(x.size(), data().size() * ConfigSpace::kNumFeatures);
+  EXPECT_EQ(y.size(), data().size());
+}
+
+TEST_F(DatasetFixture, MinMaxBracketAll) {
+  const double lo = data().min_runtime();
+  const double hi = data().max_runtime();
+  EXPECT_LT(lo, hi);
+  for (std::size_t i = 0; i < data().size(); i += 77) {
+    EXPECT_GE(data()[i].runtime, lo);
+    EXPECT_LE(data()[i].runtime, hi);
+  }
+}
+
+TEST(TrainTestSplit, PartitionsWithoutOverlap) {
+  util::Rng rng(1);
+  const Split split = train_test_split(100, 80, rng);
+  EXPECT_EQ(split.train.size(), 80u);
+  EXPECT_EQ(split.test.size(), 20u);
+  std::set<std::size_t> all(split.train.begin(), split.train.end());
+  all.insert(split.test.begin(), split.test.end());
+  EXPECT_EQ(all.size(), 100u);
+}
+
+TEST(TrainTestSplit, RejectsOversizedTrain) {
+  util::Rng rng(1);
+  EXPECT_THROW(train_test_split(10, 11, rng), std::runtime_error);
+}
+
+TEST(DisjointSubsets, PairwiseDisjointCorrectSizes) {
+  util::Rng rng(2);
+  const auto subsets = disjoint_subsets(1000, 5, 100, rng);
+  ASSERT_EQ(subsets.size(), 5u);
+  std::set<std::size_t> all;
+  for (const auto& s : subsets) {
+    EXPECT_EQ(s.size(), 100u);
+    all.insert(s.begin(), s.end());
+  }
+  EXPECT_EQ(all.size(), 500u);  // no element shared between subsets
+}
+
+TEST(DisjointSubsets, RejectsImpossibleRequest) {
+  util::Rng rng(3);
+  EXPECT_THROW(disjoint_subsets(10, 3, 4, rng), std::runtime_error);
+}
+
+TEST_F(DatasetFixture, MinimalEditNeighborhoodIsTight) {
+  util::Rng rng(4);
+  const auto nbh = minimal_edit_neighborhood(data(), 20, rng);
+  ASSERT_EQ(nbh.size(), 21u);
+  const Syr2kConfig& centre = data()[nbh[0]].config;
+  EXPECT_EQ(ConfigSpace::edit_distance(centre, centre), 0);
+  int prev = 0;
+  for (const std::size_t idx : nbh) {
+    const int d = ConfigSpace::edit_distance(data()[idx].config, centre);
+    EXPECT_GE(d, prev);  // sorted by distance
+    prev = d;
+  }
+  // 21 nearest neighbours of any config sit within a small ball.
+  EXPECT_LE(prev, 4);
+}
+
+}  // namespace
+}  // namespace lmpeel::perf

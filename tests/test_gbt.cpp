@@ -1,0 +1,201 @@
+#include "gbt/booster.hpp"
+#include "gbt/random_search.hpp"
+#include "gbt/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "eval/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace lmpeel::gbt {
+namespace {
+
+/// y = 3*x0 + noiseless step on x1.
+void make_synthetic(std::size_t n, std::vector<double>& x,
+                    std::vector<double>& y) {
+  x.clear();
+  y.clear();
+  util::Rng rng(7);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rng.uniform(0.0, 1.0);
+    const double b = rng.uniform(0.0, 1.0);
+    x.push_back(a);
+    x.push_back(b);
+    y.push_back(3.0 * a + (b > 0.5 ? 2.0 : 0.0));
+  }
+}
+
+TEST(RegressionTree, FitsConstantTargetExactly) {
+  std::vector<double> x{0.0, 1.0, 2.0, 3.0};
+  std::vector<double> g(4), h(4, 1.0);
+  for (std::size_t i = 0; i < 4; ++i) g[i] = 0.0 - 5.0;  // pred 0, target 5
+  std::vector<std::size_t> rows{0, 1, 2, 3};
+  RegressionTree tree;
+  util::Rng rng(1);
+  tree.fit(DataView{x.data(), 4, 1}, g, h, rows, TreeParams{.lambda = 0.0},
+           rng);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(tree.predict_row(&x[i]), 5.0, 1e-9);
+  }
+}
+
+TEST(RegressionTree, SplitsAStepFunction) {
+  // Targets step at x=0.5; one split should capture it exactly.
+  std::vector<double> x, g;
+  const std::vector<double> targets{1.0, 1.0, 1.0, 9.0, 9.0, 9.0};
+  const std::vector<double> xs{0.1, 0.2, 0.3, 0.7, 0.8, 0.9};
+  for (std::size_t i = 0; i < 6; ++i) {
+    x.push_back(xs[i]);
+    g.push_back(0.0 - targets[i]);
+  }
+  const std::vector<double> h(6, 1.0);
+  std::vector<std::size_t> rows(6);
+  std::iota(rows.begin(), rows.end(), 0);
+  RegressionTree tree;
+  util::Rng rng(1);
+  tree.fit(DataView{x.data(), 6, 1}, g, h, rows,
+           TreeParams{.max_depth = 1, .lambda = 0.0}, rng);
+  EXPECT_NEAR(tree.predict_row(&xs[0]), 1.0, 1e-9);
+  EXPECT_NEAR(tree.predict_row(&xs[5]), 9.0, 1e-9);
+  EXPECT_GT(tree.feature_gain()[0], 0.0);
+}
+
+TEST(RegressionTree, MinSamplesLeafRespected) {
+  std::vector<double> x{0.0, 1.0, 2.0, 3.0};
+  std::vector<double> g{-1.0, -2.0, -3.0, -4.0};
+  const std::vector<double> h(4, 1.0);
+  std::vector<std::size_t> rows{0, 1, 2, 3};
+  RegressionTree tree;
+  util::Rng rng(1);
+  TreeParams params;
+  params.min_samples_leaf = 4;  // cannot split at all
+  tree.fit(DataView{x.data(), 4, 1}, g, h, rows, params, rng);
+  EXPECT_EQ(tree.node_count(), 1u);
+}
+
+TEST(Booster, TrainingLossDecreasesMonotonically) {
+  std::vector<double> x, y;
+  make_synthetic(400, x, y);
+  GradientBoostedTrees model;
+  BoosterParams params;
+  params.n_estimators = 40;
+  params.learning_rate = 0.3;
+  params.max_depth = 3;
+  model.fit(x, 2, y, params, 1);
+  const auto& curve = model.training_curve();
+  ASSERT_EQ(curve.size(), 40u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i], curve[i - 1] + 1e-12);
+  }
+}
+
+TEST(Booster, LearnsTheSyntheticFunction) {
+  std::vector<double> x, y;
+  make_synthetic(800, x, y);
+  GradientBoostedTrees model;
+  BoosterParams params;
+  params.n_estimators = 150;
+  params.learning_rate = 0.2;
+  params.max_depth = 4;
+  model.fit(x, 2, y, params, 1);
+  const auto pred = model.predict(x);
+  EXPECT_GT(eval::r2_score(y, pred), 0.97);
+}
+
+TEST(Booster, ZeroTreesPredictsMean) {
+  std::vector<double> x{0.0, 1.0};
+  std::vector<double> y{2.0, 4.0};
+  GradientBoostedTrees model;
+  BoosterParams params;
+  params.n_estimators = 0;
+  model.fit(x, 1, y, params, 1);
+  EXPECT_DOUBLE_EQ(model.predict_row(std::vector<double>{9.0}), 3.0);
+}
+
+TEST(Booster, PredictBeforeFitThrows) {
+  GradientBoostedTrees model;
+  EXPECT_THROW(model.predict_row(std::vector<double>{1.0}),
+               std::runtime_error);
+}
+
+TEST(Booster, FeatureImportanceIdentifiesSignal) {
+  // x0 drives the target; x1 is pure noise.
+  std::vector<double> x, y;
+  util::Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const double a = rng.uniform(0.0, 1.0);
+    x.push_back(a);
+    x.push_back(rng.uniform(0.0, 1.0));
+    y.push_back(a * 10.0);
+  }
+  GradientBoostedTrees model;
+  BoosterParams params;
+  params.n_estimators = 30;
+  params.max_depth = 3;
+  model.fit(x, 2, y, params, 1);
+  const auto importance = model.feature_importance();
+  EXPECT_GT(importance[0], 10.0 * importance[1]);
+}
+
+TEST(Booster, SubsamplingStillLearns) {
+  std::vector<double> x, y;
+  make_synthetic(600, x, y);
+  GradientBoostedTrees model;
+  BoosterParams params;
+  params.n_estimators = 120;
+  params.learning_rate = 0.2;
+  params.max_depth = 4;
+  params.subsample = 0.7;
+  params.colsample = 0.8;
+  model.fit(x, 2, y, params, 5);
+  EXPECT_GT(eval::r2_score(y, model.predict(x)), 0.9);
+}
+
+TEST(RandomSearch, FindsBetterThanWorstCandidate) {
+  std::vector<double> x, y;
+  make_synthetic(300, x, y);
+  RandomSearchOptions options;
+  options.iterations = 12;
+  options.seed = 5;
+  const auto result = random_search(x, 2, y, options);
+  EXPECT_EQ(result.evaluated, 12);
+  EXPECT_TRUE(result.best_model.fitted());
+  // The refitted best model must fit the training data decently.
+  EXPECT_GT(eval::r2_score(y, result.best_model.predict(x)), 0.8);
+  EXPECT_GT(result.best_params.n_estimators, 0);
+}
+
+TEST(RandomSearch, DeterministicForSeed) {
+  std::vector<double> x, y;
+  make_synthetic(200, x, y);
+  RandomSearchOptions options;
+  options.iterations = 6;
+  options.seed = 9;
+  const auto a = random_search(x, 2, y, options);
+  const auto b = random_search(x, 2, y, options);
+  EXPECT_EQ(a.best_params.to_string(), b.best_params.to_string());
+  EXPECT_DOUBLE_EQ(a.best_validation_mse, b.best_validation_mse);
+}
+
+TEST(SampleBoosterParams, StaysInDocumentedRanges) {
+  util::Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    const BoosterParams p = sample_booster_params(rng);
+    EXPECT_GE(p.n_estimators, 25);
+    EXPECT_LE(p.n_estimators, 300);
+    EXPECT_GE(p.learning_rate, 0.01);
+    EXPECT_LE(p.learning_rate, 0.5);
+    EXPECT_GE(p.max_depth, 2);
+    EXPECT_LE(p.max_depth, 10);
+    EXPECT_GE(p.min_samples_leaf, 1u);
+    EXPECT_LE(p.min_samples_leaf, 16u);
+    EXPECT_GE(p.subsample, 0.6);
+    EXPECT_LE(p.colsample, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace lmpeel::gbt

@@ -1,0 +1,119 @@
+#include "lm/generate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lm/induction_lm.hpp"
+#include "tok/tokenizer.hpp"
+
+namespace lmpeel::lm {
+namespace {
+
+/// A trivial deterministic model for exercising the generation loop:
+/// always predicts (last token + 1) % vocab with logit 1, everything else
+/// -inf, except that after `eos_after` tokens it predicts <eos>.
+class CounterLm final : public LanguageModel {
+ public:
+  explicit CounterLm(int vocab, std::size_t eos_after = SIZE_MAX)
+      : vocab_(vocab), eos_after_(eos_after) {}
+  int vocab_size() const override { return vocab_; }
+  void next_logits(std::span<const int> context,
+                   std::span<float> out) override {
+    std::fill(out.begin(), out.end(), kNegInf);
+    if (context.size() >= eos_after_) {
+      out[tok::kEos] = 1.0f;
+      return;
+    }
+    const int last = context.empty() ? 0 : context.back();
+    out[(last + 1) % vocab_] = 1.0f;
+  }
+  std::string name() const override { return "counter"; }
+
+ private:
+  int vocab_;
+  std::size_t eos_after_;
+};
+
+TEST(Generate, EmitsUntilMaxTokens) {
+  CounterLm model(50);
+  const std::vector<int> prompt{10};
+  GenerateOptions opt;
+  opt.max_tokens = 5;
+  opt.sampler = {0.0, 0, 1.0};
+  const auto gen = generate(model, prompt, opt);
+  EXPECT_EQ(gen.tokens, (std::vector<int>{11, 12, 13, 14, 15}));
+  EXPECT_TRUE(gen.hit_max_tokens);
+  EXPECT_EQ(gen.trace.length(), 5u);
+}
+
+TEST(Generate, StopsOnEosWithoutRecordingIt) {
+  CounterLm model(50, /*eos_after=*/3);
+  const std::vector<int> prompt{10};
+  GenerateOptions opt;
+  opt.max_tokens = 10;
+  opt.sampler = {0.0, 0, 1.0};
+  const auto gen = generate(model, prompt, opt);
+  EXPECT_EQ(gen.tokens, (std::vector<int>{11, 12}));
+  EXPECT_FALSE(gen.hit_max_tokens);
+}
+
+TEST(Generate, StopTokenHaltsBeforeEmission) {
+  CounterLm model(50);
+  const std::vector<int> prompt{10};
+  GenerateOptions opt;
+  opt.max_tokens = 10;
+  opt.stop_token = 14;
+  opt.sampler = {0.0, 0, 1.0};
+  const auto gen = generate(model, prompt, opt);
+  EXPECT_EQ(gen.tokens, (std::vector<int>{11, 12, 13}));
+}
+
+TEST(Generate, TraceRecordsChosenTokens) {
+  CounterLm model(20);
+  const std::vector<int> prompt{3};
+  GenerateOptions opt;
+  opt.max_tokens = 3;
+  opt.sampler = {0.0, 0, 1.0};
+  const auto gen = generate(model, prompt, opt);
+  EXPECT_EQ(gen.trace.tokens(), gen.tokens);
+  for (const auto& step : gen.trace.steps()) {
+    EXPECT_EQ(step.candidates.size(), 1u);  // deterministic model
+    EXPECT_FLOAT_EQ(step.chosen_prob(), 1.0f);
+  }
+}
+
+TEST(SequenceLogProbability, DeterministicModelGivesZero) {
+  CounterLm model(20);
+  const std::vector<int> ctx{5};
+  const std::vector<int> continuation{6, 7, 8};
+  EXPECT_NEAR(sequence_log_probability(model, ctx, continuation), 0.0,
+              1e-6);
+}
+
+TEST(SequenceLogProbability, ImpossibleContinuationIsNegInf) {
+  CounterLm model(20);
+  const std::vector<int> ctx{5};
+  const std::vector<int> wrong{9};
+  EXPECT_EQ(sequence_log_probability(model, ctx, wrong),
+            -std::numeric_limits<double>::infinity());
+}
+
+TEST(SequenceLogProbability, MatchesSoftmaxForRealModel) {
+  tok::Tokenizer tz;
+  InductionLm model(tz);
+  const auto ctx = tz.encode("alpha beta gamma alpha beta gamma alpha");
+  // " beta" is the induction continuation; its log-prob must be finite
+  // and dominate an unrelated word's.
+  const auto beta = tz.encode(" beta");
+  const auto delta = tz.encode(" gamma");
+  model.set_seed(0);
+  const double lp_beta = sequence_log_probability(model, ctx, beta);
+  model.set_seed(0);
+  const double lp_gamma = sequence_log_probability(model, ctx, delta);
+  EXPECT_TRUE(std::isfinite(lp_beta));
+  EXPECT_GT(lp_beta, lp_gamma);
+}
+
+}  // namespace
+}  // namespace lmpeel::lm

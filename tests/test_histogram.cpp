@@ -1,0 +1,68 @@
+#include "eval/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace lmpeel::eval {
+namespace {
+
+TEST(Histogram, MassAccountingAndClamping) {
+  Histogram h(0.0, 1.0, 10);
+  h.add(0.05);        // bin 0
+  h.add(0.95, 2.0);   // bin 9, weighted
+  h.add(-5.0);        // clamps to bin 0
+  h.add(5.0);         // clamps to bin 9
+  EXPECT_DOUBLE_EQ(h.total_mass(), 5.0);
+  EXPECT_DOUBLE_EQ(h.bin_mass(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_mass(9), 3.0);
+  EXPECT_DOUBLE_EQ(h.bin_density(9), 0.6);
+}
+
+TEST(Histogram, BinCenters) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.125);
+  EXPECT_DOUBLE_EQ(h.bin_center(3), 0.875);
+}
+
+TEST(Histogram, ModesFindsTwoPeaks) {
+  Histogram h(0.0, 1.0, 20);
+  util::Rng rng(1);
+  for (int i = 0; i < 1000; ++i) h.add(rng.normal(0.25, 0.03));
+  for (int i = 0; i < 600; ++i) h.add(rng.normal(0.75, 0.03));
+  const auto modes = h.modes(0.02);
+  ASSERT_GE(modes.size(), 2u);
+  EXPECT_NEAR(modes[0], 0.25, 0.06);  // heaviest first
+  EXPECT_NEAR(modes[1], 0.75, 0.06);
+}
+
+TEST(Histogram, BimodalityCoefficientSeparatesShapes) {
+  util::Rng rng(2);
+  Histogram unimodal(-1.0, 1.0, 40);
+  for (int i = 0; i < 5000; ++i) unimodal.add(rng.normal(0.0, 0.2));
+  Histogram bimodal(-1.0, 1.0, 40);
+  for (int i = 0; i < 2500; ++i) bimodal.add(rng.normal(-0.5, 0.05));
+  for (int i = 0; i < 2500; ++i) bimodal.add(rng.normal(0.5, 0.05));
+  // Sarle's threshold ~0.555 separates the two.
+  EXPECT_LT(unimodal.bimodality_coefficient(), 0.55);
+  EXPECT_GT(bimodal.bimodality_coefficient(), 0.60);
+}
+
+TEST(Histogram, RowsMatchBins) {
+  Histogram h(0.0, 2.0, 4);
+  h.add(0.3);
+  const auto rows = h.rows();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_DOUBLE_EQ(rows[0].first, 0.25);
+  EXPECT_DOUBLE_EQ(rows[0].second, 1.0);
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 10), std::runtime_error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::runtime_error);
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW(h.add(0.5, -1.0), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace lmpeel::eval

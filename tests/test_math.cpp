@@ -1,0 +1,109 @@
+#include "util/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace lmpeel::util {
+namespace {
+
+TEST(LogSumExp, MatchesDirectComputationForSmallValues) {
+  const std::vector<double> x{0.1, 0.5, -0.3};
+  double direct = 0.0;
+  for (const double v : x) direct += std::exp(v);
+  EXPECT_NEAR(logsumexp(std::span<const double>(x)), std::log(direct), 1e-12);
+}
+
+TEST(LogSumExp, StableForLargeMagnitudes) {
+  const std::vector<double> x{1000.0, 1000.0};
+  EXPECT_NEAR(logsumexp(std::span<const double>(x)),
+              1000.0 + std::log(2.0), 1e-9);
+  const std::vector<double> y{-1000.0, -1000.0};
+  EXPECT_NEAR(logsumexp(std::span<const double>(y)),
+              -1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(LogSumExp, EmptyIsNegInfinity) {
+  const std::vector<double> x;
+  EXPECT_EQ(logsumexp(std::span<const double>(x)),
+            -std::numeric_limits<double>::infinity());
+}
+
+// Property sweep: softmax output sums to 1 and is invariant to shifts.
+class SoftmaxShift : public ::testing::TestWithParam<double> {};
+
+TEST_P(SoftmaxShift, SumsToOneAndShiftInvariant) {
+  const double shift = GetParam();
+  std::vector<double> a{0.3, -1.2, 2.5, 0.0};
+  std::vector<double> b = a;
+  for (double& v : b) v += shift;
+  softmax_inplace(std::span<double>(a));
+  softmax_inplace(std::span<double>(b));
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i], b[i], 1e-9);
+    sum += a[i];
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, SoftmaxShift,
+                         ::testing::Values(-500.0, -1.0, 0.0, 3.0, 700.0));
+
+TEST(Mean, BasicAndEmpty) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean(std::span<const double>(x)), 2.0);
+  const std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(mean(std::span<const double>(empty)), 0.0);
+}
+
+TEST(SampleStddev, KnownValue) {
+  const std::vector<double> x{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(sample_stddev(std::span<const double>(x)), 2.138089935, 1e-8);
+}
+
+TEST(Median, OddAndEven) {
+  const std::vector<double> odd{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(std::span<const double>(odd)), 2.0);
+  const std::vector<double> even{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(std::span<const double>(even)), 2.5);
+}
+
+TEST(Percentile, EndpointsAndMidpoint) {
+  const std::vector<double> x{10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(percentile(std::span<const double>(x), 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(std::span<const double>(x), 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(std::span<const double>(x), 50.0), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(std::span<const double>(x), 25.0), 20.0);
+}
+
+TEST(Pearson, PerfectAndAnticorrelated) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  const std::vector<double> z{8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson(x, z), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSeriesYieldsZero) {
+  const std::vector<double> x{1.0, 1.0, 1.0};
+  const std::vector<double> y{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);
+}
+
+TEST(WeightedMean, Weighted) {
+  const std::vector<double> x{1.0, 3.0};
+  const std::vector<double> w{3.0, 1.0};
+  EXPECT_DOUBLE_EQ(weighted_mean(x, w), 1.5);
+}
+
+TEST(Ipow, SmallPowers) {
+  EXPECT_EQ(ipow(2, 0), 1u);
+  EXPECT_EQ(ipow(2, 10), 1024u);
+  EXPECT_EQ(ipow(11, 3), 1331u);
+}
+
+}  // namespace
+}  // namespace lmpeel::util

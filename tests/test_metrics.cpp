@@ -1,0 +1,158 @@
+#include "eval/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "eval/aggregate.hpp"
+#include "eval/needles.hpp"
+
+namespace lmpeel::eval {
+namespace {
+
+TEST(R2, PerfectPredictionIsOne) {
+  const std::vector<double> t{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(r2_score(t, t), 1.0);
+}
+
+TEST(R2, MeanPredictionIsZero) {
+  const std::vector<double> t{1.0, 2.0, 3.0};
+  const std::vector<double> p{2.0, 2.0, 2.0};
+  EXPECT_NEAR(r2_score(t, p), 0.0, 1e-12);
+}
+
+TEST(R2, WorseThanMeanIsNegative) {
+  const std::vector<double> t{1.0, 2.0, 3.0};
+  const std::vector<double> p{3.0, 2.0, 1.0};  // anti-correlated
+  EXPECT_LT(r2_score(t, p), 0.0);
+}
+
+TEST(R2, KnownValue) {
+  const std::vector<double> t{3.0, -0.5, 2.0, 7.0};
+  const std::vector<double> p{2.5, 0.0, 2.0, 8.0};
+  EXPECT_NEAR(r2_score(t, p), 0.9486081, 1e-6);  // scikit-learn reference
+}
+
+TEST(Mare, ClosedForm) {
+  const std::vector<double> t{1.0, 2.0};
+  const std::vector<double> p{1.1, 1.8};
+  EXPECT_NEAR(mare(t, p), (0.1 + 0.1) / 2.0, 1e-12);
+}
+
+TEST(Msre, ClosedForm) {
+  const std::vector<double> t{1.0, 2.0};
+  const std::vector<double> p{1.2, 1.0};
+  EXPECT_NEAR(msre(t, p), (0.04 + 0.25) / 2.0, 1e-12);
+}
+
+TEST(RelativeError, RejectsZeroTruth) {
+  EXPECT_THROW(relative_error(0.0, 1.0), std::runtime_error);
+}
+
+TEST(Metrics, SizeMismatchThrows) {
+  const std::vector<double> t{1.0, 2.0};
+  const std::vector<double> p{1.0};
+  EXPECT_THROW(r2_score(t, p), std::runtime_error);
+  EXPECT_THROW(mare(t, p), std::runtime_error);
+  EXPECT_THROW(msre(t, p), std::runtime_error);
+}
+
+TEST(Spearman, PerfectMonotoneRelationIsOne) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y{10.0, 100.0, 1000.0, 10000.0};  // nonlinear
+  EXPECT_NEAR(spearman_rho(x, y), 1.0, 1e-12);
+  const std::vector<double> z{5.0, 4.0, 3.0, 1.0};
+  EXPECT_NEAR(spearman_rho(x, z), -1.0, 1e-12);
+}
+
+TEST(Spearman, TiesGetAverageRanks) {
+  const std::vector<double> x{1.0, 2.0, 2.0, 3.0};
+  const std::vector<double> y{1.0, 2.5, 2.5, 4.0};
+  EXPECT_NEAR(spearman_rho(x, y), 1.0, 1e-12);
+}
+
+TEST(Spearman, KnownValue) {
+  // Classic example: rho = 1 - 6*sum(d^2)/(n(n^2-1)).
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> y{2.0, 1.0, 4.0, 3.0, 5.0};
+  // d = {1,-1,1,-1,0} -> sum d^2 = 4 -> rho = 1 - 24/120 = 0.8
+  EXPECT_NEAR(spearman_rho(x, y), 0.8, 1e-12);
+}
+
+TEST(KendallTau, ConcordancePairs) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<double> y{1.0, 3.0, 2.0};
+  // pairs: (1,2)+ (1,3)+ (2,3)- -> tau = (2-1)/3
+  EXPECT_NEAR(kendall_tau(x, y), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(kendall_tau(x, x), 1.0, 1e-12);
+}
+
+TEST(RankMetrics, DegenerateInputs) {
+  const std::vector<double> single{1.0};
+  EXPECT_DOUBLE_EQ(spearman_rho(single, single), 0.0);
+  EXPECT_DOUBLE_EQ(kendall_tau(single, single), 0.0);
+  const std::vector<double> constant{2.0, 2.0, 2.0};
+  const std::vector<double> varying{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(spearman_rho(constant, varying), 0.0);
+}
+
+TEST(Aggregate, MatchesClosedFormMeanStd) {
+  Aggregate agg;
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  agg.add_all(xs);
+  EXPECT_EQ(agg.count(), xs.size());
+  EXPECT_DOUBLE_EQ(agg.mean(), 5.0);
+  EXPECT_NEAR(agg.stddev(), 2.138089935, 1e-8);
+  EXPECT_NEAR(agg.standard_error(), 2.138089935 / std::sqrt(8.0), 1e-8);
+  EXPECT_NEAR(agg.ci95_halfwidth(), 1.96 * agg.standard_error(), 1e-12);
+  EXPECT_DOUBLE_EQ(agg.min(), 2.0);
+  EXPECT_DOUBLE_EQ(agg.max(), 9.0);
+}
+
+TEST(Aggregate, EmptyAndSingle) {
+  Aggregate agg;
+  EXPECT_EQ(agg.count(), 0u);
+  EXPECT_DOUBLE_EQ(agg.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(agg.stddev(), 0.0);
+  agg.add(3.0);
+  EXPECT_DOUBLE_EQ(agg.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(agg.stddev(), 0.0);
+}
+
+TEST(Aggregate, StreamingStableForShiftedData) {
+  // Welford must survive large offsets that break the naive formula.
+  Aggregate agg;
+  for (int i = 0; i < 1000; ++i) {
+    agg.add(1e9 + (i % 2 == 0 ? 0.5 : -0.5));
+  }
+  EXPECT_NEAR(agg.stddev(), 0.50025, 1e-3);
+}
+
+TEST(HitRate, ThresholdBoundariesInclusive) {
+  const std::vector<double> t{1.0, 1.0, 1.0, 1.0};
+  const std::vector<double> p{1.0, 1.5, 1.49, 2.0};
+  EXPECT_DOUBLE_EQ(hit_rate(t, p, 0.50), 0.75);  // 0%, 50%, 49% pass
+  EXPECT_DOUBLE_EQ(hit_rate(t, p, 0.10), 0.25);
+  EXPECT_DOUBLE_EQ(hit_rate(t, p, 0.01), 0.25);
+}
+
+TEST(NeedleRate, AnyCandidateCounts) {
+  const std::vector<double> t{1.0, 1.0};
+  const std::vector<std::vector<double>> candidates{
+      {5.0, 0.995, 7.0},  // contains a 1% needle
+      {5.0, 7.0},        // no needle at any bound below 4x
+  };
+  EXPECT_DOUBLE_EQ(needle_rate(t, candidates, 0.01), 0.5);
+  EXPECT_DOUBLE_EQ(needle_rate(t, candidates, 0.50), 0.5);
+}
+
+TEST(ErrorBounds, PaperThresholds) {
+  ASSERT_EQ(std::size(kErrorBounds), 3u);
+  EXPECT_DOUBLE_EQ(kErrorBounds[0], 0.50);
+  EXPECT_DOUBLE_EQ(kErrorBounds[1], 0.10);
+  EXPECT_DOUBLE_EQ(kErrorBounds[2], 0.01);
+}
+
+}  // namespace
+}  // namespace lmpeel::eval

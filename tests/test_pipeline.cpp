@@ -1,0 +1,69 @@
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lmpeel::core {
+namespace {
+
+TEST(Pipeline, TokenizerHasBpeMerges) {
+  Pipeline pipeline;
+  tok::Tokenizer base;
+  EXPECT_GT(pipeline.tokenizer().vocab_size(), base.vocab_size());
+}
+
+TEST(Pipeline, DatasetIsCachedAndFullSize) {
+  Pipeline pipeline;
+  const perf::Dataset& a = pipeline.dataset(perf::SizeClass::SM);
+  const perf::Dataset& b = pipeline.dataset(perf::SizeClass::SM);
+  EXPECT_EQ(&a, &b);  // cached, not regenerated
+  EXPECT_EQ(a.size(), perf::kSpaceSize);
+}
+
+TEST(Pipeline, DatasetSeedControlsContent) {
+  PipelineConfig c1, c2;
+  c1.dataset_seed = 1;
+  c2.dataset_seed = 2;
+  Pipeline p1(c1), p2(c2);
+  const auto& d1 = p1.dataset(perf::SizeClass::SM);
+  const auto& d2 = p2.dataset(perf::SizeClass::SM);
+  std::size_t diff = 0;
+  for (std::size_t i = 0; i < d1.size(); i += 211) {
+    if (d1[i].runtime != d2[i].runtime) ++diff;
+  }
+  EXPECT_GT(diff, 10u);
+}
+
+TEST(Pipeline, ModelSharesTokenizerIdSpace) {
+  Pipeline pipeline;
+  EXPECT_EQ(pipeline.model().vocab_size(),
+            pipeline.tokenizer().vocab_size());
+}
+
+TEST(Pipeline, MarkerTokenisationIsStable) {
+  // The "Performance:" marker must encode identically inside a prompt and
+  // standalone, or the induction model cannot find the ICL values.
+  Pipeline pipeline;
+  const auto& tz = pipeline.tokenizer();
+  const auto marker = tz.encode("Performance:");
+  const auto line = tz.encode("\nPerformance: 0.0022155\n");
+  // marker must appear as a contiguous subsequence of line
+  bool found = false;
+  for (std::size_t i = 0; i + marker.size() <= line.size(); ++i) {
+    if (std::equal(marker.begin(), marker.end(), line.begin() + i)) {
+      found = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Pipeline, BuilderUsesConfiguredNumberFormat) {
+  PipelineConfig config;
+  config.prompt_options.number_format = prompt::NumberFormat::Scientific;
+  Pipeline pipeline(config);
+  EXPECT_EQ(pipeline.builder(perf::SizeClass::SM).options().number_format,
+            prompt::NumberFormat::Scientific);
+}
+
+}  // namespace
+}  // namespace lmpeel::core

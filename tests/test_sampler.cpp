@@ -1,0 +1,102 @@
+#include "lm/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <array>
+#include <vector>
+
+#include "lm/language_model.hpp"
+
+namespace lmpeel::lm {
+namespace {
+
+TEST(Greedy, PicksArgmax) {
+  const std::vector<float> logits{0.1f, 2.0f, -1.0f};
+  EXPECT_EQ(sample_greedy(logits), 1);
+}
+
+TEST(Greedy, IgnoresNegInf) {
+  const std::vector<float> logits{kNegInf, -5.0f, kNegInf};
+  EXPECT_EQ(sample_greedy(logits), 1);
+}
+
+TEST(Greedy, AllNegInfThrows) {
+  const std::vector<float> logits{kNegInf, kNegInf};
+  EXPECT_THROW(sample_greedy(logits), std::runtime_error);
+}
+
+TEST(Probabilities, SoftmaxWithMaskedEntries) {
+  const std::vector<float> logits{0.0f, kNegInf, 0.0f};
+  std::vector<float> probs(3);
+  probabilities(logits, probs);
+  EXPECT_NEAR(probs[0], 0.5f, 1e-6f);
+  EXPECT_FLOAT_EQ(probs[1], 0.0f);
+  EXPECT_NEAR(probs[2], 0.5f, 1e-6f);
+}
+
+TEST(Sample, ZeroTemperatureIsGreedy) {
+  const std::vector<float> logits{0.0f, 3.0f, 1.0f};
+  SamplerConfig config{0.0, 0, 1.0};
+  util::Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(sample(logits, config, rng), 1);
+  }
+}
+
+TEST(Sample, NeverSelectsNegInf) {
+  const std::vector<float> logits{kNegInf, 0.0f, kNegInf, 0.0f};
+  SamplerConfig config{2.0, 0, 1.0};
+  util::Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const int t = sample(logits, config, rng);
+    EXPECT_TRUE(t == 1 || t == 3);
+  }
+}
+
+TEST(Sample, FrequenciesTrackSoftmax) {
+  // P(1)/P(0) = e^2 at temperature 1.
+  const std::vector<float> logits{0.0f, 2.0f};
+  SamplerConfig config{1.0, 0, 1.0};
+  util::Rng rng(3);
+  int ones = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ones += sample(logits, config, rng);
+  const double expected = std::exp(2.0) / (1.0 + std::exp(2.0));
+  EXPECT_NEAR(static_cast<double>(ones) / n, expected, 0.01);
+}
+
+TEST(Sample, TopKRestrictsSupport) {
+  const std::vector<float> logits{3.0f, 2.0f, 1.0f, 0.0f};
+  SamplerConfig config{5.0, 2, 1.0};  // high temp, but only top 2 eligible
+  util::Rng rng(4);
+  for (int i = 0; i < 300; ++i) {
+    const int t = sample(logits, config, rng);
+    EXPECT_TRUE(t == 0 || t == 1);
+  }
+}
+
+TEST(Sample, TopPRestrictsToNucleus) {
+  // One dominant token (p ~ 0.95) with tiny alternatives: top_p = 0.9
+  // keeps only the dominant token.
+  const std::vector<float> logits{5.0f, 0.0f, 0.0f, 0.0f};
+  SamplerConfig config{1.0, 0, 0.9};
+  util::Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_EQ(sample(logits, config, rng), 0);
+  }
+}
+
+TEST(Sample, HighTemperatureFlattens) {
+  const std::vector<float> logits{0.0f, 1.0f};
+  SamplerConfig config{100.0, 0, 1.0};
+  util::Rng rng(6);
+  int ones = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ones += sample(logits, config, rng);
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace lmpeel::lm

@@ -1,0 +1,96 @@
+#include "util/str.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lmpeel::util {
+namespace {
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Join, RoundTripsSplit) {
+  const std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(join(parts, ", "), "x, y, z");
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StartsEndsWith, Basic) {
+  EXPECT_TRUE(starts_with("Performance: 1.0", "Performance"));
+  EXPECT_FALSE(starts_with("Perf", "Performance"));
+  EXPECT_TRUE(ends_with("value\n", "\n"));
+  EXPECT_FALSE(ends_with("v", "value"));
+}
+
+TEST(ReplaceAll, MultipleOccurrences) {
+  EXPECT_EQ(replace_all("a-b-c", "-", "+"), "a+b+c");
+  EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");
+}
+
+// The runtime formatter drives the numeric shape of every prompt: fixed
+// notation, five significant digits, no trailing zeros, always a dot.
+TEST(FormatRuntime, PaperStyleValues) {
+  EXPECT_EQ(format_runtime(0.0022155, 5), "0.0022155");
+  EXPECT_EQ(format_runtime(2.7345, 5), "2.7345");
+  EXPECT_EQ(format_runtime(1.0, 5), "1.0");
+  EXPECT_EQ(format_runtime(0.5, 5), "0.5");
+}
+
+TEST(FormatRuntime, SignificantDigitCountHolds) {
+  // 0.00046893... -> leading zeros don't count as significant digits.
+  const std::string s = format_runtime(0.000468934567, 5);
+  EXPECT_EQ(s, "0.00046893");
+}
+
+TEST(FormatRuntime, RoundTripsWithinPrecision) {
+  for (const double v : {0.00031, 0.0272, 1.9345, 9.87654}) {
+    const auto parsed = parse_double(format_runtime(v, 5));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_NEAR(*parsed, v, v * 1e-4);
+  }
+}
+
+TEST(FormatRuntime, RejectsNonPositive) {
+  EXPECT_THROW(format_runtime(0.0, 5), std::runtime_error);
+  EXPECT_THROW(format_runtime(-1.0, 5), std::runtime_error);
+}
+
+TEST(FormatRuntimeScientific, Shape) {
+  EXPECT_EQ(format_runtime_scientific(0.0022155, 5), "2.2155e-03");
+}
+
+TEST(ParseDouble, AcceptsPlainAndScientific) {
+  EXPECT_DOUBLE_EQ(*parse_double("0.5"), 0.5);
+  EXPECT_DOUBLE_EQ(*parse_double("  2.5e-3 "), 0.0025);
+  EXPECT_DOUBLE_EQ(*parse_double("-1.25"), -1.25);
+}
+
+TEST(ParseDouble, RejectsPartialMatches) {
+  EXPECT_FALSE(parse_double("1.5x").has_value());
+  EXPECT_FALSE(parse_double("abc").has_value());
+  EXPECT_FALSE(parse_double("").has_value());
+}
+
+TEST(AllDigits, Basic) {
+  EXPECT_TRUE(all_digits("0123"));
+  EXPECT_FALSE(all_digits(""));
+  EXPECT_FALSE(all_digits("12a"));
+  EXPECT_FALSE(all_digits("1.2"));
+}
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(to_lower("MiXeD 123"), "mixed 123");
+}
+
+}  // namespace
+}  // namespace lmpeel::util

@@ -1,0 +1,200 @@
+#include "perf/syr2k_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace lmpeel::perf {
+namespace {
+
+Syr2kConfig make_config(bool pa, bool pb, bool ic, int to, int tm, int ti) {
+  Syr2kConfig c;
+  c.pack_a = pa;
+  c.pack_b = pb;
+  c.interchange = ic;
+  c.tile_outer = to;
+  c.tile_middle = tm;
+  c.tile_inner = ti;
+  return c;
+}
+
+TEST(Syr2kModel, BreakdownTermsAreFiniteAndPositive) {
+  Syr2kModel model;
+  const auto b = model.breakdown(make_config(true, true, true, 32, 32, 32),
+                                 SizeClass::SM);
+  EXPECT_GT(b.compute, 0.0);
+  EXPECT_GT(b.memory, 0.0);
+  EXPECT_GE(b.packing, 0.0);
+  EXPECT_GE(b.overhead, 0.0);
+  EXPECT_GT(b.total, 0.0);
+}
+
+TEST(Syr2kModel, ExpectedRuntimeDeterministic) {
+  Syr2kModel model;
+  const auto c = make_config(false, true, false, 64, 80, 100);
+  EXPECT_DOUBLE_EQ(model.expected_runtime(c, SizeClass::XL),
+                   model.expected_runtime(c, SizeClass::XL));
+}
+
+TEST(Syr2kModel, SmRuntimesAreSubSecond) {
+  // The paper: "all SM objective values are less than one".
+  Syr2kModel model;
+  ConfigSpace space;
+  for (std::size_t i = 0; i < space.size(); i += 41) {
+    EXPECT_LT(model.expected_runtime(space.at(i), SizeClass::SM), 1.0);
+  }
+}
+
+TEST(Syr2kModel, XlRuntimesAreSecondsScale) {
+  // "the whole-number magnitude in our datasets is almost exclusively less
+  // than ten seconds" — and XL values exceed one second.
+  Syr2kModel model;
+  ConfigSpace space;
+  std::size_t over_ten = 0, n = 0;
+  for (std::size_t i = 0; i < space.size(); i += 41) {
+    const double t = model.expected_runtime(space.at(i), SizeClass::XL);
+    EXPECT_GT(t, 1.0);
+    if (t > 10.0) ++over_ten;
+    ++n;
+  }
+  EXPECT_LT(static_cast<double>(over_ten) / static_cast<double>(n), 0.02);
+}
+
+TEST(Syr2kModel, RuntimeGrowsWithProblemSize) {
+  Syr2kModel model;
+  const auto c = make_config(false, false, false, 32, 32, 32);
+  double prev = 0.0;
+  for (const SizeClass s : kAllSizes) {
+    const double t = model.expected_runtime(c, s);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Syr2kModel, PackingHelpsAtXlHurtsAtSm) {
+  // The size-dependent feature importance the paper leans on: packing is
+  // copy overhead when arrays are cache-resident (SM) but removes strided
+  // DRAM waste at XL.  Use a configuration whose strided tiles spill.
+  Syr2kModel model;
+  const auto plain = make_config(false, false, false, 8, 128, 128);
+  const auto packed = make_config(true, true, false, 8, 128, 128);
+  EXPECT_LT(model.breakdown(packed, SizeClass::XL).total,
+            model.breakdown(plain, SizeClass::XL).total);
+  EXPECT_GT(model.breakdown(packed, SizeClass::SM).total,
+            model.breakdown(plain, SizeClass::SM).total);
+}
+
+TEST(Syr2kModel, PackingAlwaysRemovesMemoryTime) {
+  // Packing trades copy time for stride waste; the memory term itself can
+  // only shrink or stay equal.
+  Syr2kModel model;
+  ConfigSpace space;
+  for (std::size_t i = 0; i < space.size(); i += 997) {
+    Syr2kConfig c = space.at(i);
+    c.pack_a = false;
+    const double unpacked = model.breakdown(c, SizeClass::XL).memory;
+    c.pack_a = true;
+    const double packed = model.breakdown(c, SizeClass::XL).memory;
+    EXPECT_LE(packed, unpacked + 1e-12);
+  }
+}
+
+TEST(Syr2kModel, MeasurementNoiseIsMultiplicativeAndSmall) {
+  Syr2kModel model;
+  const auto c = make_config(false, false, false, 64, 64, 64);
+  const double expected = model.expected_runtime(c, SizeClass::XL);
+  util::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const double m = model.measure(c, SizeClass::XL, rng);
+    EXPECT_GT(m, expected * 0.7);
+    EXPECT_LT(m, expected * 1.4);
+  }
+}
+
+TEST(Syr2kModel, SmMeasurementsJitterMoreThanXl) {
+  // Millisecond-scale timings pick up relatively more timer jitter.
+  Syr2kModel model;
+  const auto c = make_config(false, false, false, 64, 64, 64);
+  auto rel_spread = [&](SizeClass size) {
+    util::Rng rng(17);
+    double lo = 1e300, hi = 0.0;
+    for (int i = 0; i < 300; ++i) {
+      const double m = model.measure(c, size, rng);
+      lo = std::min(lo, m);
+      hi = std::max(hi, m);
+    }
+    return hi / lo;
+  };
+  EXPECT_GT(rel_spread(SizeClass::SM), rel_spread(SizeClass::XL));
+}
+
+TEST(Syr2kModel, SystematicRuggedness) {
+  // Neighbouring configurations must not have smoothly related runtimes:
+  // the deterministic per-config factor separates at least some adjacent
+  // tile settings by several percent.
+  Syr2kModel model;
+  int rugged = 0, n = 0;
+  for (std::size_t rank = 0; rank + 1 < kNumTileValues; ++rank) {
+    auto a = make_config(false, false, false, kTileValues[rank], 64, 64);
+    auto b = make_config(false, false, false, kTileValues[rank + 1], 64, 64);
+    const double ta = model.expected_runtime(a, SizeClass::SM);
+    const double tb = model.expected_runtime(b, SizeClass::SM);
+    if (std::abs(ta - tb) / ta > 0.05) ++rugged;
+    ++n;
+  }
+  EXPECT_GT(rugged, n / 4);
+}
+
+// Property sweep over every size class: totals positive and finite for a
+// spread of configurations, breakdown terms consistent with the total, and
+// measurement noise strictly multiplicative.
+class SizeSweep : public ::testing::TestWithParam<SizeClass> {};
+
+TEST_P(SizeSweep, BreakdownConsistentAcrossSpace) {
+  const SizeClass size = GetParam();
+  Syr2kModel model;
+  ConfigSpace space;
+  for (std::size_t i = 0; i < space.size(); i += 613) {
+    const CostBreakdown b = model.breakdown(space.at(i), size);
+    ASSERT_TRUE(std::isfinite(b.total));
+    EXPECT_GT(b.total, 0.0);
+    // total = systematic_factor * (max(compute, memory) + packing +
+    // overhead); the factor stays within exp(+-~6 sigma).
+    const double core =
+        std::max(b.compute, b.memory) + b.packing + b.overhead;
+    EXPECT_GT(b.total, core * 0.5);
+    EXPECT_LT(b.total, core * 2.0);
+  }
+}
+
+TEST_P(SizeSweep, MeasurementsBracketExpectedRuntime) {
+  const SizeClass size = GetParam();
+  Syr2kModel model;
+  ConfigSpace space;
+  util::Rng rng(static_cast<std::uint64_t>(size) + 1);
+  const auto config = space.at(4242);
+  const double expected = model.expected_runtime(config, size);
+  double acc = 0.0;
+  const int n = 64;
+  for (int i = 0; i < n; ++i) acc += model.measure(config, size, rng);
+  // Mean of 64 lognormal(sigma<=0.11) draws lands within ~6% of the mode.
+  EXPECT_NEAR(acc / n / expected, 1.0, 0.06);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSizes, SizeSweep,
+                         ::testing::ValuesIn(kAllSizes));
+
+TEST(Machine, BandwidthLadderIsMonotone) {
+  const Machine mc = default_machine();
+  EXPECT_GT(mc.bandwidth_for_working_set(16 * 1024),
+            mc.bandwidth_for_working_set(256 * 1024));
+  EXPECT_GT(mc.bandwidth_for_working_set(256 * 1024),
+            mc.bandwidth_for_working_set(8 * 1024 * 1024));
+  EXPECT_GT(mc.bandwidth_for_working_set(8 * 1024 * 1024),
+            mc.bandwidth_for_working_set(256 * 1024 * 1024));
+}
+
+}  // namespace
+}  // namespace lmpeel::perf

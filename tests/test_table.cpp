@@ -1,0 +1,74 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace lmpeel::util {
+namespace {
+
+TEST(Table, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::runtime_error);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), std::runtime_error);
+}
+
+TEST(Table, TextRenderingAligned) {
+  Table t({"col", "longer_col"});
+  t.add_row({"aaaa", "b"});
+  const std::string text = t.to_text();
+  // Every non-separator line has the same second-column start offset.
+  std::istringstream is(text);
+  std::string header, sep, row;
+  std::getline(is, header);
+  std::getline(is, sep);
+  std::getline(is, row);
+  EXPECT_EQ(header.find("longer_col"), row.find("b"));
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"x"});
+  t.add_row({"plain"});
+  t.add_row({"with,comma"});
+  t.add_row({"with\"quote"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+  EXPECT_NE(csv.find("plain\n"), std::string::npos);
+}
+
+TEST(Table, MarkdownHasSeparatorRow) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  const std::string md = t.to_markdown();
+  EXPECT_NE(md.find("|---|---|"), std::string::npos);
+  EXPECT_NE(md.find("| 1 | 2 |"), std::string::npos);
+}
+
+TEST(Table, NumUsesSignificantDigits) {
+  EXPECT_EQ(Table::num(0.123456, 3), "0.123");
+  EXPECT_EQ(Table::num(12345.0, 3), "1.23e+04");
+}
+
+TEST(Table, WriteCsvRoundTrips) {
+  Table t({"k", "v"});
+  t.add_row({"a", "1"});
+  const std::string path = ::testing::TempDir() + "/lmpeel_table_test.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "k,v\na,1\n");
+  std::remove(path.c_str());
+}
+
+TEST(Table, WriteCsvBadPathThrows) {
+  Table t({"k"});
+  EXPECT_THROW(t.write_csv("/nonexistent_dir_xyz/out.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace lmpeel::util

@@ -1,0 +1,95 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace lmpeel::util {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFutures) {
+  ThreadPool pool(1);
+  auto f = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(pool, 0, n, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  parallel_for(pool, 5, 5, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, RethrowsFirstWorkerException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      parallel_for(pool, 0, 100,
+                   [](std::size_t i) {
+                     if (i == 37) throw std::invalid_argument("bad index");
+                   }),
+      std::invalid_argument);
+}
+
+TEST(ParallelFor, GrainLimitsChunking) {
+  // With grain == n the loop must run inline (single chunk), still
+  // covering everything.
+  ThreadPool pool(4);
+  std::vector<int> hits(64, 0);
+  parallel_for(pool, 0, hits.size(),
+               [&](std::size_t i) { ++hits[i]; }, /*grain=*/64);
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 64);
+}
+
+TEST(ParallelFor, DeterministicResultRegardlessOfThreads) {
+  // Work items write only their own slot, so any thread count yields the
+  // same output — the invariant all experiment sweeps rely on.
+  const std::size_t n = 257;
+  std::vector<double> one(n), four(n);
+  {
+    ThreadPool pool(1);
+    parallel_for(pool, 0, n, [&](std::size_t i) {
+      one[i] = static_cast<double>(i * i % 97);
+    });
+  }
+  {
+    ThreadPool pool(4);
+    parallel_for(pool, 0, n, [&](std::size_t i) {
+      four[i] = static_cast<double>(i * i % 97);
+    });
+  }
+  EXPECT_EQ(one, four);
+}
+
+TEST(GlobalPool, IsUsableAndStable) {
+  ThreadPool& a = global_pool();
+  ThreadPool& b = global_pool();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.size(), 1u);
+}
+
+}  // namespace
+}  // namespace lmpeel::util

@@ -1,0 +1,97 @@
+#include "lm/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "lm/language_model.hpp"
+
+namespace lmpeel::lm {
+namespace {
+
+TEST(MakeStep, KeepsOnlySelectableCandidatesSorted) {
+  // Three strong tokens and a long sub-threshold tail.
+  std::vector<float> logits(100, -30.0f);  // effectively zero mass
+  logits[3] = 2.0f;
+  logits[7] = 1.0f;
+  logits[9] = 0.0f;
+  const Step step = make_step(logits, 3);
+  ASSERT_EQ(step.candidates.size(), 3u);
+  EXPECT_EQ(step.candidates[0].token, 3);
+  EXPECT_EQ(step.candidates[1].token, 7);
+  EXPECT_EQ(step.candidates[2].token, 9);
+  EXPECT_GT(step.candidates[0].prob, step.candidates[1].prob);
+  EXPECT_EQ(step.chosen, 3);
+  EXPECT_GT(step.chosen_prob(), 0.5f);
+  EXPECT_TRUE(step.contains(7));
+  EXPECT_FALSE(step.contains(42));
+}
+
+TEST(MakeStep, ChosenTokenAlwaysRecorded) {
+  // Even if the sampled token fell below the selectability threshold it
+  // must appear in the recorded support.
+  std::vector<float> logits(10, kNegInf);
+  logits[0] = 20.0f;
+  logits[1] = 0.0f;  // ~2e-9 probability
+  const Step step = make_step(logits, 1);
+  EXPECT_TRUE(step.contains(1));
+}
+
+TEST(MakeStep, ProbabilitiesSumBelowOne) {
+  std::vector<float> logits(5, 0.0f);
+  const Step step = make_step(logits, 0);
+  double sum = 0.0;
+  for (const Candidate& c : step.candidates) sum += c.prob;
+  EXPECT_NEAR(sum, 1.0, 1e-5);
+}
+
+GenerationTrace make_trace(const std::vector<std::size_t>& counts) {
+  GenerationTrace trace;
+  for (const std::size_t n : counts) {
+    Step step;
+    for (std::size_t i = 0; i < n; ++i) {
+      step.candidates.push_back(
+          {static_cast<int>(i), 0.0f, 1.0f / static_cast<float>(n)});
+    }
+    step.chosen = 0;
+    trace.add_step(std::move(step));
+  }
+  return trace;
+}
+
+TEST(GenerationTrace, PermutationsAreProductOfCounts) {
+  const GenerationTrace trace = make_trace({4, 1, 318, 537});
+  EXPECT_DOUBLE_EQ(trace.permutations(0, 4), 4.0 * 318.0 * 537.0);
+  EXPECT_DOUBLE_EQ(trace.permutations(1, 2), 1.0);
+  EXPECT_DOUBLE_EQ(trace.permutations(0, 0), 1.0);
+}
+
+TEST(GenerationTrace, PermutationsSaturateInsteadOfOverflow) {
+  GenerationTrace trace = make_trace(std::vector<std::size_t>(400, 1000));
+  EXPECT_EQ(trace.permutations(0, 400),
+            std::numeric_limits<double>::max());
+}
+
+TEST(GenerationTrace, PermutationRangeChecked) {
+  const GenerationTrace trace = make_trace({2, 2});
+  EXPECT_THROW(trace.permutations(0, 3), std::runtime_error);
+  EXPECT_THROW(trace.permutations(2, 1), std::runtime_error);
+}
+
+TEST(GenerationTrace, TokensCollectChosen) {
+  GenerationTrace trace;
+  Step a;
+  a.candidates.push_back({5, 0.0f, 1.0f});
+  a.chosen = 5;
+  trace.add_step(a);
+  Step b;
+  b.candidates.push_back({9, 0.0f, 1.0f});
+  b.chosen = 9;
+  trace.add_step(b);
+  EXPECT_EQ(trace.tokens(), (std::vector<int>{5, 9}));
+}
+
+}  // namespace
+}  // namespace lmpeel::lm

@@ -1,0 +1,217 @@
+// lmpeel — command-line driver for the library.
+//
+//   lmpeel dataset <S|SM|M|ML|L|XL> [seed]       write the dataset CSV to stdout
+//   lmpeel predict <size> <icl> <query> [seed]   one discriminative prediction
+//   lmpeel sweep [small]                         run the §IV-A sweep
+//   lmpeel tune <tuner> <size> <budget> [seed]   run an autotuning campaign
+//   lmpeel tokenize <text…>                      show the token stream
+//
+// Tuners: random | gbt | anneal | genetic | llambo-discriminative |
+//         llambo-generative | llambo-sampling
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "core/reporting.hpp"
+#include "core/sweep.hpp"
+#include "eval/metrics.hpp"
+#include "lm/generate.hpp"
+#include "prompt/parser.hpp"
+#include "tune/annealing_tuner.hpp"
+#include "tune/gbt_surrogate_tuner.hpp"
+#include "tune/genetic_tuner.hpp"
+#include "tune/llambo_tuner.hpp"
+#include "tune/random_search_tuner.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace lmpeel;
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+         "  lmpeel dataset <S|SM|M|ML|L|XL> [seed]\n"
+         "  lmpeel predict <size> <icl_count> <query_index> [seed]\n"
+         "  lmpeel sweep [small]\n"
+         "  lmpeel tune <random|gbt|anneal|genetic|llambo-discriminative|"
+         "llambo-generative|llambo-sampling> <size> <budget> [seed]\n"
+         "  lmpeel tokenize <text…>\n";
+  return 2;
+}
+
+std::optional<perf::SizeClass> parse_size(const std::string& text) {
+  for (const perf::SizeClass s : perf::kAllSizes) {
+    if (text == perf::size_name(s)) return s;
+  }
+  return std::nullopt;
+}
+
+int cmd_dataset(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const auto size = parse_size(argv[0]);
+  if (!size.has_value()) return usage();
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                      : 42;
+  const auto data =
+      perf::Dataset::generate(perf::Syr2kModel{}, *size, seed);
+  data.write_csv(std::cout);
+  return 0;
+}
+
+int cmd_predict(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const auto size = parse_size(argv[0]);
+  if (!size.has_value()) return usage();
+  const std::size_t icl_count = std::strtoul(argv[1], nullptr, 10);
+  const std::size_t query_index = std::strtoul(argv[2], nullptr, 10);
+  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10)
+                                      : 0;
+
+  core::Pipeline pipeline;
+  const auto& data = pipeline.dataset(*size);
+  if (query_index >= data.size() || icl_count == 0) return usage();
+
+  util::Rng rng(seed);
+  const auto subsets =
+      perf::disjoint_subsets(data.size(), 1, icl_count, rng);
+  std::vector<perf::Sample> examples;
+  for (const std::size_t i : subsets[0]) examples.push_back(data[i]);
+
+  const auto builder = pipeline.builder(*size);
+  const auto ids = builder.encode(pipeline.tokenizer(), examples,
+                                  data[query_index].config);
+  lm::GenerateOptions gen;
+  gen.sampler = {1.0, 0, 0.998};
+  gen.stop_token = pipeline.tokenizer().newline_token();
+  gen.seed = seed;
+  const auto generation = lm::generate(pipeline.model(), ids, gen);
+  const std::string response =
+      pipeline.tokenizer().decode(generation.tokens);
+  const auto parsed = prompt::parse_response(response);
+
+  std::cout << "query: "
+            << prompt::render_config(data[query_index].config, *size) << '\n'
+            << "response: '" << response << "'\n"
+            << "truth: " << data[query_index].runtime << " s\n";
+  if (parsed.value.has_value()) {
+    std::cout << "predicted: " << *parsed.value << " s  (relative error "
+              << eval::relative_error(data[query_index].runtime,
+                                      *parsed.value)
+              << ")\n";
+  } else {
+    std::cout << "no parseable value in the response\n";
+  }
+  std::cout << "candidates per step:";
+  for (const auto& step : generation.trace.steps()) {
+    std::cout << ' ' << step.candidates.size();
+  }
+  std::cout << '\n';
+  return 0;
+}
+
+int cmd_sweep(int argc, char** argv) {
+  core::Pipeline pipeline;
+  core::SweepSettings settings;
+  if (argc > 0 && std::strcmp(argv[0], "small") == 0) {
+    settings.icl_counts = {1, 10, 50};
+    settings.disjoint_sets = 2;
+    settings.seeds = 2;
+  }
+  const auto result = core::run_llm_quality_sweep(pipeline, settings);
+  const auto summary = core::summarize(result);
+  std::cout << core::summary_table(summary).to_text() << '\n'
+            << core::sweep_table(result).to_text();
+  return 0;
+}
+
+int cmd_tune(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string name = argv[0];
+  const auto size = parse_size(argv[1]);
+  if (!size.has_value()) return usage();
+  const std::size_t budget = std::strtoul(argv[2], nullptr, 10);
+  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10)
+                                      : 7;
+  if (budget == 0) return usage();
+
+  core::Pipeline pipeline;
+  std::unique_ptr<tune::Tuner> tuner;
+  if (name == "random") {
+    tuner = std::make_unique<tune::RandomSearchTuner>();
+  } else if (name == "gbt") {
+    tuner = std::make_unique<tune::GbtSurrogateTuner>();
+  } else if (name == "anneal") {
+    tuner = std::make_unique<tune::AnnealingTuner>();
+  } else if (name == "genetic") {
+    tuner = std::make_unique<tune::GeneticTuner>();
+  } else if (name.rfind("llambo-", 0) == 0) {
+    tune::LlamboOptions options;
+    if (name == "llambo-discriminative") {
+      options.mode = tune::LlamboMode::Discriminative;
+    } else if (name == "llambo-generative") {
+      options.mode = tune::LlamboMode::Generative;
+    } else if (name == "llambo-sampling") {
+      options.mode = tune::LlamboMode::CandidateSampling;
+    } else {
+      return usage();
+    }
+    tuner = std::make_unique<tune::LlamboTuner>(
+        pipeline.model(), pipeline.tokenizer(), *size, options);
+  } else {
+    return usage();
+  }
+
+  tune::CampaignOptions options;
+  options.budget = budget;
+  options.seed = seed;
+  const auto result =
+      tune::run_campaign(*tuner, pipeline.perf_model(), *size, options);
+  std::cout << tuner->name() << " on syr2k/" << perf::size_name(*size)
+            << ", budget " << budget << ":\n";
+  for (std::size_t i = 0; i < result.best_so_far.size(); ++i) {
+    std::cout << "  eval " << (i + 1) << ": "
+              << util::Table::num(result.evaluated[i].runtime, 4)
+              << " s (best " << util::Table::num(result.best_so_far[i], 4)
+              << ")\n";
+  }
+  std::cout << "best configuration: "
+            << prompt::render_config(result.best_config(), *size) << '\n';
+  return 0;
+}
+
+int cmd_tokenize(int argc, char** argv) {
+  std::string text;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0) text += ' ';
+    text += argv[i];
+  }
+  core::Pipeline pipeline;
+  const auto ids = pipeline.tokenizer().encode(text);
+  std::cout << ids.size() << " tokens:";
+  for (const int id : ids) {
+    std::cout << " [" << pipeline.tokenizer().token_text(id) << "]";
+  }
+  std::cout << '\n';
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "dataset") return cmd_dataset(argc - 2, argv + 2);
+    if (command == "predict") return cmd_predict(argc - 2, argv + 2);
+    if (command == "sweep") return cmd_sweep(argc - 2, argv + 2);
+    if (command == "tune") return cmd_tune(argc - 2, argv + 2);
+    if (command == "tokenize") return cmd_tokenize(argc - 2, argv + 2);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return usage();
+}
