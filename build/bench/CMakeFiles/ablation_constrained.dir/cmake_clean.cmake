@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_constrained.dir/ablation_constrained.cpp.o"
+  "CMakeFiles/ablation_constrained.dir/ablation_constrained.cpp.o.d"
+  "ablation_constrained"
+  "ablation_constrained.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_constrained.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotuner_comparison.dir/autotuner_comparison.cpp.o"
+  "CMakeFiles/autotuner_comparison.dir/autotuner_comparison.cpp.o.d"
+  "autotuner_comparison"
+  "autotuner_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotuner_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

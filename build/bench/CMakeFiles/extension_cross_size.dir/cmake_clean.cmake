@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_cross_size.dir/extension_cross_size.cpp.o"
+  "CMakeFiles/extension_cross_size.dir/extension_cross_size.cpp.o.d"
+  "extension_cross_size"
+  "extension_cross_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_cross_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

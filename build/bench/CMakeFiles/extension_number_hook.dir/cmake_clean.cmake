@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_number_hook.dir/extension_number_hook.cpp.o"
+  "CMakeFiles/extension_number_hook.dir/extension_number_hook.cpp.o.d"
+  "extension_number_hook"
+  "extension_number_hook.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_number_hook.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

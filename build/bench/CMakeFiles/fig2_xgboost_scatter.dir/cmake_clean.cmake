@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_xgboost_scatter.dir/fig2_xgboost_scatter.cpp.o"
+  "CMakeFiles/fig2_xgboost_scatter.dir/fig2_xgboost_scatter.cpp.o.d"
+  "fig2_xgboost_scatter"
+  "fig2_xgboost_scatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_xgboost_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

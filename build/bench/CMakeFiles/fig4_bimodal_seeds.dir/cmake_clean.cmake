@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_bimodal_seeds.dir/fig4_bimodal_seeds.cpp.o"
+  "CMakeFiles/fig4_bimodal_seeds.dir/fig4_bimodal_seeds.cpp.o.d"
+  "fig4_bimodal_seeds"
+  "fig4_bimodal_seeds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_bimodal_seeds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/function_class_icl.dir/function_class_icl.cpp.o"
+  "CMakeFiles/function_class_icl.dir/function_class_icl.cpp.o.d"
+  "function_class_icl"
+  "function_class_icl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/function_class_icl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llm_quality_sweep.dir/llm_quality_sweep.cpp.o"
+  "CMakeFiles/llm_quality_sweep.dir/llm_quality_sweep.cpp.o.d"
+  "llm_quality_sweep"
+  "llm_quality_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llm_quality_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

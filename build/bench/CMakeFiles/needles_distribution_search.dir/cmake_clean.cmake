@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/needles_distribution_search.dir/needles_distribution_search.cpp.o"
+  "CMakeFiles/needles_distribution_search.dir/needles_distribution_search.cpp.o.d"
+  "needles_distribution_search"
+  "needles_distribution_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/needles_distribution_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

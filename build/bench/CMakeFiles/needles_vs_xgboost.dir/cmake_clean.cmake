@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/needles_vs_xgboost.dir/needles_vs_xgboost.cpp.o"
+  "CMakeFiles/needles_vs_xgboost.dir/needles_vs_xgboost.cpp.o.d"
+  "needles_vs_xgboost"
+  "needles_vs_xgboost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/needles_vs_xgboost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for needles_vs_xgboost.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surrogate_rank_quality.dir/surrogate_rank_quality.cpp.o"
+  "CMakeFiles/surrogate_rank_quality.dir/surrogate_rank_quality.cpp.o.d"
+  "surrogate_rank_quality"
+  "surrogate_rank_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surrogate_rank_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

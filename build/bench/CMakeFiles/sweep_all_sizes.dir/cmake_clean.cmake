@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_all_sizes.dir/sweep_all_sizes.cpp.o"
+  "CMakeFiles/sweep_all_sizes.dir/sweep_all_sizes.cpp.o.d"
+  "sweep_all_sizes"
+  "sweep_all_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_all_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_token_possibilities.dir/table2_token_possibilities.cpp.o"
+  "CMakeFiles/table2_token_possibilities.dir/table2_token_possibilities.cpp.o.d"
+  "table2_token_possibilities"
+  "table2_token_possibilities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_token_possibilities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotune_syr2k.dir/autotune_syr2k.cpp.o"
+  "CMakeFiles/autotune_syr2k.dir/autotune_syr2k.cpp.o.d"
+  "autotune_syr2k"
+  "autotune_syr2k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotune_syr2k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

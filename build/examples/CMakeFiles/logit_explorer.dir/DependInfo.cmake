@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/logit_explorer.cpp" "examples/CMakeFiles/logit_explorer.dir/logit_explorer.cpp.o" "gcc" "examples/CMakeFiles/logit_explorer.dir/logit_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lmpeel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lmpeel_haystack.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lmpeel_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lmpeel_tune.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lmpeel_gbt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lmpeel_lm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lmpeel_prompt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lmpeel_tok.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lmpeel_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lmpeel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

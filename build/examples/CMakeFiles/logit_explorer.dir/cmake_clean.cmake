@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logit_explorer.dir/logit_explorer.cpp.o"
+  "CMakeFiles/logit_explorer.dir/logit_explorer.cpp.o.d"
+  "logit_explorer"
+  "logit_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logit_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

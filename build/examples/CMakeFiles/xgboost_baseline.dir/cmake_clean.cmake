@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xgboost_baseline.dir/xgboost_baseline.cpp.o"
+  "CMakeFiles/xgboost_baseline.dir/xgboost_baseline.cpp.o.d"
+  "xgboost_baseline"
+  "xgboost_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xgboost_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/lmpeel_core.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/lmpeel_core.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/CMakeFiles/lmpeel_core.dir/core/pipeline.cpp.o" "gcc" "src/CMakeFiles/lmpeel_core.dir/core/pipeline.cpp.o.d"
+  "/root/repo/src/core/reporting.cpp" "src/CMakeFiles/lmpeel_core.dir/core/reporting.cpp.o" "gcc" "src/CMakeFiles/lmpeel_core.dir/core/reporting.cpp.o.d"
+  "/root/repo/src/core/sweep.cpp" "src/CMakeFiles/lmpeel_core.dir/core/sweep.cpp.o" "gcc" "src/CMakeFiles/lmpeel_core.dir/core/sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lmpeel_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lmpeel_tok.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lmpeel_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lmpeel_gbt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lmpeel_lm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lmpeel_prompt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lmpeel_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lmpeel_haystack.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lmpeel_tune.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

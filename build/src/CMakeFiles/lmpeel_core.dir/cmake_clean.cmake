@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmpeel_core.dir/core/experiment.cpp.o"
+  "CMakeFiles/lmpeel_core.dir/core/experiment.cpp.o.d"
+  "CMakeFiles/lmpeel_core.dir/core/pipeline.cpp.o"
+  "CMakeFiles/lmpeel_core.dir/core/pipeline.cpp.o.d"
+  "CMakeFiles/lmpeel_core.dir/core/reporting.cpp.o"
+  "CMakeFiles/lmpeel_core.dir/core/reporting.cpp.o.d"
+  "CMakeFiles/lmpeel_core.dir/core/sweep.cpp.o"
+  "CMakeFiles/lmpeel_core.dir/core/sweep.cpp.o.d"
+  "liblmpeel_core.a"
+  "liblmpeel_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmpeel_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblmpeel_core.a"
+)

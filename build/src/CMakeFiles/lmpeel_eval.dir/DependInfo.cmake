@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/aggregate.cpp" "src/CMakeFiles/lmpeel_eval.dir/eval/aggregate.cpp.o" "gcc" "src/CMakeFiles/lmpeel_eval.dir/eval/aggregate.cpp.o.d"
+  "/root/repo/src/eval/bootstrap.cpp" "src/CMakeFiles/lmpeel_eval.dir/eval/bootstrap.cpp.o" "gcc" "src/CMakeFiles/lmpeel_eval.dir/eval/bootstrap.cpp.o.d"
+  "/root/repo/src/eval/histogram.cpp" "src/CMakeFiles/lmpeel_eval.dir/eval/histogram.cpp.o" "gcc" "src/CMakeFiles/lmpeel_eval.dir/eval/histogram.cpp.o.d"
+  "/root/repo/src/eval/metrics.cpp" "src/CMakeFiles/lmpeel_eval.dir/eval/metrics.cpp.o" "gcc" "src/CMakeFiles/lmpeel_eval.dir/eval/metrics.cpp.o.d"
+  "/root/repo/src/eval/needles.cpp" "src/CMakeFiles/lmpeel_eval.dir/eval/needles.cpp.o" "gcc" "src/CMakeFiles/lmpeel_eval.dir/eval/needles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lmpeel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

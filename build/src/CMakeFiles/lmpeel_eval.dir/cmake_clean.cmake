@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmpeel_eval.dir/eval/aggregate.cpp.o"
+  "CMakeFiles/lmpeel_eval.dir/eval/aggregate.cpp.o.d"
+  "CMakeFiles/lmpeel_eval.dir/eval/bootstrap.cpp.o"
+  "CMakeFiles/lmpeel_eval.dir/eval/bootstrap.cpp.o.d"
+  "CMakeFiles/lmpeel_eval.dir/eval/histogram.cpp.o"
+  "CMakeFiles/lmpeel_eval.dir/eval/histogram.cpp.o.d"
+  "CMakeFiles/lmpeel_eval.dir/eval/metrics.cpp.o"
+  "CMakeFiles/lmpeel_eval.dir/eval/metrics.cpp.o.d"
+  "CMakeFiles/lmpeel_eval.dir/eval/needles.cpp.o"
+  "CMakeFiles/lmpeel_eval.dir/eval/needles.cpp.o.d"
+  "liblmpeel_eval.a"
+  "liblmpeel_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmpeel_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gbt/booster.cpp" "src/CMakeFiles/lmpeel_gbt.dir/gbt/booster.cpp.o" "gcc" "src/CMakeFiles/lmpeel_gbt.dir/gbt/booster.cpp.o.d"
+  "/root/repo/src/gbt/random_search.cpp" "src/CMakeFiles/lmpeel_gbt.dir/gbt/random_search.cpp.o" "gcc" "src/CMakeFiles/lmpeel_gbt.dir/gbt/random_search.cpp.o.d"
+  "/root/repo/src/gbt/tree.cpp" "src/CMakeFiles/lmpeel_gbt.dir/gbt/tree.cpp.o" "gcc" "src/CMakeFiles/lmpeel_gbt.dir/gbt/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lmpeel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

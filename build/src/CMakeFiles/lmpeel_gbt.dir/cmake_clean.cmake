@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmpeel_gbt.dir/gbt/booster.cpp.o"
+  "CMakeFiles/lmpeel_gbt.dir/gbt/booster.cpp.o.d"
+  "CMakeFiles/lmpeel_gbt.dir/gbt/random_search.cpp.o"
+  "CMakeFiles/lmpeel_gbt.dir/gbt/random_search.cpp.o.d"
+  "CMakeFiles/lmpeel_gbt.dir/gbt/tree.cpp.o"
+  "CMakeFiles/lmpeel_gbt.dir/gbt/tree.cpp.o.d"
+  "liblmpeel_gbt.a"
+  "liblmpeel_gbt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmpeel_gbt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

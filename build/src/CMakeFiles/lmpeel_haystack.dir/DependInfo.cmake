@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/haystack/decoding_set.cpp" "src/CMakeFiles/lmpeel_haystack.dir/haystack/decoding_set.cpp.o" "gcc" "src/CMakeFiles/lmpeel_haystack.dir/haystack/decoding_set.cpp.o.d"
+  "/root/repo/src/haystack/permutations.cpp" "src/CMakeFiles/lmpeel_haystack.dir/haystack/permutations.cpp.o" "gcc" "src/CMakeFiles/lmpeel_haystack.dir/haystack/permutations.cpp.o.d"
+  "/root/repo/src/haystack/value_distribution.cpp" "src/CMakeFiles/lmpeel_haystack.dir/haystack/value_distribution.cpp.o" "gcc" "src/CMakeFiles/lmpeel_haystack.dir/haystack/value_distribution.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lmpeel_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lmpeel_lm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lmpeel_tok.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lmpeel_eval.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

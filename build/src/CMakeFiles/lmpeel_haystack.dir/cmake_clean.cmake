@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmpeel_haystack.dir/haystack/decoding_set.cpp.o"
+  "CMakeFiles/lmpeel_haystack.dir/haystack/decoding_set.cpp.o.d"
+  "CMakeFiles/lmpeel_haystack.dir/haystack/permutations.cpp.o"
+  "CMakeFiles/lmpeel_haystack.dir/haystack/permutations.cpp.o.d"
+  "CMakeFiles/lmpeel_haystack.dir/haystack/value_distribution.cpp.o"
+  "CMakeFiles/lmpeel_haystack.dir/haystack/value_distribution.cpp.o.d"
+  "liblmpeel_haystack.a"
+  "liblmpeel_haystack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmpeel_haystack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmpeel_hook.dir/hook/number_hook_lm.cpp.o"
+  "CMakeFiles/lmpeel_hook.dir/hook/number_hook_lm.cpp.o.d"
+  "liblmpeel_hook.a"
+  "liblmpeel_hook.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmpeel_hook.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lmpeel_hook.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lm/adamw.cpp" "src/CMakeFiles/lmpeel_lm.dir/lm/adamw.cpp.o" "gcc" "src/CMakeFiles/lmpeel_lm.dir/lm/adamw.cpp.o.d"
+  "/root/repo/src/lm/constrain.cpp" "src/CMakeFiles/lmpeel_lm.dir/lm/constrain.cpp.o" "gcc" "src/CMakeFiles/lmpeel_lm.dir/lm/constrain.cpp.o.d"
+  "/root/repo/src/lm/corpus.cpp" "src/CMakeFiles/lmpeel_lm.dir/lm/corpus.cpp.o" "gcc" "src/CMakeFiles/lmpeel_lm.dir/lm/corpus.cpp.o.d"
+  "/root/repo/src/lm/generate.cpp" "src/CMakeFiles/lmpeel_lm.dir/lm/generate.cpp.o" "gcc" "src/CMakeFiles/lmpeel_lm.dir/lm/generate.cpp.o.d"
+  "/root/repo/src/lm/induction_lm.cpp" "src/CMakeFiles/lmpeel_lm.dir/lm/induction_lm.cpp.o" "gcc" "src/CMakeFiles/lmpeel_lm.dir/lm/induction_lm.cpp.o.d"
+  "/root/repo/src/lm/sampler.cpp" "src/CMakeFiles/lmpeel_lm.dir/lm/sampler.cpp.o" "gcc" "src/CMakeFiles/lmpeel_lm.dir/lm/sampler.cpp.o.d"
+  "/root/repo/src/lm/tensor.cpp" "src/CMakeFiles/lmpeel_lm.dir/lm/tensor.cpp.o" "gcc" "src/CMakeFiles/lmpeel_lm.dir/lm/tensor.cpp.o.d"
+  "/root/repo/src/lm/trace.cpp" "src/CMakeFiles/lmpeel_lm.dir/lm/trace.cpp.o" "gcc" "src/CMakeFiles/lmpeel_lm.dir/lm/trace.cpp.o.d"
+  "/root/repo/src/lm/trainer.cpp" "src/CMakeFiles/lmpeel_lm.dir/lm/trainer.cpp.o" "gcc" "src/CMakeFiles/lmpeel_lm.dir/lm/trainer.cpp.o.d"
+  "/root/repo/src/lm/transformer.cpp" "src/CMakeFiles/lmpeel_lm.dir/lm/transformer.cpp.o" "gcc" "src/CMakeFiles/lmpeel_lm.dir/lm/transformer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lmpeel_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lmpeel_tok.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmpeel_lm.dir/lm/adamw.cpp.o"
+  "CMakeFiles/lmpeel_lm.dir/lm/adamw.cpp.o.d"
+  "CMakeFiles/lmpeel_lm.dir/lm/constrain.cpp.o"
+  "CMakeFiles/lmpeel_lm.dir/lm/constrain.cpp.o.d"
+  "CMakeFiles/lmpeel_lm.dir/lm/corpus.cpp.o"
+  "CMakeFiles/lmpeel_lm.dir/lm/corpus.cpp.o.d"
+  "CMakeFiles/lmpeel_lm.dir/lm/generate.cpp.o"
+  "CMakeFiles/lmpeel_lm.dir/lm/generate.cpp.o.d"
+  "CMakeFiles/lmpeel_lm.dir/lm/induction_lm.cpp.o"
+  "CMakeFiles/lmpeel_lm.dir/lm/induction_lm.cpp.o.d"
+  "CMakeFiles/lmpeel_lm.dir/lm/sampler.cpp.o"
+  "CMakeFiles/lmpeel_lm.dir/lm/sampler.cpp.o.d"
+  "CMakeFiles/lmpeel_lm.dir/lm/tensor.cpp.o"
+  "CMakeFiles/lmpeel_lm.dir/lm/tensor.cpp.o.d"
+  "CMakeFiles/lmpeel_lm.dir/lm/trace.cpp.o"
+  "CMakeFiles/lmpeel_lm.dir/lm/trace.cpp.o.d"
+  "CMakeFiles/lmpeel_lm.dir/lm/trainer.cpp.o"
+  "CMakeFiles/lmpeel_lm.dir/lm/trainer.cpp.o.d"
+  "CMakeFiles/lmpeel_lm.dir/lm/transformer.cpp.o"
+  "CMakeFiles/lmpeel_lm.dir/lm/transformer.cpp.o.d"
+  "liblmpeel_lm.a"
+  "liblmpeel_lm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmpeel_lm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

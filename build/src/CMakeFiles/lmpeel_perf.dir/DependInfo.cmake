@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/config_space.cpp" "src/CMakeFiles/lmpeel_perf.dir/perf/config_space.cpp.o" "gcc" "src/CMakeFiles/lmpeel_perf.dir/perf/config_space.cpp.o.d"
+  "/root/repo/src/perf/dataset.cpp" "src/CMakeFiles/lmpeel_perf.dir/perf/dataset.cpp.o" "gcc" "src/CMakeFiles/lmpeel_perf.dir/perf/dataset.cpp.o.d"
+  "/root/repo/src/perf/machine.cpp" "src/CMakeFiles/lmpeel_perf.dir/perf/machine.cpp.o" "gcc" "src/CMakeFiles/lmpeel_perf.dir/perf/machine.cpp.o.d"
+  "/root/repo/src/perf/syr2k_model.cpp" "src/CMakeFiles/lmpeel_perf.dir/perf/syr2k_model.cpp.o" "gcc" "src/CMakeFiles/lmpeel_perf.dir/perf/syr2k_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lmpeel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

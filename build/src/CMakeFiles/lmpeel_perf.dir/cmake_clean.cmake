@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmpeel_perf.dir/perf/config_space.cpp.o"
+  "CMakeFiles/lmpeel_perf.dir/perf/config_space.cpp.o.d"
+  "CMakeFiles/lmpeel_perf.dir/perf/dataset.cpp.o"
+  "CMakeFiles/lmpeel_perf.dir/perf/dataset.cpp.o.d"
+  "CMakeFiles/lmpeel_perf.dir/perf/machine.cpp.o"
+  "CMakeFiles/lmpeel_perf.dir/perf/machine.cpp.o.d"
+  "CMakeFiles/lmpeel_perf.dir/perf/syr2k_model.cpp.o"
+  "CMakeFiles/lmpeel_perf.dir/perf/syr2k_model.cpp.o.d"
+  "liblmpeel_perf.a"
+  "liblmpeel_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmpeel_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

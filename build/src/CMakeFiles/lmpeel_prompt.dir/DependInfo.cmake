@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prompt/parser.cpp" "src/CMakeFiles/lmpeel_prompt.dir/prompt/parser.cpp.o" "gcc" "src/CMakeFiles/lmpeel_prompt.dir/prompt/parser.cpp.o.d"
+  "/root/repo/src/prompt/render.cpp" "src/CMakeFiles/lmpeel_prompt.dir/prompt/render.cpp.o" "gcc" "src/CMakeFiles/lmpeel_prompt.dir/prompt/render.cpp.o.d"
+  "/root/repo/src/prompt/template.cpp" "src/CMakeFiles/lmpeel_prompt.dir/prompt/template.cpp.o" "gcc" "src/CMakeFiles/lmpeel_prompt.dir/prompt/template.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lmpeel_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lmpeel_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lmpeel_tok.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmpeel_prompt.dir/prompt/parser.cpp.o"
+  "CMakeFiles/lmpeel_prompt.dir/prompt/parser.cpp.o.d"
+  "CMakeFiles/lmpeel_prompt.dir/prompt/render.cpp.o"
+  "CMakeFiles/lmpeel_prompt.dir/prompt/render.cpp.o.d"
+  "CMakeFiles/lmpeel_prompt.dir/prompt/template.cpp.o"
+  "CMakeFiles/lmpeel_prompt.dir/prompt/template.cpp.o.d"
+  "liblmpeel_prompt.a"
+  "liblmpeel_prompt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmpeel_prompt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tok/bpe.cpp" "src/CMakeFiles/lmpeel_tok.dir/tok/bpe.cpp.o" "gcc" "src/CMakeFiles/lmpeel_tok.dir/tok/bpe.cpp.o.d"
+  "/root/repo/src/tok/pretokenize.cpp" "src/CMakeFiles/lmpeel_tok.dir/tok/pretokenize.cpp.o" "gcc" "src/CMakeFiles/lmpeel_tok.dir/tok/pretokenize.cpp.o.d"
+  "/root/repo/src/tok/tokenizer.cpp" "src/CMakeFiles/lmpeel_tok.dir/tok/tokenizer.cpp.o" "gcc" "src/CMakeFiles/lmpeel_tok.dir/tok/tokenizer.cpp.o.d"
+  "/root/repo/src/tok/vocab.cpp" "src/CMakeFiles/lmpeel_tok.dir/tok/vocab.cpp.o" "gcc" "src/CMakeFiles/lmpeel_tok.dir/tok/vocab.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lmpeel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmpeel_tok.dir/tok/bpe.cpp.o"
+  "CMakeFiles/lmpeel_tok.dir/tok/bpe.cpp.o.d"
+  "CMakeFiles/lmpeel_tok.dir/tok/pretokenize.cpp.o"
+  "CMakeFiles/lmpeel_tok.dir/tok/pretokenize.cpp.o.d"
+  "CMakeFiles/lmpeel_tok.dir/tok/tokenizer.cpp.o"
+  "CMakeFiles/lmpeel_tok.dir/tok/tokenizer.cpp.o.d"
+  "CMakeFiles/lmpeel_tok.dir/tok/vocab.cpp.o"
+  "CMakeFiles/lmpeel_tok.dir/tok/vocab.cpp.o.d"
+  "liblmpeel_tok.a"
+  "liblmpeel_tok.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmpeel_tok.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lmpeel_tok.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tune/annealing_tuner.cpp" "src/CMakeFiles/lmpeel_tune.dir/tune/annealing_tuner.cpp.o" "gcc" "src/CMakeFiles/lmpeel_tune.dir/tune/annealing_tuner.cpp.o.d"
+  "/root/repo/src/tune/campaign.cpp" "src/CMakeFiles/lmpeel_tune.dir/tune/campaign.cpp.o" "gcc" "src/CMakeFiles/lmpeel_tune.dir/tune/campaign.cpp.o.d"
+  "/root/repo/src/tune/gbt_surrogate_tuner.cpp" "src/CMakeFiles/lmpeel_tune.dir/tune/gbt_surrogate_tuner.cpp.o" "gcc" "src/CMakeFiles/lmpeel_tune.dir/tune/gbt_surrogate_tuner.cpp.o.d"
+  "/root/repo/src/tune/genetic_tuner.cpp" "src/CMakeFiles/lmpeel_tune.dir/tune/genetic_tuner.cpp.o" "gcc" "src/CMakeFiles/lmpeel_tune.dir/tune/genetic_tuner.cpp.o.d"
+  "/root/repo/src/tune/llambo_tuner.cpp" "src/CMakeFiles/lmpeel_tune.dir/tune/llambo_tuner.cpp.o" "gcc" "src/CMakeFiles/lmpeel_tune.dir/tune/llambo_tuner.cpp.o.d"
+  "/root/repo/src/tune/random_search_tuner.cpp" "src/CMakeFiles/lmpeel_tune.dir/tune/random_search_tuner.cpp.o" "gcc" "src/CMakeFiles/lmpeel_tune.dir/tune/random_search_tuner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lmpeel_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lmpeel_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lmpeel_gbt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lmpeel_lm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lmpeel_prompt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lmpeel_tok.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmpeel_tune.dir/tune/annealing_tuner.cpp.o"
+  "CMakeFiles/lmpeel_tune.dir/tune/annealing_tuner.cpp.o.d"
+  "CMakeFiles/lmpeel_tune.dir/tune/campaign.cpp.o"
+  "CMakeFiles/lmpeel_tune.dir/tune/campaign.cpp.o.d"
+  "CMakeFiles/lmpeel_tune.dir/tune/gbt_surrogate_tuner.cpp.o"
+  "CMakeFiles/lmpeel_tune.dir/tune/gbt_surrogate_tuner.cpp.o.d"
+  "CMakeFiles/lmpeel_tune.dir/tune/genetic_tuner.cpp.o"
+  "CMakeFiles/lmpeel_tune.dir/tune/genetic_tuner.cpp.o.d"
+  "CMakeFiles/lmpeel_tune.dir/tune/llambo_tuner.cpp.o"
+  "CMakeFiles/lmpeel_tune.dir/tune/llambo_tuner.cpp.o.d"
+  "CMakeFiles/lmpeel_tune.dir/tune/random_search_tuner.cpp.o"
+  "CMakeFiles/lmpeel_tune.dir/tune/random_search_tuner.cpp.o.d"
+  "liblmpeel_tune.a"
+  "liblmpeel_tune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmpeel_tune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

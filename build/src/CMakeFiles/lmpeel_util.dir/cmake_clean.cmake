@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmpeel_util.dir/util/math.cpp.o"
+  "CMakeFiles/lmpeel_util.dir/util/math.cpp.o.d"
+  "CMakeFiles/lmpeel_util.dir/util/rng.cpp.o"
+  "CMakeFiles/lmpeel_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/lmpeel_util.dir/util/str.cpp.o"
+  "CMakeFiles/lmpeel_util.dir/util/str.cpp.o.d"
+  "CMakeFiles/lmpeel_util.dir/util/table.cpp.o"
+  "CMakeFiles/lmpeel_util.dir/util/table.cpp.o.d"
+  "CMakeFiles/lmpeel_util.dir/util/thread_pool.cpp.o"
+  "CMakeFiles/lmpeel_util.dir/util/thread_pool.cpp.o.d"
+  "liblmpeel_util.a"
+  "liblmpeel_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmpeel_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_constrain.dir/test_constrain.cpp.o"
+  "CMakeFiles/test_constrain.dir/test_constrain.cpp.o.d"
+  "test_constrain"
+  "test_constrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_constrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gbt.dir/test_gbt.cpp.o"
+  "CMakeFiles/test_gbt.dir/test_gbt.cpp.o.d"
+  "test_gbt"
+  "test_gbt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gbt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

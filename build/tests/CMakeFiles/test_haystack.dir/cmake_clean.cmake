@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_haystack.dir/test_haystack.cpp.o"
+  "CMakeFiles/test_haystack.dir/test_haystack.cpp.o.d"
+  "test_haystack"
+  "test_haystack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_haystack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_induction_lm.dir/test_induction_lm.cpp.o"
+  "CMakeFiles/test_induction_lm.dir/test_induction_lm.cpp.o.d"
+  "test_induction_lm"
+  "test_induction_lm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_induction_lm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_number_hook.dir/test_number_hook.cpp.o"
+  "CMakeFiles/test_number_hook.dir/test_number_hook.cpp.o.d"
+  "test_number_hook"
+  "test_number_hook.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_number_hook.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prompt.dir/test_prompt.cpp.o"
+  "CMakeFiles/test_prompt.dir/test_prompt.cpp.o.d"
+  "test_prompt"
+  "test_prompt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prompt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmpeel.dir/lmpeel_cli.cpp.o"
+  "CMakeFiles/lmpeel.dir/lmpeel_cli.cpp.o.d"
+  "lmpeel"
+  "lmpeel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmpeel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
