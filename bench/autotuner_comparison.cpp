@@ -16,7 +16,7 @@
 #include "tune/genetic_tuner.hpp"
 #include "tune/llambo_tuner.hpp"
 #include "tune/random_search_tuner.hpp"
-#include "util/stopwatch.hpp"
+#include "obs/span.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -31,7 +31,7 @@ int main() {
             << util::Table::num(data.min_runtime(), 4) << " s, median "
             << util::Table::num(data[data.size() / 2].runtime, 4) << " s\n";
 
-  util::Stopwatch watch;
+  obs::Span watch("bench.autotuner_comparison");
   util::Table table({"tuner", "budget", "best_mean_s", "best_min_s",
                      "best_at_half_budget_s"});
 

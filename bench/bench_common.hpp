@@ -1,12 +1,19 @@
 // Shared plumbing for the bench binaries: environment-variable knobs (so
 // the paper-scale settings can be enabled without recompiling), consistent
-// banners, and CSV echoing.
+// banners, CSV echoing, and the BENCH_baseline.json perf-trajectory record.
 #pragma once
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <map>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/sinks.hpp"
 #include "util/table.hpp"
 
 namespace lmpeel::bench {
@@ -27,6 +34,69 @@ inline void emit(const std::string& title, const util::Table& table) {
   util::print_banner(std::cout, title);
   std::cout << table.to_text();
   std::cout << "--- csv ---\n" << table.to_csv() << "--- end csv ---\n";
+}
+
+/// One bench's perf-trajectory record: wall time plus the obs counters the
+/// run accumulated (tokens generated, boosting rounds, …).
+struct BenchRecord {
+  std::string name;
+  double wall_s = 0.0;
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+};
+
+/// Snapshot of every counter in `registry`, ready for a BenchRecord.
+inline std::vector<std::pair<std::string, std::uint64_t>> counter_snapshot(
+    const obs::Registry& registry = obs::Registry::global()) {
+  return registry.counters();
+}
+
+/// Target file for write_bench_record: $LMPEEL_BENCH_JSON, defaulting to
+/// BENCH_baseline.json in the current directory.
+inline std::string bench_json_path() {
+  const char* path = std::getenv("LMPEEL_BENCH_JSON");
+  return (path != nullptr && *path != '\0') ? path : "BENCH_baseline.json";
+}
+
+/// Merges `record` into the bench JSON file, preserving other benches'
+/// entries so successive bench runs grow one combined baseline.  The file is
+/// plain JSON; entries are kept one-per-line (written only by this helper)
+/// so the merge can be line-oriented instead of needing a JSON parser.
+inline void write_bench_record(const BenchRecord& record) {
+  const std::string path = bench_json_path();
+
+  // Re-read existing entry lines ("    \"<name>\": {...}").
+  std::map<std::string, std::string> entries;
+  if (std::ifstream in(path); in.good()) {
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.rfind("    \"", 0) != 0) continue;
+      const auto name_end = line.find('"', 5);
+      if (name_end == std::string::npos) continue;
+      if (line.back() == ',') line.pop_back();
+      entries[line.substr(5, name_end - 5)] = line;
+    }
+  }
+
+  std::ostringstream entry;
+  entry << "    \"" << obs::json_escape(record.name)
+        << "\": {\"wall_s\": " << record.wall_s << ", \"counters\": {";
+  for (std::size_t i = 0; i < record.counters.size(); ++i) {
+    if (i > 0) entry << ", ";
+    entry << '"' << obs::json_escape(record.counters[i].first)
+          << "\": " << record.counters[i].second;
+  }
+  entry << "}}";
+  entries[record.name] = entry.str();
+
+  std::ofstream out(path);
+  out << "{\n  \"schema\": \"lmpeel-bench-v1\",\n  \"benches\": {\n";
+  std::size_t i = 0;
+  for (const auto& [name, line] : entries) {
+    out << line << (++i < entries.size() ? ",\n" : "\n");
+  }
+  out << "  }\n}\n";
+  std::cout << "bench record '" << record.name << "' written to " << path
+            << '\n';
 }
 
 }  // namespace lmpeel::bench

@@ -15,7 +15,7 @@
 #include "lm/trainer.hpp"
 #include "lm/transformer.hpp"
 #include "tok/tokenizer.hpp"
-#include "util/stopwatch.hpp"
+#include "obs/span.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -99,7 +99,7 @@ int main() {
   task.x_min = 1;
   task.x_max = 9;
 
-  util::Stopwatch watch;
+  obs::Span watch("bench.function_class_icl");
   util::Table table({"train_steps", "loss", "exact_match", "mae",
                      "parrot_mae"});
   const auto eval0 = evaluate(model, tz, task, eval_episodes, 999);

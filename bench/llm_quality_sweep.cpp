@@ -13,11 +13,11 @@
 #include "bench_common.hpp"
 #include "core/reporting.hpp"
 #include "core/sweep.hpp"
-#include "util/stopwatch.hpp"
+#include "obs/span.hpp"
 
 int main() {
   using namespace lmpeel;
-  util::Stopwatch watch;
+  obs::Span watch("bench.llm_quality_sweep");
   core::Pipeline pipeline;
   core::SweepSettings settings;
 

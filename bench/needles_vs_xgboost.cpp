@@ -12,6 +12,7 @@
 #include "bench_common.hpp"
 #include "eval/needles.hpp"
 #include "gbt/random_search.hpp"
+#include "obs/span.hpp"
 #include "perf/dataset.hpp"
 #include "sweep_haystack_observer.hpp"
 #include "util/table.hpp"
@@ -57,6 +58,7 @@ std::vector<double> xgboost_hit_rates(int iterations) {
 }  // namespace
 
 int main() {
+  obs::Span bench_span("bench.needles_vs_xgboost");
   core::Pipeline pipeline;
   core::SweepSettings settings;
 
@@ -95,5 +97,7 @@ int main() {
                     : "DEVIATION: XGBoost did not dominate at every "
                       "bound.\n");
   std::cout << "generations analysed: " << observer.generations << "\n";
+  bench::write_bench_record({"needles_vs_xgboost", bench_span.seconds(),
+                             bench::counter_snapshot()});
   return 0;
 }

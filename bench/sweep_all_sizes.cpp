@@ -10,11 +10,13 @@
 #include "bench_common.hpp"
 #include "core/reporting.hpp"
 #include "core/sweep.hpp"
+#include "obs/span.hpp"
 #include "util/table.hpp"
 
 int main() {
   using namespace lmpeel;
 
+  obs::Span bench_span("bench.sweep_all_sizes");
   core::Pipeline pipeline;
   core::SweepSettings settings;
   settings.sizes.assign(perf::kAllSizes.begin(), perf::kAllSizes.end());
@@ -62,5 +64,7 @@ int main() {
               table);
   std::cout << "The negative result is size-robust: no rung of the ladder "
                "yields a usable mean R².\n";
+  bench::write_bench_record(
+      {"sweep_all_sizes", bench_span.seconds(), bench::counter_snapshot()});
   return 0;
 }

@@ -13,7 +13,7 @@
 #include "eval/metrics.hpp"
 #include "gbt/random_search.hpp"
 #include "perf/dataset.hpp"
-#include "util/stopwatch.hpp"
+#include "obs/span.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -45,7 +45,7 @@ int main() {
   util::Table table({"train", "size", "R2", "R2(paper)", "MARE",
                      "MARE(paper)", "MSRE", "MSRE(paper)"});
 
-  util::Stopwatch watch;
+  obs::Span watch("bench.table1_xgboost_metrics");
   for (const perf::SizeClass size :
        {perf::SizeClass::SM, perf::SizeClass::XL}) {
     const perf::Dataset data = perf::Dataset::generate(model, size, 42);

@@ -1,10 +1,12 @@
 #include "core/pipeline.hpp"
 
+#include "obs/span.hpp"
 #include "util/rng.hpp"
 
 namespace lmpeel::core {
 
 Pipeline::Pipeline(PipelineConfig config) : config_(std::move(config)) {
+  obs::Span span("core.pipeline_init");
   // Train BPE on a deterministic corpus assembled from the prompt
   // templates themselves, so the tokenizer sees exactly the vocabulary the
   // experiments use (and the "Performance:" marker tokenises stably).
@@ -41,10 +43,12 @@ Pipeline::Pipeline(PipelineConfig config) : config_(std::move(config)) {
 const perf::Dataset& Pipeline::dataset(perf::SizeClass size) {
   auto it = datasets_.find(size);
   if (it == datasets_.end()) {
+    obs::Span span("core.dataset_generate");
     it = datasets_
              .emplace(size, perf::Dataset::generate(perf_model_, size,
                                                     config_.dataset_seed))
              .first;
+    obs::Registry::global().counter("core.datasets_generated").add();
   }
   return it->second;
 }

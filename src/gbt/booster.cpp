@@ -4,6 +4,7 @@
 #include <numeric>
 #include <sstream>
 
+#include "obs/span.hpp"
 #include "util/check.hpp"
 
 namespace lmpeel::gbt {
@@ -21,6 +22,7 @@ void GradientBoostedTrees::fit(std::span<const double> x, std::size_t cols,
                                std::span<const double> y,
                                const BoosterParams& params,
                                std::uint64_t seed) {
+  obs::Span span("gbt.fit");
   LMPEEL_CHECK(cols > 0);
   LMPEEL_CHECK(x.size() % cols == 0);
   const std::size_t rows = x.size() / cols;
@@ -56,6 +58,8 @@ void GradientBoostedTrees::fit(std::span<const double> x, std::size_t cols,
   std::iota(all_rows.begin(), all_rows.end(), 0);
 
   for (int round = 0; round < params.n_estimators; ++round) {
+    obs::Span round_span("gbt.boost_round");
+    obs::Registry::global().counter("gbt.rounds").add();
     for (std::size_t i = 0; i < rows; ++i) {
       gradients[i] = prediction[i] - y[i];  // d/dp of 1/2 (p - y)^2
     }

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "obs/span.hpp"
 #include "util/check.hpp"
 
 namespace lmpeel::lm {
@@ -32,6 +33,8 @@ double AdamW::gradient_norm() const {
 }
 
 void AdamW::step(double lr_override) {
+  obs::Span span("lm.adamw.step");
+  obs::Registry::global().counter("lm.adamw.steps").add();
   const double lr = lr_override >= 0.0 ? lr_override : config_.lr;
   ++t_;
   double clip_scale = 1.0;

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/span.hpp"
 #include "tok/vocab.hpp"
 #include "util/check.hpp"
 
@@ -12,13 +13,18 @@ double sequence_log_probability(LanguageModel& model,
                                 std::span<const int> context,
                                 std::span<const int> continuation) {
   LMPEEL_CHECK(!continuation.empty());
+  obs::Span span("lm.sequence_log_probability");
   std::vector<int> ctx(context.begin(), context.end());
   std::vector<float> logits(model.vocab_size());
   std::vector<float> probs(model.vocab_size());
   double log_prob = 0.0;
   for (const int token : continuation) {
     LMPEEL_CHECK(token >= 0 && token < model.vocab_size());
-    model.next_logits(ctx, logits);
+    {
+      obs::Span step_span("lm.next_logits");
+      model.next_logits(ctx, logits);
+    }
+    obs::Registry::global().counter("lm.scored_tokens").add();
     if (logits[token] == kNegInf) {
       return -std::numeric_limits<double>::infinity();
     }
@@ -32,6 +38,8 @@ double sequence_log_probability(LanguageModel& model,
 Generation generate(LanguageModel& model, std::span<const int> prompt,
                     const GenerateOptions& options) {
   LMPEEL_CHECK(options.max_tokens > 0);
+  obs::Span span("lm.generate");
+  obs::Registry::global().counter("lm.generations").add();
   model.set_seed(options.seed);
   util::Rng rng(options.seed, /*stream=*/0x5a3c);
 
@@ -40,15 +48,23 @@ Generation generate(LanguageModel& model, std::span<const int> prompt,
 
   Generation out;
   for (std::size_t i = 0; i < options.max_tokens; ++i) {
-    model.next_logits(context, logits);
+    {
+      obs::Span step_span("lm.next_logits");
+      model.next_logits(context, logits);
+    }
     const int token = sample(logits, options.sampler, rng);
     if (options.stop_on_eos && token == tok::kEos) break;
     if (token == options.stop_token) break;
-    out.trace.add_step(make_step(logits, token));
+    {
+      obs::Span trace_span("lm.trace_capture");
+      out.trace.add_step(make_step(logits, token));
+    }
     out.tokens.push_back(token);
     context.push_back(token);
     if (i + 1 == options.max_tokens) out.hit_max_tokens = true;
   }
+  obs::Registry::global().counter("lm.tokens_generated")
+      .add(out.tokens.size());
   return out;
 }
 

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "lm/sampler.hpp"
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace lmpeel::lm {
@@ -63,6 +64,9 @@ Step make_step(std::span<const float> logits, int chosen) {
     step.candidates.push_back(
         {chosen, logits[chosen], probs[chosen]});
   }
+  obs::Registry::global().counter("lm.trace.steps").add();
+  obs::Registry::global().counter("lm.trace.candidates")
+      .add(step.candidates.size());
   return step;
 }
 

@@ -1,5 +1,6 @@
 #include "lm/trainer.hpp"
 
+#include "obs/span.hpp"
 #include "util/check.hpp"
 
 namespace lmpeel::lm {
@@ -14,7 +15,9 @@ TrainResult train(
   TrainResult result;
   result.loss_curve.reserve(options.steps);
 
+  obs::Span train_span("lm.train");
   for (std::size_t step = 0; step < options.steps; ++step) {
+    obs::Span step_span("lm.train_step");
     model.zero_gradients();
     double batch_loss = 0.0;
     for (std::size_t b = 0; b < options.batch_size; ++b) {

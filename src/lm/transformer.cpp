@@ -5,6 +5,7 @@
 #include <istream>
 #include <ostream>
 
+#include "obs/span.hpp"
 #include "util/check.hpp"
 
 namespace lmpeel::lm {
@@ -124,6 +125,9 @@ TransformerLm::TransformerLm(TransformerConfig config, std::uint64_t seed)
 
 void TransformerLm::forward(std::span<const int> ids, Cache* cache,
                             std::span<float> last_logits_out) {
+  obs::Span span("lm.transformer.forward");
+  obs::Registry::global().counter("lm.transformer.forward_tokens")
+      .add(ids.size());
   const std::size_t t_len = ids.size();
   LMPEEL_CHECK(t_len > 0);
   LMPEEL_CHECK(t_len <= static_cast<std::size_t>(config_.max_seq));
@@ -255,6 +259,9 @@ void TransformerLm::forward(std::span<const int> ids, Cache* cache,
 
 void TransformerLm::decode(KvCache& cache, std::span<const int> tokens,
                            std::span<float> out) {
+  obs::Span span("lm.transformer.decode");
+  obs::Registry::global().counter("lm.transformer.decode_tokens")
+      .add(tokens.size());
   LMPEEL_CHECK(!tokens.empty());
   LMPEEL_CHECK(out.size() == static_cast<std::size_t>(config_.vocab));
   const auto d = static_cast<std::size_t>(config_.d_model);
@@ -451,6 +458,8 @@ double TransformerLm::loss_and_backward(
   }
   loss /= static_cast<double>(n_targets);
   if (!do_backward) return loss;
+
+  obs::Span backward_span("lm.transformer.backward");
 
   // ---- backward -------------------------------------------------------
   // Head (weight-tied): logits = f * E^T.

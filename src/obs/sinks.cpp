@@ -1,0 +1,156 @@
+#include "obs/sinks.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace lmpeel::obs {
+
+namespace {
+
+/// Shortest round-trippable representation, locale-independent.
+std::string num(double v) {
+  std::ostringstream os;
+  os << std::setprecision(17) << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+util::Table summary_table(const Registry& registry) {
+  util::Table table({"metric", "type", "count", "value", "mean_s", "p50_s",
+                     "p95_s", "p99_s", "max_s"});
+  for (const auto& [name, value] : registry.counters()) {
+    table.add_row({name, "counter", std::to_string(value),
+                   std::to_string(value), "-", "-", "-", "-", "-"});
+  }
+  for (const auto& [name, value] : registry.gauges()) {
+    table.add_row({name, "gauge", "-", util::Table::num(value, 6), "-", "-",
+                   "-", "-", "-"});
+  }
+  for (const auto& [name, histogram] : registry.histograms()) {
+    table.add_row({name, "histogram", std::to_string(histogram->count()),
+                   "-", util::Table::num(histogram->mean(), 4),
+                   util::Table::num(histogram->percentile(0.50), 4),
+                   util::Table::num(histogram->percentile(0.95), 4),
+                   util::Table::num(histogram->percentile(0.99), 4),
+                   util::Table::num(histogram->max(), 4)});
+  }
+  return table;
+}
+
+void write_jsonl(const Registry& registry, std::ostream& out) {
+  for (const auto& [name, value] : registry.counters()) {
+    out << "{\"type\":\"counter\",\"name\":\"" << json_escape(name)
+        << "\",\"value\":" << value << "}\n";
+  }
+  for (const auto& [name, value] : registry.gauges()) {
+    out << "{\"type\":\"gauge\",\"name\":\"" << json_escape(name)
+        << "\",\"value\":" << num(value) << "}\n";
+  }
+  for (const auto& [name, h] : registry.histograms()) {
+    out << "{\"type\":\"histogram\",\"name\":\"" << json_escape(name)
+        << "\",\"count\":" << h->count() << ",\"sum\":" << num(h->sum())
+        << ",\"min\":" << num(h->min()) << ",\"max\":" << num(h->max())
+        << ",\"p50\":" << num(h->percentile(0.50))
+        << ",\"p95\":" << num(h->percentile(0.95))
+        << ",\"p99\":" << num(h->percentile(0.99))
+        << ",\"overflow\":" << h->overflow() << "}\n";
+  }
+  for (const TraceEvent& e : registry.events()) {
+    out << "{\"type\":\"span\",\"name\":\"" << json_escape(e.name)
+        << "\",\"ts_us\":" << num(e.ts_us) << ",\"dur_us\":" << num(e.dur_us)
+        << ",\"tid\":" << e.tid << ",\"depth\":" << e.depth << "}\n";
+  }
+}
+
+void write_chrome_trace(const Registry& registry, std::ostream& out) {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  out << "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+         "\"args\":{\"name\":\"lmpeel\"}}";
+  for (const TraceEvent& e : registry.events()) {
+    // Category = the subsystem prefix of the dotted metric name, so the
+    // trace viewer can filter by lm / tok / gbt / tune / core.
+    const auto dot = e.name.find('.');
+    const std::string cat =
+        dot == std::string::npos ? "misc" : e.name.substr(0, dot);
+    out << ",\n{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
+        << json_escape(cat) << "\",\"ph\":\"X\",\"ts\":" << num(e.ts_us)
+        << ",\"dur\":" << num(e.dur_us) << ",\"pid\":1,\"tid\":" << e.tid
+        << ",\"args\":{\"depth\":" << e.depth << "}}";
+  }
+  out << "\n]}\n";
+}
+
+void write_trace_file(const Registry& registry, const std::string& path) {
+  std::ofstream out(path);
+  LMPEEL_CHECK_MSG(out.good(), "cannot open trace output file: " + path);
+  if (path.size() >= 6 && path.compare(path.size() - 6, 6, ".jsonl") == 0) {
+    write_jsonl(registry, out);
+  } else {
+    write_chrome_trace(registry, out);
+  }
+  out.flush();
+  LMPEEL_CHECK_MSG(out.good(), "trace write failed: " + path);
+}
+
+namespace {
+
+std::string& env_trace_path() {
+  static std::string path;
+  return path;
+}
+
+void lmpeel_obs_flush_trace() {
+  try {
+    write_trace_file(Registry::global(), env_trace_path());
+    std::fprintf(stderr, "[lmpeel.obs] wrote trace to %s\n",
+                 env_trace_path().c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[lmpeel.obs] trace flush failed: %s\n", e.what());
+  }
+}
+
+}  // namespace
+
+void init_trace_from_env() {
+  static bool initialized = false;
+  if (initialized) return;
+  initialized = true;
+  const char* path = std::getenv("LMPEEL_TRACE");
+  if (path == nullptr || *path == '\0') return;
+  env_trace_path() = path;
+  Registry::global().enable_events();
+  std::atexit(&lmpeel_obs_flush_trace);
+}
+
+}  // namespace lmpeel::obs

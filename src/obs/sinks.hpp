@@ -1,0 +1,49 @@
+// Sinks turn a Registry snapshot into something a human or another tool can
+// consume:
+//
+//   * summary_table() — aligned-text overview of every counter, gauge and
+//     histogram (count, mean, p50/p95/p99, max), built on util::Table so the
+//     CLI and benches print it like any other table in this repo;
+//   * write_jsonl()   — one self-describing JSON object per line: every
+//     metric plus every buffered span event, for scripts and dashboards;
+//   * write_chrome_trace() — the Chrome trace_event format ("X" complete
+//     events, microsecond timestamps) so a whole experiment run opens in
+//     chrome://tracing or https://ui.perfetto.dev;
+//   * init_trace_from_env() — wires LMPEEL_TRACE=<path>: enables event
+//     collection on the global registry and flushes the trace at process
+//     exit, so any bench or example emits traces without code changes.
+//     A path ending in ".jsonl" selects the JSONL sink instead.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "util/table.hpp"
+
+namespace lmpeel::obs {
+
+/// Metric overview; latency columns are in seconds.
+util::Table summary_table(const Registry& registry);
+
+/// Streams metrics then span events, one JSON object per line.
+void write_jsonl(const Registry& registry, std::ostream& out);
+
+/// Writes {"traceEvents": [...]} with one complete ("ph":"X") event per
+/// buffered span, plus process/thread metadata events.
+void write_chrome_trace(const Registry& registry, std::ostream& out);
+
+/// Convenience: opens `path` and writes the sink chosen by its extension
+/// (".jsonl" → JSONL, anything else → Chrome trace).  Throws on I/O failure.
+void write_trace_file(const Registry& registry, const std::string& path);
+
+/// Reads LMPEEL_TRACE once per process; no-op when unset.  Called from a
+/// static initialiser inside the obs library, but safe (and idempotent) to
+/// call manually.
+void init_trace_from_env();
+
+/// Escapes a string for embedding in a JSON string literal (exposed for
+/// tests and other emitters).
+std::string json_escape(std::string_view text);
+
+}  // namespace lmpeel::obs

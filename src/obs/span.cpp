@@ -1,0 +1,53 @@
+#include "obs/span.hpp"
+
+#include <chrono>
+
+namespace lmpeel::obs {
+
+namespace {
+
+std::chrono::steady_clock::time_point process_epoch() noexcept {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+thread_local int tl_depth = 0;
+
+}  // namespace
+
+double now_us() noexcept {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - process_epoch())
+      .count();
+}
+
+int current_thread_id() noexcept {
+  static std::atomic<int> next_id{0};
+  thread_local const int id = next_id.fetch_add(1);
+  return id;
+}
+
+int current_depth() noexcept { return tl_depth; }
+
+Span::Span(Registry& registry, std::string_view name)
+    : registry_(&registry), name_(name) {
+  depth_ = tl_depth++;
+  // Timestamp last so setup cost is excluded from the measured interval.
+  if (registry_->events_enabled()) begin_us_ = now_us();
+  watch_.reset();
+}
+
+void Span::close() noexcept {
+  if (!open_) return;
+  open_ = false;
+  final_seconds_ = watch_.seconds();
+  --tl_depth;
+  registry_->histogram(name_).record(final_seconds_);
+  if (registry_->events_enabled()) {
+    registry_->add_event(TraceEvent{name_, begin_us_, final_seconds_ * 1e6,
+                                    current_thread_id(), depth_});
+  }
+}
+
+}  // namespace lmpeel::obs

@@ -1,5 +1,6 @@
 #include "tok/tokenizer.hpp"
 
+#include "obs/span.hpp"
 #include "tok/pretokenize.hpp"
 #include "util/check.hpp"
 
@@ -7,6 +8,7 @@ namespace lmpeel::tok {
 
 void Tokenizer::train_bpe(const std::string& corpus, std::size_t max_merges,
                           std::size_t min_frequency) {
+  obs::Span span("tok.bpe_train");
   bpe_.train(corpus, vocab_, max_merges, min_frequency);
 }
 
@@ -20,6 +22,8 @@ Tokenizer Tokenizer::load(std::istream& in) {
 
 void Tokenizer::encode_append(std::string_view text,
                               std::vector<int>& out) const {
+  obs::Span span("tok.encode");
+  const std::size_t before = out.size();
   for (const Piece& piece : pretokenize(text)) {
     switch (piece.kind) {
       case PieceKind::Digits:
@@ -38,6 +42,8 @@ void Tokenizer::encode_append(std::string_view text,
         break;
     }
   }
+  obs::Registry::global().counter("tok.tokens_encoded")
+      .add(out.size() - before);
 }
 
 std::vector<int> Tokenizer::encode(std::string_view text) const {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/span.hpp"
 #include "util/check.hpp"
 
 namespace lmpeel::tune {
@@ -25,6 +26,8 @@ CampaignResult run_campaign(Tuner& tuner, const perf::Syr2kModel& model,
                             perf::SizeClass size,
                             const CampaignOptions& options) {
   LMPEEL_CHECK(options.budget > 0);
+  obs::Span span("tune.campaign");
+  obs::Registry& registry = obs::Registry::global();
   const perf::ConfigSpace space;
   CampaignResult result;
   result.evaluated.reserve(options.budget);
@@ -34,16 +37,25 @@ CampaignResult run_campaign(Tuner& tuner, const perf::Syr2kModel& model,
   util::Rng measure_rng(options.seed, 0x9c1);
   double best = 0.0;
   for (std::size_t i = 0; i < options.budget; ++i) {
+    obs::Span iter_span("tune.iteration");
     perf::Sample sample;
-    sample.config = tuner.propose(propose_rng);
+    {
+      obs::Span propose_span("tune.propose");
+      sample.config = tuner.propose(propose_rng);
+    }
     sample.config_index = space.index_of(sample.config);
     sample.runtime = model.measure(sample.config, size, measure_rng);
-    tuner.observe(sample.config, sample.runtime);
+    {
+      obs::Span observe_span("tune.observe");
+      tuner.observe(sample.config, sample.runtime);
+    }
+    registry.counter("tune.evaluations").add();
 
     best = i == 0 ? sample.runtime : std::min(best, sample.runtime);
     result.evaluated.push_back(sample);
     result.best_so_far.push_back(best);
   }
+  registry.gauge("tune.best_runtime_s").set(best);
   return result;
 }
 

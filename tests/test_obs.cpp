@@ -1,0 +1,384 @@
+// obs subsystem: counter/gauge/histogram correctness (percentile edges,
+// overflow bucket), span nesting, thread-safety of registry updates driven
+// by util::ThreadPool workers, and well-formedness of the JSONL and Chrome
+// trace_event sinks (parsed back with a minimal JSON reader).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/sinks.hpp"
+#include "obs/span.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace lmpeel;
+
+// --- minimal JSON reader (validation + value extraction for assertions) ---
+
+struct JsonParser {
+  std::string_view text;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  void fail() { ok = false; }
+
+  void parse_value() {
+    if (!ok) return;
+    skip_ws();
+    if (pos >= text.size()) return fail();
+    const char c = text[pos];
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return parse_string();
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      return parse_number();
+    }
+    if (text.compare(pos, 4, "true") == 0) { pos += 4; return; }
+    if (text.compare(pos, 5, "false") == 0) { pos += 5; return; }
+    if (text.compare(pos, 4, "null") == 0) { pos += 4; return; }
+    fail();
+  }
+  void parse_object() {
+    if (!consume('{')) return fail();
+    skip_ws();
+    if (consume('}')) return;
+    while (ok) {
+      parse_string();
+      if (!consume(':')) return fail();
+      parse_value();
+      if (consume(',')) continue;
+      if (consume('}')) return;
+      return fail();
+    }
+  }
+  void parse_array() {
+    if (!consume('[')) return fail();
+    skip_ws();
+    if (consume(']')) return;
+    while (ok) {
+      parse_value();
+      if (consume(',')) continue;
+      if (consume(']')) return;
+      return fail();
+    }
+  }
+  void parse_string() {
+    if (!consume('"')) return fail();
+    while (pos < text.size() && text[pos] != '"') {
+      pos += text[pos] == '\\' ? 2 : 1;
+    }
+    if (pos >= text.size()) return fail();
+    ++pos;  // closing quote
+  }
+  void parse_number() {
+    const std::size_t start = pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '-' || text[pos] == '+' || text[pos] == '.' ||
+            text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+    }
+    if (pos == start) fail();
+  }
+};
+
+bool valid_json(std::string_view text) {
+  JsonParser parser{text};
+  parser.parse_value();
+  parser.skip_ws();
+  return parser.ok && parser.pos == text.size();
+}
+
+// --- counters & gauges ----------------------------------------------------
+
+TEST(Counter, AccumulatesAndDefaultsToOne) {
+  obs::Registry registry;
+  registry.counter("a.b").add();
+  registry.counter("a.b").add(41);
+  EXPECT_EQ(registry.counter("a.b").value(), 42u);
+  ASSERT_EQ(registry.counters().size(), 1u);
+  EXPECT_EQ(registry.counters()[0].first, "a.b");
+}
+
+TEST(Gauge, SetAndAdd) {
+  obs::Registry registry;
+  registry.gauge("g").set(1.5);
+  registry.gauge("g").add(-0.5);
+  EXPECT_DOUBLE_EQ(registry.gauge("g").value(), 1.0);
+}
+
+// --- histogram ------------------------------------------------------------
+
+TEST(Histogram, EmptyReportsZeros) {
+  obs::Histogram h({1.0, 2.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW(obs::Histogram(std::vector<double>{}), std::runtime_error);
+  EXPECT_THROW(obs::Histogram({2.0, 1.0}), std::runtime_error);
+  EXPECT_THROW(obs::Histogram({1.0, 1.0}), std::runtime_error);
+}
+
+TEST(Histogram, CountsSumMinMax) {
+  obs::Histogram h({1.0, 10.0, 100.0});
+  for (const double v : {0.5, 5.0, 50.0, 500.0}) h.record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 555.5);
+  EXPECT_DOUBLE_EQ(h.mean(), 555.5 / 4.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 500.0);
+  const auto buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);  // three bounds + overflow
+  EXPECT_EQ(buckets[0], 1u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[3], 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(Histogram, BucketEdgeGoesToLowerBucket) {
+  // Bucket i covers (bounds[i-1], bounds[i]]: a value exactly on a bound
+  // lands in that bound's bucket, not the next one.
+  obs::Histogram h({1.0, 2.0});
+  h.record(1.0);
+  const auto buckets = h.bucket_counts();
+  EXPECT_EQ(buckets[0], 1u);
+  EXPECT_EQ(buckets[1], 0u);
+}
+
+TEST(Histogram, PercentileEdges) {
+  obs::Histogram h({1.0, 2.0, 5.0, 10.0});
+  for (int i = 0; i < 100; ++i) h.record(1.5);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.5);   // exact min
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 1.5);   // exact max
+  // All mass in one bucket and min==max: every interior percentile is
+  // clamped to the observed range.
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 1.5);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 1.5);
+}
+
+TEST(Histogram, PercentileInterpolatesWithinBucket) {
+  obs::Histogram h({10.0, 20.0});
+  // 100 values spread through (10, 20]; percentiles should interpolate
+  // linearly across the bucket.
+  for (int i = 1; i <= 100; ++i) h.record(10.0 + 0.1 * i);
+  const double p50 = h.percentile(0.50);
+  const double p95 = h.percentile(0.95);
+  EXPECT_NEAR(p50, 15.0, 0.5);
+  EXPECT_NEAR(p95, 19.5, 0.5);
+  EXPECT_LT(p50, p95);
+  EXPECT_LE(h.percentile(0.99), h.max());
+}
+
+TEST(Histogram, OverflowBucketClampsToObservedMax) {
+  obs::Histogram h({1.0});
+  h.record(100.0);
+  h.record(200.0);
+  EXPECT_EQ(h.overflow(), 2u);
+  // Everything is in the overflow bucket; percentiles interpolate between
+  // the last bound and the recorded max but never exceed the max.
+  EXPECT_LE(h.percentile(0.99), 200.0);
+  EXPECT_GE(h.percentile(0.01), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 200.0);
+}
+
+TEST(Histogram, DefaultLatencyBoundsAreStrictlyIncreasing) {
+  const auto bounds = obs::Histogram::default_latency_bounds();
+  ASSERT_FALSE(bounds.empty());
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+  EXPECT_DOUBLE_EQ(bounds.front(), 1e-6);
+}
+
+TEST(Registry, ExplicitBoundsOnlyApplyOnFirstUse) {
+  obs::Registry registry;
+  obs::Histogram& h = registry.histogram("x", {1.0, 2.0});
+  obs::Histogram& again = registry.histogram("x", {99.0});
+  EXPECT_EQ(&h, &again);
+  EXPECT_EQ(again.bounds().size(), 2u);
+}
+
+// --- spans ----------------------------------------------------------------
+
+TEST(Span, RecordsIntoNamedHistogram) {
+  obs::Registry registry;
+  {
+    obs::Span span(registry, "unit.work");
+    EXPECT_GE(span.seconds(), 0.0);
+  }
+  EXPECT_EQ(registry.histogram("unit.work").count(), 1u);
+}
+
+TEST(Span, CloseIsIdempotent) {
+  obs::Registry registry;
+  obs::Span span(registry, "unit.work");
+  span.close();
+  const double first = span.seconds();
+  span.close();
+  EXPECT_DOUBLE_EQ(span.seconds(), first);
+  EXPECT_EQ(registry.histogram("unit.work").count(), 1u);
+}
+
+TEST(Span, NestingDepthAndContainmentInEvents) {
+  obs::Registry registry;
+  registry.enable_events();
+  {
+    obs::Span outer(registry, "a.outer");
+    {
+      obs::Span inner(registry, "a.inner");
+      EXPECT_GE(obs::current_depth(), 2);
+    }
+    { obs::Span sibling(registry, "a.sibling"); }
+  }
+  const auto events = registry.events();
+  ASSERT_EQ(events.size(), 3u);  // closed in order: inner, sibling, outer
+  const auto& inner = events[0];
+  const auto& sibling = events[1];
+  const auto& outer = events[2];
+  EXPECT_EQ(inner.name, "a.inner");
+  EXPECT_EQ(outer.name, "a.outer");
+  EXPECT_EQ(inner.depth, outer.depth + 1);
+  EXPECT_EQ(sibling.depth, outer.depth + 1);
+  EXPECT_EQ(inner.tid, outer.tid);
+  // Children begin and end within the parent interval.
+  EXPECT_GE(inner.ts_us, outer.ts_us);
+  EXPECT_LE(inner.ts_us + inner.dur_us, outer.ts_us + outer.dur_us + 1.0);
+  EXPECT_GE(sibling.ts_us, inner.ts_us + inner.dur_us - 1.0);
+}
+
+TEST(Span, NoEventsBufferedWhenDisabled) {
+  obs::Registry registry;
+  { obs::Span span(registry, "quiet.work"); }
+  EXPECT_TRUE(registry.events().empty());
+  EXPECT_EQ(registry.histogram("quiet.work").count(), 1u);
+}
+
+// --- thread-safety via util::ThreadPool -----------------------------------
+
+TEST(RegistryThreading, CountersAndHistogramsFromPoolWorkers) {
+  obs::Registry registry;
+  util::ThreadPool pool(4);
+  constexpr std::size_t kTasks = 64;
+  constexpr std::size_t kIncrements = 1000;
+  std::vector<std::future<void>> futures;
+  futures.reserve(kTasks);
+  for (std::size_t t = 0; t < kTasks; ++t) {
+    futures.push_back(pool.submit([&registry] {
+      for (std::size_t i = 0; i < kIncrements; ++i) {
+        registry.counter("mt.count").add();
+        registry.gauge("mt.gauge").add(1.0);
+        registry.histogram("mt.lat").record(1e-5);
+        obs::Span span(registry, "mt.span");
+      }
+    }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(registry.counter("mt.count").value(), kTasks * kIncrements);
+  EXPECT_DOUBLE_EQ(registry.gauge("mt.gauge").value(),
+                   static_cast<double>(kTasks * kIncrements));
+  EXPECT_EQ(registry.histogram("mt.lat").count(), kTasks * kIncrements);
+  EXPECT_EQ(registry.histogram("mt.span").count(), kTasks * kIncrements);
+}
+
+TEST(RegistryThreading, EventBufferFromParallelFor) {
+  obs::Registry registry;
+  registry.enable_events();
+  util::ThreadPool pool(4);
+  util::parallel_for(pool, 0, 256, [&registry](std::size_t) {
+    obs::Span span(registry, "mt.pf");
+  });
+  EXPECT_EQ(registry.events().size(), 256u);
+  for (const auto& event : registry.events()) {
+    EXPECT_EQ(event.name, "mt.pf");
+    EXPECT_GE(event.dur_us, 0.0);
+  }
+}
+
+// --- sinks ----------------------------------------------------------------
+
+obs::Registry& populated_registry(obs::Registry& registry) {
+  registry.enable_events();
+  registry.counter("lm.tokens_generated").add(7);
+  registry.gauge("tune.best_runtime_s").set(0.25);
+  registry.histogram("lm.next_logits").record(1e-4);
+  { obs::Span span(registry, "lm.generate"); }
+  {
+    obs::Span outer(registry, "tune.campaign");
+    obs::Span inner(registry, "tune.iteration");
+  }
+  return registry;
+}
+
+TEST(Sinks, JsonlEveryLineParses) {
+  obs::Registry registry;
+  std::ostringstream out;
+  obs::write_jsonl(populated_registry(registry), out);
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t spans = 0, metrics = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_TRUE(valid_json(line)) << "bad JSONL line: " << line;
+    if (line.find("\"type\":\"span\"") != std::string::npos) ++spans;
+    else ++metrics;
+  }
+  EXPECT_EQ(spans, 3u);
+  EXPECT_GE(metrics, 3u);
+}
+
+TEST(Sinks, ChromeTraceParsesAndContainsSpans) {
+  obs::Registry registry;
+  std::ostringstream out;
+  obs::write_chrome_trace(populated_registry(registry), out);
+  const std::string trace = out.str();
+  ASSERT_TRUE(valid_json(trace)) << trace;
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"lm.generate\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"tune.iteration\""), std::string::npos);
+  EXPECT_NE(trace.find("\"cat\":\"tune\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(Sinks, SummaryTableListsEveryMetric) {
+  obs::Registry registry;
+  const util::Table table = obs::summary_table(populated_registry(registry));
+  // 1 counter + 1 gauge + 4 histograms (next_logits, generate, campaign,
+  // iteration).
+  EXPECT_EQ(table.rows(), 6u);
+  const std::string text = table.to_text();
+  EXPECT_NE(text.find("lm.tokens_generated"), std::string::npos);
+  EXPECT_NE(text.find("tune.best_runtime_s"), std::string::npos);
+  EXPECT_NE(text.find("lm.generate"), std::string::npos);
+}
+
+TEST(Sinks, JsonEscapeHandlesSpecials) {
+  EXPECT_EQ(obs::json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(obs::json_escape(std::string_view("\x01", 1)), "\\u0001");
+  EXPECT_TRUE(valid_json("\"" + obs::json_escape("we\"ird\n\\name") + "\""));
+}
+
+}  // namespace

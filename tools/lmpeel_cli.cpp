@@ -5,9 +5,14 @@
 //   lmpeel sweep [small]                         run the §IV-A sweep
 //   lmpeel tune <tuner> <size> <budget> [seed]   run an autotuning campaign
 //   lmpeel tokenize <text…>                      show the token stream
+//   lmpeel stats [size] [icl] [seed]             generation run + metrics summary
 //
 // Tuners: random | gbt | anneal | genetic | llambo-discriminative |
 //         llambo-generative | llambo-sampling
+//
+// Every subcommand honours LMPEEL_TRACE=<path>: the obs subsystem buffers
+// span events and writes a Chrome trace_event file (or JSONL when the path
+// ends in .jsonl) at exit.
 #include <cstring>
 #include <iostream>
 #include <memory>
@@ -18,6 +23,8 @@
 #include "core/sweep.hpp"
 #include "eval/metrics.hpp"
 #include "lm/generate.hpp"
+#include "obs/sinks.hpp"
+#include "obs/span.hpp"
 #include "prompt/parser.hpp"
 #include "tune/annealing_tuner.hpp"
 #include "tune/gbt_surrogate_tuner.hpp"
@@ -38,7 +45,8 @@ int usage() {
          "  lmpeel sweep [small]\n"
          "  lmpeel tune <random|gbt|anneal|genetic|llambo-discriminative|"
          "llambo-generative|llambo-sampling> <size> <budget> [seed]\n"
-         "  lmpeel tokenize <text…>\n";
+         "  lmpeel tokenize <text…>\n"
+         "  lmpeel stats [size] [icl_count] [seed]\n";
   return 2;
 }
 
@@ -182,6 +190,55 @@ int cmd_tune(int argc, char** argv) {
   return 0;
 }
 
+// Exercises the instrumented stack end to end (pipeline construction, BPE
+// encode, a generation with trace capture, a short GBT-surrogate tuning
+// campaign), then prints the metrics registry so every counter and latency
+// percentile is nonzero and inspectable without a trace viewer.
+int cmd_stats(int argc, char** argv) {
+  const auto size = argc > 0 ? parse_size(argv[0])
+                             : std::optional(perf::SizeClass::SM);
+  if (!size.has_value()) return usage();
+  const std::size_t icl_count =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 10;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+                                      : 0;
+  if (icl_count == 0) return usage();
+
+  core::Pipeline pipeline;
+  const auto& data = pipeline.dataset(*size);
+
+  util::Rng rng(seed);
+  const auto subsets = perf::disjoint_subsets(data.size(), 1, icl_count, rng);
+  std::vector<perf::Sample> examples;
+  for (const std::size_t i : subsets[0]) examples.push_back(data[i]);
+
+  const auto builder = pipeline.builder(*size);
+  const auto ids = builder.encode(pipeline.tokenizer(), examples,
+                                  data[0].config);
+  lm::GenerateOptions gen;
+  gen.sampler = {1.0, 0, 0.998};
+  gen.stop_token = pipeline.tokenizer().newline_token();
+  gen.seed = seed;
+  const auto generation = lm::generate(pipeline.model(), ids, gen);
+  std::cout << "generated " << generation.tokens.size() << " tokens: '"
+            << pipeline.tokenizer().decode(generation.tokens) << "'\n";
+
+  tune::GbtSurrogateTuner tuner;
+  tune::CampaignOptions options;
+  options.budget = 12;
+  options.seed = seed + 1;
+  const auto campaign =
+      tune::run_campaign(tuner, pipeline.perf_model(), *size, options);
+  std::cout << "tuned best runtime: "
+            << util::Table::num(campaign.best_runtime(), 4) << " s\n\n";
+
+  util::print_banner(std::cout, "obs metrics summary");
+  std::cout << obs::summary_table(obs::Registry::global()).to_text();
+  std::cout << "\n(set LMPEEL_TRACE=<path> to capture a Chrome trace of "
+               "this run)\n";
+  return 0;
+}
+
 int cmd_tokenize(int argc, char** argv) {
   std::string text;
   for (int i = 0; i < argc; ++i) {
@@ -209,6 +266,7 @@ int main(int argc, char** argv) {
     if (command == "sweep") return cmd_sweep(argc - 2, argv + 2);
     if (command == "tune") return cmd_tune(argc - 2, argv + 2);
     if (command == "tokenize") return cmd_tokenize(argc - 2, argv + 2);
+    if (command == "stats") return cmd_stats(argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
