@@ -37,11 +37,14 @@ inline void emit(const std::string& title, const util::Table& table) {
 }
 
 /// One bench's perf-trajectory record: wall time plus the obs counters the
-/// run accumulated (tokens generated, boosting rounds, …).
+/// run accumulated (tokens generated, boosting rounds, …) and optional
+/// derived measurements (throughput, latency percentiles, …) that are not
+/// monotone counters.
 struct BenchRecord {
   std::string name;
   double wall_s = 0.0;
   std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> values;
 };
 
 /// Snapshot of every counter in `registry`, ready for a BenchRecord.
@@ -85,7 +88,17 @@ inline void write_bench_record(const BenchRecord& record) {
     entry << '"' << obs::json_escape(record.counters[i].first)
           << "\": " << record.counters[i].second;
   }
-  entry << "}}";
+  entry << "}";
+  if (!record.values.empty()) {
+    entry << ", \"values\": {";
+    for (std::size_t i = 0; i < record.values.size(); ++i) {
+      if (i > 0) entry << ", ";
+      entry << '"' << obs::json_escape(record.values[i].first)
+            << "\": " << record.values[i].second;
+    }
+    entry << "}";
+  }
+  entry << "}";
   entries[record.name] = entry.str();
 
   std::ofstream out(path);

@@ -7,6 +7,9 @@
 #include "haystack/decoding_set.hpp"
 #include "lm/generate.hpp"
 #include "prompt/parser.hpp"
+#include "serve/client.hpp"
+#include "serve/decoder.hpp"
+#include "serve/engine.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -137,10 +140,17 @@ SweepResult run_llm_quality_sweep(Pipeline& pipeline,
   SweepResult result;
   result.settings.resize(cells.size() * settings.seeds);
   std::mutex observer_mutex;
-  // LanguageModel carries per-generation seed state, so calls into the
-  // shared model are serialised; prompt encoding and bookkeeping (the
-  // other half of the work) still fan out across the pool.
-  std::mutex model_mutex;
+  // All generation goes through one serve::Engine: its scheduler thread owns
+  // the shared model (which carries per-generation seed state), while prompt
+  // encoding and bookkeeping fan out across the pool.  The replay decoder
+  // reseeds the model per request, so results are bit-identical to the old
+  // mutex-serialised lm::generate calls regardless of interleaving.
+  serve::GenericBatchDecoder decoder(model, /*slots=*/8);
+  serve::EngineConfig engine_config;
+  engine_config.max_batch = 8;
+  engine_config.queue_capacity =
+      std::max<std::size_t>(64, util::global_pool().size() * 2);
+  serve::Engine engine(decoder, engine_config);
 
   util::parallel_for(0, cells.size(), [&](std::size_t ci) {
     const Cell& cell = cells[ci];
@@ -182,11 +192,14 @@ SweepResult run_llm_quality_sweep(Pipeline& pipeline,
         gen.max_tokens = 64;
         gen.seed = util::hash_combine(settings.seed, 0x5eedULL + seed_id);
 
-        lm::Generation generation;
-        {
-          const std::lock_guard model_lock(model_mutex);
-          generation = lm::generate(model, prompts[q], gen);
-        }
+        // One outstanding request per pool worker, so the bounded queue can
+        // never fill up (capacity >= pool size) and rejection is impossible
+        // here by construction.
+        serve::ServeResult served =
+            serve::generate_sync(engine, prompts[q], gen);
+        LMPEEL_CHECK_MSG(served.status == serve::RequestStatus::Ok,
+                         "sweep generation rejected by serve engine");
+        lm::Generation generation = std::move(served.generation);
         const std::string response = tokenizer.decode(generation.tokens);
         const auto parsed = prompt::parse_response(response);
 

@@ -12,22 +12,141 @@ void Tensor::randomize(util::Rng& rng, float std) {
   }
 }
 
+namespace {
+
+/// One IB x JT output tile accumulated over k-rows [k0, kend) with the
+/// partial sums held in registers; partials round-trip through `out`
+/// between strips.  Every out(i, j) accumulates a(i, kk) * b(kk, j) for
+/// kk = 0..k-1 in ascending order — the same float operation sequence as
+/// every other path through matmul — so the result is bit-identical
+/// whichever kernel a given (m, n) shape dispatches to (a register vs
+/// memory round-trip does not change float rounding).  That invariant is
+/// also why no path may skip aik == 0.0f terms: adding a zero product can
+/// still flip the sign of a -0.0 partial sum.
+template <std::size_t IB, std::size_t JT>
+void matmul_strip_tile(const float* a, const float* b, float* out,
+                       std::size_t k, std::size_t b_stride,
+                       std::size_t out_stride, std::size_t i0, std::size_t j0,
+                       std::size_t k0, std::size_t kend) {
+  float acc[IB][JT];
+  for (std::size_t r = 0; r < IB; ++r) {
+    for (std::size_t c = 0; c < JT; ++c) {
+      acc[r][c] = out[(i0 + r) * out_stride + j0 + c];
+    }
+  }
+  for (std::size_t kk = k0; kk < kend; ++kk) {
+    const float* b_row = b + kk * b_stride + j0;
+    for (std::size_t r = 0; r < IB; ++r) {
+      const float aik = a[(i0 + r) * k + kk];
+      for (std::size_t c = 0; c < JT; ++c) acc[r][c] += aik * b_row[c];
+    }
+  }
+  for (std::size_t r = 0; r < IB; ++r) {
+    for (std::size_t c = 0; c < JT; ++c) {
+      out[(i0 + r) * out_stride + j0 + c] = acc[r][c];
+    }
+  }
+}
+
+}  // namespace
+
 void matmul(const Tensor& a, const Tensor& b, Tensor& out) {
   LMPEEL_CHECK(a.cols() == b.rows());
   LMPEEL_CHECK(out.rows() == a.rows() && out.cols() == b.cols());
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
   out.zero();
-  // i-k-j order: streams through b and out rows contiguously (Per.19).
-  for (std::size_t i = 0; i < m; ++i) {
-    float* out_row = out.data() + i * n;
-    const float* a_row = a.data() + i * k;
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float aik = a_row[kk];
-      if (aik == 0.0f) continue;
-      const float* b_row = b.data() + kk * n;
+  constexpr std::size_t kRowBlock = 8;   // rows of a per register tile
+  constexpr std::size_t kColBlock = 32;  // cols of out per register tile
+  constexpr std::size_t kStrip = 16;     // k-rows of b per strip
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* op = out.data();
+  // Strip-blocked main kernel: b is read row-sequentially (the hardware
+  // prefetcher's favourite pattern) one kStrip-deep strip at a time, and
+  // each strip is applied to kRowBlock rows of a at once from registers.
+  // Streaming the weight matrix once per kRowBlock rows instead of once
+  // per row is what makes batched decode (m = batch) and training
+  // (m = sequence length) cheaper per row than single-row decode.
+  std::size_t i0 = 0;
+  for (; i0 + kRowBlock <= m; i0 += kRowBlock) {
+    for (std::size_t k0 = 0; k0 < k; k0 += kStrip) {
+      const std::size_t kend = std::min(k0 + kStrip, k);
+      for (std::size_t j0 = 0; j0 + kColBlock <= n; j0 += kColBlock) {
+        matmul_strip_tile<kRowBlock, kColBlock>(ap, bp, op, k, n, n, i0, j0,
+                                                k0, kend);
+      }
+    }
+    // Column tail of this row block: plain kk-ascending dot products.
+    for (std::size_t j0 = n - n % kColBlock; j0 < n; ++j0) {
+      for (std::size_t r = 0; r < kRowBlock; ++r) {
+        float acc = 0.0f;
+        for (std::size_t kk = 0; kk < k; ++kk) {
+          acc += ap[(i0 + r) * k + kk] * bp[kk * n + j0];
+        }
+        op[(i0 + r) * n + j0] = acc;
+      }
+    }
+  }
+  // Leftover rows (and the whole product when m < kRowBlock): k-outer
+  // accumulation, which also streams each row of b exactly once.
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* b_row = bp + kk * n;
+    for (std::size_t i = i0; i < m; ++i) {
+      const float aik = ap[i * k + kk];
+      float* out_row = op + i * n;
       for (std::size_t j = 0; j < n; ++j) {
         out_row[j] += aik * b_row[j];
       }
+    }
+  }
+}
+
+void matmul_transposed_b(const Tensor& a, const Tensor& bt, Tensor& out) {
+  LMPEEL_CHECK(a.cols() == bt.cols());
+  LMPEEL_CHECK(out.rows() == a.rows() && out.cols() == bt.rows());
+  const std::size_t m = a.rows(), k = a.cols(), n = bt.rows();
+  constexpr std::size_t kRowBlock = 8;  // rows of a per register tile
+  constexpr std::size_t kPanel = 16;    // rows of bt per packed panel
+  constexpr std::size_t kStrip = 16;    // k-rows per strip
+  const float* ap = a.data();
+  const float* btp = bt.data();
+  float* op = out.data();
+  // The reduction runs along bt's rows, so the vector-friendly layout has
+  // to be manufactured: pack kPanel rows of bt into a [k x kPanel] panel
+  // (reading bt sequentially, writing into an L1-resident buffer), then
+  // run the same register-strip kernel as matmul against the panel.
+  // Per (i, j) the accumulation is c = 0..k-1 ascending either way, so
+  // the result is bit-identical to the naive dot product the tail rows
+  // (and the single-row tied head in the transformer) compute.
+  std::vector<float> panel(k * kPanel);
+  const std::size_t row_main = m - m % kRowBlock;
+  std::size_t j0 = 0;
+  for (; j0 + kPanel <= n; j0 += kPanel) {
+    for (std::size_t l = 0; l < kPanel; ++l) {
+      const float* bt_row = btp + (j0 + l) * k;
+      for (std::size_t c = 0; c < k; ++c) panel[c * kPanel + l] = bt_row[c];
+    }
+    for (std::size_t i0 = 0; i0 < row_main; i0 += kRowBlock) {
+      for (std::size_t r = 0; r < kRowBlock; ++r) {
+        std::fill_n(op + (i0 + r) * n + j0, kPanel, 0.0f);
+      }
+      for (std::size_t k0 = 0; k0 < k; k0 += kStrip) {
+        matmul_strip_tile<kRowBlock, kPanel>(ap, panel.data(), op + j0, k,
+                                             kPanel, n, i0, 0, k0,
+                                             std::min(k0 + kStrip, k));
+      }
+    }
+  }
+  // Column tail of the blocked rows, and every column of the tail rows
+  // (also the whole product when m < kRowBlock): plain c-ascending dots.
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* a_row = ap + i * k;
+    const std::size_t jlo = i < row_main ? j0 : 0;
+    for (std::size_t j = jlo; j < n; ++j) {
+      const float* bt_row = btp + j * k;
+      float acc = 0.0f;
+      for (std::size_t c = 0; c < k; ++c) acc += a_row[c] * bt_row[c];
+      op[i * n + j] = acc;
     }
   }
 }

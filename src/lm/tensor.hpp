@@ -45,6 +45,10 @@ class Tensor {
 
 // out[M,N] = a[M,K] * b[K,N]
 void matmul(const Tensor& a, const Tensor& b, Tensor& out);
+// out[M,N] = a[M,K] * bt^T where bt is [N,K] row-major.  out(i, j)
+// accumulates a(i, c) * bt(j, c) for c ascending — bit-identical to the
+// naive per-element dot product (this is the batched tied-head kernel).
+void matmul_transposed_b(const Tensor& a, const Tensor& bt, Tensor& out);
 // out[M,K] += grad[M,N] * b^T[N,K]   (dA of matmul)
 void matmul_grad_a(const Tensor& grad, const Tensor& b, Tensor& da);
 // out[K,N] += a^T * grad             (dB of matmul)

@@ -37,6 +37,69 @@ void add_into(Tensor& dst, const Tensor& src) {
   for (std::size_t i = 0; i < dst.size(); ++i) d[i] += s[i];
 }
 
+// The three per-row kernels below are shared between forward() and
+// decode_batch().  Both paths must produce bit-identical floats for the
+// same sequence (the serve engine's batched-vs-sequential equivalence
+// guarantee), which holds only if they execute the *same* machine code —
+// hence noinline, so neither call site gets its own differently-contracted
+// inlined copy.
+
+/// Softmax attention of one query over positions [0, n): writes the
+/// normalised probabilities into prow[0..n) and the blended values into
+/// ctx[0..hd).  `keys`/`values` are the first position's slices; rows are
+/// `key_stride`/`value_stride` floats apart.
+[[gnu::noinline]] void attend_row(const float* q, const float* keys,
+                                  std::size_t key_stride, const float* values,
+                                  std::size_t value_stride, std::size_t n,
+                                  std::size_t hd, float scale, float* prow,
+                                  float* ctx) {
+  float hi = -1e30f;
+  for (std::size_t u = 0; u < n; ++u) {
+    const float* k = keys + u * key_stride;
+    float acc = 0.0f;
+    for (std::size_t c = 0; c < hd; ++c) acc += q[c] * k[c];
+    prow[u] = acc * scale;
+    hi = std::max(hi, prow[u]);
+  }
+  float sum = 0.0f;
+  for (std::size_t u = 0; u < n; ++u) {
+    prow[u] = std::exp(prow[u] - hi);
+    sum += prow[u];
+  }
+  const float inv = 1.0f / sum;
+  for (std::size_t u = 0; u < n; ++u) prow[u] *= inv;
+
+  std::fill_n(ctx, hd, 0.0f);
+  for (std::size_t u = 0; u < n; ++u) {
+    const float p = prow[u];
+    if (p == 0.0f) continue;
+    const float* v = values + u * value_stride;
+    for (std::size_t c = 0; c < hd; ++c) ctx[c] += p * v[c];
+  }
+}
+
+/// Weight-tied output head for one row: out[v] = f_row · tok_emb[v].
+[[gnu::noinline]] void tied_head_row(const Tensor& tok_emb,
+                                     const float* f_row, int vocab,
+                                     float* out) {
+  const std::size_t d = tok_emb.cols();
+  for (int v = 0; v < vocab; ++v) {
+    const float* e = tok_emb.data() + static_cast<std::size_t>(v) * d;
+    float acc = 0.0f;
+    for (std::size_t c = 0; c < d; ++c) acc += f_row[c] * e[c];
+    out[v] = acc;
+  }
+}
+
+/// Token + positional embedding for one row.
+[[gnu::noinline]] void embed_row(const Tensor& tok_emb, const Tensor& pos_emb,
+                                 int id, std::size_t pos, float* row) {
+  const std::size_t d = tok_emb.cols();
+  const float* te = tok_emb.data() + static_cast<std::size_t>(id) * d;
+  const float* pe = pos_emb.data() + pos * d;
+  for (std::size_t c = 0; c < d; ++c) row[c] = te[c] + pe[c];
+}
+
 }  // namespace
 
 struct TransformerLm::Cache {
@@ -140,10 +203,7 @@ void TransformerLm::forward(std::span<const int> ids, Cache* cache,
   for (std::size_t t = 0; t < t_len; ++t) {
     const int id = ids[t];
     LMPEEL_CHECK(id >= 0 && id < config_.vocab);
-    float* row = x.data() + t * d;
-    const float* te = tok_emb_.data() + static_cast<std::size_t>(id) * d;
-    const float* pe = pos_emb_.data() + t * d;
-    for (std::size_t c = 0; c < d; ++c) row[c] = te[c] + pe[c];
+    embed_row(tok_emb_, pos_emb_, id, t, x.data() + t * d);
   }
 
   if (cache) cache->layers.resize(layers_.size());
@@ -165,38 +225,16 @@ void TransformerLm::forward(std::span<const int> ids, Cache* cache,
     lc.probs.assign(n_head, Tensor());
     for (std::size_t h = 0; h < n_head; ++h) {
       Tensor& probs = lc.probs[h];
+      // Zero-initialised; attend_row fills [0, t] per row, the causal
+      // remainder stays zero.
       probs = Tensor(t_len, t_len);
       const std::size_t qo = h * hd;          // offset of q head
       const std::size_t ko = d + h * hd;      // offset of k head
       const std::size_t vo = 2 * d + h * hd;  // offset of v head
       for (std::size_t t = 0; t < t_len; ++t) {
-        const float* q = lc.qkv.data() + t * 3 * d + qo;
-        float* prow = probs.data() + t * t_len;
-        float hi = -1e30f;
-        for (std::size_t u = 0; u <= t; ++u) {
-          const float* k = lc.qkv.data() + u * 3 * d + ko;
-          float acc = 0.0f;
-          for (std::size_t c = 0; c < hd; ++c) acc += q[c] * k[c];
-          prow[u] = acc * scale;
-          hi = std::max(hi, prow[u]);
-        }
-        float sum = 0.0f;
-        for (std::size_t u = 0; u <= t; ++u) {
-          prow[u] = std::exp(prow[u] - hi);
-          sum += prow[u];
-        }
-        const float inv = 1.0f / sum;
-        for (std::size_t u = 0; u <= t; ++u) prow[u] *= inv;
-        for (std::size_t u = t + 1; u < t_len; ++u) prow[u] = 0.0f;
-
-        float* ctx = lc.ctx.data() + t * d + h * hd;
-        std::fill_n(ctx, hd, 0.0f);
-        for (std::size_t u = 0; u <= t; ++u) {
-          const float p = prow[u];
-          if (p == 0.0f) continue;
-          const float* vv = lc.qkv.data() + u * 3 * d + vo;
-          for (std::size_t c = 0; c < hd; ++c) ctx[c] += p * vv[c];
-        }
+        attend_row(lc.qkv.data() + t * 3 * d + qo, lc.qkv.data() + ko,
+                   3 * d, lc.qkv.data() + vo, 3 * d, t + 1, hd, scale,
+                   probs.data() + t * t_len, lc.ctx.data() + t * d + h * hd);
       }
     }
 
@@ -232,29 +270,133 @@ void TransformerLm::forward(std::span<const int> ids, Cache* cache,
     cache->x_final = x;
     cache->f = f;
     cache->logits = Tensor(t_len, config_.vocab);
-    // logits = f * tok_emb^T (weight tying)
-    for (std::size_t t = 0; t < t_len; ++t) {
-      const float* fr = f.data() + t * d;
-      float* lr = cache->logits.data() + t * config_.vocab;
-      for (int v = 0; v < config_.vocab; ++v) {
-        const float* e = tok_emb_.data() + static_cast<std::size_t>(v) * d;
-        float acc = 0.0f;
-        for (std::size_t c = 0; c < d; ++c) acc += fr[c] * e[c];
-        lr[v] = acc;
-      }
-    }
+    // logits = f * tok_emb^T (weight tying); bit-identical to
+    // tied_head_row per row, but blocked over rows of f.
+    matmul_transposed_b(f, tok_emb_, cache->logits);
   }
   if (!last_logits_out.empty()) {
     LMPEEL_CHECK(last_logits_out.size() ==
                  static_cast<std::size_t>(config_.vocab));
-    const float* fr = f.data() + (t_len - 1) * d;
-    for (int v = 0; v < config_.vocab; ++v) {
-      const float* e = tok_emb_.data() + static_cast<std::size_t>(v) * d;
-      float acc = 0.0f;
-      for (std::size_t c = 0; c < d; ++c) acc += fr[c] * e[c];
-      last_logits_out[v] = acc;
+    tied_head_row(tok_emb_, f.data() + (t_len - 1) * d, config_.vocab,
+                  last_logits_out.data());
+  }
+}
+
+void TransformerLm::prefill(KvCache& cache, std::span<const int> tokens,
+                            std::span<float> out) {
+  obs::Span span("lm.transformer.prefill");
+  LMPEEL_CHECK_MSG(cache.length() == 0, "prefill requires an empty cache");
+  LMPEEL_CHECK(!tokens.empty());
+  LMPEEL_CHECK(tokens.size() <= static_cast<std::size_t>(config_.max_seq));
+  LMPEEL_CHECK(out.size() == static_cast<std::size_t>(config_.vocab));
+
+  Cache fwd;
+  forward(tokens, &fwd, out);
+
+  // Lift each position's key/value slice out of the cached QKV projections;
+  // these are the exact floats decode_batch would have appended.
+  const auto d = static_cast<std::size_t>(config_.d_model);
+  const std::size_t t_len = tokens.size();
+  cache.keys_.assign(layers_.size(), {});
+  cache.values_.assign(layers_.size(), {});
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const Tensor& qkv = fwd.layers[l].qkv;
+    std::vector<float>& kcache = cache.keys_[l];
+    std::vector<float>& vcache = cache.values_[l];
+    kcache.resize(t_len * d);
+    vcache.resize(t_len * d);
+    for (std::size_t t = 0; t < t_len; ++t) {
+      const float* row = qkv.data() + t * 3 * d;
+      std::copy_n(row + d, d, kcache.data() + t * d);
+      std::copy_n(row + 2 * d, d, vcache.data() + t * d);
     }
   }
+  cache.length_ = t_len;
+}
+
+void TransformerLm::decode_batch(std::span<KvCache* const> caches,
+                                 std::span<const int> tokens,
+                                 Tensor& logits_out) {
+  obs::Span span("lm.transformer.decode_batch");
+  const std::size_t batch = caches.size();
+  LMPEEL_CHECK(batch > 0 && tokens.size() == batch);
+  LMPEEL_CHECK(logits_out.rows() == batch &&
+               logits_out.cols() == static_cast<std::size_t>(config_.vocab));
+  obs::Registry::global().counter("lm.transformer.decode_tokens").add(batch);
+  const auto d = static_cast<std::size_t>(config_.d_model);
+  const auto n_head = static_cast<std::size_t>(config_.n_head);
+  const std::size_t hd = d / n_head;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
+
+  Tensor x(batch, d);
+  for (std::size_t b = 0; b < batch; ++b) {
+    KvCache& cache = *caches[b];
+    if (cache.keys_.empty()) {
+      cache.keys_.assign(layers_.size(), {});
+      cache.values_.assign(layers_.size(), {});
+    }
+    LMPEEL_CHECK(cache.keys_.size() == layers_.size());
+    LMPEEL_CHECK(cache.length_ + 1 <=
+                 static_cast<std::size_t>(config_.max_seq));
+    LMPEEL_CHECK(tokens[b] >= 0 && tokens[b] < config_.vocab);
+    embed_row(tok_emb_, pos_emb_, tokens[b], cache.length_,
+              x.data() + b * d);
+  }
+
+  LayerNormCache ln_scratch;
+  std::vector<float> prow;  // per-(sequence, head) attention scratch
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    Layer& layer = layers_[l];
+
+    Tensor a(batch, d);
+    layer_norm(x, layer.ln1_g.row(0), layer.ln1_b.row(0), a, ln_scratch);
+
+    Tensor qkv(batch, 3 * d);
+    matmul(a, layer.w_qkv, qkv);
+    add_bias(qkv, layer.b_qkv);
+
+    Tensor ctx(batch, d);
+    for (std::size_t b = 0; b < batch; ++b) {
+      KvCache& cache = *caches[b];
+      std::vector<float>& kcache = cache.keys_[l];
+      std::vector<float>& vcache = cache.values_[l];
+      const float* row = qkv.data() + b * 3 * d;
+      kcache.insert(kcache.end(), row + d, row + 2 * d);
+      vcache.insert(vcache.end(), row + 2 * d, row + 3 * d);
+
+      const std::size_t t_len = cache.length_ + 1;
+      prow.resize(t_len);
+      for (std::size_t h = 0; h < n_head; ++h) {
+        attend_row(row + h * hd, kcache.data() + h * hd, d,
+                   vcache.data() + h * hd, d, t_len, hd, scale, prow.data(),
+                   ctx.data() + b * d + h * hd);
+      }
+    }
+
+    Tensor attn(batch, d);
+    matmul(ctx, layer.w_o, attn);
+    add_bias(attn, layer.b_o);
+    add_into(x, attn);
+
+    Tensor m(batch, d);
+    layer_norm(x, layer.ln2_g.row(0), layer.ln2_b.row(0), m, ln_scratch);
+    Tensor h1(batch, 4 * d);
+    matmul(m, layer.w_fc1, h1);
+    add_bias(h1, layer.b_fc1);
+    Tensor g(batch, 4 * d);
+    gelu(h1, g);
+    Tensor h2(batch, d);
+    matmul(g, layer.w_fc2, h2);
+    add_bias(h2, layer.b_fc2);
+    add_into(x, h2);
+  }
+
+  Tensor f(batch, d);
+  layer_norm(x, lnf_g_.row(0), lnf_b_.row(0), f, ln_scratch);
+  // Tied output head, blocked over the batch (bit-identical to the
+  // per-row tied_head_row the single-row paths use).
+  matmul_transposed_b(f, tok_emb_, logits_out);
+  for (std::size_t b = 0; b < batch; ++b) ++caches[b]->length_;
 }
 
 void TransformerLm::decode(KvCache& cache, std::span<const int> tokens,

@@ -68,6 +68,27 @@ class TransformerLm final : public LanguageModel {
   void decode(KvCache& cache, std::span<const int> tokens,
               std::span<float> out);
 
+  /// Seeds an *empty* cache with the key/value pairs of every position of
+  /// `tokens` in one full forward pass (one O(T²) pass instead of T decode
+  /// steps), returning the logits after the last token.  Bit-identical to
+  /// forward()/next_logits, and leaves the cache ready for decode_batch().
+  void prefill(KvCache& cache, std::span<const int> tokens,
+               std::span<float> out);
+
+  /// Advances `caches.size()` independent sequences by one token each in a
+  /// single batched step: the shared-weight projections (QKV, attention
+  /// output, both MLP matmuls, the tied head) run over the whole
+  /// [B, d_model] batch so the weight matrices stream through the cache
+  /// once per step instead of once per sequence; attention reads each
+  /// sequence's own cache (lengths may be ragged).  `tokens[i]` is
+  /// appended to sequence i and row i of `logits_out` ([B, vocab])
+  /// receives the logits following it.  Unlike decode(), the arithmetic
+  /// matches forward() operation for operation, so greedy decoding through
+  /// this path is bit-identical to repeated next_logits() calls — the
+  /// serve engine's equivalence guarantee (DESIGN.md §9).
+  void decode_batch(std::span<KvCache* const> caches,
+                    std::span<const int> tokens, Tensor& logits_out);
+
   // ---- training --------------------------------------------------------
   /// Forward + backward over one sequence.  `tokens` has length T+1: the
   /// model predicts tokens[t+1] from tokens[0..t].  `target_mask[t]`

@@ -1,0 +1,40 @@
+// Blocking client helpers over Engine's futures API.
+//
+// The sweep and the LLAMBO tuners don't care about futures — they want the
+// lm::generate call shape back.  generate_sync is that adapter; generate_all
+// submits a whole batch before waiting so the engine can actually batch it.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "serve/engine.hpp"
+
+namespace lmpeel::serve {
+
+/// Submits one request and blocks for the result.
+inline ServeResult generate_sync(Engine& engine, std::span<const int> prompt,
+                                 const lm::GenerateOptions& options) {
+  Request request;
+  request.prompt.assign(prompt.begin(), prompt.end());
+  request.options = options;
+  return engine.submit(std::move(request)).get();
+}
+
+/// Submits every request up front, then collects results in input order —
+/// the batched analogue of a loop over lm::generate.
+inline std::vector<ServeResult> generate_all(Engine& engine,
+                                             std::vector<Request> requests) {
+  std::vector<std::future<ServeResult>> futures;
+  futures.reserve(requests.size());
+  for (auto& request : requests) {
+    futures.push_back(engine.submit(std::move(request)));
+  }
+  std::vector<ServeResult> results;
+  results.reserve(futures.size());
+  for (auto& future : futures) results.push_back(future.get());
+  return results;
+}
+
+}  // namespace lmpeel::serve

@@ -1,0 +1,147 @@
+#include "serve/decoder.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lmpeel::serve {
+
+// ---- TransformerBatchDecoder ---------------------------------------------
+
+TransformerBatchDecoder::TransformerBatchDecoder(lm::TransformerLm& model,
+                                                 std::size_t slots,
+                                                 bool parallel)
+    : model_(&model), caches_(slots), sequences_(slots), parallel_(parallel) {
+  LMPEEL_CHECK_MSG(slots > 0, "TransformerBatchDecoder needs >= 1 slot");
+}
+
+void TransformerBatchDecoder::start(std::size_t slot,
+                                    std::span<const int> prompt,
+                                    std::uint64_t seed, std::span<float> out) {
+  LMPEEL_CHECK(slot < caches_.size());
+  LMPEEL_CHECK_MSG(sequences_[slot].empty(), "start() on an occupied slot");
+  LMPEEL_CHECK(!prompt.empty());
+  model_->set_seed(seed);  // TransformerLm ignores it; kept for parity
+  caches_[slot].clear();
+  model_->prefill(caches_[slot], prompt, out);
+  sequences_[slot].assign(prompt.begin(), prompt.end());
+}
+
+void TransformerBatchDecoder::step(std::span<const Step> steps,
+                                   lm::Tensor& logits) {
+  const std::size_t batch = steps.size();
+  LMPEEL_CHECK(batch > 0);
+  const auto vocab = static_cast<std::size_t>(model_->vocab_size());
+  if (logits.rows() != batch || logits.cols() != vocab) {
+    logits = lm::Tensor(batch, vocab);
+  }
+
+  std::vector<lm::TransformerLm::KvCache*> caches(batch);
+  std::vector<int> tokens(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    const Step& s = steps[i];
+    LMPEEL_CHECK(s.slot < caches_.size());
+    LMPEEL_CHECK_MSG(!sequences_[s.slot].empty(), "step() on a free slot");
+    caches[i] = &caches_[s.slot];
+    tokens[i] = s.token;
+    sequences_[s.slot].push_back(s.token);
+  }
+
+  // Rows of a batched step are arithmetically independent, so splitting the
+  // batch into contiguous sub-batches across the pool produces the exact
+  // same floats as one decode_batch call — parallelism without giving up
+  // the equivalence guarantee.  Each chunk still amortises the weight
+  // streaming over its own rows, so chunks are kept >= 2 rows.
+  util::ThreadPool& pool = util::global_pool();
+  const std::size_t chunks =
+      parallel_ ? std::min(pool.size(), (batch + 1) / 2) : 1;
+  if (chunks <= 1) {
+    model_->decode_batch(caches, tokens, logits);
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  std::vector<lm::Tensor> chunk_logits(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = batch * c / chunks;
+    const std::size_t hi = batch * (c + 1) / chunks;
+    chunk_logits[c] = lm::Tensor(hi - lo, vocab);
+    futures.push_back(pool.submit([this, &caches, &tokens, &chunk_logits, c,
+                                   lo, hi] {
+      model_->decode_batch(
+          std::span<lm::TransformerLm::KvCache* const>(caches).subspan(
+              lo, hi - lo),
+          std::span<const int>(tokens).subspan(lo, hi - lo), chunk_logits[c]);
+    }));
+  }
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = batch * c / chunks;
+    std::memcpy(logits.data() + lo * vocab, chunk_logits[c].data(),
+                chunk_logits[c].size() * sizeof(float));
+  }
+}
+
+void TransformerBatchDecoder::release(std::size_t slot) {
+  LMPEEL_CHECK(slot < caches_.size());
+  caches_[slot].clear();
+  sequences_[slot].clear();
+}
+
+// ---- GenericBatchDecoder --------------------------------------------------
+
+GenericBatchDecoder::GenericBatchDecoder(lm::LanguageModel& model,
+                                         std::size_t slots)
+    : model_(&model), contexts_(slots), seeds_(slots, 0) {
+  LMPEEL_CHECK_MSG(slots > 0, "GenericBatchDecoder needs >= 1 slot");
+}
+
+void GenericBatchDecoder::start(std::size_t slot, std::span<const int> prompt,
+                                std::uint64_t seed, std::span<float> out) {
+  LMPEEL_CHECK(slot < contexts_.size());
+  LMPEEL_CHECK_MSG(contexts_[slot].empty(), "start() on an occupied slot");
+  LMPEEL_CHECK(!prompt.empty());
+  contexts_[slot].assign(prompt.begin(), prompt.end());
+  seeds_[slot] = seed;
+  model_->set_seed(seed);
+  model_->next_logits(contexts_[slot], out);
+}
+
+void GenericBatchDecoder::step(std::span<const Step> steps,
+                               lm::Tensor& logits) {
+  const std::size_t batch = steps.size();
+  LMPEEL_CHECK(batch > 0);
+  const auto vocab = static_cast<std::size_t>(model_->vocab_size());
+  if (logits.rows() != batch || logits.cols() != vocab) {
+    logits = lm::Tensor(batch, vocab);
+  }
+  for (std::size_t i = 0; i < batch; ++i) {
+    const Step& s = steps[i];
+    LMPEEL_CHECK(s.slot < contexts_.size());
+    LMPEEL_CHECK_MSG(!contexts_[s.slot].empty(), "step() on a free slot");
+    contexts_[s.slot].push_back(s.token);
+    // Re-seed before every call: interleaved requests must each see the
+    // model in the same state lm::generate would have left it in.
+    model_->set_seed(seeds_[s.slot]);
+    model_->next_logits(contexts_[s.slot], logits.row(i));
+  }
+}
+
+void GenericBatchDecoder::release(std::size_t slot) {
+  LMPEEL_CHECK(slot < contexts_.size());
+  contexts_[slot].clear();
+  seeds_[slot] = 0;
+}
+
+}  // namespace lmpeel::serve

@@ -1,0 +1,113 @@
+// Slot-indexed batched decoding behind the serve engine (DESIGN.md §9).
+//
+// The engine schedules token steps; a BatchDecoder owns the per-slot model
+// state (KV caches or raw contexts) and turns a set of (slot, token) pairs
+// into one batched forward.  Two implementations:
+//
+//  * TransformerBatchDecoder — KvCache per slot, prefill on admission, and
+//    TransformerLm::decode_batch for the incremental steps, so weights
+//    stream through the cache once per step for the whole batch.  Large
+//    batches are additionally split across the global thread pool: rows of
+//    a batched step are independent, so the split preserves the
+//    bit-for-bit equivalence with sequential next_logits().
+//  * GenericBatchDecoder — works with any LanguageModel by keeping a full
+//    context per slot and looping next_logits (no batching speedup; lets
+//    the engine serve InductionLm-backed sweeps and tuners).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "lm/language_model.hpp"
+#include "lm/tensor.hpp"
+#include "lm/transformer.hpp"
+
+namespace lmpeel::serve {
+
+/// Fixed-capacity slot machine: the engine calls start() to bind a request
+/// to a free slot, step() to advance any subset of bound slots by one token
+/// each, and release() when the request retires.  Implementations must keep
+/// results independent of which other slots are active in a step.
+class BatchDecoder {
+ public:
+  virtual ~BatchDecoder() = default;
+
+  virtual int vocab_size() const = 0;
+  /// Number of slots (the engine's max_batch is clamped to this).
+  virtual std::size_t slots() const = 0;
+  /// Hard context window (prompt + generated), 0 = unbounded.
+  virtual std::size_t max_sequence_length() const = 0;
+
+  /// Binds `prompt` to `slot` (must be free), runs the prefill, and writes
+  /// the logits following the prompt's last token into `out` (vocab_size()
+  /// floats).  `seed` reseeds model-internal stochasticity for this
+  /// request, mirroring lm::generate's model.set_seed call.
+  virtual void start(std::size_t slot, std::span<const int> prompt,
+                     std::uint64_t seed, std::span<float> out) = 0;
+
+  struct Step {
+    std::size_t slot = 0;  ///< bound slot to advance
+    int token = 0;         ///< token to append (the one just sampled)
+  };
+
+  /// Appends steps[i].token to its slot's sequence and writes the logits
+  /// following it into row i of `logits` (resized to [steps.size, vocab]).
+  virtual void step(std::span<const Step> steps, lm::Tensor& logits) = 0;
+
+  /// Frees `slot` for reuse.
+  virtual void release(std::size_t slot) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// KV-cached batched decoder over a TransformerLm.  `parallel` enables
+/// splitting large step batches across the global thread pool.
+class TransformerBatchDecoder final : public BatchDecoder {
+ public:
+  TransformerBatchDecoder(lm::TransformerLm& model, std::size_t slots,
+                          bool parallel = true);
+
+  int vocab_size() const override { return model_->vocab_size(); }
+  std::size_t slots() const override { return caches_.size(); }
+  std::size_t max_sequence_length() const override {
+    return static_cast<std::size_t>(model_->config().max_seq);
+  }
+  void start(std::size_t slot, std::span<const int> prompt,
+             std::uint64_t seed, std::span<float> out) override;
+  void step(std::span<const Step> steps, lm::Tensor& logits) override;
+  void release(std::size_t slot) override;
+  std::string name() const override { return "transformer-batch"; }
+
+ private:
+  lm::TransformerLm* model_;
+  std::vector<lm::TransformerLm::KvCache> caches_;
+  std::vector<std::vector<int>> sequences_;  // per slot, for bound checks
+  bool parallel_;
+};
+
+/// Context-replay decoder for arbitrary LanguageModels.  Each step re-runs
+/// next_logits over the slot's full context — O(T) model calls overall,
+/// exactly what lm::generate does, so results match it bit for bit.
+class GenericBatchDecoder final : public BatchDecoder {
+ public:
+  GenericBatchDecoder(lm::LanguageModel& model, std::size_t slots);
+
+  int vocab_size() const override { return model_->vocab_size(); }
+  std::size_t slots() const override { return contexts_.size(); }
+  std::size_t max_sequence_length() const override { return 0; }
+  void start(std::size_t slot, std::span<const int> prompt,
+             std::uint64_t seed, std::span<float> out) override;
+  void step(std::span<const Step> steps, lm::Tensor& logits) override;
+  void release(std::size_t slot) override;
+  std::string name() const override { return "generic-replay"; }
+
+ private:
+  lm::LanguageModel* model_;
+  std::vector<std::vector<int>> contexts_;  // per slot; empty = free
+  std::vector<std::uint64_t> seeds_;        // per slot sampling seed
+};
+
+}  // namespace lmpeel::serve

@@ -1,0 +1,262 @@
+#include "serve/engine.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "lm/sampler.hpp"
+#include "lm/trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "tok/vocab.hpp"
+#include "util/check.hpp"
+
+namespace lmpeel::serve {
+namespace {
+
+double seconds_since(Clock::time_point start, Clock::time_point now) {
+  return std::chrono::duration<double>(now - start).count();
+}
+
+/// Occupancy buckets 1..64 (powers of two); anything larger overflows.
+std::vector<double> occupancy_bounds() {
+  return {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0};
+}
+
+}  // namespace
+
+const char* status_name(RequestStatus status) {
+  switch (status) {
+    case RequestStatus::Ok: return "ok";
+    case RequestStatus::QueueFull: return "queue_full";
+    case RequestStatus::DeadlineExpired: return "deadline_expired";
+    case RequestStatus::Cancelled: return "cancelled";
+    case RequestStatus::PromptTooLong: return "prompt_too_long";
+    case RequestStatus::ShutDown: return "shut_down";
+  }
+  return "unknown";
+}
+
+Engine::Engine(BatchDecoder& decoder, EngineConfig config)
+    : decoder_(&decoder), config_(config) {
+  LMPEEL_CHECK_MSG(config_.max_batch > 0, "max_batch must be >= 1");
+  LMPEEL_CHECK_MSG(config_.queue_capacity > 0, "queue_capacity must be >= 1");
+  config_.max_batch = std::min(config_.max_batch, decoder_->slots());
+  free_slots_.reserve(config_.max_batch);
+  // Highest slot index on top so slots are handed out in 0,1,2,… order.
+  for (std::size_t s = config_.max_batch; s > 0; --s) {
+    free_slots_.push_back(s - 1);
+  }
+  scheduler_ = std::thread([this] { scheduler_loop(); });
+}
+
+Engine::~Engine() { shutdown(); }
+
+std::future<ServeResult> Engine::submit(Request request) {
+  LMPEEL_CHECK_MSG(!request.prompt.empty(), "submit: empty prompt");
+  LMPEEL_CHECK_MSG(request.options.max_tokens > 0,
+                   "submit: max_tokens must be >= 1");
+  const Clock::time_point now = Clock::now();
+  std::promise<ServeResult> promise;
+  std::future<ServeResult> future = promise.get_future();
+  obs::Registry::global().counter("serve.requests_submitted").add();
+
+  // Reject before touching the queue: these can never succeed.
+  if (now > request.deadline) {
+    reject(promise, RequestStatus::DeadlineExpired, now);
+    return future;
+  }
+  const std::size_t window = decoder_->max_sequence_length();
+  if (window != 0 &&
+      request.prompt.size() + request.options.max_tokens > window) {
+    reject(promise, RequestStatus::PromptTooLong, now);
+    return future;
+  }
+
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) {
+      reject(promise, RequestStatus::ShutDown, now);
+      return future;
+    }
+    if (queue_.size() >= config_.queue_capacity) {
+      reject(promise, RequestStatus::QueueFull, now);
+      return future;
+    }
+    queue_.push_back(Queued{std::move(request), std::move(promise), now});
+    obs::Registry::global().gauge("serve.queue_depth")
+        .set(static_cast<double>(queue_.size()));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void Engine::shutdown() {
+  std::lock_guard shutdown_lock(shutdown_mutex_);
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (scheduler_.joinable()) scheduler_.join();
+}
+
+void Engine::reject(std::promise<ServeResult>& promise, RequestStatus status,
+                    Clock::time_point submitted) {
+  obs::Registry::global()
+      .counter(std::string("serve.rejected.") + status_name(status))
+      .add();
+  ServeResult result;
+  result.status = status;
+  result.total_s = seconds_since(submitted, Clock::now());
+  promise.set_value(std::move(result));
+}
+
+void Engine::scheduler_loop() {
+  std::vector<float> prefill_logits(
+      static_cast<std::size_t>(decoder_->vocab_size()));
+  lm::Tensor logits;
+  for (;;) {
+    {
+      std::unique_lock lock(mutex_);
+      // active_ is scheduler-private; reading it inside the predicate is
+      // fine because this thread is the only writer.
+      cv_.wait(lock, [this] {
+        return stopping_ || !queue_.empty() || !active_.empty();
+      });
+      if (stopping_ && queue_.empty() && active_.empty()) return;
+    }
+    admit(prefill_logits);
+    if (!active_.empty()) step_active(logits);
+  }
+}
+
+void Engine::admit(std::vector<float>& logits_scratch) {
+  obs::Registry& reg = obs::Registry::global();
+  for (;;) {
+    Queued queued;
+    bool draining = false;
+    {
+      std::lock_guard lock(mutex_);
+      if (queue_.empty()) return;
+      draining = stopping_;
+      if (!draining && free_slots_.empty()) return;
+      queued = std::move(queue_.front());
+      queue_.pop_front();
+      reg.gauge("serve.queue_depth").set(static_cast<double>(queue_.size()));
+    }
+    if (draining) {
+      reject(queued.promise, RequestStatus::ShutDown, queued.submitted);
+      continue;
+    }
+    if (queued.request.cancel && queued.request.cancel->load()) {
+      reject(queued.promise, RequestStatus::Cancelled, queued.submitted);
+      continue;
+    }
+    const Clock::time_point now = Clock::now();
+    if (now > queued.request.deadline) {
+      reject(queued.promise, RequestStatus::DeadlineExpired, queued.submitted);
+      continue;
+    }
+
+    Active active;
+    active.request = std::move(queued.request);
+    active.promise = std::move(queued.promise);
+    active.submitted = queued.submitted;
+    active.admitted = now;
+    active.slot = free_slots_.back();
+    free_slots_.pop_back();
+    // Same sampling stream as lm::generate: Rng(seed, 0x5a3c), model
+    // reseeded via decoder.start before the prefill.
+    active.rng = util::Rng(active.request.options.seed, /*stream=*/0x5a3c);
+    reg.histogram("serve.queue_wait_s")
+        .record(seconds_since(active.submitted, now));
+
+    {
+      obs::Span span("serve.prefill");
+      decoder_->start(active.slot, active.request.prompt,
+                      active.request.options.seed, logits_scratch);
+    }
+    // The prefill logits are generate()'s first loop iteration: sample the
+    // first token here so TTFT is paid at admission, not one batch later.
+    const bool finished = sample_and_record(active, logits_scratch);
+    active_.push_back(std::move(active));
+    if (finished) retire(active_.size() - 1, RequestStatus::Ok);
+  }
+}
+
+void Engine::step_active(lm::Tensor& logits) {
+  obs::Registry& reg = obs::Registry::global();
+
+  // Sweep cancellations/expiries first so dead sequences neither consume a
+  // decode step nor delay their caller.
+  const Clock::time_point now = Clock::now();
+  for (std::size_t i = active_.size(); i > 0; --i) {
+    Active& a = active_[i - 1];
+    if (a.request.cancel && a.request.cancel->load()) {
+      retire(i - 1, RequestStatus::Cancelled);
+    } else if (now > a.request.deadline) {
+      retire(i - 1, RequestStatus::DeadlineExpired);
+    }
+  }
+  if (active_.empty()) return;
+
+  reg.histogram("serve.batch_occupancy", occupancy_bounds())
+      .record(static_cast<double>(active_.size()));
+
+  std::vector<BatchDecoder::Step> steps(active_.size());
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    steps[i] = BatchDecoder::Step{active_[i].slot, active_[i].last_token};
+  }
+  {
+    obs::Span span("serve.step");
+    decoder_->step(steps, logits);
+  }
+
+  // Retire back to front so earlier indices stay valid.
+  for (std::size_t i = active_.size(); i > 0; --i) {
+    if (sample_and_record(active_[i - 1], logits.row(i - 1))) {
+      retire(i - 1, RequestStatus::Ok);
+    }
+  }
+}
+
+bool Engine::sample_and_record(Active& active, std::span<const float> logits) {
+  // Token-for-token mirror of the lm::generate loop body.
+  const lm::GenerateOptions& options = active.request.options;
+  const int token = lm::sample(logits, options.sampler, active.rng);
+  if (options.stop_on_eos && token == tok::kEos) return true;
+  if (token == options.stop_token) return true;
+  if (active.generation.tokens.empty()) {
+    active.ttft_s = seconds_since(active.submitted, Clock::now());
+    obs::Registry::global().histogram("serve.ttft_s").record(active.ttft_s);
+  }
+  active.generation.trace.add_step(lm::make_step(logits, token));
+  active.generation.tokens.push_back(token);
+  active.last_token = token;
+  obs::Registry::global().counter("serve.tokens_generated").add();
+  if (active.generation.tokens.size() == options.max_tokens) {
+    active.generation.hit_max_tokens = true;
+    return true;
+  }
+  return false;
+}
+
+void Engine::retire(std::size_t index, RequestStatus status) {
+  Active active = std::move(active_[index]);
+  active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(index));
+  decoder_->release(active.slot);
+  free_slots_.push_back(active.slot);
+
+  ServeResult result;
+  result.status = status;
+  result.generation = std::move(active.generation);
+  result.queue_wait_s = seconds_since(active.submitted, active.admitted);
+  result.ttft_s = active.ttft_s;
+  result.total_s = seconds_since(active.submitted, Clock::now());
+  obs::Registry::global()
+      .counter(std::string("serve.retired.") + status_name(status))
+      .add();
+  active.promise.set_value(std::move(result));
+}
+
+}  // namespace lmpeel::serve

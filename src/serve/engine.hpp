@@ -1,0 +1,110 @@
+// Continuous-batching inference engine (DESIGN.md §9).
+//
+// One scheduler thread owns the decoder.  Clients submit Requests from any
+// thread and get a std::future<ServeResult>.  Each scheduler iteration:
+//
+//   1. admission — pop queued requests into free decoder slots (prefill +
+//      first sampled token, so TTFT is paid at admission);
+//   2. batched step — advance every active sequence one token in a single
+//      decoder.step call;
+//   3. retire — finished / cancelled / expired sequences release their slot
+//      and fulfil their promise; freed slots are refilled at the next
+//      admission pass.
+//
+// Admission control is strict: the submit queue is bounded and a full queue
+// rejects immediately (QueueFull) instead of blocking — backpressure is the
+// caller's signal to shed load.  Sampling inside the engine mirrors
+// lm::generate token for token (same Rng stream, same stop rules, same
+// trace capture), so a served generation is bit-identical to a serial one.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "lm/tensor.hpp"
+#include "serve/decoder.hpp"
+#include "serve/request.hpp"
+#include "util/rng.hpp"
+
+namespace lmpeel::serve {
+
+struct EngineConfig {
+  std::size_t max_batch = 8;       ///< concurrent sequences (clamped to slots)
+  std::size_t queue_capacity = 64; ///< pending submits before QueueFull
+};
+
+class Engine {
+ public:
+  /// The decoder must outlive the engine.  Starts the scheduler thread.
+  Engine(BatchDecoder& decoder, EngineConfig config = {});
+  /// Calls shutdown().
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Submits a request; never blocks on model work.  Invalid requests
+  /// (expired deadline, over-long prompt, full queue, stopped engine) are
+  /// rejected with a ready future carrying the refusal status.
+  std::future<ServeResult> submit(Request request);
+
+  /// Stops intake, fails everything still queued with ShutDown, runs the
+  /// scheduler until all in-flight sequences retire naturally, then joins.
+  /// Idempotent.
+  void shutdown();
+
+  const EngineConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Queued {
+    Request request;
+    std::promise<ServeResult> promise;
+    Clock::time_point submitted;
+  };
+
+  /// A request occupying a decoder slot.
+  struct Active {
+    Request request;
+    std::promise<ServeResult> promise;
+    Clock::time_point submitted;
+    Clock::time_point admitted;
+    std::size_t slot = 0;
+    util::Rng rng{0, 0};
+    lm::Generation generation;
+    double ttft_s = 0.0;
+    int last_token = -1;  ///< token to feed the next decoder step
+  };
+
+  void scheduler_loop();
+  /// Fills free slots from the queue; returns false if there is neither
+  /// active nor queued work and the engine should block for submits.
+  void admit(std::vector<float>& logits_scratch);
+  /// One batched decode step over every active sequence.
+  void step_active(lm::Tensor& logits);
+  /// Samples from `logits` exactly as lm::generate does and appends to the
+  /// active sequence; returns true if the sequence is finished.
+  bool sample_and_record(Active& active, std::span<const float> logits);
+  void retire(std::size_t index, RequestStatus status);
+  static void reject(std::promise<ServeResult>& promise, RequestStatus status,
+                     Clock::time_point submitted);
+
+  BatchDecoder* decoder_;
+  EngineConfig config_;
+
+  std::mutex shutdown_mutex_;  // serialises shutdown()/join
+  std::mutex mutex_;           // guards queue_ and stopping_
+  std::condition_variable cv_;
+  std::deque<Queued> queue_;
+  bool stopping_ = false;
+
+  std::vector<Active> active_;       // scheduler thread only
+  std::vector<std::size_t> free_slots_;
+  std::thread scheduler_;
+};
+
+}  // namespace lmpeel::serve

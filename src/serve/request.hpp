@@ -1,0 +1,55 @@
+// Request/response types of the lmpeel::serve inference engine
+// (DESIGN.md §9).
+//
+// A Request is everything lm::generate() takes — prompt ids plus
+// GenerateOptions — extended with the two serving-side controls the engine
+// enforces: an absolute deadline and a cooperative cancellation flag.  The
+// matching ServeResult carries the finished (or partial) generation plus
+// the queueing/latency breakdown the load-test harness reports.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "lm/generate.hpp"
+
+namespace lmpeel::serve {
+
+using Clock = std::chrono::steady_clock;
+
+struct Request {
+  std::vector<int> prompt;      ///< encoded prompt (must be non-empty)
+  lm::GenerateOptions options;  ///< sampler, token budget, stop rules, seed
+  /// Absolute completion deadline.  An already-expired request is rejected
+  /// before it is ever scheduled; a request that expires mid-flight is
+  /// retired at the next scheduler step with its partial output.
+  Clock::time_point deadline = Clock::time_point::max();
+  /// Optional cooperative cancellation: set to true from any thread and
+  /// the engine retires the request at its next scheduler step.
+  std::shared_ptr<std::atomic<bool>> cancel;
+};
+
+enum class RequestStatus {
+  Ok,               ///< completed normally
+  QueueFull,        ///< rejected at submit: admission queue at capacity
+  DeadlineExpired,  ///< deadline passed before scheduling or mid-flight
+  Cancelled,        ///< cancel flag observed
+  PromptTooLong,    ///< prompt + max_tokens exceed the decoder's window
+  ShutDown,         ///< engine stopped before the request reached a slot
+};
+
+const char* status_name(RequestStatus status);
+
+struct ServeResult {
+  RequestStatus status = RequestStatus::Ok;
+  /// The generation: complete for Ok, partial for mid-flight
+  /// DeadlineExpired/Cancelled, empty when the request never ran.
+  lm::Generation generation;
+  double queue_wait_s = 0.0;  ///< submit → slot admission
+  double ttft_s = 0.0;        ///< submit → first emitted token (0 if none)
+  double total_s = 0.0;       ///< submit → completion/rejection
+};
+
+}  // namespace lmpeel::serve

@@ -6,6 +6,8 @@
 #include <sstream>
 
 #include "prompt/parser.hpp"
+#include "serve/client.hpp"
+#include "serve/engine.hpp"
 #include "util/check.hpp"
 #include "util/math.hpp"
 
@@ -82,22 +84,65 @@ void LlamboTuner::observe(const perf::Syr2kConfig& config, double runtime) {
   observations_.push_back(s);
 }
 
+std::vector<lm::Generation> LlamboTuner::run_generations(
+    std::vector<std::vector<int>> prompts,
+    const std::vector<lm::GenerateOptions>& options) {
+  LMPEEL_CHECK(prompts.size() == options.size());
+  std::vector<lm::Generation> generations(prompts.size());
+  if (options_.engine != nullptr) {
+    std::vector<serve::Request> requests;
+    requests.reserve(prompts.size());
+    for (std::size_t i = 0; i < prompts.size(); ++i) {
+      serve::Request request;
+      request.prompt = std::move(prompts[i]);
+      request.options = options[i];
+      requests.push_back(std::move(request));
+    }
+    auto results = serve::generate_all(*options_.engine, std::move(requests));
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      // A rejected query (shutdown mid-campaign, over-long prompt) degrades
+      // to an empty generation; the parse-failure fallback covers it.
+      if (results[i].status == serve::RequestStatus::Ok) {
+        generations[i] = std::move(results[i].generation);
+      }
+    }
+    return generations;
+  }
+  for (std::size_t i = 0; i < prompts.size(); ++i) {
+    generations[i] = lm::generate(*model_, prompts[i], options[i]);
+  }
+  return generations;
+}
+
 perf::Syr2kConfig LlamboTuner::propose_discriminative(util::Rng& rng) {
   const auto examples = context_examples();
   double best_pred = std::numeric_limits<double>::infinity();
   perf::Syr2kConfig best = random_unseen(rng);
   bool any_parsed = false;
+
+  // Draw every candidate up front (same rng stream as the old one-at-a-time
+  // loop — generation consumes no rng here), then score the whole pool in
+  // one engine batch.
+  std::vector<perf::Syr2kConfig> candidates;
+  std::vector<std::vector<int>> prompts;
+  std::vector<lm::GenerateOptions> gens;
+  candidates.reserve(options_.candidate_pool);
   for (std::size_t c = 0; c < options_.candidate_pool; ++c) {
-    const perf::Syr2kConfig candidate = random_unseen(rng);
-    const auto prompt_ids = builder_.encode(*tokenizer_, examples, candidate);
+    candidates.push_back(random_unseen(rng));
+    prompts.push_back(builder_.encode(*tokenizer_, examples,
+                                      candidates.back()));
     lm::GenerateOptions gen;
     gen.sampler = options_.sampler;
     gen.stop_token = tokenizer_->newline_token();
     gen.max_tokens = 48;
     gen.seed = util::hash_combine(proposal_counter_, c);
-    const auto generation = lm::generate(*model_, prompt_ids, gen);
+    gens.push_back(gen);
+  }
+  const auto generations = run_generations(std::move(prompts), gens);
+
+  for (std::size_t c = 0; c < options_.candidate_pool; ++c) {
     const auto parsed =
-        prompt::parse_response(tokenizer_->decode(generation.tokens));
+        prompt::parse_response(tokenizer_->decode(generations[c].tokens));
     if (!parsed.value.has_value()) {
       ++parse_failures_;
       continue;
@@ -105,7 +150,7 @@ perf::Syr2kConfig LlamboTuner::propose_discriminative(util::Rng& rng) {
     any_parsed = true;
     if (*parsed.value < best_pred) {
       best_pred = *parsed.value;
-      best = candidate;
+      best = candidates[c];
     }
   }
   if (!any_parsed) return random_unseen(rng);
@@ -161,7 +206,9 @@ perf::Syr2kConfig LlamboTuner::propose_generative(util::Rng& rng) {
     tokenizer_->encode_append(builder_.system_text(), ids);
     ids.push_back(tok::kUser);
     tokenizer_->encode_append(builder_.problem_text(), ids);
-    tokenizer_->encode_append("\n" + icl.str(), ids);
+    std::string icl_block("\n");
+    icl_block += icl.str();
+    tokenizer_->encode_append(icl_block, ids);
     tokenizer_->encode_append("Please complete the following:\n" +
                                   prompt::render_config(candidate, size_) +
                                   "\nPerformance class:",
@@ -226,7 +273,8 @@ perf::Syr2kConfig LlamboTuner::propose_candidate_sampling(util::Rng& rng) {
   gen.stop_token = tokenizer_->newline_token();
   gen.max_tokens = 96;
   gen.seed = util::hash_combine(proposal_counter_, 0x5a);
-  const auto generation = lm::generate(*model_, ids, gen);
+  const auto generation =
+      std::move(run_generations({std::move(ids)}, {gen}).front());
   const std::string text =
       "Hyperparameter configuration:" + tokenizer_->decode(generation.tokens);
 

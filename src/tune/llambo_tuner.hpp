@@ -22,6 +22,10 @@
 #include "tok/tokenizer.hpp"
 #include "tune/campaign.hpp"
 
+namespace lmpeel::serve {
+class Engine;
+}  // namespace lmpeel::serve
+
 namespace lmpeel::tune {
 
 enum class LlamboMode { Discriminative, Generative, CandidateSampling };
@@ -40,6 +44,11 @@ struct LlamboOptions {
   /// classification labels"); 2..4 supported ("good", "fair", "poor",
   /// "bad").
   std::size_t n_classes = 2;
+  /// When set, surrogate generations are submitted to this engine (all
+  /// candidates of a proposal in one batch) instead of serial lm::generate
+  /// calls.  Results are bit-identical either way; the engine must be
+  /// backed by the same model passed to the tuner.  Not owned.
+  serve::Engine* engine = nullptr;
 };
 
 class LlamboTuner final : public Tuner {
@@ -63,6 +72,12 @@ class LlamboTuner final : public Tuner {
 
   /// The most recent max_icl observations, oldest first.
   std::vector<perf::Sample> context_examples() const;
+
+  /// Runs one generation per prompt — through options_.engine when set
+  /// (submitted as one batch), serially via lm::generate otherwise.
+  std::vector<lm::Generation> run_generations(
+      std::vector<std::vector<int>> prompts,
+      const std::vector<lm::GenerateOptions>& options);
 
   lm::LanguageModel* model_;
   const tok::Tokenizer* tokenizer_;

@@ -28,13 +28,17 @@ ThreadPool::~ThreadPool() {
 std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   auto future = packaged.get_future();
+  enqueue(std::move(packaged));
+  return future;
+}
+
+void ThreadPool::enqueue(std::packaged_task<void()> task) {
   {
     std::lock_guard lock(mutex_);
     LMPEEL_CHECK_MSG(!stopping_, "submit() on a stopping ThreadPool");
-    queue_.push_back(std::move(packaged));
+    queue_.push_back(std::move(task));
   }
   cv_.notify_one();
-  return future;
 }
 
 void ThreadPool::worker_loop() {

@@ -16,6 +16,8 @@
 #include <future>
 #include <mutex>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace lmpeel::util {
@@ -35,7 +37,24 @@ class ThreadPool {
   /// Enqueues a task; the returned future rethrows task exceptions.
   std::future<void> submit(std::function<void()> task);
 
+  /// Value-returning overload: the future carries the callable's result
+  /// (serve-bench's load-generator clients return their latency samples
+  /// this way).  Exceptions are rethrown by future::get as usual.
+  template <typename F>
+    requires(!std::is_void_v<std::invoke_result_t<std::decay_t<F>>>)
+  std::future<std::invoke_result_t<std::decay_t<F>>> submit(F&& task) {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    std::packaged_task<R()> packaged(std::forward<F>(task));
+    auto future = packaged.get_future();
+    // packaged_task<R()> is move-only but invocable as void(); wrap it so
+    // the queue stays homogeneous.  The inner task owns the shared state;
+    // the outer one's future is simply never retrieved.
+    enqueue(std::packaged_task<void()>(std::move(packaged)));
+    return future;
+  }
+
  private:
+  void enqueue(std::packaged_task<void()> task);
   void worker_loop();
 
   std::vector<std::thread> workers_;

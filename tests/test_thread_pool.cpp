@@ -5,6 +5,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace lmpeel::util {
@@ -24,6 +25,28 @@ TEST(ThreadPool, RunsSubmittedTasks) {
 TEST(ThreadPool, PropagatesExceptionsThroughFutures) {
   ThreadPool pool(1);
   auto f = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ValueReturningSubmitDeliversResults) {
+  ThreadPool pool(2);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+  // Move-only result types work too (packaged_task owns the shared state).
+  auto words = pool.submit([] {
+    return std::vector<std::string>{"alpha", "beta"};
+  });
+  EXPECT_EQ(words.get().size(), 2u);
+}
+
+TEST(ThreadPool, ValueReturningSubmitPropagatesExceptions) {
+  ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
   EXPECT_THROW(f.get(), std::runtime_error);
 }
 

@@ -131,6 +131,94 @@ TEST(Transformer, KvCacheMatchesFullForward) {
   EXPECT_EQ(cache.length(), 0u);
 }
 
+TEST(Transformer, PrefillMatchesNextLogitsBitForBit) {
+  TransformerLm model(tiny_config(60), 11);
+  const std::vector<int> seq{3, 1, 4, 1, 5, 9, 2, 6};
+  std::vector<float> full(60), prefilled(60);
+  TransformerLm::KvCache cache;
+  model.prefill(cache, seq, prefilled);
+  model.next_logits(seq, full);
+  EXPECT_EQ(cache.length(), seq.size());
+  for (int v = 0; v < 60; ++v) {
+    ASSERT_EQ(full[v], prefilled[v]) << "vocab " << v;
+  }
+  // prefill requires an empty cache.
+  EXPECT_THROW(model.prefill(cache, seq, prefilled), std::runtime_error);
+}
+
+TEST(Transformer, DecodeBatchMatchesFullForwardBitForBit) {
+  // The serve engine's core guarantee: a prefill + incremental batched
+  // decode steps produce the exact same floats as next_logits over the
+  // growing context — no tolerance, ragged lengths included.  Nine
+  // sequences put the batched matmuls on the blocked 8-row kernel path
+  // plus a tail row (and vocab 60 exercises the tied-head panel tail), so
+  // every accumulation order in the SIMD kernels is covered bit-for-bit.
+  TransformerLm model(tiny_config(60), 11);
+  const std::vector<std::vector<int>> prompts{
+      {3, 1, 4, 1, 5}, {9, 2},     {6, 5, 3, 5, 8, 9, 7},
+      {2, 7, 1},       {8, 8, 4},  {1},
+      {5, 9, 2, 6},    {10, 3, 3}, {4, 6, 1, 8, 2, 7}};
+  const std::size_t batch = prompts.size();
+
+  std::vector<TransformerLm::KvCache> caches(batch);
+  std::vector<TransformerLm::KvCache*> cache_ptrs;
+  std::vector<std::vector<int>> contexts = prompts;
+  std::vector<float> scratch(60);
+  for (std::size_t b = 0; b < batch; ++b) {
+    model.prefill(caches[b], prompts[b], scratch);
+    cache_ptrs.push_back(&caches[b]);
+  }
+
+  std::vector<int> next{7, 11, 13, 2, 5, 9, 17, 23, 31};
+  Tensor logits(batch, 60);
+  std::vector<float> full(60);
+  for (int step = 0; step < 5; ++step) {
+    model.decode_batch(cache_ptrs, next, logits);
+    for (std::size_t b = 0; b < batch; ++b) {
+      contexts[b].push_back(next[b]);
+      model.next_logits(contexts[b], full);
+      for (int v = 0; v < 60; ++v) {
+        ASSERT_EQ(full[v], logits.at(b, static_cast<std::size_t>(v)))
+            << "step " << step << " sequence " << b << " vocab " << v;
+      }
+      // Feed each sequence its own argmax so the streams diverge.
+      next[b] = sample_greedy(logits.row(b));
+    }
+  }
+
+  // A single-sequence batch goes down the same path.
+  TransformerLm::KvCache solo;
+  model.prefill(solo, prompts[0], scratch);
+  TransformerLm::KvCache* solo_ptr = &solo;
+  Tensor solo_logits(1, 60);
+  const std::vector<int> one{7};
+  model.decode_batch(std::span<TransformerLm::KvCache* const>(&solo_ptr, 1),
+                     one, solo_logits);
+  std::vector<int> ctx = prompts[0];
+  ctx.push_back(7);
+  model.next_logits(ctx, full);
+  for (int v = 0; v < 60; ++v) {
+    ASSERT_EQ(full[v], solo_logits.at(0, static_cast<std::size_t>(v)));
+  }
+}
+
+TEST(Transformer, DecodeBatchRespectsMaxSeq) {
+  TransformerConfig cfg = tiny_config(20);
+  cfg.max_seq = 4;
+  TransformerLm model(cfg, 12);
+  TransformerLm::KvCache cache;
+  std::vector<float> out(20);
+  const std::vector<int> four{1, 2, 3, 4};
+  model.prefill(cache, four, out);
+  TransformerLm::KvCache* ptr = &cache;
+  const std::vector<int> one{5};
+  Tensor logits(1, 20);
+  EXPECT_THROW(
+      model.decode_batch(std::span<TransformerLm::KvCache* const>(&ptr, 1),
+                         one, logits),
+      std::runtime_error);
+}
+
 TEST(Transformer, KvCacheRespectsMaxSeq) {
   TransformerConfig cfg = tiny_config(20);
   cfg.max_seq = 4;

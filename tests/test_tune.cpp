@@ -10,6 +10,8 @@
 #include <set>
 
 #include "core/pipeline.hpp"
+#include "serve/decoder.hpp"
+#include "serve/engine.hpp"
 
 namespace lmpeel::tune {
 namespace {
@@ -188,6 +190,38 @@ TEST_F(LlamboFixture, DiscriminativeModeCompletesCampaign) {
       run_campaign(tuner, pipeline().perf_model(), perf::SizeClass::SM, copt);
   EXPECT_EQ(result.evaluated.size(), 8u);
   EXPECT_GT(result.best_runtime(), 0.0);
+}
+
+TEST_F(LlamboFixture, EngineBackedCampaignMatchesDirectGeneration) {
+  // Routing the surrogate generations through a serve::Engine must not
+  // change the campaign at all: the replay decoder reseeds the model per
+  // request, so every proposal evaluates identically.
+  const auto run = [&](serve::Engine* engine) {
+    LlamboOptions options;
+    options.mode = LlamboMode::Discriminative;
+    options.candidate_pool = 4;
+    options.max_icl = 8;
+    options.engine = engine;
+    LlamboTuner tuner(pipeline().model(), pipeline().tokenizer(),
+                      perf::SizeClass::SM, options);
+    CampaignOptions copt;
+    copt.budget = 8;
+    copt.seed = 5;
+    return run_campaign(tuner, pipeline().perf_model(), perf::SizeClass::SM,
+                        copt);
+  };
+
+  const auto direct = run(nullptr);
+  serve::GenericBatchDecoder decoder(pipeline().model(), /*slots=*/4);
+  serve::Engine engine(decoder);
+  const auto served = run(&engine);
+
+  ASSERT_EQ(direct.evaluated.size(), served.evaluated.size());
+  for (std::size_t i = 0; i < direct.evaluated.size(); ++i) {
+    EXPECT_EQ(direct.evaluated[i].config_index,
+              served.evaluated[i].config_index) << "evaluation " << i;
+    EXPECT_DOUBLE_EQ(direct.evaluated[i].runtime, served.evaluated[i].runtime);
+  }
 }
 
 TEST_F(LlamboFixture, GenerativeModeCompletesCampaign) {

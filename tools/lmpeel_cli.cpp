@@ -6,6 +6,7 @@
 //   lmpeel tune <tuner> <size> <budget> [seed]   run an autotuning campaign
 //   lmpeel tokenize <text…>                      show the token stream
 //   lmpeel stats [size] [icl] [seed]             generation run + metrics summary
+//   lmpeel serve-bench [quick]                   load-test the serve engine
 //
 // Tuners: random | gbt | anneal | genetic | llambo-discriminative |
 //         llambo-generative | llambo-sampling
@@ -26,6 +27,8 @@
 #include "obs/sinks.hpp"
 #include "obs/span.hpp"
 #include "prompt/parser.hpp"
+#include "serve/decoder.hpp"
+#include "serve/engine.hpp"
 #include "tune/annealing_tuner.hpp"
 #include "tune/gbt_surrogate_tuner.hpp"
 #include "tune/genetic_tuner.hpp"
@@ -46,9 +49,18 @@ int usage() {
          "  lmpeel tune <random|gbt|anneal|genetic|llambo-discriminative|"
          "llambo-generative|llambo-sampling> <size> <budget> [seed]\n"
          "  lmpeel tokenize <text…>\n"
-         "  lmpeel stats [size] [icl_count] [seed]\n";
+         "  lmpeel stats [size] [icl_count] [seed]\n"
+         "  lmpeel serve-bench [quick]\n";
   return 2;
 }
+
+}  // namespace
+
+// Defined in serve_bench.cpp; sweeps offered concurrency x max_batch over
+// the engine and reports throughput and latency percentiles.
+int cmd_serve_bench(int argc, char** argv);
+
+namespace {
 
 std::optional<perf::SizeClass> parse_size(const std::string& text) {
   for (const perf::SizeClass s : perf::kAllSizes) {
@@ -146,6 +158,10 @@ int cmd_tune(int argc, char** argv) {
   if (budget == 0) return usage();
 
   core::Pipeline pipeline;
+  // LLAMBO tuners batch their surrogate generations through a serve engine
+  // (candidate pools decode concurrently instead of one at a time).
+  std::unique_ptr<serve::GenericBatchDecoder> decoder;
+  std::unique_ptr<serve::Engine> engine;
   std::unique_ptr<tune::Tuner> tuner;
   if (name == "random") {
     tuner = std::make_unique<tune::RandomSearchTuner>();
@@ -166,6 +182,10 @@ int cmd_tune(int argc, char** argv) {
     } else {
       return usage();
     }
+    decoder = std::make_unique<serve::GenericBatchDecoder>(pipeline.model(),
+                                                           /*slots=*/8);
+    engine = std::make_unique<serve::Engine>(*decoder);
+    options.engine = engine.get();
     tuner = std::make_unique<tune::LlamboTuner>(
         pipeline.model(), pipeline.tokenizer(), *size, options);
   } else {
@@ -267,6 +287,7 @@ int main(int argc, char** argv) {
     if (command == "tune") return cmd_tune(argc - 2, argv + 2);
     if (command == "tokenize") return cmd_tokenize(argc - 2, argv + 2);
     if (command == "stats") return cmd_stats(argc - 2, argv + 2);
+    if (command == "serve-bench") return cmd_serve_bench(argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;

@@ -1,0 +1,196 @@
+// lmpeel serve-bench — closed-loop load test of the serve engine.
+//
+// Sweeps offered concurrency x engine max_batch over a from-scratch
+// TransformerLm and reports aggregate throughput and request-latency
+// percentiles per cell.  Every request generates exactly LMPEEL_SERVE_GEN
+// tokens (eos stopping disabled), so tokens/sec is comparable across cells
+// and the batch=1 row is the serial baseline the continuous-batching rows
+// are measured against.
+//
+// Knobs (all env, see bench/bench_common.hpp):
+//   LMPEEL_SERVE_DMODEL / _LAYERS / _HEADS / _VOCAB   model shape
+//   LMPEEL_SERVE_REQUESTS / _PROMPT / _GEN            workload shape
+//
+// The max-concurrency rows merge into BENCH_baseline.json (keyed
+// serve_bench/b<max_batch>) with tokens_per_sec / p50_ms / p99_ms values.
+#include <algorithm>
+#include <cstring>
+#include <future>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "lm/transformer.hpp"
+#include "obs/metrics.hpp"
+#include "serve/client.hpp"
+#include "serve/decoder.hpp"
+#include "serve/engine.hpp"
+#include "util/check.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace lmpeel;
+
+struct CellResult {
+  double wall_s = 0.0;
+  double tokens_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+std::vector<int> make_prompt(std::uint64_t seed, std::size_t length,
+                             int vocab) {
+  util::Rng rng(seed, /*stream=*/0x6e);
+  std::vector<int> prompt(length);
+  for (auto& id : prompt) {
+    // Skip the special ids (bos/eos/roles) so prompts are plain content.
+    id = static_cast<int>(rng.uniform_int(5, vocab - 1));
+  }
+  return prompt;
+}
+
+CellResult run_cell(lm::TransformerLm& model, std::size_t concurrency,
+                    std::size_t max_batch, std::size_t requests,
+                    std::size_t prompt_len, std::size_t gen_tokens) {
+  obs::Registry::global().reset();
+  serve::TransformerBatchDecoder decoder(model, /*slots=*/max_batch);
+  serve::EngineConfig config;
+  config.max_batch = max_batch;
+  // One outstanding request per client, so capacity >= concurrency means
+  // QueueFull cannot fire in this closed loop.
+  config.queue_capacity = std::max<std::size_t>(64, concurrency * 2);
+  serve::Engine engine(decoder, config);
+
+  util::ThreadPool clients(concurrency);
+  util::Stopwatch wall;
+  std::vector<std::future<std::vector<double>>> futures;
+  futures.reserve(concurrency);
+  for (std::size_t k = 0; k < concurrency; ++k) {
+    const std::size_t lo = requests * k / concurrency;
+    const std::size_t hi = requests * (k + 1) / concurrency;
+    futures.push_back(clients.submit([&engine, &model, lo, hi, prompt_len,
+                                      gen_tokens]() -> std::vector<double> {
+      std::vector<double> latencies_ms;
+      latencies_ms.reserve(hi - lo);
+      for (std::size_t r = lo; r < hi; ++r) {
+        const auto prompt =
+            make_prompt(r, prompt_len, model.config().vocab);
+        lm::GenerateOptions options;
+        options.sampler.temperature = 0.0;  // greedy, deterministic
+        options.stop_on_eos = false;        // fixed-length generations
+        options.max_tokens = gen_tokens;
+        options.seed = r;
+        util::Stopwatch latency;
+        const auto result = serve::generate_sync(engine, prompt, options);
+        LMPEEL_CHECK_MSG(result.status == serve::RequestStatus::Ok,
+                         "serve-bench request rejected");
+        LMPEEL_CHECK_MSG(result.generation.tokens.size() == gen_tokens,
+                         "serve-bench generation truncated");
+        latencies_ms.push_back(latency.milliseconds());
+      }
+      return latencies_ms;
+    }));
+  }
+
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(requests);
+  for (auto& f : futures) {
+    const auto client_latencies = f.get();
+    latencies_ms.insert(latencies_ms.end(), client_latencies.begin(),
+                        client_latencies.end());
+  }
+  CellResult cell;
+  cell.wall_s = wall.seconds();
+  cell.tokens_per_sec =
+      static_cast<double>(requests * gen_tokens) / cell.wall_s;
+  cell.p50_ms = util::percentile(latencies_ms, 50.0);
+  cell.p99_ms = util::percentile(latencies_ms, 99.0);
+  return cell;
+}
+
+}  // namespace
+
+int cmd_serve_bench(int argc, char** argv) {
+  const bool quick = argc > 0 && std::strcmp(argv[0], "quick") == 0;
+
+  lm::TransformerConfig model_config;
+  // Default shape: wide and shallow, ~59 MB of weights.  Big enough that
+  // batch-1 decode is bound by streaming the weights per token (the regime
+  // continuous batching exists for), wide enough that the batched matmuls
+  // dominate the per-row scalar work (attention, tied head, gelu).
+  model_config.vocab = bench::env_int("LMPEEL_SERVE_VOCAB", 512);
+  model_config.d_model = bench::env_int("LMPEEL_SERVE_DMODEL", 768);
+  model_config.n_head = bench::env_int("LMPEEL_SERVE_HEADS", 8);
+  model_config.n_layer = bench::env_int("LMPEEL_SERVE_LAYERS", 2);
+
+  // Decode-heavy workload (short prompts, long generations): admission
+  // prefill is a full forward that stalls the running batch, so the regime
+  // where continuous batching pays is the one where decode steps dominate.
+  const auto requests = static_cast<std::size_t>(
+      bench::env_int("LMPEEL_SERVE_REQUESTS", quick ? 16 : 64));
+  const auto prompt_len = static_cast<std::size_t>(
+      bench::env_int("LMPEEL_SERVE_PROMPT", 8));
+  const auto gen_tokens = static_cast<std::size_t>(
+      bench::env_int("LMPEEL_SERVE_GEN", quick ? 16 : 64));
+  model_config.max_seq = static_cast<int>(prompt_len + gen_tokens);
+
+  lm::TransformerLm model(model_config, /*seed=*/1);
+  std::cout << "model: d_model " << model_config.d_model << ", layers "
+            << model_config.n_layer << ", vocab " << model_config.vocab
+            << " (" << model.parameter_count() << " parameters)\n"
+            << "workload: " << requests << " requests x " << gen_tokens
+            << " tokens, prompt length " << prompt_len << "\n";
+
+  const std::vector<std::size_t> concurrencies =
+      quick ? std::vector<std::size_t>{4} : std::vector<std::size_t>{4, 16};
+  const std::vector<std::size_t> batches =
+      quick ? std::vector<std::size_t>{1, 8}
+            : std::vector<std::size_t>{1, 2, 4, 8, 16};
+
+  util::Table table({"conc", "max_batch", "requests", "tokens", "wall_s",
+                     "tok_s", "p50_ms", "p99_ms"});
+  const std::size_t top_conc = concurrencies.back();
+  double serial_tok_s = 0.0, best_batched_tok_s = 0.0;
+  for (const std::size_t conc : concurrencies) {
+    for (const std::size_t batch : batches) {
+      const CellResult cell = run_cell(model, conc, batch, requests,
+                                       prompt_len, gen_tokens);
+      table.add_row({std::to_string(conc), std::to_string(batch),
+                     std::to_string(requests),
+                     std::to_string(requests * gen_tokens),
+                     util::Table::num(cell.wall_s),
+                     util::Table::num(cell.tokens_per_sec),
+                     util::Table::num(cell.p50_ms),
+                     util::Table::num(cell.p99_ms)});
+      if (conc == top_conc) {
+        if (batch == 1) serial_tok_s = cell.tokens_per_sec;
+        if (batch >= 8) {
+          best_batched_tok_s =
+              std::max(best_batched_tok_s, cell.tokens_per_sec);
+        }
+        bench::BenchRecord record;
+        record.name = "serve_bench/b" + std::to_string(batch);
+        record.wall_s = cell.wall_s;
+        record.counters = bench::counter_snapshot();
+        record.values = {{"tokens_per_sec", cell.tokens_per_sec},
+                         {"p50_ms", cell.p50_ms},
+                         {"p99_ms", cell.p99_ms}};
+        bench::write_bench_record(record);
+      }
+    }
+  }
+  bench::emit("serve-bench: concurrency x max_batch", table);
+  if (serial_tok_s > 0.0 && best_batched_tok_s > 0.0) {
+    std::cout << "batching speedup at conc " << top_conc
+              << " (best max_batch >= 8 vs max_batch 1): "
+              << util::Table::num(best_batched_tok_s / serial_tok_s, 3)
+              << "x\n";
+  }
+  return 0;
+}
