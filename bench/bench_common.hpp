@@ -14,6 +14,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/sinks.hpp"
+#include "util/fileio.hpp"
 #include "util/table.hpp"
 
 namespace lmpeel::bench {
@@ -101,13 +102,16 @@ inline void write_bench_record(const BenchRecord& record) {
   entry << "}";
   entries[record.name] = entry.str();
 
-  std::ofstream out(path);
+  std::ostringstream out;
   out << "{\n  \"schema\": \"lmpeel-bench-v1\",\n  \"benches\": {\n";
   std::size_t i = 0;
   for (const auto& [name, line] : entries) {
     out << line << (++i < entries.size() ? ",\n" : "\n");
   }
   out << "  }\n}\n";
+  // Atomic replace so an interrupted bench never truncates the baseline
+  // other benches have already merged into.
+  util::atomic_write_file(path, out.str());
   std::cout << "bench record '" << record.name << "' written to " << path
             << '\n';
 }

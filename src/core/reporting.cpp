@@ -116,4 +116,12 @@ util::Table summary_table(const SweepSummary& summary) {
   return table;
 }
 
+void save_report(const SweepResult& result, const SweepSummary& summary,
+                 const std::string& prefix) {
+  // Table::write_csv goes through util::atomic_write_file, so each CSV
+  // appears complete-or-not-at-all even if the process dies mid-write.
+  summary_table(summary).write_csv(prefix + "_summary.csv");
+  sweep_table(result).write_csv(prefix + "_cells.csv");
+}
+
 }  // namespace lmpeel::core

@@ -35,4 +35,10 @@ util::Table sweep_table(const SweepResult& result);
 /// Headline-statistics table (mirrors the numbers quoted in §IV-A prose).
 util::Table summary_table(const SweepSummary& summary);
 
+/// Persists the sweep report as `<prefix>_summary.csv` and
+/// `<prefix>_cells.csv`.  Both files are written atomically (temp-file +
+/// rename), so a crash mid-report never leaves a truncated CSV behind.
+void save_report(const SweepResult& result, const SweepSummary& summary,
+                 const std::string& prefix);
+
 }  // namespace lmpeel::core

@@ -1,0 +1,91 @@
+// Seeded chaos harness: run a fault schedule against a live engine and
+// report whether it survived.
+//
+// The harness is structured for reproducibility, not just noise:
+//
+//   phase 1 (wedge)  — one request is submitted and the plan's forced op-0
+//     QueuePressure stall freezes the decoder inside its prefill;
+//   phase 2 (burst)  — the remaining requests are submitted while the
+//     decoder is provably wedged, so exactly queue_capacity of them queue
+//     and the rest are shed with QueueFull — deterministic backpressure;
+//   phase 3 (drain)  — the wedge releases and the engine works through the
+//     queue while the seeded schedule injects throws, NaN/Inf rows and
+//     stalls; every request resolves to a definite status;
+//   phase 4 (probe)  — a clean request goes through a RetryClient to prove
+//     the engine still serves after the chaos (and to exercise backoff if
+//     the tail of the schedule is still firing).
+//
+// Because submission order, queue content and the fault schedule are all
+// fixed by (seed, options), the same seed reproduces the same per-request
+// statuses — the property tests/test_fault.cpp asserts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "fault/faulty_decoder.hpp"
+#include "serve/engine.hpp"
+#include "util/table.hpp"
+
+namespace lmpeel::fault {
+
+struct ChaosOptions {
+  std::uint64_t seed = 0;
+  std::size_t requests = 32;       ///< chaos requests (excluding the probe)
+  std::size_t max_batch = 4;
+  std::size_t queue_capacity = 8;
+  std::size_t max_tokens = 12;     ///< per-request token budget
+  double wedge_s = 0.25;           ///< forced op-0 QueuePressure stall
+  double step_budget_s = 0.0;      ///< engine watchdog (0 = off; time-based
+                                   ///< failures make statuses run-dependent)
+  /// The horizon is sized so the chaos phase consumes most of the schedule
+  /// and the recovery probe's retries walk off its end — past the horizon
+  /// every op is clean, so a bounded retry budget always reaches a served
+  /// request and survival is deterministic, not probabilistic.
+  FaultPlanOptions plan{.horizon = 96,
+                        .p_throw = 0.03,
+                        .p_nan = 0.04,
+                        .p_inf = 0.02,
+                        .p_delay = 0.03,
+                        .delay_s = 0.002};
+};
+
+struct ChaosReport {
+  /// Final status per request, in submission order (size = requests).
+  std::vector<serve::RequestStatus> statuses;
+  std::size_t ok = 0;
+  std::size_t queue_full = 0;
+  std::size_t engine_error = 0;
+  std::size_t other = 0;
+
+  std::size_t injected_total = 0;
+  std::size_t injected_throw = 0;
+  std::size_t injected_nan = 0;
+  std::size_t injected_inf = 0;
+  std::size_t injected_delay = 0;
+  std::size_t injected_pressure = 0;
+
+  std::uint64_t engine_errors = 0;       ///< Engine::engine_errors()
+  serve::RequestStatus probe_status = serve::RequestStatus::Ok;
+  std::size_t probe_retries = 0;
+
+  bool all_resolved = false;  ///< every future became ready (no hangs)
+  double wall_s = 0.0;
+
+  /// Survival: the process is alive (trivially true if this returns), no
+  /// request hung, and the post-chaos probe was served.
+  bool survived() const noexcept {
+    return all_resolved && probe_status == serve::RequestStatus::Ok;
+  }
+};
+
+/// Runs the chaos schedule against `inner` (wrapped in a FaultyDecoder and
+/// a fresh Engine).  The inner decoder needs at least one slot and a vocab
+/// of >= 8 tokens.
+ChaosReport run_chaos(serve::BatchDecoder& inner, const ChaosOptions& options);
+
+/// Survival report as a printable table.
+util::Table chaos_table(const ChaosReport& report);
+
+}  // namespace lmpeel::fault

@@ -1,0 +1,145 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace lmpeel::fault {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::StepThrow: return "step_throw";
+    case FaultKind::NanLogits: return "nan_logits";
+    case FaultKind::InfLogits: return "inf_logits";
+    case FaultKind::StepDelay: return "step_delay";
+    case FaultKind::QueuePressure: return "queue_pressure";
+  }
+  return "unknown";
+}
+
+FaultPlan FaultPlan::from_seed(std::uint64_t seed,
+                               const FaultPlanOptions& options) {
+  const double total = options.p_throw + options.p_nan + options.p_inf +
+                       options.p_delay + options.p_queue_pressure;
+  LMPEEL_CHECK_MSG(total <= 1.0, "fault probabilities sum over 1");
+  // A dedicated stream id keeps the expansion independent of any other use
+  // of the same seed elsewhere in a run.
+  util::Rng rng(seed, /*stream=*/0xfa17);
+  FaultPlan plan;
+  for (std::size_t op = 0; op < options.horizon; ++op) {
+    const double u = rng.uniform();
+    // One draw decides both whether a fault fires and which kind: the
+    // kinds partition [0, total) of the unit interval.
+    FaultEvent event;
+    event.op = op;
+    double edge = options.p_throw;
+    if (u < edge) {
+      event.kind = FaultKind::StepThrow;
+    } else if (u < (edge += options.p_nan)) {
+      event.kind = FaultKind::NanLogits;
+    } else if (u < (edge += options.p_inf)) {
+      event.kind = FaultKind::InfLogits;
+    } else if (u < (edge += options.p_delay)) {
+      event.kind = FaultKind::StepDelay;
+      event.delay_s = options.delay_s;
+    } else if (u < (edge += options.p_queue_pressure)) {
+      event.kind = FaultKind::QueuePressure;
+      event.delay_s = options.queue_pressure_s;
+    } else {
+      continue;
+    }
+    // Row draw happens for every fault so schedules of different kinds at
+    // the same op index stay aligned across probability tweaks.
+    event.row = options.row_range == 0
+                    ? 0
+                    : static_cast<std::size_t>(rng.uniform_int(
+                          0, static_cast<std::int64_t>(options.row_range) - 1));
+    plan.events_.push_back(event);
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::from_events(std::vector<FaultEvent> events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.op < b.op;
+                   });
+  FaultPlan plan;
+  for (FaultEvent& event : events) {
+    if (!plan.events_.empty() && plan.events_.back().op == event.op) continue;
+    plan.events_.push_back(event);
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::with_event(FaultEvent event) const {
+  std::vector<FaultEvent> merged;
+  merged.reserve(events_.size() + 1);
+  merged.push_back(event);
+  for (const FaultEvent& e : events_) {
+    if (e.op != event.op) merged.push_back(e);
+  }
+  return from_events(std::move(merged));
+}
+
+std::optional<FaultEvent> FaultPlan::at(std::size_t op) const {
+  const auto it = std::lower_bound(
+      events_.begin(), events_.end(), op,
+      [](const FaultEvent& e, std::size_t value) { return e.op < value; });
+  if (it == events_.end() || it->op != op) return std::nullopt;
+  return *it;
+}
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream os;
+  for (const FaultEvent& e : events_) {
+    os << "op " << e.op << ": " << fault_kind_name(e.kind);
+    if (e.kind == FaultKind::NanLogits || e.kind == FaultKind::InfLogits) {
+      os << " row " << e.row;
+    }
+    if (e.delay_s > 0.0) os << " delay " << e.delay_s << "s";
+    os << '\n';
+  }
+  return os.str();
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+std::optional<FaultEvent> FaultInjector::next_op() {
+  const std::size_t op = ops_.fetch_add(1, std::memory_order_acq_rel);
+  // cursor_ is only touched here; the decoder serialises next_op calls
+  // (one scheduler thread), the atomics exist for cross-thread observers.
+  const auto& events = plan_.events();
+  while (cursor_ < events.size() && events[cursor_].op < op) ++cursor_;
+  if (cursor_ >= events.size() || events[cursor_].op != op) {
+    return std::nullopt;
+  }
+  const FaultEvent event = events[cursor_++];
+  injected_total_.fetch_add(1, std::memory_order_relaxed);
+  injected_by_kind_[static_cast<std::size_t>(event.kind)].fetch_add(
+      1, std::memory_order_relaxed);
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("fault.injected").add();
+  reg.counter(std::string("fault.injected.") + fault_kind_name(event.kind))
+      .add();
+  return event;
+}
+
+std::size_t FaultInjector::ops() const noexcept {
+  return ops_.load(std::memory_order_acquire);
+}
+
+std::size_t FaultInjector::injected() const noexcept {
+  return injected_total_.load(std::memory_order_relaxed);
+}
+
+std::size_t FaultInjector::injected(FaultKind kind) const noexcept {
+  return injected_by_kind_[static_cast<std::size_t>(kind)].load(
+      std::memory_order_relaxed);
+}
+
+}  // namespace lmpeel::fault

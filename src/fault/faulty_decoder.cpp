@@ -1,0 +1,81 @@
+#include "fault/faulty_decoder.hpp"
+
+#include <chrono>
+#include <limits>
+#include <thread>
+#include <utility>
+
+namespace lmpeel::fault {
+
+namespace {
+
+void poison_row(std::span<float> row, FaultKind kind) {
+  const float value = kind == FaultKind::NanLogits
+                          ? std::numeric_limits<float>::quiet_NaN()
+                          : std::numeric_limits<float>::infinity();
+  for (std::size_t v = 0; v < row.size(); ++v) {
+    // Alternate the sign for Inf so the row is irrecoverable by any
+    // shift-invariant softmax (and matches what an exploded matmul emits).
+    row[v] = (kind == FaultKind::InfLogits && (v & 1u)) ? -value : value;
+  }
+}
+
+}  // namespace
+
+FaultyDecoder::FaultyDecoder(serve::BatchDecoder& inner, FaultPlan plan)
+    : inner_(&inner), injector_(std::move(plan)) {}
+
+void FaultyDecoder::stall(const FaultEvent& event) {
+  if (event.delay_s <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(event.delay_s));
+}
+
+void FaultyDecoder::start(std::size_t slot, std::span<const int> prompt,
+                          std::uint64_t seed, std::span<float> out) {
+  const auto event = injector_.next_op();
+  if (event.has_value()) {
+    switch (event->kind) {
+      case FaultKind::StepThrow:
+        // Throw before delegating: the slot stays unbound, exactly the
+        // state the engine's containment path restores it to anyway.
+        throw FaultInjectedError(event->op);
+      case FaultKind::StepDelay:
+      case FaultKind::QueuePressure:
+        stall(*event);
+        break;
+      case FaultKind::NanLogits:
+      case FaultKind::InfLogits:
+        break;  // applied to the output below
+    }
+  }
+  inner_->start(slot, prompt, seed, out);
+  if (event.has_value() && (event->kind == FaultKind::NanLogits ||
+                            event->kind == FaultKind::InfLogits)) {
+    poison_row(out, event->kind);
+  }
+}
+
+void FaultyDecoder::step(std::span<const serve::BatchDecoder::Step> steps,
+                         lm::Tensor& logits) {
+  const auto event = injector_.next_op();
+  if (event.has_value()) {
+    switch (event->kind) {
+      case FaultKind::StepThrow:
+        throw FaultInjectedError(event->op);
+      case FaultKind::StepDelay:
+      case FaultKind::QueuePressure:
+        stall(*event);
+        break;
+      case FaultKind::NanLogits:
+      case FaultKind::InfLogits:
+        break;
+    }
+  }
+  inner_->step(steps, logits);
+  if (event.has_value() && (event->kind == FaultKind::NanLogits ||
+                            event->kind == FaultKind::InfLogits)) {
+    poison_row(logits.row(event->row % steps.size()), event->kind);
+  }
+}
+
+}  // namespace lmpeel::fault

@@ -1,0 +1,47 @@
+// BatchDecoder wrapper that applies a FaultInjector's schedule.
+//
+// Sits between the engine and a real decoder: each start()/step() consults
+// the injector for the current op and applies the scheduled fault —
+// throwing, corrupting logits, or stalling — before/after delegating.
+// Because it implements the plain BatchDecoder interface, the engine under
+// test is the production engine, bit for bit; only the decoder misbehaves.
+#pragma once
+
+#include <string>
+
+#include "fault/fault.hpp"
+#include "serve/decoder.hpp"
+
+namespace lmpeel::fault {
+
+class FaultyDecoder final : public serve::BatchDecoder {
+ public:
+  /// The inner decoder must outlive the wrapper.
+  FaultyDecoder(serve::BatchDecoder& inner, FaultPlan plan);
+
+  int vocab_size() const override { return inner_->vocab_size(); }
+  std::size_t slots() const override { return inner_->slots(); }
+  std::size_t max_sequence_length() const override {
+    return inner_->max_sequence_length();
+  }
+
+  void start(std::size_t slot, std::span<const int> prompt,
+             std::uint64_t seed, std::span<float> out) override;
+  void step(std::span<const serve::BatchDecoder::Step> steps,
+            lm::Tensor& logits) override;
+  void release(std::size_t slot) override { inner_->release(slot); }
+  std::string name() const override {
+    return "faulty(" + inner_->name() + ")";
+  }
+
+  const FaultInjector& injector() const noexcept { return injector_; }
+
+ private:
+  /// Sleeps for the event's stall duration (no-op for zero delays).
+  static void stall(const FaultEvent& event);
+
+  serve::BatchDecoder* inner_;
+  FaultInjector injector_;
+};
+
+}  // namespace lmpeel::fault

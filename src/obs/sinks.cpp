@@ -2,12 +2,12 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
 
 #include "util/check.hpp"
+#include "util/fileio.hpp"
 
 namespace lmpeel::obs {
 
@@ -112,15 +112,15 @@ void write_chrome_trace(const Registry& registry, std::ostream& out) {
 }
 
 void write_trace_file(const Registry& registry, const std::string& path) {
-  std::ofstream out(path);
-  LMPEEL_CHECK_MSG(out.good(), "cannot open trace output file: " + path);
+  std::ostringstream out;
   if (path.size() >= 6 && path.compare(path.size() - 6, 6, ".jsonl") == 0) {
     write_jsonl(registry, out);
   } else {
     write_chrome_trace(registry, out);
   }
-  out.flush();
-  LMPEEL_CHECK_MSG(out.good(), "trace write failed: " + path);
+  // Atomic replace: a crash (or unwritable path) mid-flush cannot leave a
+  // truncated trace where a complete one used to be.
+  util::atomic_write_file(path, out.str());
 }
 
 namespace {

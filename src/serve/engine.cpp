@@ -1,8 +1,10 @@
 #include "serve/engine.hpp"
 
 #include <chrono>
+#include <cmath>
 #include <utility>
 
+#include "lm/language_model.hpp"
 #include "lm/sampler.hpp"
 #include "lm/trace.hpp"
 #include "obs/metrics.hpp"
@@ -22,6 +24,20 @@ std::vector<double> occupancy_bounds() {
   return {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0};
 }
 
+/// A NaN or +inf in a logits row poisons softmax/argmax silently; reject
+/// the row before it reaches the sampler.  -inf is legal — the LanguageModel
+/// contract (lm/language_model.hpp) uses it to mask non-generable tokens —
+/// but a row with *no* generable token is degenerate too.
+bool row_valid(std::span<const float> logits) {
+  bool any_generable = false;
+  for (const float v : logits) {
+    if (std::isnan(v)) return false;
+    if (std::isinf(v) && v > 0.0f) return false;
+    if (v != lm::kNegInf) any_generable = true;
+  }
+  return any_generable;
+}
+
 }  // namespace
 
 const char* status_name(RequestStatus status) {
@@ -32,8 +48,14 @@ const char* status_name(RequestStatus status) {
     case RequestStatus::Cancelled: return "cancelled";
     case RequestStatus::PromptTooLong: return "prompt_too_long";
     case RequestStatus::ShutDown: return "shut_down";
+    case RequestStatus::EngineError: return "engine_error";
   }
   return "unknown";
+}
+
+bool is_retryable(RequestStatus status) noexcept {
+  return status == RequestStatus::QueueFull ||
+         status == RequestStatus::EngineError;
 }
 
 Engine::Engine(BatchDecoder& decoder, EngineConfig config)
@@ -100,6 +122,11 @@ void Engine::shutdown() {
   if (scheduler_.joinable()) scheduler_.join();
 }
 
+bool Engine::accepting() const {
+  std::lock_guard lock(mutex_);
+  return !stopping_;
+}
+
 void Engine::reject(std::promise<ServeResult>& promise, RequestStatus status,
                     Clock::time_point submitted) {
   obs::Registry::global()
@@ -109,6 +136,11 @@ void Engine::reject(std::promise<ServeResult>& promise, RequestStatus status,
   result.status = status;
   result.total_s = seconds_since(submitted, Clock::now());
   promise.set_value(std::move(result));
+}
+
+void Engine::note_engine_error() {
+  engine_errors_.fetch_add(1, std::memory_order_relaxed);
+  obs::Registry::global().counter("serve.engine_error").add();
 }
 
 void Engine::scheduler_loop() {
@@ -125,8 +157,18 @@ void Engine::scheduler_loop() {
       });
       if (stopping_ && queue_.empty() && active_.empty()) return;
     }
-    admit(prefill_logits);
-    if (!active_.empty()) step_active(logits);
+    // Tick-level exception containment: a throwing decoder (or sampler) must
+    // never escape this thread — an escaped exception would std::terminate
+    // the whole process.  admit() and step_active() contain the per-request
+    // and per-batch cases themselves; this catch is the last line of
+    // defence, failing all in-flight work instead of dying.
+    try {
+      admit(prefill_logits);
+      if (!active_.empty()) step_active(logits);
+    } catch (...) {
+      obs::Registry::global().counter("serve.scheduler_tick_error").add();
+      fail_all_active(RequestStatus::EngineError);
+    }
   }
 }
 
@@ -171,16 +213,35 @@ void Engine::admit(std::vector<float>& logits_scratch) {
     reg.histogram("serve.queue_wait_s")
         .record(seconds_since(active.submitted, now));
 
-    {
-      obs::Span span("serve.prefill");
-      decoder_->start(active.slot, active.request.prompt,
-                      active.request.options.seed, logits_scratch);
+    // Prefill + first sample are containment-scoped per request: a decoder
+    // fault here poisons only this slot, so fail this request and keep
+    // admitting.  (The prefill logits are generate()'s first loop
+    // iteration: sampling here pays TTFT at admission, not a batch later.)
+    SampleOutcome outcome;
+    try {
+      {
+        obs::Span span("serve.prefill");
+        decoder_->start(active.slot, active.request.prompt,
+                        active.request.options.seed, logits_scratch);
+      }
+      outcome = sample_and_record(active, logits_scratch);
+    } catch (...) {
+      try {
+        decoder_->release(active.slot);
+      } catch (...) {
+        reg.counter("serve.release_error").add();
+      }
+      free_slots_.push_back(active.slot);
+      note_engine_error();
+      reject(active.promise, RequestStatus::EngineError, active.submitted);
+      continue;
     }
-    // The prefill logits are generate()'s first loop iteration: sample the
-    // first token here so TTFT is paid at admission, not one batch later.
-    const bool finished = sample_and_record(active, logits_scratch);
     active_.push_back(std::move(active));
-    if (finished) retire(active_.size() - 1, RequestStatus::Ok);
+    if (outcome == SampleOutcome::Finished) {
+      retire(active_.size() - 1, RequestStatus::Ok);
+    } else if (outcome == SampleOutcome::InvalidLogits) {
+      retire(active_.size() - 1, RequestStatus::EngineError);
+    }
   }
 }
 
@@ -207,25 +268,59 @@ void Engine::step_active(lm::Tensor& logits) {
   for (std::size_t i = 0; i < active_.size(); ++i) {
     steps[i] = BatchDecoder::Step{active_[i].slot, active_[i].last_token};
   }
-  {
+  const Clock::time_point step_begin = Clock::now();
+  try {
     obs::Span span("serve.step");
     decoder_->step(steps, logits);
+  } catch (...) {
+    // The decoder threw mid-batch: the KV/context state of every involved
+    // slot is unknown, so no sequence in the batch can continue.  Fail the
+    // batch, keep the process (and the queue) alive.
+    fail_all_active(RequestStatus::EngineError);
+    return;
   }
+  const double step_s = seconds_since(step_begin, Clock::now());
 
   // Retire back to front so earlier indices stay valid.
   for (std::size_t i = active_.size(); i > 0; --i) {
-    if (sample_and_record(active_[i - 1], logits.row(i - 1))) {
-      retire(i - 1, RequestStatus::Ok);
+    Active& a = active_[i - 1];
+    // Watchdog: a step that blew this request's latency budget means the
+    // decoder is stalling; fail the request rather than let its caller
+    // wait out an unbounded tail.
+    const double budget = a.request.step_budget_s > 0.0
+                              ? a.request.step_budget_s
+                              : config_.step_budget_s;
+    if (budget > 0.0 && step_s > budget) {
+      reg.counter("serve.step_overrun").add();
+      retire(i - 1, RequestStatus::EngineError);
+      continue;
+    }
+    switch (sample_and_record(a, logits.row(i - 1))) {
+      case SampleOutcome::Continue: break;
+      case SampleOutcome::Finished: retire(i - 1, RequestStatus::Ok); break;
+      case SampleOutcome::InvalidLogits:
+        retire(i - 1, RequestStatus::EngineError);
+        break;
     }
   }
 }
 
-bool Engine::sample_and_record(Active& active, std::span<const float> logits) {
+Engine::SampleOutcome Engine::sample_and_record(
+    Active& active, std::span<const float> logits) {
+  // A misbehaving model (the paper's own finding: ICL surrogates emit
+  // degenerate numerics) can hand back NaN/Inf logits; validate before the
+  // sampler sees them.
+  if (!row_valid(logits)) {
+    obs::Registry::global().counter("serve.logits_invalid").add();
+    return SampleOutcome::InvalidLogits;
+  }
   // Token-for-token mirror of the lm::generate loop body.
   const lm::GenerateOptions& options = active.request.options;
   const int token = lm::sample(logits, options.sampler, active.rng);
-  if (options.stop_on_eos && token == tok::kEos) return true;
-  if (token == options.stop_token) return true;
+  if (options.stop_on_eos && token == tok::kEos) {
+    return SampleOutcome::Finished;
+  }
+  if (token == options.stop_token) return SampleOutcome::Finished;
   if (active.generation.tokens.empty()) {
     active.ttft_s = seconds_since(active.submitted, Clock::now());
     obs::Registry::global().histogram("serve.ttft_s").record(active.ttft_s);
@@ -236,17 +331,25 @@ bool Engine::sample_and_record(Active& active, std::span<const float> logits) {
   obs::Registry::global().counter("serve.tokens_generated").add();
   if (active.generation.tokens.size() == options.max_tokens) {
     active.generation.hit_max_tokens = true;
-    return true;
+    return SampleOutcome::Finished;
   }
-  return false;
+  return SampleOutcome::Continue;
 }
 
 void Engine::retire(std::size_t index, RequestStatus status) {
   Active active = std::move(active_[index]);
   active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(index));
-  decoder_->release(active.slot);
+  // release() is cleanup on a decoder that may have just faulted; a throw
+  // here must not escape mid-containment.  The slot is reused either way —
+  // both decoders rebuild slot state from scratch in start().
+  try {
+    decoder_->release(active.slot);
+  } catch (...) {
+    obs::Registry::global().counter("serve.release_error").add();
+  }
   free_slots_.push_back(active.slot);
 
+  if (status == RequestStatus::EngineError) note_engine_error();
   ServeResult result;
   result.status = status;
   result.generation = std::move(active.generation);
@@ -257,6 +360,10 @@ void Engine::retire(std::size_t index, RequestStatus status) {
       .counter(std::string("serve.retired.") + status_name(status))
       .add();
   active.promise.set_value(std::move(result));
+}
+
+void Engine::fail_all_active(RequestStatus status) {
+  while (!active_.empty()) retire(active_.size() - 1, status);
 }
 
 }  // namespace lmpeel::serve

@@ -18,8 +18,10 @@
 // trace capture), so a served generation is bit-identical to a serial one.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <future>
 #include <mutex>
@@ -36,6 +38,11 @@ namespace lmpeel::serve {
 struct EngineConfig {
   std::size_t max_batch = 8;       ///< concurrent sequences (clamped to slots)
   std::size_t queue_capacity = 64; ///< pending submits before QueueFull
+  /// Default per-step latency budget in seconds (0 = watchdog off).  A
+  /// batched decode step that overruns the budget records
+  /// `serve.step_overrun` and fails the affected requests with
+  /// EngineError.  Requests may tighten this via Request::step_budget_s.
+  double step_budget_s = 0.0;
 };
 
 class Engine {
@@ -55,10 +62,18 @@ class Engine {
 
   /// Stops intake, fails everything still queued with ShutDown, runs the
   /// scheduler until all in-flight sequences retire naturally, then joins.
-  /// Idempotent.
+  /// Idempotent and safe to race from multiple threads.
   void shutdown();
 
   const EngineConfig& config() const noexcept { return config_; }
+
+  /// False once shutdown has begun: submits will be refused with ShutDown.
+  bool accepting() const;
+  /// Requests retired with EngineError since construction — the health
+  /// signal degradation layers (LLAMBO fallback, RetryClient callers) read.
+  std::uint64_t engine_errors() const noexcept {
+    return engine_errors_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Queued {
@@ -80,6 +95,13 @@ class Engine {
     int last_token = -1;  ///< token to feed the next decoder step
   };
 
+  /// Outcome of feeding one logits row through the sampler.
+  enum class SampleOutcome {
+    Continue,       ///< token appended, sequence still running
+    Finished,       ///< stop rule hit (eos / stop token / max_tokens)
+    InvalidLogits,  ///< row contained NaN/Inf — do not sample from it
+  };
+
   void scheduler_loop();
   /// Fills free slots from the queue; returns false if there is neither
   /// active nor queued work and the engine should block for submits.
@@ -87,17 +109,25 @@ class Engine {
   /// One batched decode step over every active sequence.
   void step_active(lm::Tensor& logits);
   /// Samples from `logits` exactly as lm::generate does and appends to the
-  /// active sequence; returns true if the sequence is finished.
-  bool sample_and_record(Active& active, std::span<const float> logits);
+  /// active sequence.  Validates the row for NaN/Inf first.
+  SampleOutcome sample_and_record(Active& active,
+                                  std::span<const float> logits);
   void retire(std::size_t index, RequestStatus status);
+  /// Fault containment: retires every in-flight sequence with `status`.
+  /// Used when a batched decoder step throws — the decoder state of the
+  /// involved slots is unknown, so none of them can safely continue.
+  void fail_all_active(RequestStatus status);
+  /// Bumps the EngineError health counter and obs metric.
+  void note_engine_error();
   static void reject(std::promise<ServeResult>& promise, RequestStatus status,
                      Clock::time_point submitted);
 
   BatchDecoder* decoder_;
   EngineConfig config_;
+  std::atomic<std::uint64_t> engine_errors_{0};
 
   std::mutex shutdown_mutex_;  // serialises shutdown()/join
-  std::mutex mutex_;           // guards queue_ and stopping_
+  mutable std::mutex mutex_;   // guards queue_ and stopping_
   std::condition_variable cv_;
   std::deque<Queued> queue_;
   bool stopping_ = false;

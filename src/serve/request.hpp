@@ -29,6 +29,12 @@ struct Request {
   /// Optional cooperative cancellation: set to true from any thread and
   /// the engine retires the request at its next scheduler step.
   std::shared_ptr<std::atomic<bool>> cancel;
+  /// Per-step latency budget in seconds (0 = inherit the engine's
+  /// EngineConfig::step_budget_s).  When the batched decode step this
+  /// request took part in runs longer than the budget, the watchdog fails
+  /// the request with EngineError instead of letting it ride a stalled
+  /// decoder indefinitely.
+  double step_budget_s = 0.0;
 };
 
 enum class RequestStatus {
@@ -38,9 +44,15 @@ enum class RequestStatus {
   Cancelled,        ///< cancel flag observed
   PromptTooLong,    ///< prompt + max_tokens exceed the decoder's window
   ShutDown,         ///< engine stopped before the request reached a slot
+  EngineError,      ///< decoder fault: step threw, logits NaN/Inf, or the
+                    ///< step watchdog fired; partial output is preserved
 };
 
 const char* status_name(RequestStatus status);
+
+/// True for failures worth resubmitting (transient engine-side trouble):
+/// QueueFull (backpressure) and EngineError (contained decoder fault).
+bool is_retryable(RequestStatus status) noexcept;
 
 struct ServeResult {
   RequestStatus status = RequestStatus::Ok;

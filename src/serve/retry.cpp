@@ -1,0 +1,56 @@
+#include "serve/retry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+
+namespace lmpeel::serve {
+
+RetryClient::RetryClient(Engine& engine, RetryOptions options)
+    : engine_(&engine),
+      options_(options),
+      rng_(options.seed, /*stream=*/0x3e77) {
+  LMPEEL_CHECK_MSG(options_.max_attempts >= 1, "max_attempts must be >= 1");
+  LMPEEL_CHECK_MSG(options_.base_delay_s >= 0.0, "negative base delay");
+  LMPEEL_CHECK_MSG(options_.multiplier >= 1.0, "multiplier must be >= 1");
+  LMPEEL_CHECK_MSG(options_.jitter >= 0.0 && options_.jitter <= 1.0,
+                   "jitter must be in [0, 1]");
+}
+
+double RetryClient::backoff_delay_s(std::size_t retry) {
+  const double uncapped =
+      options_.base_delay_s *
+      std::pow(options_.multiplier, static_cast<double>(retry));
+  const double capped = std::min(options_.max_delay_s, uncapped);
+  // Scale into [1 - jitter, 1] so the cap is a hard bound.
+  const double scale = 1.0 - options_.jitter * rng_.uniform();
+  return capped * scale;
+}
+
+ServeResult RetryClient::generate(Request request) {
+  obs::Registry& reg = obs::Registry::global();
+  ServeResult result;
+  for (std::size_t attempt = 0;; ++attempt) {
+    // Resubmission needs the request again, so hand the engine a copy.
+    result = engine_->submit(request).get();
+    if (!is_retryable(result.status) ||
+        attempt + 1 >= options_.max_attempts) {
+      return result;
+    }
+    const double delay_s = backoff_delay_s(attempt);
+    ++retries_;
+    reg.counter("serve.retry").add();
+    reg.counter(std::string("serve.retry.") + status_name(result.status))
+        .add();
+    if (delay_s > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay_s));
+    }
+  }
+}
+
+}  // namespace lmpeel::serve

@@ -1,0 +1,61 @@
+// Bounded-retry client over the engine's futures API.
+//
+// QueueFull is the engine's backpressure signal and EngineError is a
+// contained decoder fault — both are transient, so the right client-side
+// response is to back off and resubmit rather than give up or hammer the
+// queue.  RetryClient implements capped exponential backoff with
+// deterministic jitter: the jitter stream is a seeded util::Rng, so a
+// retry schedule is exactly reproducible from (options.seed) — the same
+// property the fault layer relies on everywhere else.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "serve/engine.hpp"
+#include "util/rng.hpp"
+
+namespace lmpeel::serve {
+
+struct RetryOptions {
+  std::size_t max_attempts = 5;  ///< total submits, including the first
+  double base_delay_s = 0.01;    ///< backoff before the first retry
+  double multiplier = 2.0;       ///< per-attempt growth factor
+  double max_delay_s = 1.0;      ///< backoff cap
+  /// Jitter fraction in [0, 1]: each delay is scaled by a factor drawn
+  /// uniformly from [1 - jitter, 1], decorrelating retry storms without
+  /// ever exceeding the deterministic cap.
+  double jitter = 0.5;
+  std::uint64_t seed = 0;  ///< jitter stream seed
+};
+
+class RetryClient {
+ public:
+  /// The engine must outlive the client.
+  explicit RetryClient(Engine& engine, RetryOptions options = {});
+
+  /// Submits `request`, blocking for the result; on QueueFull/EngineError
+  /// sleeps the backoff delay and resubmits, up to max_attempts total.
+  /// Returns the final result (the last failure when retries are
+  /// exhausted).  Records one `serve.retry` per resubmit.
+  ServeResult generate(Request request);
+
+  /// The backoff delay used before retry number `retry` (0-based), in
+  /// seconds: min(max_delay_s, base_delay_s * multiplier^retry) scaled by
+  /// the next jitter draw.  Consumes one draw from the jitter stream —
+  /// generate() and direct calls see the same deterministic sequence.
+  double backoff_delay_s(std::size_t retry);
+
+  /// Retries performed across all generate() calls so far.
+  std::size_t retries() const noexcept { return retries_; }
+
+  const RetryOptions& options() const noexcept { return options_; }
+
+ private:
+  Engine* engine_;
+  RetryOptions options_;
+  util::Rng rng_;
+  std::size_t retries_ = 0;
+};
+
+}  // namespace lmpeel::serve

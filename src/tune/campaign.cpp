@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/span.hpp"
+#include "tune/checkpoint.hpp"
 #include "util/check.hpp"
 
 namespace lmpeel::tune {
@@ -36,7 +37,51 @@ CampaignResult run_campaign(Tuner& tuner, const perf::Syr2kModel& model,
   util::Rng propose_rng(options.seed, 0x9c0);
   util::Rng measure_rng(options.seed, 0x9c1);
   double best = 0.0;
-  for (std::size_t i = 0; i < options.budget; ++i) {
+
+  const CheckpointOptions& ckpt = options.checkpoint;
+  std::size_t start = 0;
+  if (!ckpt.path.empty() && ckpt.resume) {
+    if (const auto loaded = load_checkpoint(ckpt.path)) {
+      LMPEEL_CHECK_MSG(loaded->seed == options.seed,
+                       "checkpoint seed does not match campaign seed");
+      LMPEEL_CHECK_MSG(loaded->size == size,
+                       "checkpoint size class does not match campaign");
+      LMPEEL_CHECK_MSG(loaded->evaluated.size() <= options.budget,
+                       "checkpoint has more evaluations than the budget");
+      // Replay: the tuner re-proposes against the recorded history so its
+      // internal state and the proposal RNG evolve exactly as they did in
+      // the original run; the recorded runtimes stand in for measurement.
+      for (std::size_t i = 0; i < loaded->evaluated.size(); ++i) {
+        const perf::Sample& recorded = loaded->evaluated[i];
+        const perf::Syr2kConfig proposed = tuner.propose(propose_rng);
+        LMPEEL_CHECK_MSG(proposed == recorded.config,
+                         "checkpoint replay diverged from tuner proposals");
+        tuner.observe(recorded.config, recorded.runtime);
+      }
+      result.evaluated = loaded->evaluated;
+      result.best_so_far = loaded->best_so_far;
+      if (!result.best_so_far.empty()) best = result.best_so_far.back();
+      // Both streams continue exactly where the original run left off.
+      propose_rng.set_state(loaded->propose_rng_state);
+      measure_rng.set_state(loaded->measure_rng_state);
+      start = loaded->evaluated.size();
+      registry.counter("tune.checkpoint_resume").add();
+    }
+  }
+
+  const auto write_checkpoint = [&] {
+    CampaignCheckpoint snapshot;
+    snapshot.seed = options.seed;
+    snapshot.size = size;
+    snapshot.evaluated = result.evaluated;
+    snapshot.best_so_far = result.best_so_far;
+    snapshot.propose_rng_state = propose_rng.state();
+    snapshot.measure_rng_state = measure_rng.state();
+    save_checkpoint(snapshot, ckpt.path);
+    registry.counter("tune.checkpoint_write").add();
+  };
+
+  for (std::size_t i = start; i < options.budget; ++i) {
     obs::Span iter_span("tune.iteration");
     perf::Sample sample;
     {
@@ -54,6 +99,14 @@ CampaignResult run_campaign(Tuner& tuner, const perf::Syr2kModel& model,
     best = i == 0 ? sample.runtime : std::min(best, sample.runtime);
     result.evaluated.push_back(sample);
     result.best_so_far.push_back(best);
+
+    if (!ckpt.path.empty() &&
+        (ckpt.every <= 1 || (i + 1) % ckpt.every == 0)) {
+      write_checkpoint();
+    }
+  }
+  if (!ckpt.path.empty() && result.evaluated.size() > start) {
+    write_checkpoint();  // final state, regardless of cadence
   }
   registry.gauge("tune.best_runtime_s").set(best);
   return result;

@@ -31,9 +31,22 @@ class Tuner {
   virtual std::string name() const = 0;
 };
 
+/// Crash-safe campaign persistence (see tune/checkpoint.hpp).  When `path`
+/// is non-empty, run_campaign writes an atomic checkpoint every `every`
+/// evaluations (and after the final one) and, when `resume` is set, picks
+/// up from an existing checkpoint at `path`.  Resume replays the recorded
+/// history through the tuner, so a resumed campaign is bit-identical to an
+/// uninterrupted one.
+struct CheckpointOptions {
+  std::string path;         ///< empty = checkpointing off
+  std::size_t every = 1;    ///< write cadence in evaluations
+  bool resume = true;       ///< load an existing checkpoint at `path`
+};
+
 struct CampaignOptions {
   std::size_t budget = 50;  ///< number of empirical evaluations
   std::uint64_t seed = 0;
+  CheckpointOptions checkpoint;
 };
 
 struct CampaignResult {

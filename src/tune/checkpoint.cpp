@@ -1,0 +1,147 @@
+#include "tune/checkpoint.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "util/check.hpp"
+#include "util/fileio.hpp"
+
+namespace lmpeel::tune {
+
+namespace {
+
+constexpr const char* kMagic = "lmpeel-campaign-checkpoint v1";
+constexpr const char* kEndMarker = "end";
+
+[[noreturn]] void corrupt(const std::string& path, const std::string& why) {
+  throw std::runtime_error("corrupt campaign checkpoint " + path + ": " +
+                           why);
+}
+
+std::string hex_u64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, v);
+  return buf;
+}
+
+/// %a hexfloat: exact, locale-independent double round-trip.
+std::string hex_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+}  // namespace
+
+void save_checkpoint(const CampaignCheckpoint& checkpoint,
+                     const std::string& path) {
+  LMPEEL_CHECK_MSG(checkpoint.evaluated.size() ==
+                       checkpoint.best_so_far.size(),
+                   "checkpoint history length mismatch");
+  std::ostringstream out;
+  out << kMagic << '\n'
+      << "seed " << checkpoint.seed << '\n'
+      << "size " << perf::size_name(checkpoint.size) << '\n'
+      << "evaluated " << checkpoint.evaluated.size() << '\n';
+  out << "rng propose";
+  for (const std::uint64_t w : checkpoint.propose_rng_state) {
+    out << ' ' << hex_u64(w);
+  }
+  out << "\nrng measure";
+  for (const std::uint64_t w : checkpoint.measure_rng_state) {
+    out << ' ' << hex_u64(w);
+  }
+  out << '\n';
+  for (std::size_t i = 0; i < checkpoint.evaluated.size(); ++i) {
+    const perf::Sample& s = checkpoint.evaluated[i];
+    out << "eval " << s.config_index << ' ' << hex_double(s.runtime) << ' '
+        << hex_double(checkpoint.best_so_far[i]) << '\n';
+  }
+  out << kEndMarker << '\n';
+  util::atomic_write_file(path, out.str());
+}
+
+std::optional<CampaignCheckpoint> load_checkpoint(const std::string& path) {
+  std::string contents;
+  if (!util::read_file(path, contents)) return std::nullopt;
+
+  std::istringstream in(contents);
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    corrupt(path, "bad header");
+  }
+
+  CampaignCheckpoint checkpoint;
+  std::size_t count = 0;
+  std::string word, size_name;
+  if (!(in >> word >> checkpoint.seed) || word != "seed") {
+    corrupt(path, "missing seed");
+  }
+  if (!(in >> word >> size_name) || word != "size") {
+    corrupt(path, "missing size");
+  }
+  bool size_ok = false;
+  for (const perf::SizeClass s : perf::kAllSizes) {
+    if (size_name == perf::size_name(s)) {
+      checkpoint.size = s;
+      size_ok = true;
+    }
+  }
+  if (!size_ok) corrupt(path, "unknown size class '" + size_name + "'");
+  if (!(in >> word >> count) || word != "evaluated") {
+    corrupt(path, "missing evaluation count");
+  }
+
+  const auto read_rng = [&](const char* name,
+                            std::array<std::uint64_t, 4>& state) {
+    std::string tag;
+    if (!(in >> word >> tag) || word != "rng" || tag != name) {
+      corrupt(path, std::string("missing rng ") + name);
+    }
+    for (std::uint64_t& w : state) {
+      std::string hex;
+      if (!(in >> hex)) corrupt(path, std::string("short rng ") + name);
+      char* end = nullptr;
+      w = std::strtoull(hex.c_str(), &end, 16);
+      if (end == hex.c_str() || *end != '\0') {
+        corrupt(path, std::string("bad rng word in ") + name);
+      }
+    }
+  };
+  read_rng("propose", checkpoint.propose_rng_state);
+  read_rng("measure", checkpoint.measure_rng_state);
+
+  const perf::ConfigSpace space;
+  checkpoint.evaluated.reserve(count);
+  checkpoint.best_so_far.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::size_t config_index = 0;
+    std::string runtime_hex, best_hex;
+    if (!(in >> word >> config_index >> runtime_hex >> best_hex) ||
+        word != "eval") {
+      corrupt(path, "short evaluation history");
+    }
+    if (config_index >= space.size()) {
+      corrupt(path, "config index out of range");
+    }
+    perf::Sample sample;
+    sample.config_index = config_index;
+    sample.config = space.at(config_index);
+    char* end = nullptr;
+    sample.runtime = std::strtod(runtime_hex.c_str(), &end);
+    if (end == runtime_hex.c_str()) corrupt(path, "bad runtime");
+    checkpoint.evaluated.push_back(sample);
+    double best = std::strtod(best_hex.c_str(), &end);
+    if (end == best_hex.c_str()) corrupt(path, "bad best-so-far");
+    checkpoint.best_so_far.push_back(best);
+  }
+  if (!(in >> word) || word != kEndMarker) {
+    corrupt(path, "missing end marker");
+  }
+  return checkpoint;
+}
+
+}  // namespace lmpeel::tune

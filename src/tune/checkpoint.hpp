@@ -1,0 +1,52 @@
+// Crash-safe campaign checkpointing (DESIGN.md §10).
+//
+// A tuning campaign's cost is its empirical evaluations — in the paper's
+// setting each one is a compiled-and-measured kernel run.  A checkpoint
+// persists everything needed to pick a killed campaign back up without
+// re-paying them: the evaluated (configuration, runtime) history, the
+// running best, and the raw xoshiro states of both campaign RNG streams.
+//
+// Resume is replay-based: the tuner re-proposes against the recorded
+// history (evolving its internal state and the proposal RNG exactly as the
+// original run did) while the recorded runtimes stand in for the skipped
+// measurements; both RNG streams are then restored from the snapshot.  A
+// resumed campaign is therefore bit-identical to an uninterrupted one —
+// tests assert exact equality, not approximate agreement.
+//
+// Files are written atomically (temp + rename), so a crash mid-write
+// leaves the previous complete checkpoint, never a truncated one.
+// Runtimes round-trip through C++ hexfloats, preserving every bit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "perf/config_space.hpp"
+#include "perf/dataset.hpp"
+
+namespace lmpeel::tune {
+
+/// Snapshot of a campaign after `evaluated.size()` evaluations.
+struct CampaignCheckpoint {
+  std::uint64_t seed = 0;                ///< CampaignOptions::seed
+  perf::SizeClass size = perf::SizeClass::SM;
+  std::vector<perf::Sample> evaluated;   ///< in evaluation order
+  std::vector<double> best_so_far;       ///< running minimum runtime
+  std::array<std::uint64_t, 4> propose_rng_state{};
+  std::array<std::uint64_t, 4> measure_rng_state{};
+};
+
+/// Serialises `checkpoint` to `path` via temp-file + rename.
+void save_checkpoint(const CampaignCheckpoint& checkpoint,
+                     const std::string& path);
+
+/// Loads a checkpoint.  Returns nullopt when `path` does not exist; throws
+/// std::runtime_error when the file exists but is not a well-formed
+/// checkpoint (atomic writes make truncation impossible, so a malformed
+/// file means foreign data — refusing loudly beats resuming from garbage).
+std::optional<CampaignCheckpoint> load_checkpoint(const std::string& path);
+
+}  // namespace lmpeel::tune

@@ -5,6 +5,7 @@
 #include <limits>
 #include <sstream>
 
+#include "obs/metrics.hpp"
 #include "prompt/parser.hpp"
 #include "serve/client.hpp"
 #include "serve/engine.hpp"
@@ -89,22 +90,45 @@ std::vector<lm::Generation> LlamboTuner::run_generations(
     const std::vector<lm::GenerateOptions>& options) {
   LMPEEL_CHECK(prompts.size() == options.size());
   std::vector<lm::Generation> generations(prompts.size());
-  if (options_.engine != nullptr) {
+  const bool use_engine = options_.engine != nullptr && !engine_degraded_ &&
+                          options_.engine->accepting();
+  if (options_.engine != nullptr && !use_engine && !engine_degraded_) {
+    // The engine exists but stopped accepting (shutdown mid-campaign):
+    // write it off for the rest of the campaign.
+    engine_degraded_ = true;
+    obs::Registry::global().counter("tune.engine_degraded").add();
+  }
+  if (use_engine) {
+    // Prompts stay owned here so any engine-rejected generation can be
+    // re-run directly; both paths are bit-identical, so a fallback changes
+    // availability, not results.
     std::vector<serve::Request> requests;
     requests.reserve(prompts.size());
     for (std::size_t i = 0; i < prompts.size(); ++i) {
       serve::Request request;
-      request.prompt = std::move(prompts[i]);
+      request.prompt = prompts[i];
       request.options = options[i];
       requests.push_back(std::move(request));
     }
     auto results = serve::generate_all(*options_.engine, std::move(requests));
+    std::size_t engine_failed = 0;
     for (std::size_t i = 0; i < results.size(); ++i) {
-      // A rejected query (shutdown mid-campaign, over-long prompt) degrades
-      // to an empty generation; the parse-failure fallback covers it.
       if (results[i].status == serve::RequestStatus::Ok) {
         generations[i] = std::move(results[i].generation);
+        continue;
       }
+      if (results[i].status == serve::RequestStatus::EngineError ||
+          results[i].status == serve::RequestStatus::ShutDown) {
+        ++engine_failed;
+      }
+      obs::Registry::global().counter("tune.fallback_direct").add();
+      ++direct_fallbacks_;
+      generations[i] = lm::generate(*model_, prompts[i], options[i]);
+    }
+    if (engine_failed == results.size() && !results.empty()) {
+      // The whole batch died inside the engine — stop routing through it.
+      engine_degraded_ = true;
+      obs::Registry::global().counter("tune.engine_degraded").add();
     }
     return generations;
   }

@@ -63,6 +63,12 @@ class LlamboTuner final : public Tuner {
 
   /// Diagnostics: how often each fallback path fired.
   std::size_t parse_failures() const noexcept { return parse_failures_; }
+  std::size_t direct_fallbacks() const noexcept { return direct_fallbacks_; }
+
+  /// True once the tuner has written the engine off (an entire batch came
+  /// back EngineError/ShutDown, or the engine stopped accepting); all
+  /// later generations go straight to lm::generate.
+  bool engine_degraded() const noexcept { return engine_degraded_; }
 
  private:
   perf::Syr2kConfig random_unseen(util::Rng& rng);
@@ -73,8 +79,11 @@ class LlamboTuner final : public Tuner {
   /// The most recent max_icl observations, oldest first.
   std::vector<perf::Sample> context_examples() const;
 
-  /// Runs one generation per prompt — through options_.engine when set
-  /// (submitted as one batch), serially via lm::generate otherwise.
+  /// Runs one generation per prompt — through options_.engine when set and
+  /// healthy (submitted as one batch), serially via lm::generate otherwise.
+  /// Engine-rejected prompts fall back to direct generation one by one
+  /// (counter tune.fallback_direct); a wholesale engine failure flips
+  /// engine_degraded_ so the campaign finishes on the direct path.
   std::vector<lm::Generation> run_generations(
       std::vector<std::vector<int>> prompts,
       const std::vector<lm::GenerateOptions>& options);
@@ -88,6 +97,8 @@ class LlamboTuner final : public Tuner {
   std::vector<perf::Sample> observations_;
   std::unordered_set<std::size_t> seen_;
   std::size_t parse_failures_ = 0;
+  std::size_t direct_fallbacks_ = 0;
+  bool engine_degraded_ = false;
   std::uint64_t proposal_counter_ = 0;
 };
 

@@ -1,0 +1,24 @@
+// Crash-safe file output.
+//
+// Every artifact this project writes (CSV tables, trace files, bench
+// baselines, campaign checkpoints) goes through atomic_write_file: the
+// contents are written to a sibling temp file and std::rename()d into
+// place.  rename(2) is atomic on POSIX, so a reader — including a resumed
+// process after a crash mid-write — sees either the previous complete file
+// or the new complete file, never a truncated hybrid.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace lmpeel::util {
+
+/// Writes `contents` to `path` via temp-file + rename.  Throws
+/// std::runtime_error (via LMPEEL_CHECK) if the temp file cannot be
+/// written or the rename fails; the temp file is removed on failure.
+void atomic_write_file(const std::string& path, std::string_view contents);
+
+/// Reads a whole file into a string; returns false if it cannot be opened.
+bool read_file(const std::string& path, std::string& out);
+
+}  // namespace lmpeel::util

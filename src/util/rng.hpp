@@ -66,6 +66,13 @@ class Rng {
   /// All weights must be >= 0 and at least one must be > 0.
   std::size_t categorical(const double* weights, std::size_t n);
 
+  /// Raw xoshiro256** state, for checkpointing a generator mid-stream.
+  /// Restoring a saved state resumes the exact draw sequence.
+  std::array<std::uint64_t, 4> state() const noexcept { return s_; }
+  void set_state(const std::array<std::uint64_t, 4>& state) noexcept {
+    s_ = state;
+  }
+
   /// In-place Fisher–Yates shuffle of indices or any random-access range.
   template <typename RandomIt>
   void shuffle(RandomIt first, RandomIt last) {

@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <fstream>
 #include <ostream>
 #include <sstream>
 
 #include "util/check.hpp"
+#include "util/fileio.hpp"
 
 namespace lmpeel::util {
 
@@ -95,9 +95,8 @@ std::string Table::to_markdown() const {
 }
 
 void Table::write_csv(const std::string& path) const {
-  std::ofstream out(path);
-  LMPEEL_CHECK_MSG(out.good(), "cannot open CSV output path: " + path);
-  out << to_csv();
+  // Temp-file + rename: a crash mid-write never leaves a truncated CSV.
+  atomic_write_file(path, to_csv());
 }
 
 void print_banner(std::ostream& os, const std::string& title) {

@@ -7,6 +7,7 @@
 //   lmpeel tokenize <text…>                      show the token stream
 //   lmpeel stats [size] [icl] [seed]             generation run + metrics summary
 //   lmpeel serve-bench [quick]                   load-test the serve engine
+//   lmpeel chaos [seed] [requests]               fault-injection survival run
 //
 // Tuners: random | gbt | anneal | genetic | llambo-discriminative |
 //         llambo-generative | llambo-sampling
@@ -14,7 +15,9 @@
 // Every subcommand honours LMPEEL_TRACE=<path>: the obs subsystem buffers
 // span events and writes a Chrome trace_event file (or JSONL when the path
 // ends in .jsonl) at exit.
+#include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -23,12 +26,14 @@
 #include "core/reporting.hpp"
 #include "core/sweep.hpp"
 #include "eval/metrics.hpp"
+#include "fault/chaos.hpp"
 #include "lm/generate.hpp"
 #include "obs/sinks.hpp"
 #include "obs/span.hpp"
 #include "prompt/parser.hpp"
 #include "serve/decoder.hpp"
 #include "serve/engine.hpp"
+#include "serve/retry.hpp"
 #include "tune/annealing_tuner.hpp"
 #include "tune/gbt_surrogate_tuner.hpp"
 #include "tune/genetic_tuner.hpp"
@@ -50,7 +55,8 @@ int usage() {
          "llambo-generative|llambo-sampling> <size> <budget> [seed]\n"
          "  lmpeel tokenize <text…>\n"
          "  lmpeel stats [size] [icl_count] [seed]\n"
-         "  lmpeel serve-bench [quick]\n";
+         "  lmpeel serve-bench [quick]\n"
+         "  lmpeel chaos [seed] [requests]\n";
   return 2;
 }
 
@@ -211,9 +217,13 @@ int cmd_tune(int argc, char** argv) {
 }
 
 // Exercises the instrumented stack end to end (pipeline construction, BPE
-// encode, a generation with trace capture, a short GBT-surrogate tuning
-// campaign), then prints the metrics registry so every counter and latency
-// percentile is nonzero and inspectable without a trace viewer.
+// encode, a generation with trace capture, a short checkpointed
+// GBT-surrogate tuning campaign, a fault-injected serve round through the
+// retry client, and an engine-degraded LLAMBO proposal), then prints the
+// metrics registry so every counter and latency percentile — including the
+// robustness set fault.injected / serve.engine_error / serve.retry /
+// tune.checkpoint_write / tune.fallback_direct — is nonzero and
+// inspectable without a trace viewer.
 int cmd_stats(int argc, char** argv) {
   const auto size = argc > 0 ? parse_size(argv[0])
                              : std::optional(perf::SizeClass::SM);
@@ -247,16 +257,100 @@ int cmd_stats(int argc, char** argv) {
   tune::CampaignOptions options;
   options.budget = 12;
   options.seed = seed + 1;
+  const std::string checkpoint_path =
+      (std::filesystem::temp_directory_path() / "lmpeel_stats.ckpt")
+          .string();
+  std::remove(checkpoint_path.c_str());
+  options.checkpoint.path = checkpoint_path;
+  options.checkpoint.every = 4;
   const auto campaign =
       tune::run_campaign(tuner, pipeline.perf_model(), *size, options);
+  std::remove(checkpoint_path.c_str());
   std::cout << "tuned best runtime: "
-            << util::Table::num(campaign.best_runtime(), 4) << " s\n\n";
+            << util::Table::num(campaign.best_runtime(), 4) << " s\n";
+
+  // Fault round: a plan that throws on the first decoder op and poisons
+  // the second with NaN, so the retry client needs exactly two retries.
+  {
+    serve::GenericBatchDecoder inner(pipeline.model(), /*slots=*/2);
+    fault::FaultEvent fault_throw;
+    fault_throw.op = 0;
+    fault_throw.kind = fault::FaultKind::StepThrow;
+    fault::FaultEvent fault_nan;
+    fault_nan.op = 1;
+    fault_nan.kind = fault::FaultKind::NanLogits;
+    fault::FaultyDecoder faulty(
+        inner, fault::FaultPlan::from_events({fault_throw, fault_nan}));
+    serve::Engine engine(faulty);
+    serve::RetryOptions retry_options;
+    retry_options.seed = seed;
+    retry_options.base_delay_s = 0.001;
+    serve::RetryClient retry(engine, retry_options);
+    serve::Request request;
+    request.prompt = ids;
+    request.options = gen;
+    const auto served = retry.generate(std::move(request));
+    std::cout << "fault round: " << serve::status_name(served.status)
+              << " after " << retry.retries() << " retries\n";
+    engine.shutdown();
+
+    // One LLAMBO proposal against an engine whose decoder throws on every
+    // op: the surrogate generation fails engine-side, falls back to direct
+    // generation, and the tuner writes the engine off.
+    fault::FaultPlanOptions throw_always;
+    throw_always.horizon = 4096;
+    throw_always.p_throw = 1.0;
+    throw_always.p_nan = 0.0;
+    throw_always.p_inf = 0.0;
+    throw_always.p_delay = 0.0;
+    fault::FaultyDecoder broken(
+        inner, fault::FaultPlan::from_seed(seed, throw_always));
+    serve::Engine broken_engine(broken);
+    tune::LlamboOptions llambo_options;
+    llambo_options.mode = tune::LlamboMode::CandidateSampling;
+    llambo_options.engine = &broken_engine;
+    tune::LlamboTuner llambo(pipeline.model(), pipeline.tokenizer(), *size,
+                             llambo_options);
+    tune::CampaignOptions llambo_campaign;
+    llambo_campaign.budget = llambo_options.warmup + 1;
+    llambo_campaign.seed = seed + 2;
+    tune::run_campaign(llambo, pipeline.perf_model(), *size, llambo_campaign);
+    std::cout << "llambo degraded to direct generation: "
+              << (llambo.engine_degraded() ? "yes" : "no") << "\n\n";
+  }
 
   util::print_banner(std::cout, "obs metrics summary");
   std::cout << obs::summary_table(obs::Registry::global()).to_text();
   std::cout << "\n(set LMPEEL_TRACE=<path> to capture a Chrome trace of "
                "this run)\n";
   return 0;
+}
+
+// Runs the seeded chaos schedule from fault/chaos.hpp against the real
+// model behind a GenericBatchDecoder and prints the survival report plus
+// the robustness counters.  Exit status 0 iff the engine survived.
+int cmd_chaos(int argc, char** argv) {
+  const std::uint64_t seed = argc > 0 ? std::strtoull(argv[0], nullptr, 10)
+                                      : 0;
+  const std::size_t requests =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 32;
+  if (requests == 0) return usage();
+
+  core::Pipeline pipeline;
+  fault::ChaosOptions options;
+  options.seed = seed;
+  options.requests = requests;
+  serve::GenericBatchDecoder decoder(pipeline.model(), options.max_batch);
+
+  std::cout << "chaos: seed " << seed << ", " << requests
+            << " requests + recovery probe\n";
+  const auto report = fault::run_chaos(decoder, options);
+
+  util::print_banner(std::cout, "chaos survival report");
+  std::cout << fault::chaos_table(report).to_text() << '\n';
+  util::print_banner(std::cout, "obs metrics summary");
+  std::cout << obs::summary_table(obs::Registry::global()).to_text();
+  return report.survived() ? 0 : 1;
 }
 
 int cmd_tokenize(int argc, char** argv) {
@@ -288,6 +382,7 @@ int main(int argc, char** argv) {
     if (command == "tokenize") return cmd_tokenize(argc - 2, argv + 2);
     if (command == "stats") return cmd_stats(argc - 2, argv + 2);
     if (command == "serve-bench") return cmd_serve_bench(argc - 2, argv + 2);
+    if (command == "chaos") return cmd_chaos(argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
