@@ -50,10 +50,15 @@ ChaosReport run_chaos(serve::BatchDecoder& inner,
       FaultPlan::from_seed(options.seed, options.plan).with_event(wedge);
 
   FaultyDecoder decoder(inner, plan);
+  guard::Budget budget(options.budget_bytes);
   serve::EngineConfig config;
   config.max_batch = options.max_batch;
   config.queue_capacity = options.queue_capacity;
   config.step_budget_s = options.step_budget_s;
+  if (options.budget_bytes != 0) {
+    config.budget = &budget;
+    config.queue_slo_s = options.queue_slo_s;
+  }
   serve::Engine engine(decoder, config);
 
   const int vocab = inner.vocab_size();
@@ -95,6 +100,7 @@ ChaosReport run_chaos(serve::BatchDecoder& inner,
       case serve::RequestStatus::Ok: ++report.ok; break;
       case serve::RequestStatus::QueueFull: ++report.queue_full; break;
       case serve::RequestStatus::EngineError: ++report.engine_error; break;
+      case serve::RequestStatus::Shed: ++report.shed; break;
       default: ++report.other; break;
     }
   }
@@ -122,8 +128,12 @@ ChaosReport run_chaos(serve::BatchDecoder& inner,
   report.injected_delay = injector.injected(FaultKind::StepDelay);
   report.injected_pressure = injector.injected(FaultKind::QueuePressure);
   report.engine_errors = engine.engine_errors();
+  report.accounted_peak_bytes = budget.accounted_peak();
 
   engine.shutdown();
+  // The caller's decoder outlives this harness; detach it from the local
+  // budget before the budget goes out of scope.
+  if (options.budget_bytes != 0) decoder.bind_budget(nullptr);
   report.wall_s =
       std::chrono::duration<double>(Clock::now() - begin).count();
   return report;
@@ -136,7 +146,8 @@ util::Table chaos_table(const ChaosReport& report) {
   };
   row("requests", report.statuses.size());
   row("resolved ok", report.ok);
-  row("shed (queue_full)", report.queue_full);
+  row("bounced (queue_full)", report.queue_full);
+  row("shed (budget/slo)", report.shed);
   row("failed (engine_error)", report.engine_error);
   row("other", report.other);
   row("faults injected", report.injected_total);
@@ -146,6 +157,7 @@ util::Table chaos_table(const ChaosReport& report) {
   row("  step_delay", report.injected_delay);
   row("  queue_pressure", report.injected_pressure);
   row("engine errors contained", report.engine_errors);
+  row("accounted peak bytes", report.accounted_peak_bytes);
   row("probe retries", report.probe_retries);
   table.add_row({"probe status",
                  serve::status_name(report.probe_status)});

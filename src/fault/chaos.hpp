@@ -49,6 +49,13 @@ struct ChaosOptions {
                         .p_inf = 0.02,
                         .p_delay = 0.03,
                         .delay_s = 0.002};
+  /// Memory budget for the engine (0 = unlimited, the pre-guard
+  /// behaviour).  Non-zero runs the chaos schedule under a guard::Budget,
+  /// so overload sheds (Shed) join the fault mix — statuses stay
+  /// deterministic per seed but now include budget pressure.
+  std::size_t budget_bytes = 0;
+  /// Queue-latency SLO handed to the engine when budget_bytes != 0.
+  double queue_slo_s = 0.0;
 };
 
 struct ChaosReport {
@@ -57,6 +64,7 @@ struct ChaosReport {
   std::size_t ok = 0;
   std::size_t queue_full = 0;
   std::size_t engine_error = 0;
+  std::size_t shed = 0;  ///< overload policy drops (budget runs only)
   std::size_t other = 0;
 
   std::size_t injected_total = 0;
@@ -67,6 +75,7 @@ struct ChaosReport {
   std::size_t injected_pressure = 0;
 
   std::uint64_t engine_errors = 0;       ///< Engine::engine_errors()
+  std::size_t accounted_peak_bytes = 0;  ///< Budget::accounted_peak()
   serve::RequestStatus probe_status = serve::RequestStatus::Ok;
   std::size_t probe_retries = 0;
 

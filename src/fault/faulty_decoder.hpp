@@ -33,6 +33,14 @@ class FaultyDecoder final : public serve::BatchDecoder {
   std::string name() const override {
     return "faulty(" + inner_->name() + ")";
   }
+  // Resource governance passes straight through: cost estimates and budget
+  // accounting must describe the real decoder, faults or not.
+  std::size_t bytes_per_token() const override {
+    return inner_->bytes_per_token();
+  }
+  void bind_budget(guard::Budget* budget) override {
+    inner_->bind_budget(budget);
+  }
 
   const FaultInjector& injector() const noexcept { return injector_; }
 

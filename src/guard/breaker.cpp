@@ -1,0 +1,137 @@
+#include "guard/breaker.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+
+namespace lmpeel::guard {
+
+Breaker::Breaker(BreakerOptions options)
+    : options_(options), rng_(options.seed, /*stream=*/0x6b1e) {
+  LMPEEL_CHECK_MSG(options_.failure_threshold >= 1,
+                   "failure_threshold must be >= 1");
+  LMPEEL_CHECK_MSG(options_.open_s >= 0.0, "negative open_s");
+  LMPEEL_CHECK_MSG(options_.backoff_multiplier >= 1.0,
+                   "backoff_multiplier must be >= 1");
+  LMPEEL_CHECK_MSG(options_.jitter >= 0.0 && options_.jitter <= 1.0,
+                   "jitter must be in [0, 1]");
+}
+
+const char* Breaker::state_name(State state) noexcept {
+  switch (state) {
+    case State::Closed: return "closed";
+    case State::Open: return "open";
+    case State::HalfOpen: return "half_open";
+  }
+  return "unknown";
+}
+
+void Breaker::trip(Clock::time_point now) {
+  state_ = State::Open;
+  ++opened_;
+  ++reopens_;
+  const double uncapped =
+      options_.open_s *
+      std::pow(options_.backoff_multiplier,
+               static_cast<double>(reopens_ - 1));
+  const double capped = std::min(options_.max_open_s, uncapped);
+  // Same jitter shape as RetryClient: scale into [1 - jitter, 1] so the
+  // cap stays a hard bound and the schedule replays from the seed.
+  cooldown_s_ = capped * (1.0 - options_.jitter * rng_.uniform());
+  open_until_ = now + std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double>(cooldown_s_));
+  probe_in_flight_ = false;
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("guard.breaker.opened").add();
+  reg.gauge("guard.breaker.state").set(1.0);
+}
+
+bool Breaker::allow(Clock::time_point now) {
+  std::lock_guard lock(mutex_);
+  switch (state_) {
+    case State::Closed:
+      return true;
+    case State::Open:
+      if (now < open_until_) return false;
+      state_ = State::HalfOpen;
+      ++half_opened_;
+      probe_in_flight_ = true;  // this caller is the probe
+      {
+        obs::Registry& reg = obs::Registry::global();
+        reg.counter("guard.breaker.half_opened").add();
+        reg.counter("guard.breaker.probe").add();
+        reg.gauge("guard.breaker.state").set(2.0);
+      }
+      return true;
+    case State::HalfOpen:
+      if (probe_in_flight_) return false;
+      probe_in_flight_ = true;
+      obs::Registry::global().counter("guard.breaker.probe").add();
+      return true;
+  }
+  return true;
+}
+
+void Breaker::record_success() {
+  std::lock_guard lock(mutex_);
+  failures_ = 0;
+  probe_in_flight_ = false;
+  if (state_ != State::Closed) {
+    state_ = State::Closed;
+    reopens_ = 0;
+    ++closed_;
+    obs::Registry& reg = obs::Registry::global();
+    reg.counter("guard.breaker.closed").add();
+    reg.gauge("guard.breaker.state").set(0.0);
+  }
+}
+
+void Breaker::record_failure(Clock::time_point now) {
+  std::lock_guard lock(mutex_);
+  probe_in_flight_ = false;
+  switch (state_) {
+    case State::Closed:
+      if (++failures_ >= options_.failure_threshold) trip(now);
+      break;
+    case State::HalfOpen:
+      trip(now);  // probe failed: back to Open with a longer cooldown
+      break;
+    case State::Open:
+      // A straggler from before the trip; the breaker is already open.
+      break;
+  }
+}
+
+Breaker::State Breaker::state() const {
+  std::lock_guard lock(mutex_);
+  return state_;
+}
+
+std::size_t Breaker::consecutive_failures() const {
+  std::lock_guard lock(mutex_);
+  return failures_;
+}
+
+std::uint64_t Breaker::opened() const {
+  std::lock_guard lock(mutex_);
+  return opened_;
+}
+
+std::uint64_t Breaker::half_opened() const {
+  std::lock_guard lock(mutex_);
+  return half_opened_;
+}
+
+std::uint64_t Breaker::closed() const {
+  std::lock_guard lock(mutex_);
+  return closed_;
+}
+
+double Breaker::current_cooldown_s() const {
+  std::lock_guard lock(mutex_);
+  return cooldown_s_;
+}
+
+}  // namespace lmpeel::guard

@@ -1,0 +1,93 @@
+// Circuit breaker for the engine routes (DESIGN.md §11).
+//
+// A decoder that is throwing on every step does not get healthier by being
+// retried into the ground — PR 3's RetryClient bounds the damage per call,
+// but nothing stops the *next* call from paying the same failed attempts.
+// The Breaker is that cross-call memory, the standard three-state machine:
+//
+//   Closed    — traffic flows; `failure_threshold` consecutive failures
+//               trip it Open.
+//   Open      — allow() refuses everything until the cooldown elapses.  The
+//               cooldown grows geometrically on every re-open (capped at
+//               max_open_s) and is scaled by deterministic seeded jitter,
+//               the same [1 - jitter, 1] style as RetryClient's backoff —
+//               a breaker schedule replays exactly from its seed.
+//   Half-open — one probe is let through; success closes the breaker,
+//               failure re-opens it with the next (longer) cooldown.
+//
+// Time is passed in explicitly (defaulted to steady_clock::now), so tests
+// drive the state machine with synthetic clocks and zero sleeps.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+#include "util/rng.hpp"
+
+namespace lmpeel::guard {
+
+struct BreakerOptions {
+  std::size_t failure_threshold = 5;  ///< consecutive failures to trip
+  double open_s = 0.5;                ///< first cooldown before a probe
+  double backoff_multiplier = 2.0;    ///< cooldown growth per re-open
+  double max_open_s = 10.0;           ///< cooldown cap
+  /// Jitter fraction in [0, 1]: each cooldown is scaled by a draw from
+  /// [1 - jitter, 1], decorrelating probe storms across breakers without
+  /// ever exceeding the deterministic cap.
+  double jitter = 0.2;
+  std::uint64_t seed = 0;  ///< jitter stream seed
+};
+
+class Breaker {
+ public:
+  using Clock = std::chrono::steady_clock;
+  enum class State { Closed, Open, HalfOpen };
+
+  explicit Breaker(BreakerOptions options = {});
+
+  /// True when a call may proceed.  In Open state this is where the
+  /// cooldown expiry is noticed (transition to HalfOpen); in HalfOpen only
+  /// the first caller gets the probe, everyone else is refused until the
+  /// probe reports back.
+  bool allow(Clock::time_point now = Clock::now());
+
+  /// Reports the outcome of an allowed call.
+  void record_success();
+  void record_failure(Clock::time_point now = Clock::now());
+
+  State state() const;
+  /// Consecutive failures observed while Closed.
+  std::size_t consecutive_failures() const;
+  /// Transition counts since construction (how often the breaker entered
+  /// each state) — the soak harness and `lmpeel stats` read these.
+  std::uint64_t opened() const;
+  std::uint64_t half_opened() const;
+  std::uint64_t closed() const;
+
+  /// The cooldown that was armed by the most recent trip (seconds).
+  double current_cooldown_s() const;
+
+  const BreakerOptions& options() const noexcept { return options_; }
+
+  static const char* state_name(State state) noexcept;
+
+ private:
+  void trip(Clock::time_point now);  // -> Open, arming the next cooldown
+
+  BreakerOptions options_;
+  mutable std::mutex mutex_;
+  util::Rng rng_;
+  State state_ = State::Closed;
+  std::size_t failures_ = 0;     // consecutive, while Closed
+  std::size_t reopens_ = 0;      // trips since the last Closed
+  bool probe_in_flight_ = false; // HalfOpen: probe handed out
+  double cooldown_s_ = 0.0;
+  Clock::time_point open_until_{};
+  std::uint64_t opened_ = 0;
+  std::uint64_t half_opened_ = 0;
+  std::uint64_t closed_ = 0;
+};
+
+}  // namespace lmpeel::guard

@@ -1,0 +1,54 @@
+#include "guard/budget.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace lmpeel::guard {
+
+bool Budget::try_reserve(std::size_t bytes) noexcept {
+  std::size_t cur = reserved_.load(std::memory_order_relaxed);
+  for (;;) {
+    const std::size_t next = cur + bytes;
+    if (limit_ != 0 && next > limit_) {
+      denied_.fetch_add(1, std::memory_order_relaxed);
+      obs::Registry::global().counter("guard.reserve_denied").add();
+      return false;
+    }
+    if (reserved_.compare_exchange_weak(cur, next,
+                                        std::memory_order_relaxed)) {
+      obs::Registry::global().gauge("guard.reserved_bytes")
+          .set(static_cast<double>(next));
+      return true;
+    }
+  }
+}
+
+void Budget::release(std::size_t bytes) noexcept {
+  const std::size_t prev =
+      reserved_.fetch_sub(bytes, std::memory_order_relaxed);
+  obs::Registry::global().gauge("guard.reserved_bytes")
+      .set(static_cast<double>(prev - bytes));
+}
+
+void Budget::charge(std::size_t bytes) noexcept {
+  const std::size_t now =
+      accounted_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  // Publish the high-water mark; racing writers can only lose to a larger
+  // value, so the mark is monotone.
+  std::size_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+  obs::Registry& reg = obs::Registry::global();
+  reg.gauge("guard.accounted_bytes").set(static_cast<double>(now));
+  reg.gauge("guard.accounted_peak_bytes")
+      .set(static_cast<double>(peak_.load(std::memory_order_relaxed)));
+}
+
+void Budget::uncharge(std::size_t bytes) noexcept {
+  const std::size_t prev =
+      accounted_.fetch_sub(bytes, std::memory_order_relaxed);
+  obs::Registry::global().gauge("guard.accounted_bytes")
+      .set(static_cast<double>(prev - bytes));
+}
+
+}  // namespace lmpeel::guard

@@ -1,0 +1,319 @@
+#include "guard/soak.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+
+#ifdef __linux__
+#include <unistd.h>
+#endif
+
+#include "guard/breaker.hpp"
+#include "guard/budget.hpp"
+#include "lm/transformer.hpp"
+#include "serve/decoder.hpp"
+#include "serve/engine.hpp"
+#include "serve/retry.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace lmpeel::guard {
+
+namespace {
+
+using Clock = serve::Clock;
+
+/// Decoder wrapper whose prefill throws while the sick flag is up — the
+/// soak's way of making the engine visibly unhealthy for a bounded window
+/// so the breaker has something real to trip on.  Steps stay healthy:
+/// in-flight work admitted before the window finishes normally.
+class SickWindowDecoder final : public serve::BatchDecoder {
+ public:
+  SickWindowDecoder(serve::BatchDecoder& inner, std::atomic<bool>& sick)
+      : inner_(&inner), sick_(&sick) {}
+
+  int vocab_size() const override { return inner_->vocab_size(); }
+  std::size_t slots() const override { return inner_->slots(); }
+  std::size_t max_sequence_length() const override {
+    return inner_->max_sequence_length();
+  }
+  void start(std::size_t slot, std::span<const int> prompt,
+             std::uint64_t seed, std::span<float> out) override {
+    if (sick_->load(std::memory_order_relaxed)) {
+      throw std::runtime_error("soak sick window: prefill refused");
+    }
+    inner_->start(slot, prompt, seed, out);
+  }
+  void step(std::span<const Step> steps, lm::Tensor& logits) override {
+    inner_->step(steps, logits);
+  }
+  void release(std::size_t slot) override { inner_->release(slot); }
+  std::string name() const override { return "sick(" + inner_->name() + ")"; }
+  std::size_t bytes_per_token() const override {
+    return inner_->bytes_per_token();
+  }
+  void bind_budget(Budget* budget) override { inner_->bind_budget(budget); }
+
+ private:
+  serve::BatchDecoder* inner_;
+  std::atomic<bool>* sick_;
+};
+
+/// Resident set size in KiB from /proc/self/statm; 0 when unavailable.
+std::size_t rss_kb() {
+#ifdef __linux__
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  long size = 0, resident = 0;
+  const int got = std::fscanf(f, "%ld %ld", &size, &resident);
+  std::fclose(f);
+  if (got != 2) return 0;
+  const long page = sysconf(_SC_PAGESIZE);
+  return static_cast<std::size_t>(resident) *
+         static_cast<std::size_t>(page) / 1024;
+#else
+  return 0;
+#endif
+}
+
+void tally(SoakReport::ClassStats& stats, serve::RequestStatus status) {
+  ++stats.submitted;
+  switch (status) {
+    case serve::RequestStatus::Ok: ++stats.ok; break;
+    case serve::RequestStatus::Shed: ++stats.shed; break;
+    case serve::RequestStatus::QueueFull: ++stats.queue_full; break;
+    case serve::RequestStatus::EngineError: ++stats.engine_error; break;
+    case serve::RequestStatus::BreakerOpen: ++stats.breaker_open; break;
+    default: ++stats.other; break;
+  }
+}
+
+constexpr std::size_t kMaxPromptLen = 11;
+
+serve::Request soak_request(util::Rng& rng, int vocab,
+                            serve::Priority priority,
+                            std::size_t max_tokens) {
+  serve::Request request;
+  const auto len =
+      static_cast<std::size_t>(rng.uniform_int(4, kMaxPromptLen));
+  for (std::size_t t = 0; t < len; ++t) {
+    request.prompt.push_back(
+        static_cast<int>(rng.uniform_int(4, vocab - 1)));
+  }
+  request.options.sampler.temperature = 0.0;
+  request.options.max_tokens = max_tokens;
+  request.options.seed = rng.next();
+  request.priority = priority;
+  return request;
+}
+
+}  // namespace
+
+SoakReport run_soak(const SoakOptions& options) {
+  LMPEEL_CHECK_MSG(options.seconds > 0.0, "soak needs a positive duration");
+  const Clock::time_point begin = Clock::now();
+  const Clock::time_point deadline =
+      begin + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(options.seconds));
+
+  // Small but real: KV caches, batched decode, the works.
+  lm::TransformerConfig model_config;
+  model_config.vocab = 64;
+  model_config.d_model = 32;
+  model_config.n_head = 2;
+  model_config.n_layer = 2;
+  model_config.max_seq = 128;
+  lm::TransformerLm model(model_config, options.seed);
+
+  // Budget declared before the decoder: KV caches uncharge into it on
+  // destruction, so it must be destroyed last.
+  const std::size_t per_request_cost =
+      (kMaxPromptLen + options.max_tokens) *
+          (2 * static_cast<std::size_t>(model_config.n_layer) *
+           static_cast<std::size_t>(model_config.d_model) * sizeof(float)) +
+      3 * static_cast<std::size_t>(model_config.vocab) * sizeof(float);
+  const std::size_t budget_bytes = options.budget_bytes != 0
+                                       ? options.budget_bytes
+                                       : 2 * per_request_cost;
+  Budget budget(budget_bytes);
+  Breaker breaker(BreakerOptions{.failure_threshold = 3,
+                                 .open_s = 0.2,
+                                 .max_open_s = 1.0,
+                                 .seed = options.seed});
+
+  serve::TransformerBatchDecoder inner(model, options.max_batch);
+  std::atomic<bool> sick{false};
+  SickWindowDecoder decoder(inner, sick);
+
+  serve::EngineConfig engine_config;
+  engine_config.max_batch = options.max_batch;
+  engine_config.queue_capacity = options.queue_capacity;
+  engine_config.budget = &budget;
+  engine_config.queue_slo_s = options.queue_slo_s;
+  serve::Engine engine(decoder, engine_config);
+
+  SoakReport report;
+  report.budget_bytes = budget_bytes;
+
+  // ---- client threads ---------------------------------------------------
+  const serve::Priority kClasses[] = {
+      serve::Priority::High, serve::Priority::Normal, serve::Priority::Batch,
+      serve::Priority::Batch};
+  SoakReport::ClassStats per_thread[4];
+  std::atomic<std::size_t> crashes{0};
+  std::vector<std::thread> clients;
+  clients.reserve(4);
+  for (std::size_t c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      try {
+        util::Rng rng(options.seed, /*stream=*/0x50a0 + c);
+        serve::RetryOptions retry_options;
+        retry_options.max_attempts = 2;
+        retry_options.base_delay_s = 0.005;
+        retry_options.max_delay_s = 0.05;
+        retry_options.seed = options.seed + c;
+        retry_options.breaker = &breaker;
+        serve::RetryClient client(engine, retry_options);
+        while (Clock::now() < deadline) {
+          const serve::ServeResult result = client.generate(soak_request(
+              rng, model_config.vocab, kClasses[c], options.max_tokens));
+          tally(per_thread[c], result.status);
+          if (result.status == serve::RequestStatus::BreakerOpen) {
+            // Nothing was submitted; don't spin on the open breaker.
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+          }
+        }
+      } catch (...) {
+        crashes.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // ---- controller: sick window + RSS sampling ---------------------------
+  const double warmup_s = options.seconds * 0.25;
+  const double sick_at_s = options.seconds * 0.4;
+  const double sick_len_s = std::min(0.5, options.seconds * 0.1);
+  bool sick_done = !options.sick_window;
+  while (Clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - begin).count();
+    if (!sick_done && elapsed >= sick_at_s) {
+      sick.store(true, std::memory_order_relaxed);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(sick_len_s));
+      sick.store(false, std::memory_order_relaxed);
+      sick_done = true;
+    }
+    if (elapsed >= warmup_s) {
+      // ~4 Hz is plenty: the check is about the trend, not the waveform.
+      if (const std::size_t kb = rss_kb(); kb != 0) {
+        if (report.rss_kb.empty() ||
+            std::chrono::duration<double>(Clock::now() - begin).count() >=
+                warmup_s + 0.25 * static_cast<double>(report.rss_kb.size())) {
+          report.rss_kb.push_back(kb);
+        }
+      }
+    }
+  }
+
+  for (auto& client : clients) client.join();
+  engine.shutdown();
+
+  // ---- grade ------------------------------------------------------------
+  report.wall_s = std::chrono::duration<double>(Clock::now() - begin).count();
+  report.high = per_thread[0];
+  report.normal = per_thread[1];
+  report.batch = per_thread[2];
+  report.batch.submitted += per_thread[3].submitted;
+  report.batch.ok += per_thread[3].ok;
+  report.batch.shed += per_thread[3].shed;
+  report.batch.queue_full += per_thread[3].queue_full;
+  report.batch.engine_error += per_thread[3].engine_error;
+  report.batch.breaker_open += per_thread[3].breaker_open;
+  report.batch.other += per_thread[3].other;
+
+  report.accounted_peak_bytes = budget.accounted_peak();
+  report.reserve_denied = budget.denied();
+  report.breaker_opened = breaker.opened();
+  report.breaker_half_opened = breaker.half_opened();
+  report.breaker_closed = breaker.closed();
+  report.crashes = crashes.load();
+
+  report.budget_ok = report.accounted_peak_bytes <= budget_bytes;
+  report.shed_ordering_ok = report.high.shed == 0 && report.normal.shed == 0;
+  report.high_served = report.high.ok > 0 && report.high.shed == 0;
+  report.breaker_exercised = breaker.opened() > 0;
+  // Leak heuristic: fail only when RSS grew at *every* sample step AND the
+  // total growth is material (> 20% and > 16 MiB).  A healthy soak
+  // plateaus once slots and scratch are warm.
+  report.rss_ok = true;
+  if (report.rss_kb.size() >= 5) {
+    bool monotonic = true;
+    for (std::size_t i = 1; i < report.rss_kb.size(); ++i) {
+      if (report.rss_kb[i] <= report.rss_kb[i - 1]) {
+        monotonic = false;
+        break;
+      }
+    }
+    const std::size_t first = report.rss_kb.front();
+    const std::size_t last = report.rss_kb.back();
+    const bool material =
+        last > first + std::max<std::size_t>(16 * 1024, first / 5);
+    report.rss_ok = !(monotonic && material);
+  }
+
+  return report;
+}
+
+util::Table soak_table(const SoakReport& report, bool sick_window) {
+  util::Table table({"metric", "high", "normal", "batch"});
+  const auto class_row = [&](const char* name,
+                             std::size_t SoakReport::ClassStats::*field) {
+    table.add_row({name, std::to_string(report.high.*field),
+                   std::to_string(report.normal.*field),
+                   std::to_string(report.batch.*field)});
+  };
+  class_row("submitted", &SoakReport::ClassStats::submitted);
+  class_row("ok", &SoakReport::ClassStats::ok);
+  class_row("shed", &SoakReport::ClassStats::shed);
+  class_row("queue_full", &SoakReport::ClassStats::queue_full);
+  class_row("engine_error", &SoakReport::ClassStats::engine_error);
+  class_row("breaker_open", &SoakReport::ClassStats::breaker_open);
+  class_row("other", &SoakReport::ClassStats::other);
+
+  const auto fact = [&](const char* name, const std::string& value) {
+    table.add_row({name, value, "", ""});
+  };
+  fact("wall_s", util::Table::num(report.wall_s, 2));
+  fact("budget_bytes", std::to_string(report.budget_bytes));
+  fact("accounted_peak_bytes", std::to_string(report.accounted_peak_bytes));
+  fact("reserve_denied", std::to_string(report.reserve_denied));
+  fact("breaker open/half/closed",
+       std::to_string(report.breaker_opened) + "/" +
+           std::to_string(report.breaker_half_opened) + "/" +
+           std::to_string(report.breaker_closed));
+  if (!report.rss_kb.empty()) {
+    fact("rss_kb first..last", std::to_string(report.rss_kb.front()) +
+                                   ".." +
+                                   std::to_string(report.rss_kb.back()));
+  }
+  const auto verdict = [&](const char* name, bool ok) {
+    table.add_row({name, ok ? "yes" : "NO", "", ""});
+  };
+  verdict("no crashes", report.crashes == 0);
+  verdict("budget honoured", report.budget_ok);
+  verdict("shed ordering (batch only)", report.shed_ordering_ok);
+  verdict("high priority served", report.high_served);
+  verdict("rss stable", report.rss_ok);
+  if (sick_window) verdict("breaker exercised", report.breaker_exercised);
+  verdict("PASSED", report.passed(sick_window));
+  return table;
+}
+
+}  // namespace lmpeel::guard

@@ -1,0 +1,97 @@
+// Sustained mixed-priority overload soak for the serve/guard stack
+// (DESIGN.md §11).
+//
+// Four client threads — one High, one Normal, two Batch — hammer a
+// budget-governed engine for a fixed wall-clock duration, with the budget
+// deliberately sized to roughly half of full-load demand so the shedding
+// policy runs continuously, not incidentally.  Mid-soak a "sick window"
+// makes the decoder throw on every prefill for a moment, driving the
+// shared circuit breaker through a full open → half-open → closed cycle.
+//
+// The report grades the properties the stack claims, and `lmpeel soak`
+// exits non-zero when any of them fails:
+//
+//   * no crash: no exception ever escapes a client loop or the engine;
+//   * budget honoured: accounted bytes never exceeded the limit;
+//   * shed ordering: only Batch-priority work was shed — Normal/High
+//     traffic always fit by evicting Batch first;
+//   * no starvation: High-priority requests kept being served;
+//   * no leak: resident set size does not grow monotonically once the
+//     engine is warm;
+//   * breaker exercised: the sick window visibly opened the breaker (and
+//     recovery closed it again).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace lmpeel::guard {
+
+struct SoakOptions {
+  double seconds = 10.0;     ///< wall-clock soak duration
+  std::uint64_t seed = 0;    ///< model init + per-thread request streams
+  /// Memory budget handed to the engine.  0 = auto: twice the maximum
+  /// per-request cost, i.e. half of the four clients' combined demand —
+  /// High + Normal always fit together, Batch work must be shed.
+  std::size_t budget_bytes = 0;
+  std::size_t max_batch = 4;
+  std::size_t queue_capacity = 16;
+  double queue_slo_s = 2.0;     ///< engine queue-latency SLO
+  std::size_t max_tokens = 16;  ///< per-request generation budget
+  /// Mid-soak throw-burst (every prefill fails for ~10% of the duration,
+  /// capped at 0.5 s) so the breaker's full state cycle is part of every
+  /// soak.  Disable for pure-overload runs.
+  bool sick_window = true;
+};
+
+struct SoakReport {
+  /// Terminal-status tally for one priority class.
+  struct ClassStats {
+    std::size_t submitted = 0;
+    std::size_t ok = 0;
+    std::size_t shed = 0;
+    std::size_t queue_full = 0;
+    std::size_t engine_error = 0;
+    std::size_t breaker_open = 0;
+    std::size_t other = 0;
+  };
+
+  double wall_s = 0.0;
+  std::size_t budget_bytes = 0;  ///< resolved budget (after auto-sizing)
+  ClassStats high, normal, batch;
+
+  std::size_t accounted_peak_bytes = 0;  ///< Budget::accounted_peak()
+  std::uint64_t reserve_denied = 0;      ///< Budget::denied()
+  std::uint64_t breaker_opened = 0;
+  std::uint64_t breaker_half_opened = 0;
+  std::uint64_t breaker_closed = 0;
+  std::size_t crashes = 0;  ///< exceptions that escaped a client loop
+  std::vector<std::size_t> rss_kb;  ///< RSS samples after warmup (may be
+                                    ///< empty off Linux)
+
+  // ---- graded properties ------------------------------------------------
+  bool budget_ok = false;         ///< accounted peak <= budget
+  bool shed_ordering_ok = false;  ///< no Normal/High request was ever shed
+  bool high_served = false;       ///< High traffic kept completing
+  bool rss_ok = false;            ///< no monotonic RSS growth post-warmup
+  bool breaker_exercised = false; ///< sick window opened the breaker
+
+  /// Overall verdict — what `lmpeel soak`'s exit code reports.  The
+  /// breaker check only applies when the sick window ran.
+  bool passed(bool sick_window_enabled = true) const noexcept {
+    return crashes == 0 && budget_ok && shed_ordering_ok && high_served &&
+           rss_ok && (!sick_window_enabled || breaker_exercised);
+  }
+};
+
+/// Runs the soak.  Builds its own small transformer, decoder, budget,
+/// breaker and engine; everything is torn down before returning.
+SoakReport run_soak(const SoakOptions& options);
+
+/// Printable summary, one graded property per row.
+util::Table soak_table(const SoakReport& report, bool sick_window = true);
+
+}  // namespace lmpeel::guard

@@ -312,6 +312,7 @@ void TransformerLm::prefill(KvCache& cache, std::span<const int> tokens,
     }
   }
   cache.length_ = t_len;
+  cache.account();
 }
 
 void TransformerLm::decode_batch(std::span<KvCache* const> caches,
@@ -396,7 +397,10 @@ void TransformerLm::decode_batch(std::span<KvCache* const> caches,
   // Tied output head, blocked over the batch (bit-identical to the
   // per-row tied_head_row the single-row paths use).
   matmul_transposed_b(f, tok_emb_, logits_out);
-  for (std::size_t b = 0; b < batch; ++b) ++caches[b]->length_;
+  for (std::size_t b = 0; b < batch; ++b) {
+    ++caches[b]->length_;
+    caches[b]->account();
+  }
 }
 
 void TransformerLm::decode(KvCache& cache, std::span<const int> tokens,
@@ -524,6 +528,7 @@ void TransformerLm::decode(KvCache& cache, std::span<const int> tokens,
     }
     ++cache.length_;
   }
+  cache.account();
 
   // Final layer norm + tied head for the last position only.
   Tensor xin(1, d), f(1, d);

@@ -16,8 +16,10 @@
 #include <iosfwd>
 #include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
+#include "guard/budget.hpp"
 #include "lm/language_model.hpp"
 #include "lm/tensor.hpp"
 
@@ -45,20 +47,85 @@ class TransformerLm final : public LanguageModel {
   /// Per-layer key/value cache for autoregressive decoding: feeding tokens
   /// through `decode` one (or a few) at a time costs O(T·d) per step
   /// instead of re-running the full O(T²·d) forward pass.
+  ///
+  /// A cache optionally reports its allocations through a guard::Budget
+  /// (DESIGN.md §11): bind_budget attaches one, and the model re-accounts
+  /// after every growth, so the serve engine's admission estimates can be
+  /// checked against the bytes the cache actually holds.  Move-only, so a
+  /// bound budget is never double-released.
   class KvCache {
    public:
+    KvCache() = default;
+    KvCache(const KvCache&) = delete;
+    KvCache& operator=(const KvCache&) = delete;
+    KvCache(KvCache&& other) noexcept { *this = std::move(other); }
+    KvCache& operator=(KvCache&& other) noexcept {
+      if (this != &other) {
+        detach();
+        keys_ = std::move(other.keys_);
+        values_ = std::move(other.values_);
+        length_ = other.length_;
+        budget_ = other.budget_;
+        accounted_ = other.accounted_;
+        other.length_ = 0;
+        other.budget_ = nullptr;
+        other.accounted_ = 0;
+      }
+      return *this;
+    }
+    ~KvCache() { detach(); }
+
     std::size_t length() const noexcept { return length_; }
     void clear() {
       length_ = 0;
       keys_.clear();
       values_.clear();
+      account();
+    }
+
+    /// Routes this cache's byte accounting through `budget` (null detaches);
+    /// current contents are charged/released immediately.
+    void bind_budget(guard::Budget* budget) {
+      if (budget == budget_) return;
+      detach();
+      budget_ = budget;
+      account();
+    }
+    /// Logical bytes currently cached (key + value rows across layers).
+    std::size_t bytes() const noexcept {
+      std::size_t total = 0;
+      for (const auto& k : keys_) total += k.size() * sizeof(float);
+      for (const auto& v : values_) total += v.size() * sizeof(float);
+      return total;
+    }
+    /// Recomputes bytes() and publishes the delta to the bound budget.  The
+    /// model calls this after every growth; with no budget it is a no-op.
+    void account() {
+      if (budget_ == nullptr) return;
+      const std::size_t now = bytes();
+      if (now > accounted_) {
+        budget_->charge(now - accounted_);
+      } else if (now < accounted_) {
+        budget_->uncharge(accounted_ - now);
+      }
+      accounted_ = now;
     }
 
    private:
+    void detach() {
+      if (budget_ != nullptr && accounted_ > 0) {
+        budget_->uncharge(accounted_);
+      }
+      budget_ = nullptr;
+      accounted_ = 0;
+    }
+
     friend class TransformerLm;
     std::vector<std::vector<float>> keys_;    // per layer, length*d floats
     std::vector<std::vector<float>> values_;  // per layer
     std::size_t length_ = 0;
+    guard::Budget* budget_ = nullptr;
+    std::size_t accounted_ = 0;
   };
 
   /// Appends `tokens` to the cached sequence and returns the logits after

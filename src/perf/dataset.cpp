@@ -1,13 +1,17 @@
 #include "perf/dataset.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <istream>
 #include <numeric>
+#include <optional>
 #include <ostream>
 #include <string>
 
 #include "util/check.hpp"
+#include "util/str.hpp"
 #include "util/thread_pool.hpp"
 
 namespace lmpeel::perf {
@@ -78,21 +82,31 @@ void Dataset::write_csv(std::ostream& out) const {
   }
 }
 
-Dataset Dataset::read_csv(std::istream& in) {
+Dataset Dataset::read_csv(std::istream& in, const std::string& source) {
   Dataset out;
   const ConfigSpace space;
   std::string line;
-  LMPEEL_CHECK_MSG(std::getline(in, line) &&
-                       line == "size,config_index,runtime",
-                   "unexpected dataset CSV header");
+  std::size_t lineno = 1;
+  const auto fail = [&](const std::string& reason) -> void {
+    throw DatasetParseError(source, lineno, reason);
+  };
+  if (std::getline(in, line) && !line.empty() && line.back() == '\r') {
+    line.pop_back();  // CRLF files
+  }
+  if (line != "size,config_index,runtime") {
+    fail("expected header 'size,config_index,runtime'");
+  }
   bool size_known = false;
   while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF files
     if (line.empty()) continue;
-    const std::size_t c1 = line.find(',');
-    const std::size_t c2 = line.find(',', c1 + 1);
-    LMPEEL_CHECK_MSG(c1 != std::string::npos && c2 != std::string::npos,
-                     "malformed dataset CSV row: " + line);
-    const std::string size_text = line.substr(0, c1);
+    const std::vector<std::string> fields = util::split(line, ',');
+    if (fields.size() != 3) {
+      fail("expected 3 comma-separated fields, got " +
+           std::to_string(fields.size()));
+    }
+    const std::string& size_text = fields[0];
     if (!size_known) {
       bool found = false;
       for (const SizeClass s : kAllSizes) {
@@ -102,21 +116,38 @@ Dataset Dataset::read_csv(std::istream& in) {
           break;
         }
       }
-      LMPEEL_CHECK_MSG(found, "unknown size class: " + size_text);
+      if (!found) fail("unknown size class '" + size_text + "'");
       size_known = true;
-    } else {
-      LMPEEL_CHECK_MSG(size_text == size_name(out.size_),
-                       "mixed size classes in dataset CSV");
+    } else if (size_text != size_name(out.size_)) {
+      fail("mixed size classes: file started with '" +
+           std::string(size_name(out.size_)) + "', row has '" + size_text +
+           "'");
+    }
+    // Strict numeric parsing: std::stoull/stod accept trailing garbage and
+    // negative indices, exactly the silent misreads this loader must not
+    // make.
+    if (!util::all_digits(fields[1])) {
+      fail("config_index '" + fields[1] + "' is not a non-negative integer");
     }
     Sample sample;
-    sample.config_index = std::stoull(line.substr(c1 + 1, c2 - c1 - 1));
-    LMPEEL_CHECK(sample.config_index < kSpaceSize);
+    char* end = nullptr;
+    sample.config_index = std::strtoull(fields[1].c_str(), &end, 10);
+    if (sample.config_index >= kSpaceSize) {
+      fail("config_index " + fields[1] + " out of range (space size " +
+           std::to_string(kSpaceSize) + ")");
+    }
     sample.config = space.at(sample.config_index);
-    sample.runtime = std::stod(line.substr(c2 + 1));
-    LMPEEL_CHECK_MSG(sample.runtime > 0.0, "non-positive runtime in CSV");
+    const std::optional<double> runtime = util::parse_double(fields[2]);
+    if (!runtime.has_value()) {
+      fail("runtime '" + fields[2] + "' is not a number");
+    }
+    if (!std::isfinite(*runtime) || *runtime <= 0.0) {
+      fail("runtime '" + fields[2] + "' must be positive and finite");
+    }
+    sample.runtime = *runtime;
     out.samples_.push_back(sample);
   }
-  LMPEEL_CHECK_MSG(!out.samples_.empty(), "empty dataset CSV");
+  if (out.samples_.empty()) fail("no data rows");
   return out;
 }
 

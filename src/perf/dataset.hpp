@@ -10,6 +10,8 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "perf/config_space.hpp"
@@ -22,6 +24,26 @@ struct Sample {
   std::size_t config_index = 0;  ///< index into ConfigSpace
   Syr2kConfig config;
   double runtime = 0.0;  ///< measured (noisy) seconds
+};
+
+/// Thrown by Dataset::read_csv on malformed input.  what() reads
+/// "<source>:<line>: <reason>"; the structured fields let callers point at
+/// the exact offending row instead of guessing from a generic message.
+class DatasetParseError : public std::runtime_error {
+ public:
+  DatasetParseError(std::string source, std::size_t line,
+                    const std::string& reason)
+      : std::runtime_error(source + ":" + std::to_string(line) + ": " +
+                           reason),
+        source_(std::move(source)),
+        line_(line) {}
+
+  const std::string& source() const noexcept { return source_; }
+  std::size_t line() const noexcept { return line_; }  ///< 1-based
+
+ private:
+  std::string source_;
+  std::size_t line_;
 };
 
 class Dataset {
@@ -47,7 +69,13 @@ class Dataset {
   /// CSV interchange ("size,config_index,runtime" rows) so datasets can be
   /// inspected, plotted, or swapped for externally measured data.
   void write_csv(std::ostream& out) const;
-  static Dataset read_csv(std::istream& in);
+  /// Strict parse: every row must have exactly three fields, a known size
+  /// class, an in-range integer config index and a positive finite
+  /// runtime.  Any violation throws DatasetParseError naming `source` and
+  /// the 1-based line — externally measured CSVs are exactly the kind of
+  /// input that arrives subtly broken.
+  static Dataset read_csv(std::istream& in,
+                          const std::string& source = "<stream>");
 
  private:
   SizeClass size_ = SizeClass::SM;

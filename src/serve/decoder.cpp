@@ -18,6 +18,11 @@ TransformerBatchDecoder::TransformerBatchDecoder(lm::TransformerLm& model,
   LMPEEL_CHECK_MSG(slots > 0, "TransformerBatchDecoder needs >= 1 slot");
 }
 
+void TransformerBatchDecoder::bind_budget(guard::Budget* budget) {
+  budget_ = budget;
+  for (auto& cache : caches_) cache.bind_budget(budget);
+}
+
 void TransformerBatchDecoder::start(std::size_t slot,
                                     std::span<const int> prompt,
                                     std::uint64_t seed, std::span<float> out) {
@@ -65,6 +70,10 @@ void TransformerBatchDecoder::step(std::span<const Step> steps,
   std::vector<std::future<void>> futures;
   futures.reserve(chunks);
   std::vector<lm::Tensor> chunk_logits(chunks);
+  // The split pays one extra batch×vocab logits buffer; account it for the
+  // duration of the step so scratch shows up in guard.accounted_bytes.
+  const guard::ScopedCharge scratch_charge(
+      budget_, batch * vocab * sizeof(float));
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t lo = batch * c / chunks;
     const std::size_t hi = batch * (c + 1) / chunks;
@@ -103,8 +112,20 @@ void TransformerBatchDecoder::release(std::size_t slot) {
 
 GenericBatchDecoder::GenericBatchDecoder(lm::LanguageModel& model,
                                          std::size_t slots)
-    : model_(&model), contexts_(slots), seeds_(slots, 0) {
+    : model_(&model), contexts_(slots), seeds_(slots, 0),
+      accounted_(slots, 0) {
   LMPEEL_CHECK_MSG(slots > 0, "GenericBatchDecoder needs >= 1 slot");
+}
+
+void GenericBatchDecoder::settle(std::size_t slot) {
+  if (budget_ == nullptr) return;
+  const std::size_t now = contexts_[slot].size() * sizeof(int);
+  if (now > accounted_[slot]) {
+    budget_->charge(now - accounted_[slot]);
+  } else if (now < accounted_[slot]) {
+    budget_->uncharge(accounted_[slot] - now);
+  }
+  accounted_[slot] = now;
 }
 
 void GenericBatchDecoder::start(std::size_t slot, std::span<const int> prompt,
@@ -114,6 +135,7 @@ void GenericBatchDecoder::start(std::size_t slot, std::span<const int> prompt,
   LMPEEL_CHECK(!prompt.empty());
   contexts_[slot].assign(prompt.begin(), prompt.end());
   seeds_[slot] = seed;
+  settle(slot);
   model_->set_seed(seed);
   model_->next_logits(contexts_[slot], out);
 }
@@ -131,6 +153,7 @@ void GenericBatchDecoder::step(std::span<const Step> steps,
     LMPEEL_CHECK(s.slot < contexts_.size());
     LMPEEL_CHECK_MSG(!contexts_[s.slot].empty(), "step() on a free slot");
     contexts_[s.slot].push_back(s.token);
+    settle(s.slot);
     // Re-seed before every call: interleaved requests must each see the
     // model in the same state lm::generate would have left it in.
     model_->set_seed(seeds_[s.slot]);
@@ -142,6 +165,7 @@ void GenericBatchDecoder::release(std::size_t slot) {
   LMPEEL_CHECK(slot < contexts_.size());
   contexts_[slot].clear();
   seeds_[slot] = 0;
+  settle(slot);
 }
 
 }  // namespace lmpeel::serve

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "guard/budget.hpp"
 #include "lm/language_model.hpp"
 #include "lm/tensor.hpp"
 #include "lm/transformer.hpp"
@@ -61,6 +62,18 @@ class BatchDecoder {
   virtual void release(std::size_t slot) = 0;
 
   virtual std::string name() const = 0;
+
+  // ---- resource governance (DESIGN.md §11) ------------------------------
+  /// Bytes of per-slot state one cached token costs (KV rows, context
+  /// ints…).  The engine multiplies this by prompt + max_tokens to price a
+  /// request before prefill.  0 = unknown; cost-based admission degrades to
+  /// scratch-only estimates.
+  virtual std::size_t bytes_per_token() const { return 0; }
+  /// Routes the decoder's actual allocations (KV caches, step scratch)
+  /// through `budget` so accounted bytes track reality.  Null detaches.
+  /// Called by the engine at construction when its config carries a budget;
+  /// must only be called while no slot is occupied.
+  virtual void bind_budget(guard::Budget* budget) { (void)budget; }
 };
 
 /// KV-cached batched decoder over a TransformerLm.  `parallel` enables
@@ -80,12 +93,20 @@ class TransformerBatchDecoder final : public BatchDecoder {
   void step(std::span<const Step> steps, lm::Tensor& logits) override;
   void release(std::size_t slot) override;
   std::string name() const override { return "transformer-batch"; }
+  /// One cached token = a key + value row per layer.
+  std::size_t bytes_per_token() const override {
+    const lm::TransformerConfig& cfg = model_->config();
+    return 2 * static_cast<std::size_t>(cfg.n_layer) *
+           static_cast<std::size_t>(cfg.d_model) * sizeof(float);
+  }
+  void bind_budget(guard::Budget* budget) override;
 
  private:
   lm::TransformerLm* model_;
   std::vector<lm::TransformerLm::KvCache> caches_;
   std::vector<std::vector<int>> sequences_;  // per slot, for bound checks
   bool parallel_;
+  guard::Budget* budget_ = nullptr;  // step-scratch accounting
 };
 
 /// Context-replay decoder for arbitrary LanguageModels.  Each step re-runs
@@ -103,11 +124,19 @@ class GenericBatchDecoder final : public BatchDecoder {
   void step(std::span<const Step> steps, lm::Tensor& logits) override;
   void release(std::size_t slot) override;
   std::string name() const override { return "generic-replay"; }
+  /// One cached token = one context int.
+  std::size_t bytes_per_token() const override { return sizeof(int); }
+  void bind_budget(guard::Budget* budget) override { budget_ = budget; }
 
  private:
+  /// Re-reports slot `slot`'s context bytes after a mutation.
+  void settle(std::size_t slot);
+
   lm::LanguageModel* model_;
   std::vector<std::vector<int>> contexts_;  // per slot; empty = free
   std::vector<std::uint64_t> seeds_;        // per slot sampling seed
+  std::vector<std::size_t> accounted_;      // per slot bytes reported
+  guard::Budget* budget_ = nullptr;
 };
 
 }  // namespace lmpeel::serve

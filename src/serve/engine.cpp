@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <optional>
 #include <utility>
 
 #include "lm/language_model.hpp"
@@ -49,6 +50,17 @@ const char* status_name(RequestStatus status) {
     case RequestStatus::PromptTooLong: return "prompt_too_long";
     case RequestStatus::ShutDown: return "shut_down";
     case RequestStatus::EngineError: return "engine_error";
+    case RequestStatus::Shed: return "shed";
+    case RequestStatus::BreakerOpen: return "breaker_open";
+  }
+  return "unknown";
+}
+
+const char* priority_name(Priority priority) {
+  switch (priority) {
+    case Priority::Batch: return "batch";
+    case Priority::Normal: return "normal";
+    case Priority::High: return "high";
   }
   return "unknown";
 }
@@ -63,6 +75,7 @@ Engine::Engine(BatchDecoder& decoder, EngineConfig config)
   LMPEEL_CHECK_MSG(config_.max_batch > 0, "max_batch must be >= 1");
   LMPEEL_CHECK_MSG(config_.queue_capacity > 0, "queue_capacity must be >= 1");
   config_.max_batch = std::min(config_.max_batch, decoder_->slots());
+  if (config_.budget != nullptr) decoder_->bind_budget(config_.budget);
   free_slots_.reserve(config_.max_batch);
   // Highest slot index on top so slots are handed out in 0,1,2,… order.
   for (std::size_t s = config_.max_batch; s > 0; --s) {
@@ -82,31 +95,56 @@ std::future<ServeResult> Engine::submit(Request request) {
   std::future<ServeResult> future = promise.get_future();
   obs::Registry::global().counter("serve.requests_submitted").add();
 
-  // Reject before touching the queue: these can never succeed.
-  if (now > request.deadline) {
-    reject(promise, RequestStatus::DeadlineExpired, now);
-    return future;
-  }
-  const std::size_t window = decoder_->max_sequence_length();
-  if (window != 0 &&
-      request.prompt.size() + request.options.max_tokens > window) {
-    reject(promise, RequestStatus::PromptTooLong, now);
-    return future;
-  }
-
+  // Every refusal decision happens under the queue lock, in one fixed
+  // precedence order: ShutDown > DeadlineExpired > PromptTooLong > queue
+  // policy.  Checking validity outside the lock (as earlier versions did)
+  // let a submit racing shutdown() report DeadlineExpired or QueueFull for
+  // an engine that was actually stopping — every terminal status must name
+  // the true reason (tests/test_serve_shutdown.cpp asserts each one).
+  std::optional<Queued> victim;  // displaced entry, rejected outside the lock
   {
     std::lock_guard lock(mutex_);
     if (stopping_) {
       reject(promise, RequestStatus::ShutDown, now);
       return future;
     }
-    if (queue_.size() >= config_.queue_capacity) {
-      reject(promise, RequestStatus::QueueFull, now);
+    if (now > request.deadline) {
+      reject(promise, RequestStatus::DeadlineExpired, now);
       return future;
+    }
+    const std::size_t window = decoder_->max_sequence_length();
+    if (window != 0 &&
+        request.prompt.size() + request.options.max_tokens > window) {
+      reject(promise, RequestStatus::PromptTooLong, now);
+      return future;
+    }
+    if (queue_.size() >= config_.queue_capacity) {
+      // Full queue: a submit that outranks queued work displaces the
+      // youngest entry of the lowest class (shed, not merely bounced) so
+      // High-priority traffic is never starved by a queue full of Batch
+      // work.  An equal-or-lower submit bounces with QueueFull as before.
+      std::size_t lowest = queue_.size();
+      for (std::size_t i = queue_.size(); i > 0; --i) {
+        if (lowest == queue_.size() ||
+            queue_[i - 1].request.priority < queue_[lowest].request.priority) {
+          lowest = i - 1;
+        }
+      }
+      if (queue_[lowest].request.priority < request.priority) {
+        victim = std::move(queue_[lowest]);
+        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(lowest));
+      } else {
+        reject(promise, RequestStatus::QueueFull, now);
+        return future;
+      }
     }
     queue_.push_back(Queued{std::move(request), std::move(promise), now});
     obs::Registry::global().gauge("serve.queue_depth")
         .set(static_cast<double>(queue_.size()));
+  }
+  if (victim.has_value()) {
+    note_shed(victim->request.priority);
+    reject(victim->promise, RequestStatus::Shed, victim->submitted);
   }
   cv_.notify_one();
   return future;
@@ -172,6 +210,49 @@ void Engine::scheduler_loop() {
   }
 }
 
+Engine::Queued Engine::pop_highest() {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < queue_.size(); ++i) {
+    if (queue_[i].request.priority > queue_[best].request.priority) best = i;
+  }
+  Queued queued = std::move(queue_[best]);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(best));
+  return queued;
+}
+
+std::size_t Engine::estimate_cost(const Request& request) const {
+  const std::size_t tokens =
+      request.prompt.size() + request.options.max_tokens;
+  const std::size_t vocab = static_cast<std::size_t>(decoder_->vocab_size());
+  // 3 logits rows of slack: the prefill scratch row, this request's row of
+  // the step logits tensor, and its share of the chunked step path's extra
+  // chunk buffer.  Overestimating is the point — accounted bytes must stay
+  // under the sum of reservations.
+  return tokens * decoder_->bytes_per_token() + 3 * vocab * sizeof(float);
+}
+
+void Engine::note_shed(Priority priority) {
+  obs::Registry::global()
+      .counter(std::string("guard.shed.") + priority_name(priority))
+      .add();
+}
+
+bool Engine::reserve_with_eviction(std::size_t cost, Priority priority) {
+  guard::Budget& budget = *config_.budget;
+  if (budget.try_reserve(cost)) return true;
+  if (priority == Priority::Batch) return false;
+  // Normal/High outrank in-flight Batch work: evict it (youngest first,
+  // retired with Shed and its partial output) until the reservation fits
+  // or no Batch work remains.
+  for (std::size_t i = active_.size(); i > 0; --i) {
+    if (active_[i - 1].request.priority != Priority::Batch) continue;
+    note_shed(Priority::Batch);
+    retire(i - 1, RequestStatus::Shed);
+    if (budget.try_reserve(cost)) return true;
+  }
+  return false;
+}
+
 void Engine::admit(std::vector<float>& logits_scratch) {
   obs::Registry& reg = obs::Registry::global();
   for (;;) {
@@ -182,8 +263,7 @@ void Engine::admit(std::vector<float>& logits_scratch) {
       if (queue_.empty()) return;
       draining = stopping_;
       if (!draining && free_slots_.empty()) return;
-      queued = std::move(queue_.front());
-      queue_.pop_front();
+      queued = pop_highest();
       reg.gauge("serve.queue_depth").set(static_cast<double>(queue_.size()));
     }
     if (draining) {
@@ -200,12 +280,43 @@ void Engine::admit(std::vector<float>& logits_scratch) {
       continue;
     }
 
+    // ---- cost-aware admission (DESIGN.md §11) --------------------------
+    std::size_t cost = 0;
+    if (config_.budget != nullptr) {
+      cost = estimate_cost(queued.request);
+      if (!reserve_with_eviction(cost, queued.request.priority)) {
+        const bool over_slo =
+            config_.queue_slo_s > 0.0 &&
+            seconds_since(queued.submitted, now) > config_.queue_slo_s;
+        // Shed outright when (a) the request is Batch class — first to go;
+        // (b) nothing is in flight, so no future retire can ever free the
+        // bytes this request needs (livelock guard); or (c) the request has
+        // already blown the queue-latency SLO.
+        if (queued.request.priority == Priority::Batch || active_.empty() ||
+            over_slo) {
+          note_shed(queued.request.priority);
+          reject(queued.promise, RequestStatus::Shed, queued.submitted);
+          continue;
+        }
+        // In-flight work will release budget as it retires: park the
+        // request at the queue front and stop admitting this tick.
+        {
+          std::lock_guard lock(mutex_);
+          queue_.push_front(std::move(queued));
+          reg.gauge("serve.queue_depth")
+              .set(static_cast<double>(queue_.size()));
+        }
+        return;
+      }
+    }
+
     Active active;
     active.request = std::move(queued.request);
     active.promise = std::move(queued.promise);
     active.submitted = queued.submitted;
     active.admitted = now;
     active.slot = free_slots_.back();
+    active.reserved_bytes = cost;
     free_slots_.pop_back();
     // Same sampling stream as lm::generate: Rng(seed, 0x5a3c), model
     // reseeded via decoder.start before the prefill.
@@ -232,6 +343,9 @@ void Engine::admit(std::vector<float>& logits_scratch) {
         reg.counter("serve.release_error").add();
       }
       free_slots_.push_back(active.slot);
+      if (config_.budget != nullptr && active.reserved_bytes > 0) {
+        config_.budget->release(active.reserved_bytes);
+      }
       note_engine_error();
       reject(active.promise, RequestStatus::EngineError, active.submitted);
       continue;
@@ -348,6 +462,9 @@ void Engine::retire(std::size_t index, RequestStatus status) {
     obs::Registry::global().counter("serve.release_error").add();
   }
   free_slots_.push_back(active.slot);
+  if (config_.budget != nullptr && active.reserved_bytes > 0) {
+    config_.budget->release(active.reserved_bytes);
+  }
 
   if (status == RequestStatus::EngineError) note_engine_error();
   ServeResult result;

@@ -16,6 +16,15 @@
 // caller's signal to shed load.  Sampling inside the engine mirrors
 // lm::generate token for token (same Rng stream, same stop rules, same
 // trace capture), so a served generation is bit-identical to a serial one.
+//
+// When EngineConfig::budget is set the engine is additionally cost-aware
+// (DESIGN.md §11): every request is priced before prefill
+// ((prompt + max_tokens) × decoder bytes-per-token plus scratch slack) and
+// reserved against the guard::Budget.  Under pressure the shedding policy
+// drops Batch-priority work first — queued or in-flight — and only sheds
+// Normal/High traffic when nothing cheaper is left or the queue-latency
+// SLO is breached.  Shed is a distinct terminal status: unlike QueueFull
+// it is NOT retryable, because it means the engine is protecting itself.
 #pragma once
 
 #include <atomic>
@@ -28,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "guard/budget.hpp"
 #include "lm/tensor.hpp"
 #include "serve/decoder.hpp"
 #include "serve/request.hpp"
@@ -43,6 +53,17 @@ struct EngineConfig {
   /// `serve.step_overrun` and fails the affected requests with
   /// EngineError.  Requests may tighten this via Request::step_budget_s.
   double step_budget_s = 0.0;
+  /// Optional process-wide memory budget (DESIGN.md §11).  When set, the
+  /// engine reserves each request's estimated token-byte cost before the
+  /// prefill and sheds work (Batch-priority first) instead of
+  /// overcommitting.  The decoder is bound to the same budget at engine
+  /// construction so accounted bytes track actual allocations.  Must
+  /// outlive the engine.
+  guard::Budget* budget = nullptr;
+  /// Queue-latency SLO in seconds (0 = no SLO).  A budget-throttled
+  /// Normal/High request that has already waited longer than this is shed
+  /// rather than parked again — bounded staleness beats unbounded waits.
+  double queue_slo_s = 0.0;
 };
 
 class Engine {
@@ -89,6 +110,7 @@ class Engine {
     Clock::time_point submitted;
     Clock::time_point admitted;
     std::size_t slot = 0;
+    std::size_t reserved_bytes = 0;  ///< budget reservation held while active
     util::Rng rng{0, 0};
     lm::Generation generation;
     double ttft_s = 0.0;
@@ -113,6 +135,19 @@ class Engine {
   SampleOutcome sample_and_record(Active& active,
                                   std::span<const float> logits);
   void retire(std::size_t index, RequestStatus status);
+  /// Conservative upper bound on the bytes `request` can pin while active:
+  /// (prompt + max_tokens) × decoder bytes-per-token, plus slack for the
+  /// prefill logits row and the chunked step path's extra batch-row copy.
+  std::size_t estimate_cost(const Request& request) const;
+  /// Pops the highest-priority queued request (FIFO within a class).
+  /// Caller holds mutex_ and the queue is non-empty.
+  Queued pop_highest();
+  /// Tries to reserve `cost` against the budget, evicting in-flight
+  /// Batch-priority work (retired with Shed) to make room when `priority`
+  /// outranks it.  Returns false when the reservation still cannot fit.
+  bool reserve_with_eviction(std::size_t cost, Priority priority);
+  /// Bumps the per-class guard.shed.* counter.
+  static void note_shed(Priority priority);
   /// Fault containment: retires every in-flight sequence with `status`.
   /// Used when a batched decoder step throws — the decoder state of the
   /// involved slots is unknown, so none of them can safely continue.

@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -18,6 +19,17 @@
 namespace lmpeel::serve {
 
 using Clock = std::chrono::steady_clock;
+
+/// Scheduling class under overload (DESIGN.md §11).  Admission pops the
+/// highest class first, and the shedding policy evicts Batch work — queued
+/// or in-flight — before a Normal/High request is ever refused for budget.
+enum class Priority : std::uint8_t {
+  Batch = 0,   ///< best-effort bulk work: first to be shed
+  Normal = 1,  ///< default interactive traffic
+  High = 2,    ///< latency-sensitive: sheds only when nothing else is left
+};
+
+const char* priority_name(Priority priority);
 
 struct Request {
   std::vector<int> prompt;      ///< encoded prompt (must be non-empty)
@@ -35,6 +47,8 @@ struct Request {
   /// the request with EngineError instead of letting it ride a stalled
   /// decoder indefinitely.
   double step_budget_s = 0.0;
+  /// Scheduling class under overload; see Priority.
+  Priority priority = Priority::Normal;
 };
 
 enum class RequestStatus {
@@ -46,12 +60,21 @@ enum class RequestStatus {
   ShutDown,         ///< engine stopped before the request reached a slot
   EngineError,      ///< decoder fault: step threw, logits NaN/Inf, or the
                     ///< step watchdog fired; partial output is preserved
+  Shed,             ///< dropped by the overload policy: the memory budget
+                    ///< or queue-latency SLO was breached and this request
+                    ///< (Batch-priority first) was chosen to go
+  BreakerOpen,      ///< refused client-side: the circuit breaker guarding
+                    ///< the engine route is open (engine deemed sick); the
+                    ///< engine never saw the request
 };
 
 const char* status_name(RequestStatus status);
 
 /// True for failures worth resubmitting (transient engine-side trouble):
 /// QueueFull (backpressure) and EngineError (contained decoder fault).
+/// Shed and BreakerOpen are deliberately NOT retryable — both mean "the
+/// system is protecting itself from this traffic"; hammering it back in
+/// defeats the policy.
 bool is_retryable(RequestStatus status) noexcept;
 
 struct ServeResult {

@@ -35,9 +35,28 @@ double RetryClient::backoff_delay_s(std::size_t retry) {
 ServeResult RetryClient::generate(Request request) {
   obs::Registry& reg = obs::Registry::global();
   ServeResult result;
+  bool submitted = false;
   for (std::size_t attempt = 0;; ++attempt) {
+    if (options_.breaker != nullptr && !options_.breaker->allow()) {
+      // Open breaker: refuse locally, sparing the sick engine the traffic.
+      // If an earlier attempt in this call already ran, return that
+      // (truthful) failure instead of masking it with BreakerOpen.
+      if (!submitted) {
+        result.status = RequestStatus::BreakerOpen;
+        reg.counter("serve.rejected.breaker_open").add();
+      }
+      return result;
+    }
     // Resubmission needs the request again, so hand the engine a copy.
     result = engine_->submit(request).get();
+    submitted = true;
+    if (options_.breaker != nullptr) {
+      if (result.status == RequestStatus::Ok) {
+        options_.breaker->record_success();
+      } else if (result.status == RequestStatus::EngineError) {
+        options_.breaker->record_failure();
+      }
+    }
     if (!is_retryable(result.status) ||
         attempt + 1 >= options_.max_attempts) {
       return result;

@@ -7,11 +7,17 @@
 // deterministic jitter: the jitter stream is a seeded util::Rng, so a
 // retry schedule is exactly reproducible from (options.seed) — the same
 // property the fault layer relies on everywhere else.
+//
+// A RetryClient can additionally be wrapped around a guard::Breaker
+// (DESIGN.md §11): when the breaker is open the client refuses locally
+// (BreakerOpen) instead of submitting, each Ok/EngineError outcome feeds
+// the breaker, and a half-open breaker lets exactly one probe through.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 
+#include "guard/breaker.hpp"
 #include "serve/engine.hpp"
 #include "util/rng.hpp"
 
@@ -27,6 +33,11 @@ struct RetryOptions {
   /// ever exceeding the deterministic cap.
   double jitter = 0.5;
   std::uint64_t seed = 0;  ///< jitter stream seed
+  /// Optional circuit breaker consulted before every submit.  When open,
+  /// generate() returns BreakerOpen without touching the engine; Ok feeds
+  /// record_success, EngineError feeds record_failure.  Must outlive the
+  /// client.  Null = no breaker (unchanged behaviour).
+  guard::Breaker* breaker = nullptr;
 };
 
 class RetryClient {

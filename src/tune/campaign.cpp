@@ -1,6 +1,7 @@
 #include "tune/campaign.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "obs/span.hpp"
 #include "tune/checkpoint.hpp"
@@ -41,7 +42,21 @@ CampaignResult run_campaign(Tuner& tuner, const perf::Syr2kModel& model,
   const CheckpointOptions& ckpt = options.checkpoint;
   std::size_t start = 0;
   if (!ckpt.path.empty() && ckpt.resume) {
-    if (const auto loaded = load_checkpoint(ckpt.path)) {
+    std::optional<CampaignCheckpoint> loaded;
+    try {
+      loaded = load_checkpoint(ckpt.path);
+    } catch (const std::exception&) {
+      // A damaged checkpoint (bad header, CRC mismatch, malformed records)
+      // must not kill the campaign: quarantine it to `<path>.corrupt` so
+      // the evidence survives for inspection, then fall back to a fresh
+      // run.  The rename also clears the path, so the next write_checkpoint
+      // below re-establishes a good file.
+      const std::string quarantine = ckpt.path + ".corrupt";
+      std::remove(quarantine.c_str());
+      std::rename(ckpt.path.c_str(), quarantine.c_str());
+      registry.counter("tune.checkpoint_quarantined").add();
+    }
+    if (loaded) {
       LMPEEL_CHECK_MSG(loaded->seed == options.seed,
                        "checkpoint seed does not match campaign seed");
       LMPEEL_CHECK_MSG(loaded->size == size,

@@ -2,18 +2,21 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 #include <string>
 
 #include "util/check.hpp"
+#include "util/crc32.hpp"
 #include "util/fileio.hpp"
 
 namespace lmpeel::tune {
 
 namespace {
 
-constexpr const char* kMagic = "lmpeel-campaign-checkpoint v1";
+constexpr const char* kMagicV1 = "lmpeel-campaign-checkpoint v1";
+constexpr const char* kMagicV2 = "lmpeel-campaign-checkpoint v2";
 constexpr const char* kEndMarker = "end";
 
 [[noreturn]] void corrupt(const std::string& path, const std::string& why) {
@@ -42,8 +45,7 @@ void save_checkpoint(const CampaignCheckpoint& checkpoint,
                        checkpoint.best_so_far.size(),
                    "checkpoint history length mismatch");
   std::ostringstream out;
-  out << kMagic << '\n'
-      << "seed " << checkpoint.seed << '\n'
+  out << "seed " << checkpoint.seed << '\n'
       << "size " << perf::size_name(checkpoint.size) << '\n'
       << "evaluated " << checkpoint.evaluated.size() << '\n';
   out << "rng propose";
@@ -61,19 +63,52 @@ void save_checkpoint(const CampaignCheckpoint& checkpoint,
         << hex_double(checkpoint.best_so_far[i]) << '\n';
   }
   out << kEndMarker << '\n';
-  util::atomic_write_file(path, out.str());
+  // v2 header: magic + a CRC over the body.  Atomic writes already rule
+  // out truncation; the CRC additionally catches in-place damage (bit rot,
+  // a partial overwrite by foreign tooling) before resume trusts the data.
+  const std::string body = out.str();
+  char crc_line[24];
+  std::snprintf(crc_line, sizeof crc_line, "crc32 %08x\n",
+                util::crc32(body));
+  util::atomic_write_file(path,
+                          std::string(kMagicV2) + '\n' + crc_line + body);
 }
 
 std::optional<CampaignCheckpoint> load_checkpoint(const std::string& path) {
   std::string contents;
   if (!util::read_file(path, contents)) return std::nullopt;
 
-  std::istringstream in(contents);
-  std::string line;
-  if (!std::getline(in, line) || line != kMagic) {
+  const std::size_t first_nl = contents.find('\n');
+  if (first_nl == std::string::npos) corrupt(path, "bad header");
+  const std::string magic = contents.substr(0, first_nl);
+  std::size_t body_begin = first_nl + 1;
+  if (magic == kMagicV2) {
+    // v2: a `crc32 <hex>` line seals the body.  Verify before parsing —
+    // a flipped bit anywhere must fail loudly, not resume quietly.
+    const std::size_t crc_nl = contents.find('\n', body_begin);
+    if (crc_nl == std::string::npos) corrupt(path, "missing crc line");
+    std::istringstream crc_in(
+        contents.substr(body_begin, crc_nl - body_begin));
+    std::string word, hex;
+    if (!(crc_in >> word >> hex) || word != "crc32") {
+      corrupt(path, "bad crc line");
+    }
+    char* end = nullptr;
+    const auto stored =
+        static_cast<std::uint32_t>(std::strtoul(hex.c_str(), &end, 16));
+    if (end == hex.c_str() || *end != '\0') corrupt(path, "bad crc value");
+    body_begin = crc_nl + 1;
+    const std::uint32_t actual = util::crc32(
+        contents.data() + body_begin, contents.size() - body_begin);
+    if (stored != actual) {
+      corrupt(path, "crc mismatch: stored " + hex + ", file is damaged");
+    }
+  } else if (magic != kMagicV1) {
+    // v1 files predate the CRC header; they stay loadable.
     corrupt(path, "bad header");
   }
 
+  std::istringstream in(contents.substr(body_begin));
   CampaignCheckpoint checkpoint;
   std::size_t count = 0;
   std::string word, size_name;

@@ -16,6 +16,12 @@
 // Files are written atomically (temp + rename), so a crash mid-write
 // leaves the previous complete checkpoint, never a truncated one.
 // Runtimes round-trip through C++ hexfloats, preserving every bit.
+//
+// Format v2 adds a CRC-32 header over the body (util/crc32.hpp), so
+// in-place damage — a flipped bit, a partial overwrite — is detected
+// before resume trusts the data.  v1 files (no CRC) remain loadable.
+// run_campaign() quarantines a file that fails these checks by renaming
+// it to `<path>.corrupt` and starting fresh rather than aborting.
 #pragma once
 
 #include <array>
@@ -45,8 +51,9 @@ void save_checkpoint(const CampaignCheckpoint& checkpoint,
 
 /// Loads a checkpoint.  Returns nullopt when `path` does not exist; throws
 /// std::runtime_error when the file exists but is not a well-formed
-/// checkpoint (atomic writes make truncation impossible, so a malformed
-/// file means foreign data — refusing loudly beats resuming from garbage).
+/// checkpoint — bad header, damaged body (v2 CRC mismatch), or malformed
+/// records.  Refusing loudly beats resuming from garbage; the campaign
+/// layer turns the refusal into quarantine + fresh run.
 std::optional<CampaignCheckpoint> load_checkpoint(const std::string& path);
 
 }  // namespace lmpeel::tune

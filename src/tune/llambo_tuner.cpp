@@ -5,6 +5,7 @@
 #include <limits>
 #include <sstream>
 
+#include "guard/breaker.hpp"
 #include "obs/metrics.hpp"
 #include "prompt/parser.hpp"
 #include "serve/client.hpp"
@@ -90,13 +91,21 @@ std::vector<lm::Generation> LlamboTuner::run_generations(
     const std::vector<lm::GenerateOptions>& options) {
   LMPEEL_CHECK(prompts.size() == options.size());
   std::vector<lm::Generation> generations(prompts.size());
-  const bool use_engine = options_.engine != nullptr && !engine_degraded_ &&
-                          options_.engine->accepting();
+  bool use_engine = options_.engine != nullptr && !engine_degraded_ &&
+                    options_.engine->accepting();
   if (options_.engine != nullptr && !use_engine && !engine_degraded_) {
     // The engine exists but stopped accepting (shutdown mid-campaign):
     // write it off for the rest of the campaign.
     engine_degraded_ = true;
     obs::Registry::global().counter("tune.engine_degraded").add();
+  }
+  if (use_engine && options_.breaker != nullptr &&
+      !options_.breaker->allow()) {
+    // Open breaker: the engine route is sick right now, but unlike
+    // engine_degraded_ this is temporary — the breaker half-opens later
+    // and a probe batch restores the route.  This batch goes direct.
+    obs::Registry::global().counter("tune.breaker_skip").add();
+    use_engine = false;
   }
   if (use_engine) {
     // Prompts stay owned here so any engine-rejected generation can be
@@ -125,8 +134,18 @@ std::vector<lm::Generation> LlamboTuner::run_generations(
       ++direct_fallbacks_;
       generations[i] = lm::generate(*model_, prompts[i], options[i]);
     }
-    if (engine_failed == results.size() && !results.empty()) {
-      // The whole batch died inside the engine — stop routing through it.
+    const bool wholesale_failure =
+        engine_failed == results.size() && !results.empty();
+    if (options_.breaker != nullptr) {
+      if (wholesale_failure) {
+        options_.breaker->record_failure();
+      } else {
+        options_.breaker->record_success();
+      }
+    }
+    if (wholesale_failure && options_.breaker == nullptr) {
+      // No breaker to mediate recovery: the whole batch died inside the
+      // engine, so stop routing through it for good.
       engine_degraded_ = true;
       obs::Registry::global().counter("tune.engine_degraded").add();
     }

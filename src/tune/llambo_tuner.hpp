@@ -22,6 +22,10 @@
 #include "tok/tokenizer.hpp"
 #include "tune/campaign.hpp"
 
+namespace lmpeel::guard {
+class Breaker;
+}  // namespace lmpeel::guard
+
 namespace lmpeel::serve {
 class Engine;
 }  // namespace lmpeel::serve
@@ -49,6 +53,13 @@ struct LlamboOptions {
   /// calls.  Results are bit-identical either way; the engine must be
   /// backed by the same model passed to the tuner.  Not owned.
   serve::Engine* engine = nullptr;
+  /// Optional circuit breaker guarding the engine route (DESIGN.md §11).
+  /// While open, batches go straight to lm::generate (counter
+  /// tune.breaker_skip) without writing the engine off permanently —
+  /// unlike engine_degraded_, the breaker re-probes and recovers.  Batch
+  /// outcomes feed it: a wholesale engine failure records a failure, any
+  /// served generation records a success.  Not owned.
+  guard::Breaker* breaker = nullptr;
 };
 
 class LlamboTuner final : public Tuner {

@@ -1,0 +1,24 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// Used to seal on-disk artefacts — campaign checkpoints carry a CRC header
+// so a bit-flipped or foreign file is detected before anything resumes
+// from it (DESIGN.md §10).  Not a cryptographic hash: it detects
+// corruption, not tampering.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace lmpeel::util {
+
+/// CRC-32 of `size` bytes at `data` (initial value 0xFFFFFFFF, final XOR —
+/// the common zlib/PNG convention, so values are checkable with any
+/// standard crc32 tool).
+std::uint32_t crc32(const void* data, std::size_t size) noexcept;
+
+inline std::uint32_t crc32(std::string_view data) noexcept {
+  return crc32(data.data(), data.size());
+}
+
+}  // namespace lmpeel::util

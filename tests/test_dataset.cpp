@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <sstream>
+#include <string>
 
 namespace lmpeel::perf {
 namespace {
@@ -87,6 +89,61 @@ TEST(DisjointSubsets, PairwiseDisjointCorrectSizes) {
 TEST(DisjointSubsets, RejectsImpossibleRequest) {
   util::Rng rng(3);
   EXPECT_THROW(disjoint_subsets(10, 3, 4, rng), std::runtime_error);
+}
+
+Dataset parse(const std::string& text,
+              const std::string& source = "test.csv") {
+  std::istringstream in(text);
+  return Dataset::read_csv(in, source);
+}
+
+TEST(ReadCsvStrict, AcceptsCleanCrlfAndBlankLineInput) {
+  const Dataset data = parse(
+      "size,config_index,runtime\r\n"
+      "SM,0,0.5\r\n"
+      "\r\n"
+      "SM,7,1.5e-3\r\n");
+  ASSERT_EQ(data.size(), 2u);
+  EXPECT_EQ(data[1].config_index, 7u);
+  EXPECT_EQ(data[1].runtime, 1.5e-3);
+}
+
+TEST(ReadCsvStrict, ErrorsNameTheSourceAndTheOffendingLine) {
+  try {
+    parse("size,config_index,runtime\nSM,0,0.5\nSM,banana,0.5\n", "runs.csv");
+    FAIL() << "malformed index must throw";
+  } catch (const DatasetParseError& error) {
+    EXPECT_EQ(error.source(), "runs.csv");
+    EXPECT_EQ(error.line(), 3u);
+    EXPECT_NE(std::string(error.what()).find("runs.csv:3"),
+              std::string::npos);
+  }
+}
+
+TEST(ReadCsvStrict, RefusesEveryMalformedShape) {
+  const std::string head = "size,config_index,runtime\n";
+  // Wrong header, and a header with no data rows at all.
+  EXPECT_THROW(parse("wrong header\nSM,0,0.5\n"), DatasetParseError);
+  EXPECT_THROW(parse(head), DatasetParseError);
+  // Field-count violations in both directions.
+  EXPECT_THROW(parse(head + "SM,1\n"), DatasetParseError);
+  EXPECT_THROW(parse(head + "SM,1,0.5,extra\n"), DatasetParseError);
+  // Size-class violations: unknown name, and mixing classes mid-file.
+  EXPECT_THROW(parse(head + "huge,1,0.5\n"), DatasetParseError);
+  EXPECT_THROW(parse(head + "SM,0,0.5\nML,1,0.5\n"), DatasetParseError);
+  // Index violations: negative, trailing garbage, out of range — exactly
+  // what std::stoull would have silently misread.
+  EXPECT_THROW(parse(head + "SM,-3,0.5\n"), DatasetParseError);
+  EXPECT_THROW(parse(head + "SM,3x,0.5\n"), DatasetParseError);
+  EXPECT_THROW(parse(head + "SM,999999999,0.5\n"), DatasetParseError);
+  // Runtime violations: not a number, trailing garbage, non-positive,
+  // non-finite.
+  EXPECT_THROW(parse(head + "SM,1,fast\n"), DatasetParseError);
+  EXPECT_THROW(parse(head + "SM,1,0.5garbage\n"), DatasetParseError);
+  EXPECT_THROW(parse(head + "SM,1,0\n"), DatasetParseError);
+  EXPECT_THROW(parse(head + "SM,1,-0.5\n"), DatasetParseError);
+  EXPECT_THROW(parse(head + "SM,1,inf\n"), DatasetParseError);
+  EXPECT_THROW(parse(head + "SM,1,nan\n"), DatasetParseError);
 }
 
 TEST_F(DatasetFixture, MinimalEditNeighborhoodIsTight) {

@@ -10,6 +10,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -373,6 +374,93 @@ TEST_F(CheckpointFile, RoundTripsEveryBitOfEveryField) {
     EXPECT_EQ(loaded->evaluated[i].runtime, original.evaluated[i].runtime);
     EXPECT_EQ(loaded->best_so_far[i], original.best_so_far[i]);
   }
+}
+
+TEST_F(CheckpointFile, V2HeaderCarriesCrcAndASingleBitFlipRefusesToLoad) {
+  tune::CampaignCheckpoint checkpoint;
+  checkpoint.seed = 12345;
+  perf::Sample s;
+  s.config_index = 7;
+  s.config = perf::ConfigSpace{}.at(7);
+  s.runtime = 0.125;
+  checkpoint.evaluated.push_back(s);
+  checkpoint.best_so_far.push_back(0.125);
+  tune::save_checkpoint(checkpoint, path_);
+
+  std::string contents;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    contents.assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+  }
+  EXPECT_EQ(contents.rfind("lmpeel-campaign-checkpoint v2\ncrc32 ", 0), 0u);
+  ASSERT_TRUE(tune::load_checkpoint(path_).has_value());
+
+  // Flip one bit deep in the body — the damage CRC-32 exists to catch.
+  std::string damaged = contents;
+  damaged[damaged.size() - 2] ^= 0x01;
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << damaged;
+  }
+  EXPECT_THROW(tune::load_checkpoint(path_), std::runtime_error);
+}
+
+TEST_F(CheckpointFile, V1FilesWithoutCrcRemainLoadable) {
+  tune::CampaignCheckpoint checkpoint;
+  checkpoint.seed = 99;
+  checkpoint.propose_rng_state = {1, 2, 3, 4};
+  checkpoint.measure_rng_state = {5, 6, 7, 8};
+  tune::save_checkpoint(checkpoint, path_);
+  std::string contents;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    contents.assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+  }
+  // Rebuild the pre-CRC v1 layout: v1 magic + the body, no crc32 line.
+  const std::size_t magic_end = contents.find('\n');
+  const std::size_t crc_end = contents.find('\n', magic_end + 1);
+  ASSERT_NE(crc_end, std::string::npos);
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << "lmpeel-campaign-checkpoint v1\n" << contents.substr(crc_end + 1);
+  }
+  const auto loaded = tune::load_checkpoint(path_);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->seed, 99u);
+  EXPECT_EQ(loaded->propose_rng_state, checkpoint.propose_rng_state);
+  EXPECT_EQ(loaded->measure_rng_state, checkpoint.measure_rng_state);
+}
+
+TEST_F(CheckpointFile, CorruptCheckpointIsQuarantinedAndTheCampaignRunsFresh) {
+  obs::Registry::global().reset();
+  const std::string quarantine = path_ + ".corrupt";
+  std::remove(quarantine.c_str());
+  {
+    std::ofstream out(path_);
+    out << "lmpeel-campaign-checkpoint v2\ncrc32 00000000\nseed 1\n";
+  }
+  tune::RandomSearchTuner tuner;
+  tune::CampaignOptions options;
+  options.budget = 6;
+  options.seed = 9;
+  options.checkpoint.path = path_;
+  const auto result =
+      tune::run_campaign(tuner, perf::Syr2kModel{}, perf::SizeClass::SM,
+                         options);
+  // Fresh run, full budget — the bad file cost nothing but a rename.
+  EXPECT_EQ(result.evaluated.size(), 6u);
+  EXPECT_EQ(obs::Registry::global()
+                .counter("tune.checkpoint_quarantined")
+                .value(),
+            1u);
+  // The damaged file is preserved for inspection, not destroyed...
+  std::ifstream preserved(quarantine);
+  EXPECT_TRUE(preserved.good());
+  // ...and the campaign left a healthy checkpoint in its place.
+  EXPECT_TRUE(tune::load_checkpoint(path_).has_value());
+  std::remove(quarantine.c_str());
 }
 
 TEST_F(CheckpointFile, MissingFileIsNulloptNotAnError) {

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <thread>
 #include <vector>
@@ -48,6 +49,43 @@ TEST(ServeShutdown, SubmitAfterShutdownIsRejectedNotCrashed) {
     auto result = engine.submit(tiny_request(i)).get();
     EXPECT_EQ(result.status, RequestStatus::ShutDown);
   }
+}
+
+// Every refusal must name the true reason, decided under one lock in a
+// fixed precedence (ShutDown > DeadlineExpired > PromptTooLong > queue
+// policy).  An earlier version checked deadline/prompt outside the lock, so
+// a submit racing shutdown() could report DeadlineExpired or QueueFull for
+// an engine that was actually stopping.
+TEST(ServeShutdown, RefusalPrecedenceNamesTheTrueReason) {
+  lm::TransformerLm model(tiny_config(), 17);
+  TransformerBatchDecoder decoder(model, 2);
+  Engine engine(decoder);
+
+  Request late = tiny_request(0);
+  late.deadline = Clock::now() - std::chrono::seconds(1);
+  EXPECT_EQ(engine.submit(late).get().status,
+            RequestStatus::DeadlineExpired);
+
+  Request oversized = tiny_request(1);
+  oversized.prompt.assign(70, 5);  // window is 64
+  EXPECT_EQ(engine.submit(oversized).get().status,
+            RequestStatus::PromptTooLong);
+
+  // Both defects at once: the deadline outranks the prompt check.
+  Request late_and_oversized = oversized;
+  late_and_oversized.deadline = Clock::now() - std::chrono::seconds(1);
+  EXPECT_EQ(engine.submit(late_and_oversized).get().status,
+            RequestStatus::DeadlineExpired);
+
+  // After shutdown the same defective requests report ShutDown — the
+  // engine being stopped outranks everything else.
+  engine.shutdown();
+  Request late_again = tiny_request(2);
+  late_again.deadline = Clock::now() - std::chrono::seconds(1);
+  EXPECT_EQ(engine.submit(late_again).get().status, RequestStatus::ShutDown);
+  Request oversized_again = oversized;
+  EXPECT_EQ(engine.submit(oversized_again).get().status,
+            RequestStatus::ShutDown);
 }
 
 TEST(ServeShutdown, DoubleShutdownIsIdempotent) {

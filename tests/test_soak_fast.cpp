@@ -1,0 +1,54 @@
+// Miniature soak (fast label, also run under TSan in the verify recipe):
+// the same mixed-priority overload harness `lmpeel soak` drives for
+// minutes, compressed to ~2 s of wall clock.  Every graded property must
+// hold — this is the regression tripwire for the shedding policy, the
+// budget invariant and the breaker recovery cycle.
+#include "guard/soak.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lmpeel::guard {
+namespace {
+
+TEST(SoakFast, TwoSecondOverloadSoakPassesEveryProperty) {
+  SoakOptions options;
+  options.seconds = 2.0;
+  options.seed = 7;
+  const SoakReport report = run_soak(options);
+
+  EXPECT_EQ(report.crashes, 0u);
+  EXPECT_TRUE(report.budget_ok)
+      << "accounted peak " << report.accounted_peak_bytes << " vs budget "
+      << report.budget_bytes;
+  EXPECT_TRUE(report.shed_ordering_ok)
+      << "normal sheds " << report.normal.shed << ", high sheds "
+      << report.high.shed;
+  EXPECT_TRUE(report.high_served);
+  EXPECT_TRUE(report.rss_ok);
+  EXPECT_TRUE(report.breaker_exercised)
+      << "opened " << report.breaker_opened;
+  EXPECT_TRUE(report.passed(options.sick_window));
+
+  // The soak must actually have been an overload: the half-load budget
+  // forces continuous Batch shedding while High/Normal keep completing.
+  EXPECT_GT(report.high.ok, 0u);
+  EXPECT_GT(report.normal.ok, 0u);
+  EXPECT_GT(report.batch.shed, 0u);
+  EXPECT_GT(report.reserve_denied, 0u);
+  EXPECT_LE(report.accounted_peak_bytes, report.budget_bytes);
+}
+
+TEST(SoakFast, PureOverloadRunPassesWithoutTheSickWindow) {
+  SoakOptions options;
+  options.seconds = 1.0;
+  options.seed = 11;
+  options.sick_window = false;
+  const SoakReport report = run_soak(options);
+  EXPECT_EQ(report.crashes, 0u);
+  EXPECT_TRUE(report.passed(/*sick_window_enabled=*/false));
+  // No sick window, no decoder failures: the breaker must stay quiet.
+  EXPECT_EQ(report.breaker_opened, 0u);
+}
+
+}  // namespace
+}  // namespace lmpeel::guard

@@ -8,6 +8,8 @@
 //   lmpeel stats [size] [icl] [seed]             generation run + metrics summary
 //   lmpeel serve-bench [quick]                   load-test the serve engine
 //   lmpeel chaos [seed] [requests]               fault-injection survival run
+//   lmpeel soak [--seconds N] [--seed N] [--budget BYTES] [--no-sick-window]
+//                                                mixed-priority overload soak
 //
 // Tuners: random | gbt | anneal | genetic | llambo-discriminative |
 //         llambo-generative | llambo-sampling
@@ -27,6 +29,9 @@
 #include "core/sweep.hpp"
 #include "eval/metrics.hpp"
 #include "fault/chaos.hpp"
+#include "guard/breaker.hpp"
+#include "guard/budget.hpp"
+#include "guard/soak.hpp"
 #include "lm/generate.hpp"
 #include "obs/sinks.hpp"
 #include "obs/span.hpp"
@@ -56,7 +61,9 @@ int usage() {
          "  lmpeel tokenize <text…>\n"
          "  lmpeel stats [size] [icl_count] [seed]\n"
          "  lmpeel serve-bench [quick]\n"
-         "  lmpeel chaos [seed] [requests]\n";
+         "  lmpeel chaos [seed] [requests]\n"
+         "  lmpeel soak [--seconds N] [--seed N] [--budget BYTES] "
+         "[--no-sick-window]\n";
   return 2;
 }
 
@@ -282,17 +289,50 @@ int cmd_stats(int argc, char** argv) {
     fault::FaultyDecoder faulty(
         inner, fault::FaultPlan::from_events({fault_throw, fault_nan}));
     serve::Engine engine(faulty);
+    // Breaker over the retry client: the two injected failures trip it
+    // (threshold 2), the sub-millisecond cooldown elapses inside the
+    // client's own backoff sleep, and the successful third attempt is the
+    // half-open probe that closes it — one full state cycle, visible as
+    // guard.breaker.* in the summary below.
+    guard::Breaker breaker(guard::BreakerOptions{.failure_threshold = 2,
+                                                 .open_s = 0.0005,
+                                                 .seed = seed});
     serve::RetryOptions retry_options;
     retry_options.seed = seed;
     retry_options.base_delay_s = 0.001;
+    retry_options.breaker = &breaker;
     serve::RetryClient retry(engine, retry_options);
     serve::Request request;
     request.prompt = ids;
     request.options = gen;
     const auto served = retry.generate(std::move(request));
     std::cout << "fault round: " << serve::status_name(served.status)
-              << " after " << retry.retries() << " retries\n";
+              << " after " << retry.retries() << " retries (breaker "
+              << guard::Breaker::state_name(breaker.state()) << ", opened "
+              << breaker.opened() << "x)\n";
     engine.shutdown();
+
+    // Guard round: an engine under a deliberately tiny memory budget sheds
+    // a Batch-priority request at admission (guard.shed.batch,
+    // guard.reserve_denied), proving the overload path without any fault
+    // injection.
+    {
+      guard::Budget tiny_budget(64);
+      serve::GenericBatchDecoder shed_inner(pipeline.model(), /*slots=*/2);
+      serve::EngineConfig shed_config;
+      shed_config.budget = &tiny_budget;
+      serve::Engine shed_engine(shed_inner, shed_config);
+      serve::Request shed_request;
+      shed_request.prompt = ids;
+      shed_request.options = gen;
+      shed_request.priority = serve::Priority::Batch;
+      const auto shed_result =
+          shed_engine.submit(std::move(shed_request)).get();
+      std::cout << "guard round: batch request "
+                << serve::status_name(shed_result.status) << " under a "
+                << tiny_budget.limit() << "-byte budget\n";
+      shed_engine.shutdown();
+    }
 
     // One LLAMBO proposal against an engine whose decoder throws on every
     // op: the surrogate generation fails engine-side, falls back to direct
@@ -353,6 +393,42 @@ int cmd_chaos(int argc, char** argv) {
   return report.survived() ? 0 : 1;
 }
 
+// Sustained mixed-priority overload soak (guard/soak.hpp): four client
+// threads against a budgeted engine, a mid-run sick window for the
+// breaker, and a graded report.  Exit 0 iff every property held — no
+// crashes, budget honoured, only Batch work shed, High priority served,
+// stable RSS, breaker exercised.
+int cmd_soak(int argc, char** argv) {
+  guard::SoakOptions options;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--seconds" && i + 1 < argc) {
+      options.seconds = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      options.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--budget" && i + 1 < argc) {
+      options.budget_bytes = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--no-sick-window") {
+      options.sick_window = false;
+    } else {
+      return usage();
+    }
+  }
+  if (options.seconds <= 0.0) return usage();
+
+  std::cout << "soak: " << options.seconds << " s, seed " << options.seed
+            << (options.sick_window ? ", sick window on" : ", sick window off")
+            << "\n";
+  const auto report = guard::run_soak(options);
+
+  util::print_banner(std::cout, "soak report");
+  std::cout << guard::soak_table(report, options.sick_window).to_text()
+            << '\n';
+  util::print_banner(std::cout, "obs metrics summary");
+  std::cout << obs::summary_table(obs::Registry::global()).to_text();
+  return report.passed(options.sick_window) ? 0 : 1;
+}
+
 int cmd_tokenize(int argc, char** argv) {
   std::string text;
   for (int i = 0; i < argc; ++i) {
@@ -383,6 +459,7 @@ int main(int argc, char** argv) {
     if (command == "stats") return cmd_stats(argc - 2, argv + 2);
     if (command == "serve-bench") return cmd_serve_bench(argc - 2, argv + 2);
     if (command == "chaos") return cmd_chaos(argc - 2, argv + 2);
+    if (command == "soak") return cmd_soak(argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
