@@ -1,0 +1,134 @@
+// Shared-prefix KV cache: radix-tree prompt reuse (DESIGN.md §12).
+//
+// LLAMBO-style tuning issues one request per candidate per iteration, and
+// every prompt in an iteration shares the same long in-context-example
+// block — only the short candidate tail differs.  PrefixCache stores the
+// key/value rows of previously prefilled prompt prefixes in a radix tree
+// keyed on token ids, so the serve layer can prefill only the un-cached
+// suffix of each new prompt.  The cache is a pure accelerator: reuse is
+// bit-identical to a full prefill (every lm kernel is row-independent with
+// fixed k-ascending accumulation and positional embeddings are absolute),
+// so turning it on or off never changes any logit.
+//
+// Resource governance: node KV bytes are both reserved against and charged
+// to an optional guard::Budget, mirroring how the serve engine accounts
+// live slots; when a reservation fails the cache evicts LRU leaves and, if
+// still short, simply skips the insert (requests always win over cached
+// state).  acquire() additionally reserves a per-request surcharge that
+// covers the caller's own copy of the matched prefix, so the budget's
+// accounted-bytes <= reserved-bytes invariant holds end to end.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "guard/budget.hpp"
+#include "lm/transformer.hpp"
+
+namespace lmpeel::cache {
+
+struct PrefixCacheConfig {
+  /// Soft cap on total cached KV bytes; 0 = unlimited (a bound
+  /// guard::Budget still applies).  LRU leaves are evicted to stay under.
+  std::size_t byte_budget = 0;
+  /// Prefixes shorter than this are not worth a node.
+  std::size_t min_insert_tokens = 2;
+  /// When a request carries no explicit shared-prefix hint, insert its
+  /// whole prompt (the radix tree dedups overlap).  Off = only hinted
+  /// prefixes are stored.
+  bool auto_insert_prompts = true;
+};
+
+/// Radix/trie store over token-id prefixes.  Each node owns a full-path
+/// KvCache (positions [0, depth)); longest-prefix-match lookup pins the
+/// node so eviction can never free rows a request is copying.  All methods
+/// are thread-safe behind one leaf-level mutex (no calls out while held,
+/// so the lock can never participate in a cycle with engine or pool locks).
+class PrefixCache {
+ public:
+  explicit PrefixCache(lm::TransformerLm& model, PrefixCacheConfig config = {});
+  ~PrefixCache();
+  PrefixCache(const PrefixCache&) = delete;
+  PrefixCache& operator=(const PrefixCache&) = delete;
+
+  struct Node;
+
+  /// Result of a longest-prefix match.  While `node` is set the matched
+  /// node is pinned; pass the Lookup back to release() exactly once.
+  struct Lookup {
+    std::size_t tokens = 0;           ///< matched prefix length; 0 = miss
+    std::size_t surcharge_bytes = 0;  ///< budget reservation held for the
+                                      ///< caller's copy of the prefix
+    Node* node = nullptr;
+  };
+
+  /// Longest cached prefix of `tokens`, capped at `max_tokens` (callers
+  /// pass prompt-1 so at least one suffix token remains to produce
+  /// logits).  On a hit the node is pinned and, when a budget is bound and
+  /// `surcharge_per_token` > 0, tokens·surcharge_per_token bytes are
+  /// reserved for the caller's copy; if that reservation cannot be made
+  /// even after evicting, the match is dropped and a miss returned.
+  Lookup acquire(std::span<const int> tokens, std::size_t max_tokens,
+                 std::size_t surcharge_per_token);
+
+  /// Copies the matched prefix into `dst` (KvCache::copy_prefix) and bumps
+  /// the saved-prefill-tokens counter.  Requires a hit Lookup.
+  void copy_to(const Lookup& lookup, lm::TransformerLm::KvCache& dst);
+
+  /// Unpins the Lookup's node (no-op for a miss) and resets it.  The
+  /// surcharge reservation stays with the caller — return it through
+  /// release_bytes() when the copied prefix is freed.
+  void release(Lookup& lookup);
+
+  /// Returns a surcharge reservation taken by acquire().
+  void release_bytes(std::size_t bytes);
+
+  /// Stores the first `tokens.size()` positions of `src` (which must hold
+  /// at least that many).  Shared prefixes dedup structurally: an existing
+  /// edge is split at the divergence point and the common part becomes one
+  /// node.  Never throws resource errors — if bytes cannot be reserved the
+  /// insert is skipped and counted.
+  void insert(std::span<const int> tokens,
+              const lm::TransformerLm::KvCache& src);
+
+  /// Evicts LRU unpinned leaves until >= `bytes` are freed or nothing is
+  /// evictable; returns the bytes actually freed.  The serve engine calls
+  /// this before shedding live work — cached state is the cheapest thing
+  /// to give up under pressure.
+  std::size_t shed(std::size_t bytes);
+
+  /// Routes node-KV accounting and reservations through `budget` (null
+  /// detaches).  Must only be called while the cache is empty.
+  void bind_budget(guard::Budget* budget);
+
+  const PrefixCacheConfig& config() const noexcept { return config_; }
+  std::size_t bytes() const;
+  std::size_t node_count() const;
+
+ private:
+  std::size_t node_bytes(std::size_t n_tokens) const noexcept {
+    return n_tokens * bytes_per_token_;
+  }
+  /// Reserves `bytes` for a new node, evicting as needed; false = give up.
+  bool reserve_node_bytes(std::size_t bytes);
+  /// Evicts the least-recently-used unpinned leaf; false = none evictable.
+  bool evict_one();
+  void publish() const;
+
+  lm::TransformerLm* model_;
+  PrefixCacheConfig config_;
+  std::size_t bytes_per_token_;
+  guard::Budget* budget_ = nullptr;
+
+  mutable std::mutex mutex_;
+  std::unique_ptr<Node> root_;
+  std::size_t total_bytes_ = 0;
+  std::size_t node_count_ = 0;
+  std::uint64_t tick_ = 0;  ///< LRU clock
+};
+
+}  // namespace lmpeel::cache

@@ -31,7 +31,8 @@ void FaultyDecoder::stall(const FaultEvent& event) {
 }
 
 void FaultyDecoder::start(std::size_t slot, std::span<const int> prompt,
-                          std::uint64_t seed, std::span<float> out) {
+                          std::uint64_t seed, std::span<float> out,
+                          std::size_t shared_prefix_tokens) {
   const auto event = injector_.next_op();
   if (event.has_value()) {
     switch (event->kind) {
@@ -48,7 +49,7 @@ void FaultyDecoder::start(std::size_t slot, std::span<const int> prompt,
         break;  // applied to the output below
     }
   }
-  inner_->start(slot, prompt, seed, out);
+  inner_->start(slot, prompt, seed, out, shared_prefix_tokens);
   if (event.has_value() && (event->kind == FaultKind::NanLogits ||
                             event->kind == FaultKind::InfLogits)) {
     poison_row(out, event->kind);

@@ -26,7 +26,8 @@ class FaultyDecoder final : public serve::BatchDecoder {
   }
 
   void start(std::size_t slot, std::span<const int> prompt,
-             std::uint64_t seed, std::span<float> out) override;
+             std::uint64_t seed, std::span<float> out,
+             std::size_t shared_prefix_tokens = 0) override;
   void step(std::span<const serve::BatchDecoder::Step> steps,
             lm::Tensor& logits) override;
   void release(std::size_t slot) override { inner_->release(slot); }
@@ -40,6 +41,16 @@ class FaultyDecoder final : public serve::BatchDecoder {
   }
   void bind_budget(guard::Budget* budget) override {
     inner_->bind_budget(budget);
+  }
+  // Prefix reuse too: the engine's suffix pricing must see the real
+  // decoder's cache state, and an abandoned prepare must reach it even
+  // when this wrapper threw before forwarding start().
+  std::size_t prepare_prefix(std::span<const int> prompt) override {
+    return inner_->prepare_prefix(prompt);
+  }
+  void abandon_prefix() override { inner_->abandon_prefix(); }
+  std::size_t shed_cache(std::size_t bytes) override {
+    return inner_->shed_cache(bytes);
   }
 
   const FaultInjector& injector() const noexcept { return injector_; }

@@ -13,9 +13,11 @@
 #include <unistd.h>
 #endif
 
+#include "cache/prefix_cache.hpp"
 #include "guard/breaker.hpp"
 #include "guard/budget.hpp"
 #include "lm/transformer.hpp"
+#include "obs/metrics.hpp"
 #include "serve/decoder.hpp"
 #include "serve/engine.hpp"
 #include "serve/retry.hpp"
@@ -43,11 +45,14 @@ class SickWindowDecoder final : public serve::BatchDecoder {
     return inner_->max_sequence_length();
   }
   void start(std::size_t slot, std::span<const int> prompt,
-             std::uint64_t seed, std::span<float> out) override {
+             std::uint64_t seed, std::span<float> out,
+             std::size_t shared_prefix_tokens = 0) override {
     if (sick_->load(std::memory_order_relaxed)) {
+      // Thrown before forwarding: the engine's containment path must also
+      // abandon the prefix the inner decoder prepared (engine.cpp catch).
       throw std::runtime_error("soak sick window: prefill refused");
     }
-    inner_->start(slot, prompt, seed, out);
+    inner_->start(slot, prompt, seed, out, shared_prefix_tokens);
   }
   void step(std::span<const Step> steps, lm::Tensor& logits) override {
     inner_->step(steps, logits);
@@ -58,6 +63,13 @@ class SickWindowDecoder final : public serve::BatchDecoder {
     return inner_->bytes_per_token();
   }
   void bind_budget(Budget* budget) override { inner_->bind_budget(budget); }
+  std::size_t prepare_prefix(std::span<const int> prompt) override {
+    return inner_->prepare_prefix(prompt);
+  }
+  void abandon_prefix() override { inner_->abandon_prefix(); }
+  std::size_t shed_cache(std::size_t bytes) override {
+    return inner_->shed_cache(bytes);
+  }
 
  private:
   serve::BatchDecoder* inner_;
@@ -95,13 +107,28 @@ void tally(SoakReport::ClassStats& stats, serve::RequestStatus status) {
 
 constexpr std::size_t kMaxPromptLen = 11;
 
+/// Tokens of the per-class shared prompt prefix: long enough for radix
+/// hits to matter, short enough that prompts stay mostly random tail.
+constexpr std::size_t kSharedPrefixLen = 4;
+
 serve::Request soak_request(util::Rng& rng, int vocab,
                             serve::Priority priority,
-                            std::size_t max_tokens) {
+                            std::size_t max_tokens, bool shared_prefix) {
   serve::Request request;
   const auto len =
       static_cast<std::size_t>(rng.uniform_int(4, kMaxPromptLen));
-  for (std::size_t t = 0; t < len; ++t) {
+  if (shared_prefix) {
+    // Deterministic per-class prefix (the soak's stand-in for a tuner's
+    // shared ICL block) followed by a random tail — the mix the prefix
+    // cache is built for.
+    for (std::size_t t = 0; t < kSharedPrefixLen; ++t) {
+      request.prompt.push_back(
+          4 + (static_cast<int>(priority) * 7 + static_cast<int>(t) * 3) %
+                  (vocab - 4));
+    }
+    request.shared_prefix_tokens = kSharedPrefixLen;
+  }
+  for (std::size_t t = request.prompt.size(); t < len; ++t) {
     request.prompt.push_back(
         static_cast<int>(rng.uniform_int(4, vocab - 1)));
   }
@@ -146,9 +173,22 @@ SoakReport run_soak(const SoakOptions& options) {
                                  .max_open_s = 1.0,
                                  .seed = options.seed});
 
+  // Prefix cache between budget and decoder: nodes uncharge into the
+  // budget on destruction and the decoder holds a raw pointer, so it must
+  // outlive the decoder and die before the budget.
+  cache::PrefixCacheConfig cache_config;
+  cache::PrefixCache prefix_cache(model, cache_config);
+
   serve::TransformerBatchDecoder inner(model, options.max_batch);
+  if (options.prefix_cache) inner.set_prefix_cache(&prefix_cache);
   std::atomic<bool> sick{false};
   SickWindowDecoder decoder(inner, sick);
+
+  obs::Registry& reg = obs::Registry::global();
+  const std::uint64_t hits0 = reg.counter("cache.prefix.hits").value();
+  const std::uint64_t inserts0 = reg.counter("cache.prefix.inserts").value();
+  const std::uint64_t evictions0 =
+      reg.counter("cache.prefix.evictions").value();
 
   serve::EngineConfig engine_config;
   engine_config.max_batch = options.max_batch;
@@ -180,8 +220,9 @@ SoakReport run_soak(const SoakOptions& options) {
         retry_options.breaker = &breaker;
         serve::RetryClient client(engine, retry_options);
         while (Clock::now() < deadline) {
-          const serve::ServeResult result = client.generate(soak_request(
-              rng, model_config.vocab, kClasses[c], options.max_tokens));
+          const serve::ServeResult result = client.generate(
+              soak_request(rng, model_config.vocab, kClasses[c],
+                           options.max_tokens, options.prefix_cache));
           tally(per_thread[c], result.status);
           if (result.status == serve::RequestStatus::BreakerOpen) {
             // Nothing was submitted; don't spin on the open breaker.
@@ -243,6 +284,11 @@ SoakReport run_soak(const SoakOptions& options) {
   report.breaker_opened = breaker.opened();
   report.breaker_half_opened = breaker.half_opened();
   report.breaker_closed = breaker.closed();
+  report.cache_hits = reg.counter("cache.prefix.hits").value() - hits0;
+  report.cache_inserts =
+      reg.counter("cache.prefix.inserts").value() - inserts0;
+  report.cache_evictions =
+      reg.counter("cache.prefix.evictions").value() - evictions0;
   report.crashes = crashes.load();
 
   report.budget_ok = report.accounted_peak_bytes <= budget_bytes;
@@ -298,6 +344,10 @@ util::Table soak_table(const SoakReport& report, bool sick_window) {
        std::to_string(report.breaker_opened) + "/" +
            std::to_string(report.breaker_half_opened) + "/" +
            std::to_string(report.breaker_closed));
+  fact("cache hit/insert/evict",
+       std::to_string(report.cache_hits) + "/" +
+           std::to_string(report.cache_inserts) + "/" +
+           std::to_string(report.cache_evictions));
   if (!report.rss_kb.empty()) {
     fact("rss_kb first..last", std::to_string(report.rss_kb.front()) +
                                    ".." +

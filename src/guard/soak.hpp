@@ -45,6 +45,11 @@ struct SoakOptions {
   /// capped at 0.5 s) so the breaker's full state cycle is part of every
   /// soak.  Disable for pure-overload runs.
   bool sick_window = true;
+  /// Run with a shared-prefix KV cache attached to the decoder
+  /// (DESIGN.md §12).  Soak prompts share a small per-class prefix, so the
+  /// cache sees hits, inserts and — under the half-load budget — LRU
+  /// evictions, all while the §11 invariants stay graded.
+  bool prefix_cache = true;
 };
 
 struct SoakReport {
@@ -68,6 +73,11 @@ struct SoakReport {
   std::uint64_t breaker_opened = 0;
   std::uint64_t breaker_half_opened = 0;
   std::uint64_t breaker_closed = 0;
+  // Prefix-cache activity during this soak (deltas of the cache.prefix.*
+  // counters; all zero when options.prefix_cache is off).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_inserts = 0;
+  std::uint64_t cache_evictions = 0;
   std::size_t crashes = 0;  ///< exceptions that escaped a client loop
   std::vector<std::size_t> rss_kb;  ///< RSS samples after warmup (may be
                                     ///< empty off Linux)

@@ -315,6 +315,120 @@ void TransformerLm::prefill(KvCache& cache, std::span<const int> tokens,
   cache.account();
 }
 
+void TransformerLm::KvCache::copy_prefix(const KvCache& src,
+                                         std::size_t n_tokens) {
+  LMPEEL_CHECK(n_tokens <= src.length_);
+  keys_.assign(src.keys_.size(), {});
+  values_.assign(src.values_.size(), {});
+  if (n_tokens > 0) {
+    // src rows are `d` floats, contiguous by position.
+    const std::size_t d = src.keys_.front().size() / src.length_;
+    for (std::size_t l = 0; l < src.keys_.size(); ++l) {
+      keys_[l].assign(src.keys_[l].begin(),
+                      src.keys_[l].begin() +
+                          static_cast<std::ptrdiff_t>(n_tokens * d));
+      values_[l].assign(src.values_[l].begin(),
+                        src.values_[l].begin() +
+                            static_cast<std::ptrdiff_t>(n_tokens * d));
+    }
+  }
+  length_ = n_tokens;
+  account();
+}
+
+void TransformerLm::prefill_from(KvCache& cache, std::span<const int> suffix,
+                                 std::span<float> out) {
+  if (cache.length_ == 0) {
+    prefill(cache, suffix, out);
+    return;
+  }
+  obs::Span span("lm.transformer.prefill_from");
+  // Only the suffix is forwarded — the drop in this counter relative to a
+  // full prefill is the serve-bench "saved prefill" evidence.
+  obs::Registry::global().counter("lm.transformer.forward_tokens")
+      .add(suffix.size());
+  const std::size_t base = cache.length_;
+  const std::size_t s_len = suffix.size();
+  LMPEEL_CHECK_MSG(s_len > 0, "prefill_from requires a non-empty suffix");
+  LMPEEL_CHECK(base + s_len <= static_cast<std::size_t>(config_.max_seq));
+  LMPEEL_CHECK(cache.keys_.size() == layers_.size());
+  LMPEEL_CHECK(out.size() == static_cast<std::size_t>(config_.vocab));
+  const auto d = static_cast<std::size_t>(config_.d_model);
+  const auto n_head = static_cast<std::size_t>(config_.n_head);
+  const std::size_t hd = d / n_head;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
+
+  // Suffix rows sit at absolute positions [base, base+s_len); positional
+  // embeddings are absolute, so cached prefix rows line up regardless of
+  // which prompt originally produced them.
+  Tensor x(s_len, d);
+  for (std::size_t t = 0; t < s_len; ++t) {
+    const int id = suffix[t];
+    LMPEEL_CHECK(id >= 0 && id < config_.vocab);
+    embed_row(tok_emb_, pos_emb_, id, base + t, x.data() + t * d);
+  }
+
+  LayerNormCache ln_scratch;
+  std::vector<float> prow;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    Layer& layer = layers_[l];
+
+    Tensor a(s_len, d);
+    layer_norm(x, layer.ln1_g.row(0), layer.ln1_b.row(0), a, ln_scratch);
+
+    Tensor qkv(s_len, 3 * d);
+    matmul(a, layer.w_qkv, qkv);
+    add_bias(qkv, layer.b_qkv);
+
+    // Append every suffix K/V row before attending: row t must see keys
+    // for positions [0, base+t], all of which are in the cache once rows
+    // 0..t are appended (attend_row then reads a strict prefix of it).
+    std::vector<float>& kcache = cache.keys_[l];
+    std::vector<float>& vcache = cache.values_[l];
+    for (std::size_t t = 0; t < s_len; ++t) {
+      const float* row = qkv.data() + t * 3 * d;
+      kcache.insert(kcache.end(), row + d, row + 2 * d);
+      vcache.insert(vcache.end(), row + 2 * d, row + 3 * d);
+    }
+
+    Tensor ctx(s_len, d);
+    for (std::size_t t = 0; t < s_len; ++t) {
+      const std::size_t t_len = base + t + 1;
+      prow.resize(t_len);
+      const float* row = qkv.data() + t * 3 * d;
+      for (std::size_t h = 0; h < n_head; ++h) {
+        attend_row(row + h * hd, kcache.data() + h * hd, d,
+                   vcache.data() + h * hd, d, t_len, hd, scale, prow.data(),
+                   ctx.data() + t * d + h * hd);
+      }
+    }
+
+    Tensor attn(s_len, d);
+    matmul(ctx, layer.w_o, attn);
+    add_bias(attn, layer.b_o);
+    add_into(x, attn);
+
+    Tensor m(s_len, d);
+    layer_norm(x, layer.ln2_g.row(0), layer.ln2_b.row(0), m, ln_scratch);
+    Tensor h1(s_len, 4 * d);
+    matmul(m, layer.w_fc1, h1);
+    add_bias(h1, layer.b_fc1);
+    Tensor g(s_len, 4 * d);
+    gelu(h1, g);
+    Tensor h2(s_len, d);
+    matmul(g, layer.w_fc2, h2);
+    add_bias(h2, layer.b_fc2);
+    add_into(x, h2);
+  }
+
+  Tensor f(s_len, d);
+  layer_norm(x, lnf_g_.row(0), lnf_b_.row(0), f, ln_scratch);
+  tied_head_row(tok_emb_, f.data() + (s_len - 1) * d, config_.vocab,
+                out.data());
+  cache.length_ = base + s_len;
+  cache.account();
+}
+
 void TransformerLm::decode_batch(std::span<KvCache* const> caches,
                                  std::span<const int> tokens,
                                  Tensor& logits_out) {

@@ -98,6 +98,15 @@ class TransformerLm final : public LanguageModel {
       for (const auto& v : values_) total += v.size() * sizeof(float);
       return total;
     }
+    /// Replaces this cache's contents with the first `n_tokens` positions
+    /// of `src` — a fork: both caches then grow independently.  `n_tokens`
+    /// may be 0 (empty fork) or src.length() (full clone).  This cache's
+    /// budget binding is preserved and the byte delta re-accounted; src is
+    /// never modified.  The copied rows are the exact floats prefill()
+    /// stored, so a subsequent prefill_from() continues bit-identically
+    /// (DESIGN.md §12).
+    void copy_prefix(const KvCache& src, std::size_t n_tokens);
+
     /// Recomputes bytes() and publishes the delta to the bound budget.  The
     /// model calls this after every growth; with no budget it is a no-op.
     void account() {
@@ -141,6 +150,17 @@ class TransformerLm final : public LanguageModel {
   /// forward()/next_logits, and leaves the cache ready for decode_batch().
   void prefill(KvCache& cache, std::span<const int> tokens,
                std::span<float> out);
+
+  /// Extends a cache that already holds cache.length() prefix positions
+  /// with `suffix` (non-empty: logits can only be produced for a token
+  /// that is actually forwarded), returning the logits after the last
+  /// suffix token.  Only suffix.size() positions are computed; prefix K/V
+  /// rows are read from the cache.  Because every kernel is row-independent
+  /// with fixed k-ascending accumulation, the result is bit-identical to
+  /// prefill() over prefix+suffix (DESIGN.md §12).  Delegates to prefill()
+  /// when the cache is empty.
+  void prefill_from(KvCache& cache, std::span<const int> suffix,
+                    std::span<float> out);
 
   /// Advances `caches.size()` independent sequences by one token each in a
   /// single batched step: the shared-weight projections (QKV, attention

@@ -93,4 +93,23 @@ std::vector<int> PromptBuilder::encode(
   return ids;
 }
 
+std::vector<int> PromptBuilder::encode_prefix(
+    const tok::Tokenizer& tokenizer,
+    std::span<const perf::Sample> examples) const {
+  std::vector<int> ids;
+  ids.push_back(tok::kBos);
+  ids.push_back(tok::kSystem);
+  tokenizer.encode_append(system_text(), ids);
+  ids.push_back(tok::kUser);
+  tokenizer.encode_append(problem_text() + "\n" + icl_text(examples), ids);
+  return ids;
+}
+
+void PromptBuilder::append_query(const tok::Tokenizer& tokenizer,
+                                 const perf::Syr2kConfig& query,
+                                 std::vector<int>& ids) const {
+  tokenizer.encode_append(query_text(query), ids);
+  ids.push_back(tok::kAssistant);
+}
+
 }  // namespace lmpeel::prompt

@@ -44,6 +44,22 @@ class PromptBuilder {
                           std::span<const perf::Sample> examples,
                           const perf::Syr2kConfig& query) const;
 
+  /// Everything before the per-candidate query: [bos, <|system|>, …,
+  /// <|user|>, problem + ICL block].  `encode_prefix` + `append_query`
+  /// reproduces `encode` bit for bit — the split lands on the ICL block's
+  /// trailing "\n\n", and the pretokenizer never forms a piece across a
+  /// newline→letter boundary, so encoding the halves separately yields the
+  /// same ids as encoding the joined text.  Lets a proposal encode the
+  /// shared ICL context once and reuse it for every candidate.
+  std::vector<int> encode_prefix(const tok::Tokenizer& tokenizer,
+                                 std::span<const perf::Sample> examples) const;
+
+  /// Appends the query block and <|assistant|> to `ids` (a copy of an
+  /// `encode_prefix` result).
+  void append_query(const tok::Tokenizer& tokenizer,
+                    const perf::Syr2kConfig& query,
+                    std::vector<int>& ids) const;
+
   perf::SizeClass size() const noexcept { return size_; }
   const PromptOptions& options() const noexcept { return options_; }
 

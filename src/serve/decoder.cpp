@@ -14,25 +14,96 @@ namespace lmpeel::serve {
 TransformerBatchDecoder::TransformerBatchDecoder(lm::TransformerLm& model,
                                                  std::size_t slots,
                                                  bool parallel)
-    : model_(&model), caches_(slots), sequences_(slots), parallel_(parallel) {
+    : model_(&model), caches_(slots), sequences_(slots), parallel_(parallel),
+      surcharges_(slots, 0) {
   LMPEEL_CHECK_MSG(slots > 0, "TransformerBatchDecoder needs >= 1 slot");
 }
 
 void TransformerBatchDecoder::bind_budget(guard::Budget* budget) {
   budget_ = budget;
   for (auto& cache : caches_) cache.bind_budget(budget);
+  if (prefix_cache_ != nullptr) prefix_cache_->bind_budget(budget);
+}
+
+void TransformerBatchDecoder::set_prefix_cache(
+    cache::PrefixCache* prefix_cache) {
+  abandon_prefix();
+  prefix_cache_ = prefix_cache;
+  if (prefix_cache_ != nullptr && budget_ != nullptr) {
+    prefix_cache_->bind_budget(budget_);
+  }
+}
+
+std::size_t TransformerBatchDecoder::prepare_prefix(
+    std::span<const int> prompt) {
+  abandon_prefix();
+  if (prefix_cache_ == nullptr || prompt.size() < 2) return 0;
+  // Cap at prompt-1: the cache stores only K/V rows, so at least one
+  // suffix token must be forwarded to produce logits.  The surcharge
+  // reservation covers this slot's copy of the matched rows; the engine
+  // then prices only the suffix.
+  pending_ = prefix_cache_->acquire(
+      prompt, prompt.size() - 1, budget_ != nullptr ? bytes_per_token() : 0);
+  pending_valid_ = true;
+  return pending_.tokens;
+}
+
+void TransformerBatchDecoder::abandon_prefix() {
+  if (!pending_valid_) return;
+  if (prefix_cache_ != nullptr) {
+    const std::size_t surcharge = pending_.surcharge_bytes;
+    prefix_cache_->release(pending_);
+    prefix_cache_->release_bytes(surcharge);
+  }
+  pending_ = cache::PrefixCache::Lookup{};
+  pending_valid_ = false;
+}
+
+std::size_t TransformerBatchDecoder::shed_cache(std::size_t bytes) {
+  if (prefix_cache_ == nullptr) return 0;
+  return prefix_cache_->shed(bytes);
 }
 
 void TransformerBatchDecoder::start(std::size_t slot,
                                     std::span<const int> prompt,
-                                    std::uint64_t seed, std::span<float> out) {
+                                    std::uint64_t seed, std::span<float> out,
+                                    std::size_t shared_prefix_tokens) {
   LMPEEL_CHECK(slot < caches_.size());
   LMPEEL_CHECK_MSG(sequences_[slot].empty(), "start() on an occupied slot");
   LMPEEL_CHECK(!prompt.empty());
   model_->set_seed(seed);  // TransformerLm ignores it; kept for parity
   caches_[slot].clear();
-  model_->prefill(caches_[slot], prompt, out);
+  std::size_t reused = 0;
+  if (prefix_cache_ != nullptr) {
+    if (!pending_valid_) prepare_prefix(prompt);
+    cache::PrefixCache::Lookup lookup = pending_;
+    pending_ = cache::PrefixCache::Lookup{};
+    pending_valid_ = false;
+    reused = lookup.tokens;
+    LMPEEL_CHECK_MSG(reused < prompt.size(),
+                     "prepared prefix does not fit this prompt");
+    // The surcharge travels with the slot from here on: release(slot)
+    // returns it even if the prefill below throws.
+    surcharges_[slot] = lookup.surcharge_bytes;
+    if (reused > 0) prefix_cache_->copy_to(lookup, caches_[slot]);
+    prefix_cache_->release(lookup);
+  }
+  if (reused > 0) {
+    model_->prefill_from(caches_[slot], prompt.subspan(reused), out);
+  } else {
+    model_->prefill(caches_[slot], prompt, out);
+  }
   sequences_[slot].assign(prompt.begin(), prompt.end());
+  if (prefix_cache_ != nullptr) {
+    const std::size_t insert_len =
+        shared_prefix_tokens > 0
+            ? std::min(shared_prefix_tokens, prompt.size())
+            : (prefix_cache_->config().auto_insert_prompts ? prompt.size()
+                                                           : 0);
+    if (insert_len > 0) {
+      prefix_cache_->insert(prompt.first(insert_len), caches_[slot]);
+    }
+  }
 }
 
 void TransformerBatchDecoder::step(std::span<const Step> steps,
@@ -106,6 +177,12 @@ void TransformerBatchDecoder::release(std::size_t slot) {
   LMPEEL_CHECK(slot < caches_.size());
   caches_[slot].clear();
   sequences_[slot].clear();
+  if (surcharges_[slot] > 0) {
+    if (prefix_cache_ != nullptr) {
+      prefix_cache_->release_bytes(surcharges_[slot]);
+    }
+    surcharges_[slot] = 0;
+  }
 }
 
 // ---- GenericBatchDecoder --------------------------------------------------
@@ -129,7 +206,9 @@ void GenericBatchDecoder::settle(std::size_t slot) {
 }
 
 void GenericBatchDecoder::start(std::size_t slot, std::span<const int> prompt,
-                                std::uint64_t seed, std::span<float> out) {
+                                std::uint64_t seed, std::span<float> out,
+                                std::size_t shared_prefix_tokens) {
+  (void)shared_prefix_tokens;  // context replay has no prefill to skip
   LMPEEL_CHECK(slot < contexts_.size());
   LMPEEL_CHECK_MSG(contexts_[slot].empty(), "start() on an occupied slot");
   LMPEEL_CHECK(!prompt.empty());

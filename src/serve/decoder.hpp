@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/prefix_cache.hpp"
 #include "guard/budget.hpp"
 #include "lm/language_model.hpp"
 #include "lm/tensor.hpp"
@@ -46,8 +47,11 @@ class BatchDecoder {
   /// the logits following the prompt's last token into `out` (vocab_size()
   /// floats).  `seed` reseeds model-internal stochasticity for this
   /// request, mirroring lm::generate's model.set_seed call.
+  /// `shared_prefix_tokens` forwards Request::shared_prefix_tokens — a
+  /// prefix-cache insertion hint implementations may ignore.
   virtual void start(std::size_t slot, std::span<const int> prompt,
-                     std::uint64_t seed, std::span<float> out) = 0;
+                     std::uint64_t seed, std::span<float> out,
+                     std::size_t shared_prefix_tokens = 0) = 0;
 
   struct Step {
     std::size_t slot = 0;  ///< bound slot to advance
@@ -74,6 +78,28 @@ class BatchDecoder {
   /// Called by the engine at construction when its config carries a budget;
   /// must only be called while no slot is occupied.
   virtual void bind_budget(guard::Budget* budget) { (void)budget; }
+
+  // ---- prefix reuse (DESIGN.md §12) -------------------------------------
+  /// Looks up the longest cached prefix of `prompt` and reserves whatever
+  /// the reuse will cost (the slot's copy of the cached rows), so the
+  /// engine can price only the remaining suffix.  Returns the number of
+  /// prompt tokens that will be reused by the next start() for this
+  /// prompt; 0 = no cache or no match.  Must be paired with either that
+  /// start() call or abandon_prefix().
+  virtual std::size_t prepare_prefix(std::span<const int> prompt) {
+    (void)prompt;
+    return 0;
+  }
+  /// Drops the state a prepare_prefix() left behind (unpins the cache
+  /// node, returns its reservation).  Safe to call with nothing pending.
+  virtual void abandon_prefix() {}
+  /// Frees up to `bytes` of cached-prefix memory (LRU first); returns the
+  /// bytes actually freed.  The engine calls this before shedding live
+  /// work — cached state is always the cheapest thing to give up.
+  virtual std::size_t shed_cache(std::size_t bytes) {
+    (void)bytes;
+    return 0;
+  }
 };
 
 /// KV-cached batched decoder over a TransformerLm.  `parallel` enables
@@ -89,7 +115,8 @@ class TransformerBatchDecoder final : public BatchDecoder {
     return static_cast<std::size_t>(model_->config().max_seq);
   }
   void start(std::size_t slot, std::span<const int> prompt,
-             std::uint64_t seed, std::span<float> out) override;
+             std::uint64_t seed, std::span<float> out,
+             std::size_t shared_prefix_tokens = 0) override;
   void step(std::span<const Step> steps, lm::Tensor& logits) override;
   void release(std::size_t slot) override;
   std::string name() const override { return "transformer-batch"; }
@@ -101,12 +128,26 @@ class TransformerBatchDecoder final : public BatchDecoder {
   }
   void bind_budget(guard::Budget* budget) override;
 
+  /// Attaches a prefix cache (null detaches); must share this decoder's
+  /// model and, once bind_budget runs, its budget.  The cache must outlive
+  /// the decoder.  start() then reuses the longest cached prefix of each
+  /// prompt (bit-identical — see prefill_from) and inserts completed
+  /// prefixes back per the cache's config.
+  void set_prefix_cache(cache::PrefixCache* prefix_cache);
+  std::size_t prepare_prefix(std::span<const int> prompt) override;
+  void abandon_prefix() override;
+  std::size_t shed_cache(std::size_t bytes) override;
+
  private:
   lm::TransformerLm* model_;
   std::vector<lm::TransformerLm::KvCache> caches_;
   std::vector<std::vector<int>> sequences_;  // per slot, for bound checks
   bool parallel_;
   guard::Budget* budget_ = nullptr;  // step-scratch accounting
+  cache::PrefixCache* prefix_cache_ = nullptr;
+  cache::PrefixCache::Lookup pending_;  ///< prepare_prefix → start handoff
+  bool pending_valid_ = false;
+  std::vector<std::size_t> surcharges_;  ///< per-slot prefix-copy reservation
 };
 
 /// Context-replay decoder for arbitrary LanguageModels.  Each step re-runs
@@ -120,7 +161,8 @@ class GenericBatchDecoder final : public BatchDecoder {
   std::size_t slots() const override { return contexts_.size(); }
   std::size_t max_sequence_length() const override { return 0; }
   void start(std::size_t slot, std::span<const int> prompt,
-             std::uint64_t seed, std::span<float> out) override;
+             std::uint64_t seed, std::span<float> out,
+             std::size_t shared_prefix_tokens = 0) override;
   void step(std::span<const Step> steps, lm::Tensor& logits) override;
   void release(std::size_t slot) override;
   std::string name() const override { return "generic-replay"; }

@@ -220,9 +220,10 @@ Engine::Queued Engine::pop_highest() {
   return queued;
 }
 
-std::size_t Engine::estimate_cost(const Request& request) const {
+std::size_t Engine::estimate_cost(const Request& request,
+                                  std::size_t reused_prefix) const {
   const std::size_t tokens =
-      request.prompt.size() + request.options.max_tokens;
+      request.prompt.size() - reused_prefix + request.options.max_tokens;
   const std::size_t vocab = static_cast<std::size_t>(decoder_->vocab_size());
   // 3 logits rows of slack: the prefill scratch row, this request's row of
   // the step logits tensor, and its share of the chunked step path's extra
@@ -240,6 +241,11 @@ void Engine::note_shed(Priority priority) {
 bool Engine::reserve_with_eviction(std::size_t cost, Priority priority) {
   guard::Budget& budget = *config_.budget;
   if (budget.try_reserve(cost)) return true;
+  // Cached prefixes go before any live work, for every priority class:
+  // they are pure accelerator state and cost nothing to rebuild.
+  if (decoder_->shed_cache(cost) > 0 && budget.try_reserve(cost)) {
+    return true;
+  }
   if (priority == Priority::Batch) return false;
   // Normal/High outrank in-flight Batch work: evict it (youngest first,
   // retired with Shed and its partial output) until the reservation fits
@@ -280,11 +286,18 @@ void Engine::admit(std::vector<float>& logits_scratch) {
       continue;
     }
 
-    // ---- cost-aware admission (DESIGN.md §11) --------------------------
+    // ---- cost-aware admission (DESIGN.md §11/§12) ----------------------
     std::size_t cost = 0;
     if (config_.budget != nullptr) {
-      cost = estimate_cost(queued.request);
+      // Pin the longest cached prefix first: those tokens are covered by
+      // the decoder's surcharge reservation, so the request itself is
+      // priced suffix-only.  Every non-start path below must abandon the
+      // prepared prefix.
+      const std::size_t reused =
+          decoder_->prepare_prefix(queued.request.prompt);
+      cost = estimate_cost(queued.request, reused);
       if (!reserve_with_eviction(cost, queued.request.priority)) {
+        decoder_->abandon_prefix();
         const bool over_slo =
             config_.queue_slo_s > 0.0 &&
             seconds_since(queued.submitted, now) > config_.queue_slo_s;
@@ -333,11 +346,15 @@ void Engine::admit(std::vector<float>& logits_scratch) {
       {
         obs::Span span("serve.prefill");
         decoder_->start(active.slot, active.request.prompt,
-                        active.request.options.seed, logits_scratch);
+                        active.request.options.seed, logits_scratch,
+                        active.request.shared_prefix_tokens);
       }
       outcome = sample_and_record(active, logits_scratch);
     } catch (...) {
       try {
+        // A wrapper may have thrown before forwarding start(): drop any
+        // prepared-but-unconsumed prefix along with the slot state.
+        decoder_->abandon_prefix();
         decoder_->release(active.slot);
       } catch (...) {
         reg.counter("serve.release_error").add();

@@ -136,9 +136,13 @@ class Engine {
                                   std::span<const float> logits);
   void retire(std::size_t index, RequestStatus status);
   /// Conservative upper bound on the bytes `request` can pin while active:
-  /// (prompt + max_tokens) × decoder bytes-per-token, plus slack for the
-  /// prefill logits row and the chunked step path's extra batch-row copy.
-  std::size_t estimate_cost(const Request& request) const;
+  /// (prompt − reused_prefix + max_tokens) × decoder bytes-per-token, plus
+  /// slack for the prefill logits row and the chunked step path's extra
+  /// batch-row copy.  `reused_prefix` is what prepare_prefix() promised —
+  /// those tokens are already covered by the decoder's own surcharge
+  /// reservation, so only the suffix is priced here (DESIGN.md §12).
+  std::size_t estimate_cost(const Request& request,
+                            std::size_t reused_prefix) const;
   /// Pops the highest-priority queued request (FIFO within a class).
   /// Caller holds mutex_ and the queue is non-empty.
   Queued pop_highest();

@@ -49,6 +49,13 @@ struct Request {
   double step_budget_s = 0.0;
   /// Scheduling class under overload; see Priority.
   Priority priority = Priority::Normal;
+  /// Shared-prefix hint (DESIGN.md §12): the first this-many prompt tokens
+  /// are shared with sibling requests (e.g. the LLAMBO ICL block), so the
+  /// decoder's prefix cache stores exactly that prefix — inserted once per
+  /// iteration, deduped structurally by the radix tree.  0 = no hint; the
+  /// cache may still auto-insert the whole prompt.  Purely an optimisation
+  /// hint: results are bit-identical with or without it.
+  std::size_t shared_prefix_tokens = 0;
 };
 
 enum class RequestStatus {

@@ -88,7 +88,8 @@ void LlamboTuner::observe(const perf::Syr2kConfig& config, double runtime) {
 
 std::vector<lm::Generation> LlamboTuner::run_generations(
     std::vector<std::vector<int>> prompts,
-    const std::vector<lm::GenerateOptions>& options) {
+    const std::vector<lm::GenerateOptions>& options,
+    std::size_t shared_prefix_tokens) {
   LMPEEL_CHECK(prompts.size() == options.size());
   std::vector<lm::Generation> generations(prompts.size());
   bool use_engine = options_.engine != nullptr && !engine_degraded_ &&
@@ -117,6 +118,7 @@ std::vector<lm::Generation> LlamboTuner::run_generations(
       serve::Request request;
       request.prompt = prompts[i];
       request.options = options[i];
+      request.shared_prefix_tokens = shared_prefix_tokens;
       requests.push_back(std::move(request));
     }
     auto results = serve::generate_all(*options_.engine, std::move(requests));
@@ -165,15 +167,20 @@ perf::Syr2kConfig LlamboTuner::propose_discriminative(util::Rng& rng) {
 
   // Draw every candidate up front (same rng stream as the old one-at-a-time
   // loop — generation consumes no rng here), then score the whole pool in
-  // one engine batch.
+  // one engine batch.  The ICL block is identical across the pool, so it is
+  // encoded once and each candidate only encodes its own query tail
+  // (bit-identical to whole-prompt encoding — see encode_prefix).
   std::vector<perf::Syr2kConfig> candidates;
   std::vector<std::vector<int>> prompts;
   std::vector<lm::GenerateOptions> gens;
   candidates.reserve(options_.candidate_pool);
+  const std::vector<int> prefix = builder_.encode_prefix(*tokenizer_, examples);
   for (std::size_t c = 0; c < options_.candidate_pool; ++c) {
     candidates.push_back(random_unseen(rng));
-    prompts.push_back(builder_.encode(*tokenizer_, examples,
-                                      candidates.back()));
+    if (c > 0) obs::Registry::global().counter("tok.encode_cache_hits").add();
+    std::vector<int> ids = prefix;
+    builder_.append_query(*tokenizer_, candidates.back(), ids);
+    prompts.push_back(std::move(ids));
     lm::GenerateOptions gen;
     gen.sampler = options_.sampler;
     gen.stop_token = tokenizer_->newline_token();
@@ -181,7 +188,8 @@ perf::Syr2kConfig LlamboTuner::propose_discriminative(util::Rng& rng) {
     gen.seed = util::hash_combine(proposal_counter_, c);
     gens.push_back(gen);
   }
-  const auto generations = run_generations(std::move(prompts), gens);
+  const auto generations =
+      run_generations(std::move(prompts), gens, prefix.size());
 
   for (std::size_t c = 0; c < options_.candidate_pool; ++c) {
     const auto parsed =
@@ -236,6 +244,19 @@ perf::Syr2kConfig LlamboTuner::propose_generative(util::Rng& rng) {
         tokenizer_->encode(std::string(" ") + kLabels[cls]));
   }
 
+  // The [bos … system … problem … labelled ICL block] ids are identical for
+  // every candidate: encode them once and copy per candidate (the old code
+  // re-ran encode_append on the whole context each iteration).
+  std::vector<int> base_ids;
+  base_ids.push_back(tok::kBos);
+  base_ids.push_back(tok::kSystem);
+  tokenizer_->encode_append(builder_.system_text(), base_ids);
+  base_ids.push_back(tok::kUser);
+  tokenizer_->encode_append(builder_.problem_text(), base_ids);
+  std::string icl_block("\n");
+  icl_block += icl.str();
+  tokenizer_->encode_append(icl_block, base_ids);
+
   // Pick the candidate whose expected class index (under the model's label
   // distribution) is lowest — the N-ary generalisation of "most likely
   // good".
@@ -243,15 +264,8 @@ perf::Syr2kConfig LlamboTuner::propose_generative(util::Rng& rng) {
   perf::Syr2kConfig best = random_unseen(rng);
   for (std::size_t c = 0; c < options_.candidate_pool; ++c) {
     const perf::Syr2kConfig candidate = random_unseen(rng);
-    std::vector<int> ids;
-    ids.push_back(tok::kBos);
-    ids.push_back(tok::kSystem);
-    tokenizer_->encode_append(builder_.system_text(), ids);
-    ids.push_back(tok::kUser);
-    tokenizer_->encode_append(builder_.problem_text(), ids);
-    std::string icl_block("\n");
-    icl_block += icl.str();
-    tokenizer_->encode_append(icl_block, ids);
+    if (c > 0) obs::Registry::global().counter("tok.encode_cache_hits").add();
+    std::vector<int> ids = base_ids;
     tokenizer_->encode_append("Please complete the following:\n" +
                                   prompt::render_config(candidate, size_) +
                                   "\nPerformance class:",

@@ -95,9 +95,14 @@ class LlamboTuner final : public Tuner {
   /// Engine-rejected prompts fall back to direct generation one by one
   /// (counter tune.fallback_direct); a wholesale engine failure flips
   /// engine_degraded_ so the campaign finishes on the direct path.
+  /// `shared_prefix_tokens` marks how many leading ids every prompt in the
+  /// batch shares (the ICL block) — forwarded to Request so the engine's
+  /// prefix cache keeps exactly that prefix, once per proposal.  Purely an
+  /// optimisation hint; results are bit-identical with it zero.
   std::vector<lm::Generation> run_generations(
       std::vector<std::vector<int>> prompts,
-      const std::vector<lm::GenerateOptions>& options);
+      const std::vector<lm::GenerateOptions>& options,
+      std::size_t shared_prefix_tokens = 0);
 
   lm::LanguageModel* model_;
   const tok::Tokenizer* tokenizer_;

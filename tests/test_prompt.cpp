@@ -91,6 +91,25 @@ TEST(Template, EncodeWrapsWithSpecialTokens) {
   EXPECT_EQ(tz.token_text(ids[ids.size() - 2]), ":");
 }
 
+TEST(Template, EncodePrefixPlusAppendQueryMatchesEncode) {
+  // The shared-prefix split (DESIGN.md §12) must reproduce the one-shot
+  // encoding exactly, for any query: the LLAMBO tuner encodes the ICL
+  // block once and appends per-candidate queries, and the serve layer's
+  // prefix cache keys on those ids being identical across candidates.
+  static const perf::Dataset data =
+      perf::Dataset::generate(perf::Syr2kModel{}, perf::SizeClass::SM, 42);
+  std::vector<perf::Sample> examples{data[5], data[9], data[13]};
+  const PromptBuilder builder(perf::SizeClass::SM);
+  tok::Tokenizer tz;
+  const auto prefix = builder.encode_prefix(tz, examples);
+  for (const std::size_t q : {0u, 7u, 21u}) {
+    auto split_ids = prefix;
+    builder.append_query(tz, data[q].config, split_ids);
+    EXPECT_EQ(split_ids, builder.encode(tz, examples, data[q].config))
+        << "query " << q;
+  }
+}
+
 // ---- parser ---------------------------------------------------------------
 
 TEST(Parser, PlainValue) {

@@ -159,7 +159,7 @@ class GateDecoder final : public BatchDecoder {
   std::size_t max_sequence_length() const override { return 0; }
 
   void start(std::size_t, std::span<const int>, std::uint64_t,
-             std::span<float> out) override {
+             std::span<float> out, std::size_t = 0) override {
     starts_.fetch_add(1);
     fill(out);
   }

@@ -9,7 +9,10 @@
 
 #include <set>
 
+#include "cache/prefix_cache.hpp"
 #include "core/pipeline.hpp"
+#include "lm/transformer.hpp"
+#include "obs/metrics.hpp"
 #include "serve/decoder.hpp"
 #include "serve/engine.hpp"
 
@@ -221,6 +224,56 @@ TEST_F(LlamboFixture, EngineBackedCampaignMatchesDirectGeneration) {
     EXPECT_EQ(direct.evaluated[i].config_index,
               served.evaluated[i].config_index) << "evaluation " << i;
     EXPECT_DOUBLE_EQ(direct.evaluated[i].runtime, served.evaluated[i].runtime);
+  }
+}
+
+TEST_F(LlamboFixture, PrefixCachedEngineCampaignIsBitIdentical) {
+  // The serve-layer prefix cache (DESIGN.md §12) must be invisible to
+  // results: an engine-routed discriminative campaign over a transformer
+  // decoder evaluates exactly the same configurations with the cache
+  // attached as without, while the cache actually sees hits (the tuner's
+  // shared_prefix_tokens hint makes the ICL block insert-once).
+  lm::TransformerConfig cfg;
+  cfg.vocab = pipeline().tokenizer().vocab_size();
+  cfg.d_model = 32;
+  cfg.n_head = 2;
+  cfg.n_layer = 1;
+  cfg.max_seq = 2048;
+  lm::TransformerLm model(cfg, /*seed=*/17);
+
+  const auto run = [&](bool cache_on) {
+    serve::TransformerBatchDecoder decoder(model, /*slots=*/4);
+    cache::PrefixCache prefix_cache(model, {});
+    if (cache_on) decoder.set_prefix_cache(&prefix_cache);
+    serve::Engine engine(decoder);
+    LlamboOptions options;
+    options.mode = LlamboMode::Discriminative;
+    options.candidate_pool = 3;
+    options.max_icl = 4;
+    options.engine = &engine;
+    LlamboTuner tuner(model, pipeline().tokenizer(), perf::SizeClass::SM,
+                      options);
+    CampaignOptions copt;
+    copt.budget = 6;
+    copt.seed = 11;
+    return run_campaign(tuner, pipeline().perf_model(), perf::SizeClass::SM,
+                        copt);
+  };
+
+  const std::uint64_t hits0 =
+      obs::Registry::global().counter("cache.prefix.hits").value();
+  const auto off = run(false);
+  EXPECT_EQ(obs::Registry::global().counter("cache.prefix.hits").value(),
+            hits0);
+  const auto on = run(true);
+  EXPECT_GT(obs::Registry::global().counter("cache.prefix.hits").value(),
+            hits0);
+
+  ASSERT_EQ(off.evaluated.size(), on.evaluated.size());
+  for (std::size_t i = 0; i < off.evaluated.size(); ++i) {
+    EXPECT_EQ(off.evaluated[i].config_index, on.evaluated[i].config_index)
+        << "evaluation " << i;
+    EXPECT_EQ(off.evaluated[i].runtime, on.evaluated[i].runtime);
   }
 }
 

@@ -6,10 +6,13 @@
 //   lmpeel tune <tuner> <size> <budget> [seed]   run an autotuning campaign
 //   lmpeel tokenize <text…>                      show the token stream
 //   lmpeel stats [size] [icl] [seed]             generation run + metrics summary
-//   lmpeel serve-bench [quick]                   load-test the serve engine
+//   lmpeel serve-bench [quick] [prefix] [--prefix on|off]
+//                                                load-test the serve engine;
+//                                                `prefix` measures shared-prefix
+//                                                KV reuse cache-on vs cache-off
 //   lmpeel chaos [seed] [requests]               fault-injection survival run
 //   lmpeel soak [--seconds N] [--seed N] [--budget BYTES] [--no-sick-window]
-//                                                mixed-priority overload soak
+//               [--no-prefix-cache]              mixed-priority overload soak
 //
 // Tuners: random | gbt | anneal | genetic | llambo-discriminative |
 //         llambo-generative | llambo-sampling
@@ -24,11 +27,14 @@
 #include <memory>
 #include <string>
 
+#include "cache/prefix_cache.hpp"
 #include "core/pipeline.hpp"
 #include "core/reporting.hpp"
 #include "core/sweep.hpp"
 #include "eval/metrics.hpp"
 #include "fault/chaos.hpp"
+#include "lm/transformer.hpp"
+#include "obs/metrics.hpp"
 #include "guard/breaker.hpp"
 #include "guard/budget.hpp"
 #include "guard/soak.hpp"
@@ -44,6 +50,7 @@
 #include "tune/genetic_tuner.hpp"
 #include "tune/llambo_tuner.hpp"
 #include "tune/random_search_tuner.hpp"
+#include "util/check.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -60,10 +67,10 @@ int usage() {
          "llambo-generative|llambo-sampling> <size> <budget> [seed]\n"
          "  lmpeel tokenize <text…>\n"
          "  lmpeel stats [size] [icl_count] [seed]\n"
-         "  lmpeel serve-bench [quick]\n"
+         "  lmpeel serve-bench [quick] [prefix] [--prefix on|off]\n"
          "  lmpeel chaos [seed] [requests]\n"
          "  lmpeel soak [--seconds N] [--seed N] [--budget BYTES] "
-         "[--no-sick-window]\n";
+         "[--no-sick-window] [--no-prefix-cache]\n";
   return 2;
 }
 
@@ -356,7 +363,42 @@ int cmd_stats(int argc, char** argv) {
     llambo_campaign.seed = seed + 2;
     tune::run_campaign(llambo, pipeline.perf_model(), *size, llambo_campaign);
     std::cout << "llambo degraded to direct generation: "
-              << (llambo.engine_degraded() ? "yes" : "no") << "\n\n";
+              << (llambo.engine_degraded() ? "yes" : "no") << "\n";
+  }
+
+  // Prefix-cache round: two requests through a transformer-backed decoder
+  // share an 8-token prompt prefix.  The first prefills in full and seeds
+  // the cache; the second forks its KV from the cached prefix and prefills
+  // only its tail — so the cache.prefix.* rows (hits / inserts /
+  // saved_prefill_tokens) below are nonzero and inspectable.
+  {
+    lm::TransformerConfig tiny;
+    tiny.vocab = 64;
+    tiny.d_model = 32;
+    tiny.n_head = 2;
+    tiny.n_layer = 1;
+    tiny.max_seq = 32;
+    lm::TransformerLm transformer(tiny, /*seed=*/seed + 3);
+    serve::TransformerBatchDecoder decoder(transformer, /*slots=*/2);
+    cache::PrefixCache prefix_cache(transformer, {});
+    decoder.set_prefix_cache(&prefix_cache);
+    serve::Engine cache_engine(decoder);
+    for (const int tail : {31, 37}) {
+      serve::Request request;
+      request.prompt = {5, 7, 11, 13, 17, 19, 23, 29, tail};
+      request.shared_prefix_tokens = 8;
+      request.options.sampler.temperature = 0.0;
+      request.options.stop_on_eos = false;
+      request.options.max_tokens = 4;
+      const auto served = cache_engine.submit(std::move(request)).get();
+      LMPEEL_CHECK(served.status == serve::RequestStatus::Ok);
+    }
+    cache_engine.shutdown();
+    auto& reg = obs::Registry::global();
+    std::cout << "prefix-cache round: "
+              << reg.counter("cache.prefix.hits").value() << " hit(s), "
+              << reg.counter("cache.prefix.saved_prefill_tokens").value()
+              << " prefill tokens saved\n\n";
   }
 
   util::print_banner(std::cout, "obs metrics summary");
@@ -410,6 +452,8 @@ int cmd_soak(int argc, char** argv) {
       options.budget_bytes = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--no-sick-window") {
       options.sick_window = false;
+    } else if (arg == "--no-prefix-cache") {
+      options.prefix_cache = false;
     } else {
       return usage();
     }
@@ -418,6 +462,8 @@ int cmd_soak(int argc, char** argv) {
 
   std::cout << "soak: " << options.seconds << " s, seed " << options.seed
             << (options.sick_window ? ", sick window on" : ", sick window off")
+            << (options.prefix_cache ? ", prefix cache on"
+                                     : ", prefix cache off")
             << "\n";
   const auto report = guard::run_soak(options);
 

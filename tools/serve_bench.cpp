@@ -13,6 +13,12 @@
 //
 // The max-concurrency rows merge into BENCH_baseline.json (keyed
 // serve_bench/b<max_batch>) with tokens_per_sec / p50_ms / p99_ms values.
+//
+// The `prefix` workload instead measures shared-prefix KV reuse
+// (DESIGN.md §12): every request repeats the same long prompt prefix with a
+// short unique tail, once with the prefix cache attached and once without.
+// Rows merge as serve_bench/prefix_{on,off}; generated tokens are checked
+// bit-identical between the two variants.
 #include <algorithm>
 #include <cstring>
 #include <future>
@@ -21,6 +27,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "cache/prefix_cache.hpp"
 #include "lm/transformer.hpp"
 #include "obs/metrics.hpp"
 #include "serve/client.hpp"
@@ -40,9 +47,22 @@ using namespace lmpeel;
 struct CellResult {
   double wall_s = 0.0;
   double tokens_per_sec = 0.0;
+  /// Generated tokens over the decode-step compute time alone (the
+  /// serve.step span sum) — what the steady-state batch sustains once
+  /// admission prefill is out of the picture.
+  double decode_tokens_per_sec = 0.0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
 };
+
+/// Decode-only throughput from the registry of the cell that just ran.
+double decode_only_tok_s() {
+  auto& reg = obs::Registry::global();
+  const auto decoded =
+      static_cast<double>(reg.counter("lm.transformer.decode_tokens").value());
+  const double step_s = reg.histogram("serve.step").sum();
+  return step_s > 0.0 ? decoded / step_s : 0.0;
+}
 
 std::vector<int> make_prompt(std::uint64_t seed, std::size_t length,
                              int vocab) {
@@ -109,15 +129,204 @@ CellResult run_cell(lm::TransformerLm& model, std::size_t concurrency,
   cell.wall_s = wall.seconds();
   cell.tokens_per_sec =
       static_cast<double>(requests * gen_tokens) / cell.wall_s;
+  cell.decode_tokens_per_sec = decode_only_tok_s();
   cell.p50_ms = util::percentile(latencies_ms, 50.0);
   cell.p99_ms = util::percentile(latencies_ms, 99.0);
   return cell;
 }
 
+struct PrefixCellResult {
+  CellResult cell;
+  std::uint64_t prefill_tokens = 0;  ///< lm.transformer.forward_tokens
+  std::uint64_t cache_hits = 0;
+  std::uint64_t saved_prefill_tokens = 0;
+  std::vector<std::vector<int>> generated;  ///< per-request token ids
+};
+
+PrefixCellResult run_prefix_cell(lm::TransformerLm& model, bool cache_on,
+                                 std::size_t requests,
+                                 const std::vector<int>& prefix,
+                                 std::size_t tail_len,
+                                 std::size_t gen_tokens) {
+  obs::Registry::global().reset();
+  constexpr std::size_t kBatch = 8;
+  serve::TransformerBatchDecoder decoder(model, /*slots=*/kBatch);
+  cache::PrefixCache prefix_cache(model, {});
+  if (cache_on) decoder.set_prefix_cache(&prefix_cache);
+  serve::EngineConfig config;
+  config.max_batch = kBatch;
+  config.queue_capacity = std::max<std::size_t>(64, requests);
+  serve::Engine engine(decoder, config);
+
+  PrefixCellResult result;
+  result.generated.resize(requests);
+  util::ThreadPool clients(kBatch);
+  util::Stopwatch wall;
+  std::vector<std::future<std::vector<double>>> futures;
+  for (std::size_t k = 0; k < kBatch; ++k) {
+    const std::size_t lo = requests * k / kBatch;
+    const std::size_t hi = requests * (k + 1) / kBatch;
+    futures.push_back(clients.submit([&engine, &model, &prefix, &result, lo,
+                                      hi, tail_len,
+                                      gen_tokens]() -> std::vector<double> {
+      std::vector<double> latencies_ms;
+      latencies_ms.reserve(hi - lo);
+      for (std::size_t r = lo; r < hi; ++r) {
+        serve::Request request;
+        request.prompt = prefix;
+        const auto tail = make_prompt(0x7a11 + r, tail_len,
+                                      model.config().vocab);
+        request.prompt.insert(request.prompt.end(), tail.begin(), tail.end());
+        // Only the shared prefix is worth caching: insert-once, every
+        // later request forks its slot cache from it.
+        request.shared_prefix_tokens = prefix.size();
+        request.options.sampler.temperature = 0.0;
+        request.options.stop_on_eos = false;
+        request.options.max_tokens = gen_tokens;
+        request.options.seed = r;
+        util::Stopwatch latency;
+        auto served = engine.submit(std::move(request)).get();
+        LMPEEL_CHECK_MSG(served.status == serve::RequestStatus::Ok,
+                         "serve-bench prefix request rejected");
+        LMPEEL_CHECK_MSG(served.generation.tokens.size() == gen_tokens,
+                         "serve-bench prefix generation truncated");
+        latencies_ms.push_back(latency.milliseconds());
+        result.generated[r] = std::move(served.generation.tokens);
+      }
+      return latencies_ms;
+    }));
+  }
+
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(requests);
+  for (auto& f : futures) {
+    const auto client_latencies = f.get();
+    latencies_ms.insert(latencies_ms.end(), client_latencies.begin(),
+                        client_latencies.end());
+  }
+  result.cell.wall_s = wall.seconds();
+  result.cell.tokens_per_sec =
+      static_cast<double>(requests * gen_tokens) / result.cell.wall_s;
+  result.cell.decode_tokens_per_sec = decode_only_tok_s();
+  result.cell.p50_ms = util::percentile(latencies_ms, 50.0);
+  result.cell.p99_ms = util::percentile(latencies_ms, 99.0);
+  auto& reg = obs::Registry::global();
+  result.prefill_tokens = reg.counter("lm.transformer.forward_tokens").value();
+  result.cache_hits = reg.counter("cache.prefix.hits").value();
+  result.saved_prefill_tokens =
+      reg.counter("cache.prefix.saved_prefill_tokens").value();
+  return result;
+}
+
+int run_prefix_bench(bool quick, bool run_on, bool run_off) {
+  lm::TransformerConfig model_config;
+  // Narrower default than the batching sweep: the workload is prefill-bound
+  // by construction, so the interesting number is how much prefill the
+  // cache removes, not how fat the matmuls are.
+  model_config.vocab = bench::env_int("LMPEEL_SERVE_VOCAB", 512);
+  model_config.d_model = bench::env_int("LMPEEL_SERVE_DMODEL", 384);
+  model_config.n_head = bench::env_int("LMPEEL_SERVE_HEADS", 6);
+  model_config.n_layer = bench::env_int("LMPEEL_SERVE_LAYERS", 2);
+
+  const auto requests = static_cast<std::size_t>(
+      bench::env_int("LMPEEL_SERVE_REQUESTS", quick ? 16 : 64));
+  const auto prefix_len = static_cast<std::size_t>(
+      bench::env_int("LMPEEL_SERVE_PREFIX", quick ? 128 : 400));
+  const auto tail_len = static_cast<std::size_t>(
+      bench::env_int("LMPEEL_SERVE_TAIL", 8));
+  const auto gen_tokens = static_cast<std::size_t>(
+      bench::env_int("LMPEEL_SERVE_GEN", 8));
+  model_config.max_seq =
+      static_cast<int>(prefix_len + tail_len + gen_tokens);
+
+  lm::TransformerLm model(model_config, /*seed=*/1);
+  const auto prefix =
+      make_prompt(/*seed=*/0x5e9, prefix_len, model_config.vocab);
+  std::cout << "model: d_model " << model_config.d_model << ", layers "
+            << model_config.n_layer << ", vocab " << model_config.vocab
+            << " (" << model.parameter_count() << " parameters)\n"
+            << "workload: " << requests << " requests sharing a "
+            << prefix_len << "-token prefix, " << tail_len
+            << "-token tails, " << gen_tokens << " generated tokens each\n";
+
+  util::Table table({"prefix_cache", "requests", "prefill_tok", "hits",
+                     "saved_tok", "wall_s", "tok_s", "dec_tok_s", "p50_ms",
+                     "p99_ms"});
+  PrefixCellResult on, off;
+  for (const bool cache_on : {false, true}) {
+    if (cache_on ? !run_on : !run_off) continue;
+    auto result = run_prefix_cell(model, cache_on, requests, prefix,
+                                  tail_len, gen_tokens);
+    table.add_row({cache_on ? "on" : "off", std::to_string(requests),
+                   std::to_string(result.prefill_tokens),
+                   std::to_string(result.cache_hits),
+                   std::to_string(result.saved_prefill_tokens),
+                   util::Table::num(result.cell.wall_s),
+                   util::Table::num(result.cell.tokens_per_sec),
+                   util::Table::num(result.cell.decode_tokens_per_sec),
+                   util::Table::num(result.cell.p50_ms),
+                   util::Table::num(result.cell.p99_ms)});
+    bench::BenchRecord record;
+    record.name = cache_on ? "serve_bench/prefix_on"
+                           : "serve_bench/prefix_off";
+    record.wall_s = result.cell.wall_s;
+    record.counters = bench::counter_snapshot();
+    record.values = {
+        {"tokens_per_sec", result.cell.tokens_per_sec},
+        {"decode_tokens_per_sec", result.cell.decode_tokens_per_sec},
+        {"prefill_tokens", static_cast<double>(result.prefill_tokens)},
+        {"p50_ms", result.cell.p50_ms},
+        {"p99_ms", result.cell.p99_ms}};
+    bench::write_bench_record(record);
+    (cache_on ? on : off) = std::move(result);
+  }
+  bench::emit("serve-bench: shared-prefix cache on/off", table);
+  if (run_on && run_off) {
+    LMPEEL_CHECK_MSG(on.generated == off.generated,
+                     "prefix cache changed generated tokens");
+    std::cout << "generated tokens bit-identical across variants\n"
+              << "prefix-cache speedup: "
+              << util::Table::num(on.cell.tokens_per_sec /
+                                      off.cell.tokens_per_sec,
+                                  3)
+              << "x end-to-end (prefill tokens "
+              << off.prefill_tokens << " -> " << on.prefill_tokens << ")\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int cmd_serve_bench(int argc, char** argv) {
-  const bool quick = argc > 0 && std::strcmp(argv[0], "quick") == 0;
+  bool quick = false;
+  bool prefix_mode = false;
+  bool run_on = true;
+  bool run_off = true;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "prefix") == 0) {
+      prefix_mode = true;
+    } else if (std::strcmp(argv[i], "--prefix") == 0 && i + 1 < argc) {
+      // --prefix on|off implies the prefix workload and restricts it to
+      // one variant (both run by default, so the speedup line can print).
+      prefix_mode = true;
+      const std::string which = argv[++i];
+      if (which == "on") {
+        run_off = false;
+      } else if (which == "off") {
+        run_on = false;
+      } else {
+        std::cerr << "serve-bench: --prefix takes on|off\n";
+        return 2;
+      }
+    } else {
+      std::cerr << "usage: lmpeel serve-bench [quick] [prefix] "
+                   "[--prefix on|off]\n";
+      return 2;
+    }
+  }
+  if (prefix_mode) return run_prefix_bench(quick, run_on, run_off);
 
   lm::TransformerConfig model_config;
   // Default shape: wide and shallow, ~59 MB of weights.  Big enough that
@@ -154,7 +363,7 @@ int cmd_serve_bench(int argc, char** argv) {
             : std::vector<std::size_t>{1, 2, 4, 8, 16};
 
   util::Table table({"conc", "max_batch", "requests", "tokens", "wall_s",
-                     "tok_s", "p50_ms", "p99_ms"});
+                     "tok_s", "dec_tok_s", "p50_ms", "p99_ms"});
   const std::size_t top_conc = concurrencies.back();
   double serial_tok_s = 0.0, best_batched_tok_s = 0.0;
   for (const std::size_t conc : concurrencies) {
@@ -166,6 +375,7 @@ int cmd_serve_bench(int argc, char** argv) {
                      std::to_string(requests * gen_tokens),
                      util::Table::num(cell.wall_s),
                      util::Table::num(cell.tokens_per_sec),
+                     util::Table::num(cell.decode_tokens_per_sec),
                      util::Table::num(cell.p50_ms),
                      util::Table::num(cell.p99_ms)});
       if (conc == top_conc) {
@@ -179,6 +389,7 @@ int cmd_serve_bench(int argc, char** argv) {
         record.wall_s = cell.wall_s;
         record.counters = bench::counter_snapshot();
         record.values = {{"tokens_per_sec", cell.tokens_per_sec},
+                         {"decode_tokens_per_sec", cell.decode_tokens_per_sec},
                          {"p50_ms", cell.p50_ms},
                          {"p99_ms", cell.p99_ms}};
         bench::write_bench_record(record);
