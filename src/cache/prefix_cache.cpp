@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "obs/metrics.hpp"
+#include "obs/trace_context.hpp"
 #include "util/check.hpp"
 
 namespace lmpeel::cache {
@@ -150,6 +151,7 @@ PrefixCache::Lookup PrefixCache::acquire(std::span<const int> tokens,
   }
   if (best == nullptr || matched == 0) {
     counter("cache.prefix.misses").add();
+    obs::timeline(obs::TimelineKind::PrefixMiss, obs::current_trace_id());
     return {};
   }
   ++best->pins;
@@ -164,10 +166,15 @@ PrefixCache::Lookup PrefixCache::acquire(std::span<const int> tokens,
       --best->pins;
       counter("cache.prefix.surcharge_denied").add();
       counter("cache.prefix.misses").add();
+      obs::timeline(obs::TimelineKind::PrefixMiss, obs::current_trace_id());
       return {};
     }
   }
   counter("cache.prefix.hits").add();
+  // The reused-token count on the request's own lane is what makes prefix
+  // reuse visible per request, not just as an aggregate hit ratio.
+  obs::timeline(obs::TimelineKind::PrefixHit, obs::current_trace_id(),
+                static_cast<double>(matched));
   return Lookup{matched, surcharge, best};
 }
 

@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/flight_recorder.hpp"
 #include "serve/retry.hpp"
 #include "util/check.hpp"
 
@@ -38,6 +39,8 @@ ChaosReport run_chaos(serve::BatchDecoder& inner,
   LMPEEL_CHECK_MSG(options.requests >= 1, "chaos needs >= 1 request");
   LMPEEL_CHECK_MSG(inner.vocab_size() >= 8, "chaos needs vocab >= 8");
   const Clock::time_point begin = Clock::now();
+  const std::string postmortem_before =
+      obs::FlightRecorder::global().last_dump_path();
 
   // Seeded schedule with the wedge pinned at op 0 (request 0's prefill):
   // while the decoder sleeps there, the burst below lands in the bounded
@@ -136,6 +139,11 @@ ChaosReport run_chaos(serve::BatchDecoder& inner,
   if (options.budget_bytes != 0) decoder.bind_budget(nullptr);
   report.wall_s =
       std::chrono::duration<double>(Clock::now() - begin).count();
+  const std::string postmortem_after =
+      obs::FlightRecorder::global().last_dump_path();
+  if (postmortem_after != postmortem_before) {
+    report.postmortem_path = postmortem_after;
+  }
   return report;
 }
 
@@ -165,6 +173,9 @@ util::Table chaos_table(const ChaosReport& report) {
                  report.all_resolved ? "yes" : "NO"});
   table.add_row({"survived", report.survived() ? "yes" : "NO"});
   table.add_row({"wall_s", util::Table::num(report.wall_s, 4)});
+  table.add_row({"postmortem", report.postmortem_path.empty()
+                                   ? "(none)"
+                                   : report.postmortem_path});
   return table;
 }
 

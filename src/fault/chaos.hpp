@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "fault/fault.hpp"
@@ -81,6 +82,9 @@ struct ChaosReport {
 
   bool all_resolved = false;  ///< every future became ready (no hangs)
   double wall_s = 0.0;
+  /// Most recent flight-recorder postmortem dumped during this run ("" when
+  /// none) — archived so a failed survival grade points at its black box.
+  std::string postmortem_path;
 
   /// Survival: the process is alive (trivially true if this returns), no
   /// request hung, and the post-chaos probe was served.

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace_context.hpp"
 #include "util/check.hpp"
 
 namespace lmpeel::guard {
@@ -46,6 +48,12 @@ void Breaker::trip(Clock::time_point now) {
   obs::Registry& reg = obs::Registry::global();
   reg.counter("guard.breaker.opened").add();
   reg.gauge("guard.breaker.state").set(1.0);
+  // An opening breaker is an incident boundary: mark the lane of whichever
+  // request tripped it (0 when the caller carries no trace) and snapshot
+  // the black box while the evidence is still in the ring.
+  obs::timeline(obs::TimelineKind::BreakerOpen, obs::current_trace_id(),
+                static_cast<double>(opened_));
+  obs::FlightRecorder::global().dump("breaker_open");
 }
 
 bool Breaker::allow(Clock::time_point now) {

@@ -17,7 +17,9 @@
 #include "guard/breaker.hpp"
 #include "guard/budget.hpp"
 #include "lm/transformer.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "serve/decoder.hpp"
 #include "serve/engine.hpp"
 #include "serve/retry.hpp"
@@ -189,6 +191,14 @@ SoakReport run_soak(const SoakOptions& options) {
   const std::uint64_t inserts0 = reg.counter("cache.prefix.inserts").value();
   const std::uint64_t evictions0 =
       reg.counter("cache.prefix.evictions").value();
+  // SLO window spanning the whole soak: one snapshot now, one at the end,
+  // so the verdicts grade this run's deltas, not process-lifetime totals.
+  obs::SloOptions slo_options;
+  slo_options.window_s = options.seconds * 10.0 + 3600.0;
+  obs::SloMonitor slo_monitor(slo_options);
+  slo_monitor.observe(obs::MetricsSnapshot::from_registry(reg));
+  const std::string postmortem_before =
+      obs::FlightRecorder::global().last_dump_path();
 
   serve::EngineConfig engine_config;
   engine_config.max_batch = options.max_batch;
@@ -290,6 +300,15 @@ SoakReport run_soak(const SoakOptions& options) {
   report.cache_evictions =
       reg.counter("cache.prefix.evictions").value() - evictions0;
   report.crashes = crashes.load();
+  slo_monitor.observe(obs::MetricsSnapshot::from_registry(reg));
+  report.slo = slo_monitor.verdicts();
+  // Archive the black box only if this soak actually dumped one (the sick
+  // window's engine errors and breaker trip normally do).
+  const std::string postmortem_after =
+      obs::FlightRecorder::global().last_dump_path();
+  if (postmortem_after != postmortem_before) {
+    report.postmortem_path = postmortem_after;
+  }
 
   report.budget_ok = report.accounted_peak_bytes <= budget_bytes;
   report.shed_ordering_ok = report.high.shed == 0 && report.normal.shed == 0;
@@ -352,6 +371,16 @@ util::Table soak_table(const SoakReport& report, bool sick_window) {
     fact("rss_kb first..last", std::to_string(report.rss_kb.front()) +
                                    ".." +
                                    std::to_string(report.rss_kb.back()));
+  }
+  fact("postmortem", report.postmortem_path.empty() ? "(none)"
+                                                    : report.postmortem_path);
+  // SLO verdicts ride along report-only: a soak is a deliberate overload,
+  // so e.g. shed_rate exceeding its objective is expected, not a failure.
+  for (const obs::SloVerdict& v : report.slo) {
+    fact(("slo " + v.name).c_str(),
+         util::Table::num(v.value, 4) + (v.upper_bound ? " <= " : " >= ") +
+             util::Table::num(v.threshold, 4) + (v.ok ? " ok" : " VIOLATED") +
+             " (burn " + util::Table::num(v.burn, 2) + ")");
   }
   const auto verdict = [&](const char* name, bool ok) {
     table.add_row({name, ok ? "yes" : "NO", "", ""});

@@ -24,8 +24,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "obs/slo.hpp"
 #include "util/table.hpp"
 
 namespace lmpeel::guard {
@@ -81,6 +83,13 @@ struct SoakReport {
   std::size_t crashes = 0;  ///< exceptions that escaped a client loop
   std::vector<std::size_t> rss_kb;  ///< RSS samples after warmup (may be
                                     ///< empty off Linux)
+  /// Most recent flight-recorder postmortem written during the soak ("" when
+  /// nothing dumped) — the black box to open when a graded property fails.
+  std::string postmortem_path;
+  /// SLO verdicts over this soak's counter deltas (DESIGN.md §13).
+  /// Report-only: printed alongside the graded properties but not part of
+  /// passed(), because a deliberately overloaded soak sheds by design.
+  std::vector<obs::SloVerdict> slo;
 
   // ---- graded properties ------------------------------------------------
   bool budget_ok = false;         ///< accounted peak <= budget

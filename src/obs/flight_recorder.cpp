@@ -1,0 +1,194 @@
+#include "obs/flight_recorder.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <sstream>
+#include <utility>
+
+#include "obs/sinks.hpp"
+#include "obs/span.hpp"
+#include "util/fileio.hpp"
+
+namespace lmpeel::obs {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(round_up_pow2(capacity < 2 ? 2 : capacity)),
+      slots_(std::make_unique<Slot[]>(capacity_)) {
+  const char* dir = std::getenv("LMPEEL_POSTMORTEM_DIR");
+  directory_ = (dir != nullptr && *dir != '\0') ? dir : ".";
+}
+
+FlightRecorder& FlightRecorder::global() {
+  // Deliberately leaked, same as Registry::global(): the terminate hook may
+  // run after static destructors.
+  static FlightRecorder* instance = new FlightRecorder();
+  return *instance;
+}
+
+void FlightRecorder::record(const TimelineEvent& event) noexcept {
+  const std::uint64_t ticket =
+      head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket & (capacity_ - 1)];
+  slot.seq.store(2 * ticket + 1, std::memory_order_release);
+  slot.kind.store(static_cast<std::uint8_t>(event.kind),
+                  std::memory_order_relaxed);
+  slot.trace.store(event.trace, std::memory_order_relaxed);
+  slot.ts_us.store(event.ts_us, std::memory_order_relaxed);
+  slot.value.store(event.value, std::memory_order_relaxed);
+  slot.tid.store(event.tid, std::memory_order_relaxed);
+  slot.seq.store(2 * ticket + 2, std::memory_order_release);
+}
+
+std::uint64_t FlightRecorder::recorded() const noexcept {
+  return head_.load(std::memory_order_relaxed);
+}
+
+std::vector<TimelineEvent> FlightRecorder::snapshot() const {
+  // Collect (ticket, event) pairs from slots whose sequence was stable and
+  // unchanged across the field reads, then sort by ticket so the postmortem
+  // reads oldest → newest.
+  std::vector<std::pair<std::uint64_t, TimelineEvent>> kept;
+  kept.reserve(capacity_);
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    const Slot& slot = slots_[i];
+    const std::uint64_t seq1 = slot.seq.load(std::memory_order_acquire);
+    if (seq1 == 0 || (seq1 & 1) != 0) continue;  // empty or mid-write
+    TimelineEvent event;
+    event.kind = static_cast<TimelineKind>(
+        slot.kind.load(std::memory_order_relaxed));
+    event.trace = slot.trace.load(std::memory_order_relaxed);
+    event.ts_us = slot.ts_us.load(std::memory_order_relaxed);
+    event.value = slot.value.load(std::memory_order_relaxed);
+    event.tid = slot.tid.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const std::uint64_t seq2 = slot.seq.load(std::memory_order_relaxed);
+    if (seq1 != seq2) continue;  // torn by a concurrent writer: drop
+    kept.emplace_back(seq1 / 2 - 1, event);
+  }
+  std::sort(kept.begin(), kept.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<TimelineEvent> out;
+  out.reserve(kept.size());
+  for (auto& [ticket, event] : kept) out.push_back(event);
+  return out;
+}
+
+std::string FlightRecorder::dump(std::string_view reason) noexcept {
+  try {
+    std::string path;
+    {
+      std::lock_guard lock(dump_mutex_);
+      const double t = now_us();
+      if (dumps_ >= max_dumps_) return "";
+      if (last_dump_us_ >= 0.0 &&
+          (t - last_dump_us_) < min_dump_gap_s_ * 1e6) {
+        return "";
+      }
+      last_dump_us_ = t;
+      ++dumps_;
+      std::ostringstream name;
+      name << directory_ << "/lmpeel-postmortem-" << ::getpid() << '-'
+           << dumps_ << '-';
+      for (const char c : reason) {
+        name << ((std::isalnum(static_cast<unsigned char>(c)) != 0) ? c
+                                                                    : '_');
+      }
+      name << ".jsonl";
+      path = name.str();
+    }
+    const std::vector<TimelineEvent> events = snapshot();
+    std::ostringstream out;
+    out << "{\"type\":\"postmortem\",\"reason\":\"" << json_escape(reason)
+        << "\",\"t_us\":" << now_us() << ",\"recorded\":" << recorded()
+        << ",\"events\":" << events.size() << "}\n";
+    for (const TimelineEvent& e : events) {
+      out << "{\"type\":\"timeline\",\"kind\":\""
+          << timeline_kind_name(e.kind) << "\",\"trace\":" << e.trace
+          << ",\"ts_us\":" << e.ts_us << ",\"value\":" << e.value
+          << ",\"tid\":" << e.tid << "}\n";
+    }
+    util::atomic_write_file(path, out.str());
+    {
+      std::lock_guard lock(dump_mutex_);
+      last_dump_path_ = path;
+    }
+    std::fprintf(stderr, "[lmpeel.obs] flight recorder dumped %zu events (%s) to %s\n",
+                 events.size(), std::string(reason).c_str(), path.c_str());
+    return path;
+  } catch (...) {
+    // A postmortem writer that throws into the failure path it is
+    // documenting would turn one incident into two.
+    return "";
+  }
+}
+
+std::string FlightRecorder::last_dump_path() const {
+  std::lock_guard lock(dump_mutex_);
+  return last_dump_path_;
+}
+
+void FlightRecorder::set_directory(std::string dir) {
+  std::lock_guard lock(dump_mutex_);
+  directory_ = std::move(dir);
+}
+
+std::string FlightRecorder::directory() const {
+  std::lock_guard lock(dump_mutex_);
+  return directory_;
+}
+
+void FlightRecorder::reset() noexcept {
+  // Not linearisable against concurrent record() — a test helper, not part
+  // of the hot-path contract.
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    slots_[i].seq.store(0, std::memory_order_relaxed);
+  }
+  head_.store(0, std::memory_order_relaxed);
+  std::lock_guard lock(dump_mutex_);
+  last_dump_path_.clear();
+  last_dump_us_ = -1.0;
+  dumps_ = 0;
+}
+
+void FlightRecorder::set_rate_limit(double min_gap_s,
+                                    std::uint64_t max_dumps) noexcept {
+  std::lock_guard lock(dump_mutex_);
+  min_dump_gap_s_ = min_gap_s;
+  max_dumps_ = max_dumps;
+}
+
+namespace {
+
+std::terminate_handler previous_terminate = nullptr;
+
+[[noreturn]] void terminate_with_postmortem() {
+  FlightRecorder::global().dump("terminate");
+  if (previous_terminate != nullptr) previous_terminate();
+  std::abort();
+}
+
+}  // namespace
+
+void FlightRecorder::install_terminate_hook() {
+  static bool installed = false;
+  if (installed) return;
+  installed = true;
+  previous_terminate = std::set_terminate(&terminate_with_postmortem);
+}
+
+}  // namespace lmpeel::obs

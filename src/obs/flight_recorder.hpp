@@ -1,0 +1,110 @@
+// Crash flight recorder (DESIGN.md §13): a fixed-capacity lock-free ring of
+// the most recent timeline events, always on, dumped to a postmortem file
+// when something goes wrong — the step watchdog fires, a circuit breaker
+// opens, an EngineError surfaces, a checkpoint is quarantined, or the
+// process reaches std::terminate.  The black box for soak/chaos runs: when a
+// graded exit fails, the postmortem holds the offending request's full
+// timeline even though tracing (LMPEEL_TRACE) was never enabled.
+//
+// Ring design (the part TSan watches): every slot field is a relaxed atomic
+// and each slot carries a seqlock-style sequence number.  A writer claims a
+// ticket with one fetch_add, stamps the slot's sequence to "writing"
+// (2*ticket+1, odd), stores the fields, then stamps "stable" (2*ticket+2,
+// even).  A snapshot reads the sequence, the fields, then the sequence
+// again, and drops the slot on any mismatch — a torn event is *detected and
+// discarded*, never undefined behaviour, because no field is ever accessed
+// non-atomically.  (A writer stalled across a full ring wrap can, in
+// theory, let a mixed event through two matching even sequences; for a
+// diagnostic ring holding thousands of events that window is acceptable.)
+//
+// Dumps are atomic (temp + rename, like every artifact writer in this repo)
+// and rate-limited so a flapping breaker cannot grind the scheduler thread
+// against the filesystem.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace_context.hpp"
+
+namespace lmpeel::obs {
+
+class FlightRecorder {
+ public:
+  /// `capacity` is rounded up to a power of two; default keeps roughly the
+  /// last few seconds of a busy engine (events are ~48 bytes each).
+  explicit FlightRecorder(std::size_t capacity = 8192);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Process-wide instance (never destroyed, so the std::terminate hook can
+  /// still dump after static destructors have started).
+  static FlightRecorder& global();
+
+  /// Appends `event`, overwriting the oldest once full.  Lock-free and
+  /// noexcept: safe from the scheduler thread, pool workers and signal-ish
+  /// contexts such as the terminate handler.
+  void record(const TimelineEvent& event) noexcept;
+
+  /// Events recorded so far (monotonic; exceeds capacity() once wrapped).
+  std::uint64_t recorded() const noexcept;
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Consistent copies of the surviving events, oldest first.  Slots being
+  /// written during the scan are dropped, not blocked on.
+  std::vector<TimelineEvent> snapshot() const;
+
+  /// Writes a postmortem JSONL file — a header line carrying `reason`, then
+  /// one line per surviving event — into directory() and returns its path.
+  /// Returns "" when suppressed by rate limiting (min_dump_gap_s between
+  /// dumps, and at most max_dumps per process) or when the write fails;
+  /// dumping must never throw into the failure path that triggered it.
+  std::string dump(std::string_view reason) noexcept;
+
+  /// Path of the most recent successful dump ("" when none yet) — what the
+  /// soak/chaos reports archive.
+  std::string last_dump_path() const;
+
+  /// Where dumps land.  Default: $LMPEEL_POSTMORTEM_DIR, else the working
+  /// directory.
+  void set_directory(std::string dir);
+  std::string directory() const;
+
+  /// Testing hooks: clear the ring / lift the per-process dump cap.
+  void reset() noexcept;
+  void set_rate_limit(double min_gap_s, std::uint64_t max_dumps) noexcept;
+
+  /// Installs a std::terminate handler (once) that dumps the global ring
+  /// with reason "terminate" before chaining to the previous handler.
+  static void install_terminate_hook();
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};  ///< 0 = empty, odd = writing
+    std::atomic<std::uint8_t> kind{0};
+    std::atomic<TraceId> trace{0};
+    std::atomic<double> ts_us{0.0};
+    std::atomic<double> value{0.0};
+    std::atomic<int> tid{0};
+  };
+
+  std::size_t capacity_;  ///< power of two
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> head_{0};  ///< next ticket
+
+  mutable std::mutex dump_mutex_;  ///< serialises dump bookkeeping only
+  std::string directory_;
+  std::string last_dump_path_;
+  double last_dump_us_ = -1.0;
+  std::uint64_t dumps_ = 0;
+  double min_dump_gap_s_ = 1.0;
+  std::uint64_t max_dumps_ = 64;
+};
+
+}  // namespace lmpeel::obs

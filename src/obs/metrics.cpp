@@ -4,17 +4,23 @@
 #include <limits>
 #include <mutex>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/sinks.hpp"
 #include "util/check.hpp"
 
 namespace lmpeel::obs {
 
 // Every instrumented module references Registry::global(), so linking any of
-// them pulls in this initialiser and the LMPEEL_TRACE environment switch
-// works without code changes in the binary being traced.
+// them pulls in this initialiser and the LMPEEL_TRACE / LMPEEL_STATS_JSON
+// environment switches (plus the flight recorder's terminate hook) work
+// without code changes in the binary being traced.
 namespace {
 struct TraceEnvInit {
-  TraceEnvInit() { init_trace_from_env(); }
+  TraceEnvInit() {
+    init_trace_from_env();
+    init_stats_publisher_from_env();
+    FlightRecorder::install_terminate_hook();
+  }
 };
 const TraceEnvInit trace_env_init{};
 }  // namespace
@@ -221,6 +227,16 @@ std::vector<TraceEvent> Registry::events() const {
   return events_;
 }
 
+void Registry::add_timeline(TimelineEvent event) {
+  std::lock_guard lock(events_mutex_);
+  timelines_.push_back(event);
+}
+
+std::vector<TimelineEvent> Registry::timelines() const {
+  std::lock_guard lock(events_mutex_);
+  return timelines_;
+}
+
 void Registry::reset() {
   {
     std::unique_lock lock(mutex_);
@@ -230,6 +246,7 @@ void Registry::reset() {
   }
   std::lock_guard lock(events_mutex_);
   events_.clear();
+  timelines_.clear();
 }
 
 }  // namespace lmpeel::obs

@@ -25,6 +25,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/trace_context.hpp"
+
 namespace lmpeel::obs {
 
 /// Monotonically increasing event count (tokens generated, trees fit, …).
@@ -155,6 +157,12 @@ class Registry {
   void add_event(TraceEvent event);
   std::vector<TraceEvent> events() const;
 
+  /// Request-lane instants (obs/trace_context.hpp).  Buffered under the
+  /// same events_enabled() switch as spans; obs::timeline() checks the
+  /// switch before calling, so disabled tracing costs nothing here.
+  void add_timeline(TimelineEvent event);
+  std::vector<TimelineEvent> timelines() const;
+
   /// Drops all metrics and buffered events (used between CLI subcommands
   /// and test cases; outstanding Counter/Gauge/Histogram references are
   /// invalidated).
@@ -169,6 +177,7 @@ class Registry {
   std::atomic<bool> events_on_{false};
   mutable std::mutex events_mutex_;
   std::vector<TraceEvent> events_;
+  std::vector<TimelineEvent> timelines_;
 };
 
 }  // namespace lmpeel::obs

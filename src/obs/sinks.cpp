@@ -1,11 +1,20 @@
 #include "obs/sinks.hpp"
 
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <iomanip>
+#include <map>
+#include <mutex>
 #include <ostream>
+#include <set>
 #include <sstream>
+#include <thread>
 
+#include "obs/slo.hpp"
+#include "obs/span.hpp"
 #include "util/check.hpp"
 #include "util/fileio.hpp"
 
@@ -18,6 +27,12 @@ std::string num(double v) {
   std::ostringstream os;
   os << std::setprecision(17) << v;
   return os.str();
+}
+
+/// JSON has no Infinity/NaN literals; emit null for non-finite values
+/// (an unbounded burn rate) so the payload stays parseable.
+std::string jnum(double v) {
+  return std::isfinite(v) ? num(v) : "null";
 }
 
 }  // namespace
@@ -48,22 +63,28 @@ std::string json_escape(std::string_view text) {
 
 util::Table summary_table(const Registry& registry) {
   util::Table table({"metric", "type", "count", "value", "mean_s", "p50_s",
-                     "p95_s", "p99_s", "max_s"});
+                     "p95_s", "p99_s", "min_s", "max_s", "oflow"});
   for (const auto& [name, value] : registry.counters()) {
     table.add_row({name, "counter", std::to_string(value),
-                   std::to_string(value), "-", "-", "-", "-", "-"});
+                   std::to_string(value), "-", "-", "-", "-", "-", "-",
+                   "-"});
   }
   for (const auto& [name, value] : registry.gauges()) {
     table.add_row({name, "gauge", "-", util::Table::num(value, 6), "-", "-",
-                   "-", "-", "-"});
+                   "-", "-", "-", "-", "-"});
   }
   for (const auto& [name, histogram] : registry.histograms()) {
+    // min/max are the exact recorded extremes (not bucket edges), and oflow
+    // counts samples past the last bound — together they expose when a p99
+    // is really "somewhere in the overflow bucket".
     table.add_row({name, "histogram", std::to_string(histogram->count()),
                    "-", util::Table::num(histogram->mean(), 4),
                    util::Table::num(histogram->percentile(0.50), 4),
                    util::Table::num(histogram->percentile(0.95), 4),
                    util::Table::num(histogram->percentile(0.99), 4),
-                   util::Table::num(histogram->max(), 4)});
+                   util::Table::num(histogram->min(), 4),
+                   util::Table::num(histogram->max(), 4),
+                   std::to_string(histogram->overflow())});
   }
   return table;
 }
@@ -91,6 +112,12 @@ void write_jsonl(const Registry& registry, std::ostream& out) {
         << "\",\"ts_us\":" << num(e.ts_us) << ",\"dur_us\":" << num(e.dur_us)
         << ",\"tid\":" << e.tid << ",\"depth\":" << e.depth << "}\n";
   }
+  for (const TimelineEvent& e : registry.timelines()) {
+    out << "{\"type\":\"timeline\",\"kind\":\""
+        << timeline_kind_name(e.kind) << "\",\"trace\":" << e.trace
+        << ",\"ts_us\":" << num(e.ts_us) << ",\"value\":" << num(e.value)
+        << ",\"tid\":" << e.tid << "}\n";
+  }
 }
 
 void write_chrome_trace(const Registry& registry, std::ostream& out) {
@@ -108,7 +135,72 @@ void write_chrome_trace(const Registry& registry, std::ostream& out) {
         << ",\"dur\":" << num(e.dur_us) << ",\"pid\":1,\"tid\":" << e.tid
         << ",\"args\":{\"depth\":" << e.depth << "}}";
   }
+  // Request lanes: pid 2 carries one thread per trace id, so Perfetto shows
+  // each request's life (enqueued → prefix_hit → prefill → decode ticks →
+  // retired) as a lane of instant events, regardless of which scheduler or
+  // pool thread did the work.
+  const std::vector<TimelineEvent> timelines = registry.timelines();
+  if (!timelines.empty()) {
+    out << ",\n{\"ph\":\"M\",\"pid\":2,\"tid\":0,\"name\":\"process_name\","
+           "\"args\":{\"name\":\"lmpeel requests\"}}";
+    std::set<TraceId> lanes;
+    for (const TimelineEvent& e : timelines) {
+      if (lanes.insert(e.trace).second) {
+        out << ",\n{\"ph\":\"M\",\"pid\":2,\"tid\":" << e.trace
+            << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+            << (e.trace == 0 ? "process" : "req " + std::to_string(e.trace))
+            << "\"}}";
+      }
+      out << ",\n{\"name\":\"" << timeline_kind_name(e.kind)
+          << "\",\"cat\":\"request\",\"ph\":\"i\",\"s\":\"t\",\"ts\":"
+          << num(e.ts_us) << ",\"pid\":2,\"tid\":" << e.trace
+          << ",\"args\":{\"value\":" << num(e.value) << ",\"thread\":"
+          << e.tid << "}}";
+    }
+  }
   out << "\n]}\n";
+}
+
+void write_stats_json(const Registry& registry,
+                      const std::vector<SloVerdict>& verdicts,
+                      std::ostream& out) {
+  out << "{\"t_s\":" << num(now_us() / 1e6) << ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : registry.counters()) {
+    out << (first ? "" : ",") << "\"" << json_escape(name)
+        << "\":" << value;
+    first = false;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : registry.gauges()) {
+    out << (first ? "" : ",") << "\"" << json_escape(name)
+        << "\":" << num(value);
+    first = false;
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : registry.histograms()) {
+    out << (first ? "" : ",") << "\"" << json_escape(name)
+        << "\":{\"count\":" << h->count() << ",\"sum\":" << num(h->sum())
+        << ",\"min\":" << num(h->min()) << ",\"max\":" << num(h->max())
+        << ",\"p50\":" << num(h->percentile(0.50))
+        << ",\"p95\":" << num(h->percentile(0.95))
+        << ",\"p99\":" << num(h->percentile(0.99))
+        << ",\"overflow\":" << h->overflow() << "}";
+    first = false;
+  }
+  out << "},\"slo\":[";
+  first = true;
+  for (const SloVerdict& v : verdicts) {
+    out << (first ? "" : ",") << "{\"name\":\"" << json_escape(v.name)
+        << "\",\"value\":" << jnum(v.value)
+        << ",\"threshold\":" << jnum(v.threshold) << ",\"bound\":\""
+        << (v.upper_bound ? "<=" : ">=") << "\",\"burn\":" << jnum(v.burn)
+        << ",\"ok\":" << (v.ok ? "true" : "false") << "}";
+    first = false;
+  }
+  out << "]}\n";
 }
 
 void write_trace_file(const Registry& registry, const std::string& path) {
@@ -151,6 +243,98 @@ void init_trace_from_env() {
   env_trace_path() = path;
   Registry::global().enable_events();
   std::atexit(&lmpeel_obs_flush_trace);
+}
+
+// ---- live stats publisher (`lmpeel top`'s data source) --------------------
+
+namespace {
+
+struct StatsPublisher {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::thread thread;
+  bool stop = false;
+  bool running = false;
+  std::string path;
+  int interval_ms = 500;
+};
+
+StatsPublisher& stats_publisher() {
+  // Leaked like the registry: atexit ordering vs. static destruction is
+  // otherwise a minefield.
+  static StatsPublisher* instance = new StatsPublisher();
+  return *instance;
+}
+
+void publish_stats_once(const std::string& path) {
+  std::ostringstream out;
+  out << "{\"type\":\"meta\",\"t_s\":" << num(now_us() / 1e6) << "}\n";
+  write_jsonl(Registry::global(), out);
+  try {
+    util::atomic_write_file(path, out.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[lmpeel.obs] stats publish failed: %s\n",
+                 e.what());
+  }
+}
+
+void stats_publisher_loop() {
+  StatsPublisher& pub = stats_publisher();
+  std::unique_lock lock(pub.mutex);
+  while (!pub.stop) {
+    const std::string path = pub.path;
+    const int interval = pub.interval_ms;
+    lock.unlock();
+    publish_stats_once(path);
+    lock.lock();
+    pub.cv.wait_for(lock, std::chrono::milliseconds(interval),
+                    [&] { return pub.stop; });
+  }
+}
+
+}  // namespace
+
+void start_stats_publisher(std::string path, int interval_ms) {
+  StatsPublisher& pub = stats_publisher();
+  std::lock_guard lock(pub.mutex);
+  if (pub.running) return;
+  pub.running = true;
+  pub.stop = false;
+  pub.path = std::move(path);
+  pub.interval_ms = interval_ms < 10 ? 10 : interval_ms;
+  pub.thread = std::thread(&stats_publisher_loop);
+}
+
+void stop_stats_publisher() {
+  StatsPublisher& pub = stats_publisher();
+  std::string path;
+  {
+    std::lock_guard lock(pub.mutex);
+    if (!pub.running) return;
+    pub.running = false;
+    pub.stop = true;
+    path = pub.path;
+  }
+  pub.cv.notify_all();
+  if (pub.thread.joinable()) pub.thread.join();
+  // One last snapshot so the file reflects the final counters even when the
+  // process exits between ticks.
+  publish_stats_once(path);
+}
+
+void init_stats_publisher_from_env() {
+  static bool initialized = false;
+  if (initialized) return;
+  initialized = true;
+  const char* path = std::getenv("LMPEEL_STATS_JSON");
+  if (path == nullptr || *path == '\0') return;
+  int interval_ms = 500;
+  if (const char* ms = std::getenv("LMPEEL_STATS_INTERVAL_MS")) {
+    const int parsed = std::atoi(ms);
+    if (parsed > 0) interval_ms = parsed;
+  }
+  start_stats_publisher(path, interval_ms);
+  std::atexit(&stop_stats_publisher);
 }
 
 }  // namespace lmpeel::obs

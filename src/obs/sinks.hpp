@@ -17,21 +17,36 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "util/table.hpp"
 
 namespace lmpeel::obs {
 
-/// Metric overview; latency columns are in seconds.
+struct SloVerdict;
+
+/// Metric overview; latency columns are in seconds.  Histogram rows include
+/// the exact recorded min/max and the overflow count (samples past the last
+/// bucket bound), so a skewed p99 is visible as such.
 util::Table summary_table(const Registry& registry);
 
-/// Streams metrics then span events, one JSON object per line.
+/// Streams metrics, span events and timeline events, one JSON object per
+/// line (the format MetricsSnapshot::parse_jsonl reads back).
 void write_jsonl(const Registry& registry, std::ostream& out);
 
 /// Writes {"traceEvents": [...]} with one complete ("ph":"X") event per
-/// buffered span, plus process/thread metadata events.
+/// buffered span on pid 1 (one lane per thread), plus one instant ("ph":"i")
+/// event per timeline entry on pid 2 — one lane per request, labelled
+/// "req <trace>" — so Perfetto shows enqueued → prefix_hit → prefill →
+/// decode ticks → retired per request.
 void write_chrome_trace(const Registry& registry, std::ostream& out);
+
+/// One JSON object: {"t_s":…,"counters":{…},"gauges":{…},"histograms":{…},
+/// "slo":[…]} — the machine-readable `lmpeel stats --json` payload.
+void write_stats_json(const Registry& registry,
+                      const std::vector<SloVerdict>& verdicts,
+                      std::ostream& out);
 
 /// Convenience: opens `path` and writes the sink chosen by its extension
 /// (".jsonl" → JSONL, anything else → Chrome trace).  Throws on I/O failure.
@@ -41,6 +56,17 @@ void write_trace_file(const Registry& registry, const std::string& path);
 /// static initialiser inside the obs library, but safe (and idempotent) to
 /// call manually.
 void init_trace_from_env();
+
+/// Live stats stream for `lmpeel top`: a background thread that rewrites
+/// `path` (atomic temp + rename) every `interval_ms` with a meta line
+/// ({"type":"meta","t_s":…}) followed by the write_jsonl() stream, so
+/// another process always reads a complete, current snapshot.
+void start_stats_publisher(std::string path, int interval_ms = 500);
+/// Publishes one final snapshot and joins the thread.  Idempotent.
+void stop_stats_publisher();
+/// Wires LMPEEL_STATS_JSON=<path> (interval from LMPEEL_STATS_INTERVAL_MS,
+/// default 500); no-op when unset.  Idempotent, called at static init.
+void init_stats_publisher_from_env();
 
 /// Escapes a string for embedding in a JSON string literal (exposed for
 /// tests and other emitters).

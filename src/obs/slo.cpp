@@ -1,0 +1,240 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace lmpeel::obs {
+
+namespace {
+
+// Minimal field extraction for the line-oriented JSON this repo's own sinks
+// emit ({"key":value,...}, one object per line, no nesting).  Not a general
+// JSON parser and not meant to be one.
+bool extract_number(std::string_view line, std::string_view key,
+                    double& out) {
+  std::string pattern;
+  pattern.reserve(key.size() + 3);
+  pattern.push_back('"');
+  pattern.append(key);
+  pattern.append("\":");
+  const auto pos = line.find(pattern);
+  if (pos == std::string_view::npos) return false;
+  const char* begin = line.data() + pos + pattern.size();
+  char* end = nullptr;
+  const double v = std::strtod(begin, &end);
+  if (end == begin) return false;
+  out = v;
+  return true;
+}
+
+bool extract_string(std::string_view line, std::string_view key,
+                    std::string& out) {
+  std::string pattern;
+  pattern.reserve(key.size() + 4);
+  pattern.push_back('"');
+  pattern.append(key);
+  pattern.append("\":\"");
+  const auto pos = line.find(pattern);
+  if (pos == std::string_view::npos) return false;
+  const auto start = pos + pattern.size();
+  const auto quote = line.find('"', start);
+  if (quote == std::string_view::npos) return false;
+  out.assign(line.substr(start, quote - start));
+  return true;
+}
+
+SloVerdict make_verdict(std::string name, double value, double threshold,
+                        bool upper_bound) {
+  SloVerdict v;
+  v.name = std::move(name);
+  v.value = value;
+  v.threshold = threshold;
+  v.upper_bound = upper_bound;
+  if (upper_bound) {
+    v.ok = value <= threshold;
+    v.burn = threshold > 0.0
+                 ? value / threshold
+                 : (value > 0.0 ? std::numeric_limits<double>::infinity()
+                                : 0.0);
+  } else {
+    v.ok = value >= threshold;
+    v.burn = value > 0.0
+                 ? threshold / value
+                 : (threshold > 0.0 ? std::numeric_limits<double>::infinity()
+                                    : 0.0);
+  }
+  return v;
+}
+
+struct ServeTotals {
+  double submitted = 0.0;
+  double errors = 0.0;
+  double shed = 0.0;
+  double decode_tokens = 0.0;
+  double step_seconds = 0.0;
+};
+
+ServeTotals totals_of(const MetricsSnapshot& snap) {
+  ServeTotals t;
+  t.submitted = snap.counter("serve.requests_submitted");
+  t.errors = snap.counter("serve.retired.engine_error");
+  t.shed = snap.counter("serve.retired.shed");
+  t.decode_tokens = snap.counter("lm.transformer.decode_tokens");
+  if (const auto* step = snap.histogram("serve.step")) {
+    t.step_seconds = step->sum;
+  }
+  return t;
+}
+
+std::vector<SloVerdict> grade(const ServeTotals& t, double ttft_p99,
+                              const SloOptions& opts) {
+  std::vector<SloVerdict> out;
+  if (t.submitted <= 0.0) return out;  // no serve traffic: nothing to grade
+  out.push_back(
+      make_verdict("ttft_p99_s", ttft_p99, opts.ttft_p99_s, true));
+  if (t.step_seconds > 0.0) {
+    out.push_back(make_verdict("decode_tok_s",
+                               t.decode_tokens / t.step_seconds,
+                               opts.min_decode_tok_s, false));
+  }
+  out.push_back(make_verdict("error_rate", t.errors / t.submitted,
+                             opts.max_error_rate, true));
+  out.push_back(make_verdict("shed_rate", t.shed / t.submitted,
+                             opts.max_shed_rate, true));
+  return out;
+}
+
+}  // namespace
+
+MetricsSnapshot MetricsSnapshot::from_registry(const Registry& registry) {
+  MetricsSnapshot snap;
+  snap.t_s = now_us() / 1e6;
+  for (const auto& [name, value] : registry.counters()) {
+    snap.counters[name] = static_cast<double>(value);
+  }
+  for (const auto& [name, value] : registry.gauges()) {
+    snap.gauges[name] = value;
+  }
+  for (const auto& [name, h] : registry.histograms()) {
+    HistStats s;
+    s.count = static_cast<double>(h->count());
+    s.sum = h->sum();
+    s.min = h->min();
+    s.max = h->max();
+    s.p50 = h->percentile(0.50);
+    s.p95 = h->percentile(0.95);
+    s.p99 = h->percentile(0.99);
+    s.overflow = static_cast<double>(h->overflow());
+    snap.histograms[name] = s;
+  }
+  return snap;
+}
+
+bool MetricsSnapshot::parse_jsonl(std::string_view text,
+                                  MetricsSnapshot& out) {
+  out = MetricsSnapshot{};
+  std::size_t parsed = 0;
+  std::size_t begin = 0;
+  while (begin < text.size()) {
+    auto end = text.find('\n', begin);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(begin, end - begin);
+    begin = end + 1;
+    std::string type;
+    if (!extract_string(line, "type", type)) continue;
+    if (type == "meta") {
+      extract_number(line, "t_s", out.t_s);
+      ++parsed;
+    } else if (type == "counter" || type == "gauge") {
+      std::string name;
+      double value = 0.0;
+      if (!extract_string(line, "name", name) ||
+          !extract_number(line, "value", value)) {
+        continue;
+      }
+      (type == "counter" ? out.counters : out.gauges)[name] = value;
+      ++parsed;
+    } else if (type == "histogram") {
+      std::string name;
+      if (!extract_string(line, "name", name)) continue;
+      HistStats s;
+      extract_number(line, "count", s.count);
+      extract_number(line, "sum", s.sum);
+      extract_number(line, "min", s.min);
+      extract_number(line, "max", s.max);
+      extract_number(line, "p50", s.p50);
+      extract_number(line, "p95", s.p95);
+      extract_number(line, "p99", s.p99);
+      extract_number(line, "overflow", s.overflow);
+      out.histograms[name] = s;
+      ++parsed;
+    }
+  }
+  return parsed > 0;
+}
+
+double MetricsSnapshot::counter(const std::string& name) const noexcept {
+  const auto it = counters.find(name);
+  return it == counters.end() ? 0.0 : it->second;
+}
+
+double MetricsSnapshot::gauge(const std::string& name) const noexcept {
+  const auto it = gauges.find(name);
+  return it == gauges.end() ? 0.0 : it->second;
+}
+
+const MetricsSnapshot::HistStats* MetricsSnapshot::histogram(
+    const std::string& name) const noexcept {
+  const auto it = histograms.find(name);
+  return it == histograms.end() ? nullptr : &it->second;
+}
+
+void SloMonitor::observe(MetricsSnapshot snapshot) {
+  window_.push_back(std::move(snapshot));
+  const double horizon = window_.back().t_s - options_.window_s;
+  while (window_.size() > 1 && window_.front().t_s < horizon) {
+    window_.pop_front();
+  }
+}
+
+std::vector<SloVerdict> SloMonitor::verdicts() const {
+  if (window_.size() < 2) return {};
+  const MetricsSnapshot& oldest = window_.front();
+  const MetricsSnapshot& newest = window_.back();
+  const ServeTotals a = totals_of(oldest);
+  const ServeTotals b = totals_of(newest);
+  ServeTotals delta;
+  delta.submitted = std::max(0.0, b.submitted - a.submitted);
+  delta.errors = std::max(0.0, b.errors - a.errors);
+  delta.shed = std::max(0.0, b.shed - a.shed);
+  delta.decode_tokens = std::max(0.0, b.decode_tokens - a.decode_tokens);
+  delta.step_seconds = std::max(0.0, b.step_seconds - a.step_seconds);
+  double ttft_p99 = 0.0;
+  if (const auto* h = newest.histogram("serve.ttft_s")) ttft_p99 = h->p99;
+  return grade(delta, ttft_p99, options_);
+}
+
+std::vector<SloVerdict> SloMonitor::evaluate(const MetricsSnapshot& snapshot,
+                                             const SloOptions& options) {
+  double ttft_p99 = 0.0;
+  if (const auto* h = snapshot.histogram("serve.ttft_s")) ttft_p99 = h->p99;
+  return grade(totals_of(snapshot), ttft_p99, options);
+}
+
+util::Table SloMonitor::verdict_table(
+    const std::vector<SloVerdict>& verdicts) {
+  util::Table table({"slo", "value", "threshold", "bound", "burn", "ok"});
+  for (const SloVerdict& v : verdicts) {
+    table.add_row({v.name, util::Table::num(v.value, 4),
+                   util::Table::num(v.threshold, 4),
+                   v.upper_bound ? "<=" : ">=", util::Table::num(v.burn, 3),
+                   v.ok ? "yes" : "NO"});
+  }
+  return table;
+}
+
+}  // namespace lmpeel::obs

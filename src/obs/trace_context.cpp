@@ -1,0 +1,74 @@
+#include "obs/trace_context.hpp"
+
+#include <atomic>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace lmpeel::obs {
+
+namespace {
+
+std::atomic<TraceId> next_trace{1};
+thread_local TraceId tl_trace = 0;
+
+}  // namespace
+
+TraceId mint_trace_id() noexcept {
+  return next_trace.fetch_add(1, std::memory_order_relaxed);
+}
+
+TraceId current_trace_id() noexcept { return tl_trace; }
+
+TraceScope::TraceScope(TraceId trace) noexcept : previous_(tl_trace) {
+  tl_trace = trace;
+}
+
+TraceScope::~TraceScope() { tl_trace = previous_; }
+
+std::string_view timeline_kind_name(TimelineKind kind) noexcept {
+  switch (kind) {
+    case TimelineKind::Enqueued: return "enqueued";
+    case TimelineKind::Admitted: return "admitted";
+    case TimelineKind::Rejected: return "rejected";
+    case TimelineKind::PrefixHit: return "prefix_hit";
+    case TimelineKind::PrefixMiss: return "prefix_miss";
+    case TimelineKind::Prefill: return "prefill";
+    case TimelineKind::DecodeTick: return "decode_tick";
+    case TimelineKind::Shed: return "shed";
+    case TimelineKind::Retired: return "retired";
+    case TimelineKind::Retry: return "retry";
+    case TimelineKind::Watchdog: return "watchdog";
+    case TimelineKind::BreakerOpen: return "breaker_open";
+    case TimelineKind::EngineFault: return "engine_fault";
+    case TimelineKind::CampaignIter: return "campaign_iter";
+    case TimelineKind::Quarantine: return "quarantine";
+  }
+  return "unknown";
+}
+
+void timeline(TimelineKind kind, TraceId trace, double value) noexcept {
+  timeline(Registry::global(), kind, trace, value);
+}
+
+void timeline(Registry& registry, TimelineKind kind, TraceId trace,
+              double value) noexcept {
+  TimelineEvent event;
+  event.kind = kind;
+  event.trace = trace;
+  event.ts_us = now_us();
+  event.value = value;
+  event.tid = current_thread_id();
+  FlightRecorder::global().record(event);
+  if (registry.events_enabled()) {
+    try {
+      registry.add_timeline(event);
+    } catch (...) {
+      // Buffer growth can throw under memory pressure; tracing must never
+      // take the serving path down with it.
+    }
+  }
+}
+
+}  // namespace lmpeel::obs

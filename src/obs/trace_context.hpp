@@ -1,0 +1,100 @@
+// Request-scoped tracing (DESIGN.md §13).
+//
+// PR 1's spans answer "where does wall time go, per thread"; a serving stack
+// needs the orthogonal cut: "what happened to request N, across threads".
+// A TraceId is minted once per request at serve::Engine::submit and rides the
+// request through the admission queue, the batched decoder, the prefix
+// cache, retries and campaign iterations.  Each stage appends a typed
+// TimelineEvent keyed by that id, so the Chrome-trace sink can render one
+// lane per request (pid 2, tid = trace id) next to the per-thread span lanes
+// (pid 1), and the flight recorder keeps the most recent events for
+// postmortems.
+//
+// Propagation uses a thread-local (TraceScope) rather than threading the id
+// through every layer's API: the scheduler thread sets the scope around
+// per-request work (prefill, prefix-cache acquire), and leaf code such as
+// cache::PrefixCache::acquire tags its events with current_trace_id()
+// without knowing about serve at all.
+//
+// Cost contract: when event collection is disabled (no LMPEEL_TRACE), a
+// timeline() call is one relaxed atomic ticket fetch_add plus a handful of
+// relaxed stores into the flight-recorder ring — no locks, no allocation —
+// cheap enough for per-token DecodeTick events.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace lmpeel::obs {
+
+class Registry;
+
+/// Process-unique request identity; 0 means "no trace" (code running outside
+/// any request, e.g. registry warm-up or harness threads).
+using TraceId = std::uint64_t;
+
+/// Mints the next TraceId (1, 2, …); thread-safe.
+TraceId mint_trace_id() noexcept;
+
+/// The trace id bound to the calling thread by the innermost TraceScope
+/// (0 when none).
+TraceId current_trace_id() noexcept;
+
+/// Binds `trace` to the calling thread for the scope's lifetime and restores
+/// the previous binding on exit, so nested scopes (a retry resubmitting
+/// under a campaign iteration) compose.
+class TraceScope {
+ public:
+  explicit TraceScope(TraceId trace) noexcept;
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  TraceId previous_;
+};
+
+/// What happened to a request at one instant.  Values are stable across
+/// versions only by name (timeline_kind_name), not by integer.
+enum class TimelineKind : std::uint8_t {
+  Enqueued = 0,    ///< accepted into the admission queue
+  Admitted,        ///< popped into a decode slot; value = queue wait (s)
+  Rejected,        ///< refused at submit or admission; value = status code
+  PrefixHit,       ///< prefix-cache hit; value = reused (matched) tokens
+  PrefixMiss,      ///< prefix-cache miss for this prompt
+  Prefill,         ///< prompt forward done; value = prefilled tokens
+  DecodeTick,      ///< one token emitted; value = tokens generated so far
+  Shed,            ///< dropped by the overload policy; value = priority
+  Retired,         ///< left the engine; value = status code
+  Retry,           ///< client resubmitted; value = attempt number
+  Watchdog,        ///< step watchdog fired; value = step seconds
+  BreakerOpen,     ///< circuit breaker tripped open (trace = 0: route-wide)
+  EngineFault,     ///< contained decoder fault surfaced as EngineError
+  CampaignIter,    ///< LLAMBO iteration finished; value = iteration index
+  Quarantine,      ///< checkpoint quarantined (trace = 0: process-wide)
+};
+
+/// Stable lower-snake name ("prefix_hit", "decode_tick", …) used by every
+/// sink and the postmortem format.
+std::string_view timeline_kind_name(TimelineKind kind) noexcept;
+
+/// One instant on a request's lane.  Plain data, fixed size, so the flight
+/// recorder can hold it in an atomic ring without allocation.
+struct TimelineEvent {
+  TimelineKind kind = TimelineKind::Enqueued;
+  TraceId trace = 0;    ///< lane key; 0 = process-scoped event
+  double ts_us = 0.0;   ///< microseconds on the obs::now_us epoch
+  double value = 0.0;   ///< kind-specific payload (see TimelineKind)
+  int tid = 0;          ///< thread that emitted it (obs::current_thread_id)
+};
+
+/// Emits an event on `trace`'s lane: always into the flight recorder
+/// (lock-free), and additionally into the registry's timeline buffer when
+/// event collection is enabled (LMPEEL_TRACE), where the sinks pick it up.
+void timeline(TimelineKind kind, TraceId trace, double value = 0.0) noexcept;
+
+/// Same, into an explicit registry (tests inject their own).
+void timeline(Registry& registry, TimelineKind kind, TraceId trace,
+              double value = 0.0) noexcept;
+
+}  // namespace lmpeel::obs

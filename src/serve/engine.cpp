@@ -8,8 +8,10 @@
 #include "lm/language_model.hpp"
 #include "lm/sampler.hpp"
 #include "lm/trace.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "obs/trace_context.hpp"
 #include "tok/vocab.hpp"
 #include "util/check.hpp"
 
@@ -75,7 +77,13 @@ Engine::Engine(BatchDecoder& decoder, EngineConfig config)
   LMPEEL_CHECK_MSG(config_.max_batch > 0, "max_batch must be >= 1");
   LMPEEL_CHECK_MSG(config_.queue_capacity > 0, "queue_capacity must be >= 1");
   config_.max_batch = std::min(config_.max_batch, decoder_->slots());
-  if (config_.budget != nullptr) decoder_->bind_budget(config_.budget);
+  if (config_.budget != nullptr) {
+    decoder_->bind_budget(config_.budget);
+    // Publish the limit alongside guard.reserved_bytes so headroom is
+    // computable from a metrics snapshot alone (`lmpeel top`).
+    obs::Registry::global().gauge("guard.limit_bytes")
+        .set(static_cast<double>(config_.budget->limit()));
+  }
   free_slots_.reserve(config_.max_batch);
   // Highest slot index on top so slots are handed out in 0,1,2,… order.
   for (std::size_t s = config_.max_batch; s > 0; --s) {
@@ -94,6 +102,9 @@ std::future<ServeResult> Engine::submit(Request request) {
   std::promise<ServeResult> promise;
   std::future<ServeResult> future = promise.get_future();
   obs::Registry::global().counter("serve.requests_submitted").add();
+  // Trace identity is born here (unless the client minted one to tie retry
+  // attempts together); everything downstream tags this lane.
+  if (request.trace == 0) request.trace = obs::mint_trace_id();
 
   // Every refusal decision happens under the queue lock, in one fixed
   // precedence order: ShutDown > DeadlineExpired > PromptTooLong > queue
@@ -105,17 +116,17 @@ std::future<ServeResult> Engine::submit(Request request) {
   {
     std::lock_guard lock(mutex_);
     if (stopping_) {
-      reject(promise, RequestStatus::ShutDown, now);
+      reject(promise, RequestStatus::ShutDown, now, request.trace);
       return future;
     }
     if (now > request.deadline) {
-      reject(promise, RequestStatus::DeadlineExpired, now);
+      reject(promise, RequestStatus::DeadlineExpired, now, request.trace);
       return future;
     }
     const std::size_t window = decoder_->max_sequence_length();
     if (window != 0 &&
         request.prompt.size() + request.options.max_tokens > window) {
-      reject(promise, RequestStatus::PromptTooLong, now);
+      reject(promise, RequestStatus::PromptTooLong, now, request.trace);
       return future;
     }
     if (queue_.size() >= config_.queue_capacity) {
@@ -134,17 +145,20 @@ std::future<ServeResult> Engine::submit(Request request) {
         victim = std::move(queue_[lowest]);
         queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(lowest));
       } else {
-        reject(promise, RequestStatus::QueueFull, now);
+        reject(promise, RequestStatus::QueueFull, now, request.trace);
         return future;
       }
     }
+    obs::timeline(obs::TimelineKind::Enqueued, request.trace,
+                  static_cast<double>(request.priority));
     queue_.push_back(Queued{std::move(request), std::move(promise), now});
     obs::Registry::global().gauge("serve.queue_depth")
         .set(static_cast<double>(queue_.size()));
   }
   if (victim.has_value()) {
-    note_shed(victim->request.priority);
-    reject(victim->promise, RequestStatus::Shed, victim->submitted);
+    note_shed(victim->request.priority, victim->request.trace);
+    reject(victim->promise, RequestStatus::Shed, victim->submitted,
+           victim->request.trace);
   }
   cv_.notify_one();
   return future;
@@ -166,10 +180,12 @@ bool Engine::accepting() const {
 }
 
 void Engine::reject(std::promise<ServeResult>& promise, RequestStatus status,
-                    Clock::time_point submitted) {
+                    Clock::time_point submitted, obs::TraceId trace) {
   obs::Registry::global()
       .counter(std::string("serve.rejected.") + status_name(status))
       .add();
+  obs::timeline(obs::TimelineKind::Rejected, trace,
+                static_cast<double>(status));
   ServeResult result;
   result.status = status;
   result.total_s = seconds_since(submitted, Clock::now());
@@ -206,6 +222,7 @@ void Engine::scheduler_loop() {
     } catch (...) {
       obs::Registry::global().counter("serve.scheduler_tick_error").add();
       fail_all_active(RequestStatus::EngineError);
+      obs::FlightRecorder::global().dump("engine_error");
     }
   }
 }
@@ -232,10 +249,12 @@ std::size_t Engine::estimate_cost(const Request& request,
   return tokens * decoder_->bytes_per_token() + 3 * vocab * sizeof(float);
 }
 
-void Engine::note_shed(Priority priority) {
+void Engine::note_shed(Priority priority, obs::TraceId trace) {
   obs::Registry::global()
       .counter(std::string("guard.shed.") + priority_name(priority))
       .add();
+  obs::timeline(obs::TimelineKind::Shed, trace,
+                static_cast<double>(priority));
 }
 
 bool Engine::reserve_with_eviction(std::size_t cost, Priority priority) {
@@ -252,7 +271,7 @@ bool Engine::reserve_with_eviction(std::size_t cost, Priority priority) {
   // or no Batch work remains.
   for (std::size_t i = active_.size(); i > 0; --i) {
     if (active_[i - 1].request.priority != Priority::Batch) continue;
-    note_shed(Priority::Batch);
+    note_shed(Priority::Batch, active_[i - 1].request.trace);
     retire(i - 1, RequestStatus::Shed);
     if (budget.try_reserve(cost)) return true;
   }
@@ -273,18 +292,26 @@ void Engine::admit(std::vector<float>& logits_scratch) {
       reg.gauge("serve.queue_depth").set(static_cast<double>(queue_.size()));
     }
     if (draining) {
-      reject(queued.promise, RequestStatus::ShutDown, queued.submitted);
+      reject(queued.promise, RequestStatus::ShutDown, queued.submitted,
+             queued.request.trace);
       continue;
     }
     if (queued.request.cancel && queued.request.cancel->load()) {
-      reject(queued.promise, RequestStatus::Cancelled, queued.submitted);
+      reject(queued.promise, RequestStatus::Cancelled, queued.submitted,
+             queued.request.trace);
       continue;
     }
     const Clock::time_point now = Clock::now();
     if (now > queued.request.deadline) {
-      reject(queued.promise, RequestStatus::DeadlineExpired, queued.submitted);
+      reject(queued.promise, RequestStatus::DeadlineExpired, queued.submitted,
+             queued.request.trace);
       continue;
     }
+
+    // Per-request work below (prefix pinning, prefill) runs under this
+    // request's trace scope so leaf layers — the prefix cache, the
+    // transformer — tag their events onto the right lane.
+    obs::TraceScope trace_scope(queued.request.trace);
 
     // ---- cost-aware admission (DESIGN.md §11/§12) ----------------------
     std::size_t cost = 0;
@@ -307,8 +334,9 @@ void Engine::admit(std::vector<float>& logits_scratch) {
         // already blown the queue-latency SLO.
         if (queued.request.priority == Priority::Batch || active_.empty() ||
             over_slo) {
-          note_shed(queued.request.priority);
-          reject(queued.promise, RequestStatus::Shed, queued.submitted);
+          note_shed(queued.request.priority, queued.request.trace);
+          reject(queued.promise, RequestStatus::Shed, queued.submitted,
+                 queued.request.trace);
           continue;
         }
         // In-flight work will release budget as it retires: park the
@@ -334,8 +362,10 @@ void Engine::admit(std::vector<float>& logits_scratch) {
     // Same sampling stream as lm::generate: Rng(seed, 0x5a3c), model
     // reseeded via decoder.start before the prefill.
     active.rng = util::Rng(active.request.options.seed, /*stream=*/0x5a3c);
-    reg.histogram("serve.queue_wait_s")
-        .record(seconds_since(active.submitted, now));
+    const double queue_wait_s = seconds_since(active.submitted, now);
+    reg.histogram("serve.queue_wait_s").record(queue_wait_s);
+    obs::timeline(obs::TimelineKind::Admitted, active.request.trace,
+                  queue_wait_s);
 
     // Prefill + first sample are containment-scoped per request: a decoder
     // fault here poisons only this slot, so fail this request and keep
@@ -349,6 +379,8 @@ void Engine::admit(std::vector<float>& logits_scratch) {
                         active.request.options.seed, logits_scratch,
                         active.request.shared_prefix_tokens);
       }
+      obs::timeline(obs::TimelineKind::Prefill, active.request.trace,
+                    static_cast<double>(active.request.prompt.size()));
       outcome = sample_and_record(active, logits_scratch);
     } catch (...) {
       try {
@@ -364,7 +396,10 @@ void Engine::admit(std::vector<float>& logits_scratch) {
         config_.budget->release(active.reserved_bytes);
       }
       note_engine_error();
-      reject(active.promise, RequestStatus::EngineError, active.submitted);
+      obs::timeline(obs::TimelineKind::EngineFault, active.request.trace);
+      obs::FlightRecorder::global().dump("engine_error");
+      reject(active.promise, RequestStatus::EngineError, active.submitted,
+             active.request.trace);
       continue;
     }
     active_.push_back(std::move(active));
@@ -408,11 +443,13 @@ void Engine::step_active(lm::Tensor& logits) {
     // slot is unknown, so no sequence in the batch can continue.  Fail the
     // batch, keep the process (and the queue) alive.
     fail_all_active(RequestStatus::EngineError);
+    obs::FlightRecorder::global().dump("engine_error");
     return;
   }
   const double step_s = seconds_since(step_begin, Clock::now());
 
   // Retire back to front so earlier indices stay valid.
+  bool watchdog_fired = false;
   for (std::size_t i = active_.size(); i > 0; --i) {
     Active& a = active_[i - 1];
     // Watchdog: a step that blew this request's latency budget means the
@@ -423,6 +460,8 @@ void Engine::step_active(lm::Tensor& logits) {
                               : config_.step_budget_s;
     if (budget > 0.0 && step_s > budget) {
       reg.counter("serve.step_overrun").add();
+      obs::timeline(obs::TimelineKind::Watchdog, a.request.trace, step_s);
+      watchdog_fired = true;
       retire(i - 1, RequestStatus::EngineError);
       continue;
     }
@@ -434,6 +473,9 @@ void Engine::step_active(lm::Tensor& logits) {
         break;
     }
   }
+  // Dump after the retire sweep so the postmortem carries each victim's
+  // complete lane: enqueued → … → watchdog → retired.
+  if (watchdog_fired) obs::FlightRecorder::global().dump("watchdog");
 }
 
 Engine::SampleOutcome Engine::sample_and_record(
@@ -460,6 +502,8 @@ Engine::SampleOutcome Engine::sample_and_record(
   active.generation.tokens.push_back(token);
   active.last_token = token;
   obs::Registry::global().counter("serve.tokens_generated").add();
+  obs::timeline(obs::TimelineKind::DecodeTick, active.request.trace,
+                static_cast<double>(active.generation.tokens.size()));
   if (active.generation.tokens.size() == options.max_tokens) {
     active.generation.hit_max_tokens = true;
     return SampleOutcome::Finished;
@@ -493,6 +537,8 @@ void Engine::retire(std::size_t index, RequestStatus status) {
   obs::Registry::global()
       .counter(std::string("serve.retired.") + status_name(status))
       .add();
+  obs::timeline(obs::TimelineKind::Retired, active.request.trace,
+                static_cast<double>(status));
   active.promise.set_value(std::move(result));
 }
 

@@ -150,8 +150,9 @@ class Engine {
   /// Batch-priority work (retired with Shed) to make room when `priority`
   /// outranks it.  Returns false when the reservation still cannot fit.
   bool reserve_with_eviction(std::size_t cost, Priority priority);
-  /// Bumps the per-class guard.shed.* counter.
-  static void note_shed(Priority priority);
+  /// Bumps the per-class guard.shed.* counter and marks the shed on the
+  /// request's timeline lane.
+  static void note_shed(Priority priority, obs::TraceId trace);
   /// Fault containment: retires every in-flight sequence with `status`.
   /// Used when a batched decoder step throws — the decoder state of the
   /// involved slots is unknown, so none of them can safely continue.
@@ -159,7 +160,7 @@ class Engine {
   /// Bumps the EngineError health counter and obs metric.
   void note_engine_error();
   static void reject(std::promise<ServeResult>& promise, RequestStatus status,
-                     Clock::time_point submitted);
+                     Clock::time_point submitted, obs::TraceId trace);
 
   BatchDecoder* decoder_;
   EngineConfig config_;

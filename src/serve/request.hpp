@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "lm/generate.hpp"
+#include "obs/trace_context.hpp"
 
 namespace lmpeel::serve {
 
@@ -49,6 +50,10 @@ struct Request {
   double step_budget_s = 0.0;
   /// Scheduling class under overload; see Priority.
   Priority priority = Priority::Normal;
+  /// Request-scoped trace id (DESIGN.md §13).  0 = mint one at submit; a
+  /// client that resubmits (RetryClient) mints once up front so every
+  /// attempt lands on the same timeline lane.
+  obs::TraceId trace = 0;
   /// Shared-prefix hint (DESIGN.md §12): the first this-many prompt tokens
   /// are shared with sibling requests (e.g. the LLAMBO ICL block), so the
   /// decoder's prefix cache stores exactly that prefix — inserted once per

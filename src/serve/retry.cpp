@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/trace_context.hpp"
 #include "util/check.hpp"
 
 namespace lmpeel::serve {
@@ -34,6 +35,9 @@ double RetryClient::backoff_delay_s(std::size_t retry) {
 
 ServeResult RetryClient::generate(Request request) {
   obs::Registry& reg = obs::Registry::global();
+  // Mint the trace here (not per submit) so every attempt of this call —
+  // including breaker refusals the engine never sees — shares one lane.
+  if (request.trace == 0) request.trace = obs::mint_trace_id();
   ServeResult result;
   bool submitted = false;
   for (std::size_t attempt = 0;; ++attempt) {
@@ -44,6 +48,8 @@ ServeResult RetryClient::generate(Request request) {
       if (!submitted) {
         result.status = RequestStatus::BreakerOpen;
         reg.counter("serve.rejected.breaker_open").add();
+        obs::timeline(obs::TimelineKind::Rejected, request.trace,
+                      static_cast<double>(RequestStatus::BreakerOpen));
       }
       return result;
     }
@@ -66,6 +72,8 @@ ServeResult RetryClient::generate(Request request) {
     reg.counter("serve.retry").add();
     reg.counter(std::string("serve.retry.") + status_name(result.status))
         .add();
+    obs::timeline(obs::TimelineKind::Retry, request.trace,
+                  static_cast<double>(attempt + 1));
     if (delay_s > 0.0) {
       std::this_thread::sleep_for(std::chrono::duration<double>(delay_s));
     }

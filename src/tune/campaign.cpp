@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/span.hpp"
+#include "obs/trace_context.hpp"
 #include "tune/checkpoint.hpp"
 #include "util/check.hpp"
 
@@ -29,6 +31,11 @@ CampaignResult run_campaign(Tuner& tuner, const perf::Syr2kModel& model,
                             const CampaignOptions& options) {
   LMPEEL_CHECK(options.budget > 0);
   obs::Span span("tune.campaign");
+  // The campaign gets a lane of its own: iteration marks land on it, and
+  // any request-free leaf work (prefix-cache probes from the LLAMBO tuner's
+  // own thread) tags this id instead of 0.
+  const obs::TraceId campaign_trace = obs::mint_trace_id();
+  obs::TraceScope campaign_scope(campaign_trace);
   obs::Registry& registry = obs::Registry::global();
   const perf::ConfigSpace space;
   CampaignResult result;
@@ -55,6 +62,8 @@ CampaignResult run_campaign(Tuner& tuner, const perf::Syr2kModel& model,
       std::remove(quarantine.c_str());
       std::rename(ckpt.path.c_str(), quarantine.c_str());
       registry.counter("tune.checkpoint_quarantined").add();
+      obs::timeline(obs::TimelineKind::Quarantine, campaign_trace);
+      obs::FlightRecorder::global().dump("checkpoint_quarantine");
     }
     if (loaded) {
       LMPEEL_CHECK_MSG(loaded->seed == options.seed,
@@ -110,6 +119,8 @@ CampaignResult run_campaign(Tuner& tuner, const perf::Syr2kModel& model,
       tuner.observe(sample.config, sample.runtime);
     }
     registry.counter("tune.evaluations").add();
+    obs::timeline(obs::TimelineKind::CampaignIter, campaign_trace,
+                  static_cast<double>(i));
 
     best = i == 0 ? sample.runtime : std::min(best, sample.runtime);
     result.evaluated.push_back(sample);

@@ -1,0 +1,395 @@
+// Tests for the obs v2 layer (DESIGN.md §13): trace-context propagation,
+// the lock-free flight recorder (wrap, concurrency, postmortem dumps), the
+// stats-snapshot JSONL round-trip, and the sliding-window SLO monitor —
+// plus the end-to-end acceptance property: a watchdog-killed request leaves
+// a postmortem containing its full timeline.
+#include "obs/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "fault/faulty_decoder.hpp"
+#include "lm/transformer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sinks.hpp"
+#include "obs/slo.hpp"
+#include "obs/trace_context.hpp"
+#include "serve/client.hpp"
+#include "serve/decoder.hpp"
+#include "serve/engine.hpp"
+
+namespace lmpeel {
+namespace {
+
+obs::TimelineEvent make_event(obs::TimelineKind kind, obs::TraceId trace,
+                              double value) {
+  obs::TimelineEvent event;
+  event.kind = kind;
+  event.trace = trace;
+  event.ts_us = value;  // any monotone stand-in is fine for ring tests
+  event.value = value;
+  event.tid = 1;
+  return event;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::filesystem::path fresh_temp_dir(const char* leaf) {
+  const auto dir = std::filesystem::temp_directory_path() / leaf;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// True when the postmortem text has a timeline line for (kind, trace).
+bool has_event(const std::string& text, const std::string& kind,
+               obs::TraceId trace) {
+  const std::string needle =
+      "\"kind\":\"" + kind + "\",\"trace\":" + std::to_string(trace) + ",";
+  return text.find(needle) != std::string::npos;
+}
+
+TEST(TraceContext, MintedIdsAreUniqueAndScopesNestAndRestore) {
+  const obs::TraceId a = obs::mint_trace_id();
+  const obs::TraceId b = obs::mint_trace_id();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(a, b);
+
+  EXPECT_EQ(obs::current_trace_id(), 0u);
+  {
+    obs::TraceScope outer(a);
+    EXPECT_EQ(obs::current_trace_id(), a);
+    {
+      obs::TraceScope inner(b);
+      EXPECT_EQ(obs::current_trace_id(), b);
+    }
+    EXPECT_EQ(obs::current_trace_id(), a);
+  }
+  EXPECT_EQ(obs::current_trace_id(), 0u);
+}
+
+TEST(FlightRecorder, WrapKeepsOnlyTheNewestEvents) {
+  obs::FlightRecorder ring(8);
+  EXPECT_EQ(ring.capacity(), 8u);
+  for (int i = 0; i < 20; ++i) {
+    ring.record(make_event(obs::TimelineKind::DecodeTick, 1, i));
+  }
+  EXPECT_EQ(ring.recorded(), 20u);
+
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  // Oldest-first, and the survivors are exactly the last 8 records.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_DOUBLE_EQ(events[i].value, 12.0 + static_cast<double>(i));
+  }
+}
+
+// The seqlock contract under TSan: writers wrap the ring while a reader
+// snapshots continuously; every surviving event is intact (never a torn mix
+// of two writers' fields) and nothing crashes or races.
+TEST(FlightRecorder, ConcurrentWrapSnapshotsStayConsistent) {
+  obs::FlightRecorder ring(64);
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 5000;
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> bad{0};
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      for (const auto& event : ring.snapshot()) {
+        // Writer w stamps trace w+1 and value == tid; a torn slot would
+        // pair one writer's trace with another's tid.
+        if (event.trace < 1 || event.trace > kWriters ||
+            event.tid != static_cast<int>(event.trace)) {
+          bad.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&ring, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        obs::TimelineEvent event;
+        event.kind = obs::TimelineKind::DecodeTick;
+        event.trace = static_cast<obs::TraceId>(w + 1);
+        event.ts_us = i;
+        event.value = i;
+        event.tid = w + 1;
+        ring.record(event);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(bad.load(), 0u);
+  EXPECT_EQ(ring.recorded(),
+            static_cast<std::uint64_t>(kWriters) * kPerWriter);
+  const auto final_events = ring.snapshot();
+  EXPECT_LE(final_events.size(), ring.capacity());
+  EXPECT_GT(final_events.size(), 0u);
+}
+
+TEST(FlightRecorder, DumpWritesPostmortemAndRateLimits) {
+  const auto dir = fresh_temp_dir("lmpeel_obs_v2_dump");
+  obs::FlightRecorder ring(16);
+  ring.set_directory(dir.string());
+  ring.set_rate_limit(/*min_gap_s=*/3600.0, /*max_dumps=*/64);
+  ring.record(make_event(obs::TimelineKind::Enqueued, 7, 1.0));
+  ring.record(make_event(obs::TimelineKind::Watchdog, 7, 2.0));
+
+  const std::string path = ring.dump("unit test!");
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path, ring.last_dump_path());
+  EXPECT_EQ(path.rfind(dir.string(), 0), 0u) << path;
+
+  EXPECT_NE(path.find("unit_test_"), std::string::npos);  // sanitized name
+  const std::string text = read_file(path);
+  EXPECT_NE(text.find("\"type\":\"postmortem\""), std::string::npos);
+  EXPECT_NE(text.find("\"reason\":\"unit test!\""), std::string::npos);
+  EXPECT_TRUE(has_event(text, "enqueued", 7));
+  EXPECT_TRUE(has_event(text, "watchdog", 7));
+
+  // Second dump inside the gap is suppressed, not an error.
+  EXPECT_EQ(ring.dump("again"), "");
+  EXPECT_EQ(ring.last_dump_path(), path);
+
+  // Lifting the gap re-enables dumping.
+  ring.set_rate_limit(0.0, 64);
+  const std::string second = ring.dump("again");
+  EXPECT_FALSE(second.empty());
+  EXPECT_NE(second, path);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FlightRecorder, TimelineAlwaysFeedsTheRingButGatesTheRegistry) {
+  auto& ring = obs::FlightRecorder::global();
+  auto& registry = obs::Registry::global();
+  registry.reset();
+  registry.enable_events(false);
+  ring.reset();
+
+  const obs::TraceId trace = obs::mint_trace_id();
+  obs::timeline(obs::TimelineKind::PrefixHit, trace, 5.0);
+
+  // The black box records unconditionally…
+  bool in_ring = false;
+  for (const auto& event : ring.snapshot()) {
+    if (event.trace == trace &&
+        event.kind == obs::TimelineKind::PrefixHit) {
+      in_ring = true;
+    }
+  }
+  EXPECT_TRUE(in_ring);
+  // …but the registry's (trace-sink) buffer stays empty until enabled.
+  EXPECT_TRUE(registry.timelines().empty());
+
+  registry.enable_events(true);
+  obs::timeline(obs::TimelineKind::PrefixMiss, trace, 6.0);
+  ASSERT_EQ(registry.timelines().size(), 1u);
+  EXPECT_EQ(registry.timelines()[0].kind, obs::TimelineKind::PrefixMiss);
+  registry.enable_events(false);
+  registry.reset();
+  ring.reset();
+}
+
+TEST(Sinks, SummaryTableShowsExactMinMaxAndOverflow) {
+  obs::Registry registry;
+  auto& hist = registry.histogram("unit.latency_s", {0.1, 1.0});
+  hist.record(0.05);
+  hist.record(0.5);
+  hist.record(25.0);  // past the last bound: overflow
+  const auto table = obs::summary_table(registry);
+  const std::string text = table.to_text();
+  EXPECT_NE(text.find("min_s"), std::string::npos);
+  EXPECT_NE(text.find("max_s"), std::string::npos);
+  EXPECT_NE(text.find("oflow"), std::string::npos);
+  EXPECT_NE(text.find("0.05"), std::string::npos);  // exact min, not bucket
+  EXPECT_NE(text.find("25"), std::string::npos);    // exact max
+}
+
+TEST(MetricsSnapshot, PublisherStreamRoundTrips) {
+  obs::Registry registry;
+  registry.counter("unit.requests").add(41);
+  registry.counter("unit.requests").add();
+  registry.gauge("unit.depth").set(3.5);
+  auto& hist = registry.histogram("unit.wait_s", {0.1, 1.0, 10.0});
+  hist.record(0.05);
+  hist.record(2.0);
+
+  // What the stats publisher writes: a meta line, then the JSONL stream.
+  std::ostringstream stream;
+  stream << "{\"type\":\"meta\",\"t_s\":12.5}\n";
+  obs::write_jsonl(registry, stream);
+
+  obs::MetricsSnapshot parsed;
+  ASSERT_TRUE(obs::MetricsSnapshot::parse_jsonl(stream.str(), parsed));
+  EXPECT_DOUBLE_EQ(parsed.t_s, 12.5);
+  EXPECT_DOUBLE_EQ(parsed.counter("unit.requests"), 42.0);
+  EXPECT_DOUBLE_EQ(parsed.gauge("unit.depth"), 3.5);
+  const auto* wait = parsed.histogram("unit.wait_s");
+  ASSERT_NE(wait, nullptr);
+
+  const auto direct = obs::MetricsSnapshot::from_registry(registry);
+  EXPECT_DOUBLE_EQ(wait->count, direct.histogram("unit.wait_s")->count);
+  EXPECT_DOUBLE_EQ(wait->sum, direct.histogram("unit.wait_s")->sum);
+  EXPECT_DOUBLE_EQ(wait->min, direct.histogram("unit.wait_s")->min);
+  EXPECT_DOUBLE_EQ(wait->max, direct.histogram("unit.wait_s")->max);
+}
+
+obs::MetricsSnapshot serve_snapshot(double t_s, double submitted,
+                                    double errors, double shed,
+                                    double decoded, double step_s,
+                                    double ttft_p99) {
+  obs::MetricsSnapshot snap;
+  snap.t_s = t_s;
+  snap.counters["serve.requests_submitted"] = submitted;
+  snap.counters["serve.retired.engine_error"] = errors;
+  snap.counters["serve.retired.shed"] = shed;
+  snap.counters["lm.transformer.decode_tokens"] = decoded;
+  snap.histograms["serve.step"].sum = step_s;
+  snap.histograms["serve.step"].count = 1.0;
+  snap.histograms["serve.ttft_s"].p99 = ttft_p99;
+  snap.histograms["serve.ttft_s"].count = 1.0;
+  return snap;
+}
+
+TEST(SloMonitor, EvaluateGradesWholeRunWithBurnRates) {
+  const auto snap = serve_snapshot(/*t_s=*/0.0, /*submitted=*/100.0,
+                                   /*errors=*/1.0, /*shed=*/20.0,
+                                   /*decoded=*/1000.0, /*step_s=*/10.0,
+                                   /*ttft_p99=*/0.1);
+  const auto verdicts = obs::SloMonitor::evaluate(snap, obs::SloOptions{});
+  ASSERT_EQ(verdicts.size(), 4u);
+
+  EXPECT_EQ(verdicts[0].name, "ttft_p99_s");
+  EXPECT_TRUE(verdicts[0].ok);
+  EXPECT_NEAR(verdicts[0].burn, 0.1 / 5.0, 1e-12);
+
+  EXPECT_EQ(verdicts[1].name, "decode_tok_s");
+  EXPECT_DOUBLE_EQ(verdicts[1].value, 100.0);  // 1000 tokens / 10 s
+  EXPECT_TRUE(verdicts[1].ok);
+  EXPECT_NEAR(verdicts[1].burn, 50.0 / 100.0, 1e-12);  // lower-bound burn
+
+  EXPECT_EQ(verdicts[2].name, "error_rate");
+  EXPECT_DOUBLE_EQ(verdicts[2].value, 0.01);
+  EXPECT_TRUE(verdicts[2].ok);
+
+  EXPECT_EQ(verdicts[3].name, "shed_rate");
+  EXPECT_DOUBLE_EQ(verdicts[3].value, 0.2);
+  EXPECT_FALSE(verdicts[3].ok);
+  EXPECT_NEAR(verdicts[3].burn, 2.0, 1e-12);  // 0.2 / 0.1
+
+  // No traffic → nothing to grade (a fresh process is not "passing").
+  obs::MetricsSnapshot idle;
+  EXPECT_TRUE(obs::SloMonitor::evaluate(idle, obs::SloOptions{}).empty());
+}
+
+TEST(SloMonitor, WindowedVerdictsUseDeltasAndPruneOldSnapshots) {
+  obs::SloOptions options;
+  options.window_s = 30.0;
+  obs::SloMonitor monitor(options);
+  EXPECT_TRUE(monitor.verdicts().empty());  // needs two snapshots
+
+  monitor.observe(serve_snapshot(0.0, 100.0, 0.0, 0.0, 1000.0, 10.0, 0.1));
+  EXPECT_TRUE(monitor.verdicts().empty());
+  monitor.observe(serve_snapshot(10.0, 200.0, 4.0, 0.0, 2000.0, 20.0, 0.1));
+  ASSERT_EQ(monitor.window_size(), 2u);
+
+  const auto verdicts = monitor.verdicts();
+  ASSERT_EQ(verdicts.size(), 4u);
+  // error_rate over the window: (4-0) / (200-100) = 0.04 > 0.02.
+  EXPECT_EQ(verdicts[2].name, "error_rate");
+  EXPECT_DOUBLE_EQ(verdicts[2].value, 0.04);
+  EXPECT_FALSE(verdicts[2].ok);
+  EXPECT_NEAR(verdicts[2].burn, 2.0, 1e-12);
+
+  // A snapshot far in the future prunes everything behind the window.
+  monitor.observe(serve_snapshot(100.0, 300.0, 4.0, 0.0, 3000.0, 30.0, 0.1));
+  EXPECT_EQ(monitor.window_size(), 1u);
+  EXPECT_TRUE(monitor.verdicts().empty());
+}
+
+// Acceptance (ISSUE.md): an induced watchdog kill dumps a postmortem whose
+// timeline covers the offending request end to end — enqueued through
+// admitted to the watchdog verdict and the terminal retire — with no
+// LMPEEL_TRACE involved.
+TEST(WatchdogPostmortem, ContainsTheOffendingRequestsFullTimeline) {
+  const auto dir = fresh_temp_dir("lmpeel_obs_v2_watchdog");
+  auto& ring = obs::FlightRecorder::global();
+  ring.reset();
+  ring.set_directory(dir.string());
+  ring.set_rate_limit(0.0, 1u << 20);
+  obs::Registry::global().reset();
+
+  lm::TransformerConfig tiny;
+  tiny.vocab = 60;
+  tiny.d_model = 32;
+  tiny.n_head = 2;
+  tiny.n_layer = 2;
+  tiny.max_seq = 64;
+  lm::TransformerLm model(tiny, /*seed=*/21);
+  serve::TransformerBatchDecoder inner(model, 2);
+
+  // Stall the first decode step (op 1) far past the watchdog budget.
+  fault::FaultEvent stall;
+  stall.op = 1;
+  stall.kind = fault::FaultKind::StepDelay;
+  stall.delay_s = 0.2;
+  fault::FaultyDecoder decoder(inner,
+                               fault::FaultPlan::from_events({stall}));
+  serve::EngineConfig config;
+  config.max_batch = 2;
+  config.step_budget_s = 0.02;
+  serve::Engine engine(decoder, config);
+
+  lm::GenerateOptions options;
+  options.sampler.temperature = 0.0;
+  options.max_tokens = 6;
+  const std::vector<int> prompt = {5, 9, 14};
+  const auto result = serve::generate_sync(engine, prompt, options);
+  EXPECT_EQ(result.status, serve::RequestStatus::EngineError);
+  engine.shutdown();
+
+  const std::string path = ring.last_dump_path();
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.rfind(dir.string(), 0), 0u) << path;
+  const std::string text = read_file(path);
+  EXPECT_NE(text.find("\"reason\":\"watchdog\""), std::string::npos);
+
+  // The watchdog line names the victim's trace; its whole lane must be in
+  // the same postmortem.
+  const std::string marker = "\"kind\":\"watchdog\",\"trace\":";
+  const auto at = text.find(marker);
+  ASSERT_NE(at, std::string::npos);
+  const obs::TraceId trace = static_cast<obs::TraceId>(
+      std::strtoull(text.c_str() + at + marker.size(), nullptr, 10));
+  EXPECT_NE(trace, 0u);
+  EXPECT_TRUE(has_event(text, "enqueued", trace));
+  EXPECT_TRUE(has_event(text, "admitted", trace));
+  EXPECT_TRUE(has_event(text, "prefill", trace));
+  EXPECT_TRUE(has_event(text, "retired", trace));
+
+  ring.reset();
+  obs::Registry::global().reset();
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace lmpeel

@@ -1,0 +1,256 @@
+// check_metric_names — source lint for the obs metric namespace.
+//
+//   check_metric_names <registry.txt> <dir-or-file>...
+//
+// Scans every .cpp/.hpp under the given paths for metric-name string
+// literals — counter("…"), gauge("…"), histogram("…"), obs::Span
+// constructions, and the dynamic std::string("prefix.") + … composition the
+// engine uses for per-status counters — and checks each against a
+// checked-in registry file:
+//
+//   * every literal must be registered (exact line, or covered by a
+//     `prefix.*` wildcard line; a literal ending in '.' is a dynamic prefix
+//     and must have a matching `prefix.*` line);
+//   * every name must follow the convention: dotted lower_snake segments,
+//     first character alphabetic ([a-z][a-z0-9_]* per segment);
+//   * every registry line must still be used somewhere (stale entries fail
+//     the lint, so the registry cannot rot).
+//
+// Wired as the fast-label ctest `tools.check_metric_names`, so renaming a
+// metric without updating tools/metric_names.txt (or vice versa) fails CI.
+// Test sources are deliberately not scanned: tests may probe absent names.
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Use {
+  std::string name;  ///< literal as written (may end in '.': dynamic prefix)
+  std::string file;
+  std::size_t line;
+};
+
+bool valid_segment(const std::string& segment) {
+  if (segment.empty()) return false;
+  if (std::islower(static_cast<unsigned char>(segment[0])) == 0) return false;
+  for (const char c : segment) {
+    const auto u = static_cast<unsigned char>(c);
+    if (std::islower(u) == 0 && std::isdigit(u) == 0 && c != '_') {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Convention: `seg(.seg)*`, optionally `seg(.seg)*.` for dynamic prefixes.
+bool valid_name(const std::string& name) {
+  if (name.empty()) return false;
+  std::string body = name;
+  if (body.back() == '.') body.pop_back();
+  if (body.empty()) return false;
+  std::stringstream stream(body);
+  std::string segment;
+  while (std::getline(stream, segment, '.')) {
+    if (!valid_segment(segment)) return false;
+  }
+  return body.back() != '.';  // "a..b" splits cleanly but "a." body is bad
+}
+
+std::size_t line_of(const std::string& text, std::size_t pos) {
+  std::size_t line = 1;
+  for (std::size_t i = 0; i < pos && i < text.size(); ++i) {
+    if (text[i] == '\n') ++line;
+  }
+  return line;
+}
+
+bool ident_char(char c) {
+  const auto u = static_cast<unsigned char>(c);
+  return std::isalnum(u) != 0 || c == '_';
+}
+
+/// After an opening '(' at `pos`: skip whitespace, optionally unwrap one
+/// `std::string(`, and return the string literal that follows — or nullopt
+/// when the argument is not a literal (declaration, variable, …).
+std::string extract_literal(const std::string& text, std::size_t pos) {
+  const auto skip_ws = [&](std::size_t p) {
+    while (p < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[p])) != 0) {
+      ++p;
+    }
+    return p;
+  };
+  std::size_t p = skip_ws(pos);
+  const std::string wrapper = "std::string(";
+  if (text.compare(p, wrapper.size(), wrapper) == 0) {
+    p = skip_ws(p + wrapper.size());
+  }
+  if (p >= text.size() || text[p] != '"') return {};
+  const std::size_t end = text.find('"', p + 1);
+  if (end == std::string::npos) return {};
+  return text.substr(p + 1, end - p - 1);
+}
+
+void scan_file(const fs::path& path, std::vector<Use>& uses) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  const auto note = [&](const std::string& name, std::size_t pos) {
+    if (!name.empty()) uses.push_back({name, path.string(), line_of(text, pos)});
+  };
+
+  for (const char* keyword : {"counter(", "gauge(", "histogram("}) {
+    const std::string kw = keyword;
+    for (std::size_t pos = text.find(kw); pos != std::string::npos;
+         pos = text.find(kw, pos + kw.size())) {
+      // Word boundary on the left so e.g. "span_counter(" never matches.
+      if (pos > 0 && ident_char(text[pos - 1])) continue;
+      note(extract_literal(text, pos + kw.size()), pos);
+    }
+  }
+
+  // obs::Span span("name") — the token "Span", an optional variable name,
+  // then a parenthesised literal.
+  const std::string span = "Span";
+  for (std::size_t pos = text.find(span); pos != std::string::npos;
+       pos = text.find(span, pos + span.size())) {
+    if (pos > 0 && ident_char(text[pos - 1])) continue;
+    std::size_t p = pos + span.size();
+    if (p < text.size() && ident_char(text[p])) continue;  // "Spans", …
+    while (p < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[p])) != 0) {
+      ++p;
+    }
+    while (p < text.size() && ident_char(text[p])) ++p;  // variable name
+    while (p < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[p])) != 0) {
+      ++p;
+    }
+    if (p >= text.size() || text[p] != '(') continue;
+    note(extract_literal(text, p + 1), pos);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::cerr << "usage: check_metric_names <registry.txt> <dir-or-file>...\n";
+    return 2;
+  }
+
+  // Registry: one name per line, '#' comments, `prefix.*` wildcards.
+  std::set<std::string> exact;
+  std::set<std::string> prefixes;  // stored without the trailing '*'
+  {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::cerr << "check_metric_names: cannot read registry " << argv[1]
+                << "\n";
+      return 2;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      const auto first = line.find_first_not_of(" \t");
+      if (first == std::string::npos || line[first] == '#') continue;
+      const auto last = line.find_last_not_of(" \t\r");
+      const std::string name = line.substr(first, last - first + 1);
+      if (name.size() > 1 && name.back() == '*') {
+        prefixes.insert(name.substr(0, name.size() - 1));
+      } else {
+        exact.insert(name);
+      }
+    }
+  }
+
+  std::vector<Use> uses;
+  for (int i = 2; i < argc; ++i) {
+    const fs::path root(argv[i]);
+    if (fs::is_regular_file(root)) {
+      scan_file(root, uses);
+      continue;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file()) continue;
+      // This linter's own source spells the patterns it scans for.
+      if (entry.path().filename() == "check_metric_names.cpp") continue;
+      const auto ext = entry.path().extension().string();
+      if (ext == ".cpp" || ext == ".hpp") scan_file(entry.path(), uses);
+    }
+  }
+
+  int errors = 0;
+  std::set<std::string> used_exact, used_prefixes;
+  for (const Use& use : uses) {
+    if (!valid_name(use.name)) {
+      std::cout << use.file << ":" << use.line << ": metric name '"
+                << use.name
+                << "' violates the dotted lower_snake convention\n";
+      ++errors;
+      continue;
+    }
+    if (use.name.back() == '.') {
+      // Dynamic composition: the registry must carry the wildcard.
+      if (prefixes.count(use.name) != 0) {
+        used_prefixes.insert(use.name);
+      } else {
+        std::cout << use.file << ":" << use.line << ": dynamic prefix '"
+                  << use.name << "*' is not in the registry\n";
+        ++errors;
+      }
+      continue;
+    }
+    if (exact.count(use.name) != 0) {
+      used_exact.insert(use.name);
+      continue;
+    }
+    bool covered = false;
+    for (const auto& prefix : prefixes) {
+      if (use.name.rfind(prefix, 0) == 0) {
+        used_prefixes.insert(prefix);
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) {
+      std::cout << use.file << ":" << use.line << ": metric name '"
+                << use.name << "' is not in the registry\n";
+      ++errors;
+    }
+  }
+
+  for (const auto& name : exact) {
+    if (used_exact.count(name) == 0) {
+      std::cout << argv[1] << ": registry entry '" << name
+                << "' is no longer used anywhere\n";
+      ++errors;
+    }
+  }
+  for (const auto& prefix : prefixes) {
+    if (used_prefixes.count(prefix) == 0) {
+      std::cout << argv[1] << ": registry wildcard '" << prefix
+                << "*' is no longer used anywhere\n";
+      ++errors;
+    }
+  }
+
+  if (errors != 0) {
+    std::cout << "check_metric_names: " << errors << " problem(s) across "
+              << uses.size() << " metric reference(s)\n";
+    return 1;
+  }
+  std::cout << "check_metric_names: " << uses.size()
+            << " metric reference(s) ok against " << argv[1] << "\n";
+  return 0;
+}

@@ -5,7 +5,9 @@
 //   lmpeel sweep [small]                         run the §IV-A sweep
 //   lmpeel tune <tuner> <size> <budget> [seed]   run an autotuning campaign
 //   lmpeel tokenize <text…>                      show the token stream
-//   lmpeel stats [size] [icl] [seed]             generation run + metrics summary
+//   lmpeel stats [--json] [size] [icl] [seed]    generation run + metrics
+//                                                summary (--json: one machine-
+//                                                readable object on stdout)
 //   lmpeel serve-bench [quick] [prefix] [--prefix on|off]
 //                                                load-test the serve engine;
 //                                                `prefix` measures shared-prefix
@@ -13,6 +15,11 @@
 //   lmpeel chaos [seed] [requests]               fault-injection survival run
 //   lmpeel soak [--seconds N] [--seed N] [--budget BYTES] [--no-sick-window]
 //               [--no-prefix-cache]              mixed-priority overload soak
+//   lmpeel top [path] [--interval-ms N] [--once] live dashboard over another
+//                                                process's LMPEEL_STATS_JSON
+//                                                stream (queue depth, batch
+//                                                occupancy, cache hit ratio,
+//                                                budget headroom, SLO burn)
 //
 // Tuners: random | gbt | anneal | genetic | llambo-discriminative |
 //         llambo-generative | llambo-sampling
@@ -20,12 +27,18 @@
 // Every subcommand honours LMPEEL_TRACE=<path>: the obs subsystem buffers
 // span events and writes a Chrome trace_event file (or JSONL when the path
 // ends in .jsonl) at exit.
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "cache/prefix_cache.hpp"
 #include "core/pipeline.hpp"
@@ -40,6 +53,7 @@
 #include "guard/soak.hpp"
 #include "lm/generate.hpp"
 #include "obs/sinks.hpp"
+#include "obs/slo.hpp"
 #include "obs/span.hpp"
 #include "prompt/parser.hpp"
 #include "serve/decoder.hpp"
@@ -66,11 +80,12 @@ int usage() {
          "  lmpeel tune <random|gbt|anneal|genetic|llambo-discriminative|"
          "llambo-generative|llambo-sampling> <size> <budget> [seed]\n"
          "  lmpeel tokenize <text…>\n"
-         "  lmpeel stats [size] [icl_count] [seed]\n"
+         "  lmpeel stats [--json] [size] [icl_count] [seed]\n"
          "  lmpeel serve-bench [quick] [prefix] [--prefix on|off]\n"
          "  lmpeel chaos [seed] [requests]\n"
          "  lmpeel soak [--seconds N] [--seed N] [--budget BYTES] "
-         "[--no-sick-window] [--no-prefix-cache]\n";
+         "[--no-sick-window] [--no-prefix-cache]\n"
+         "  lmpeel top [path] [--interval-ms N] [--once]\n";
   return 2;
 }
 
@@ -239,14 +254,28 @@ int cmd_tune(int argc, char** argv) {
 // tune.checkpoint_write / tune.fallback_direct — is nonzero and
 // inspectable without a trace viewer.
 int cmd_stats(int argc, char** argv) {
-  const auto size = argc > 0 ? parse_size(argv[0])
-                             : std::optional(perf::SizeClass::SM);
+  bool json = false;
+  std::vector<std::string> pos;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      pos.emplace_back(argv[i]);
+    }
+  }
+  const auto size = !pos.empty() ? parse_size(pos[0])
+                                 : std::optional(perf::SizeClass::SM);
   if (!size.has_value()) return usage();
   const std::size_t icl_count =
-      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 10;
-  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
-                                      : 0;
+      pos.size() > 1 ? std::strtoul(pos[1].c_str(), nullptr, 10) : 10;
+  const std::uint64_t seed =
+      pos.size() > 2 ? std::strtoull(pos[2].c_str(), nullptr, 10) : 0;
   if (icl_count == 0) return usage();
+
+  // In --json mode the narrative goes nowhere; stdout carries exactly one
+  // machine-readable object (write_stats_json) and nothing else.
+  std::ostringstream discard;
+  std::ostream& out = json ? static_cast<std::ostream&>(discard) : std::cout;
 
   core::Pipeline pipeline;
   const auto& data = pipeline.dataset(*size);
@@ -264,8 +293,8 @@ int cmd_stats(int argc, char** argv) {
   gen.stop_token = pipeline.tokenizer().newline_token();
   gen.seed = seed;
   const auto generation = lm::generate(pipeline.model(), ids, gen);
-  std::cout << "generated " << generation.tokens.size() << " tokens: '"
-            << pipeline.tokenizer().decode(generation.tokens) << "'\n";
+  out << "generated " << generation.tokens.size() << " tokens: '"
+      << pipeline.tokenizer().decode(generation.tokens) << "'\n";
 
   tune::GbtSurrogateTuner tuner;
   tune::CampaignOptions options;
@@ -280,8 +309,8 @@ int cmd_stats(int argc, char** argv) {
   const auto campaign =
       tune::run_campaign(tuner, pipeline.perf_model(), *size, options);
   std::remove(checkpoint_path.c_str());
-  std::cout << "tuned best runtime: "
-            << util::Table::num(campaign.best_runtime(), 4) << " s\n";
+  out << "tuned best runtime: "
+      << util::Table::num(campaign.best_runtime(), 4) << " s\n";
 
   // Fault round: a plan that throws on the first decoder op and poisons
   // the second with NaN, so the retry client needs exactly two retries.
@@ -313,10 +342,10 @@ int cmd_stats(int argc, char** argv) {
     request.prompt = ids;
     request.options = gen;
     const auto served = retry.generate(std::move(request));
-    std::cout << "fault round: " << serve::status_name(served.status)
-              << " after " << retry.retries() << " retries (breaker "
-              << guard::Breaker::state_name(breaker.state()) << ", opened "
-              << breaker.opened() << "x)\n";
+    out << "fault round: " << serve::status_name(served.status) << " after "
+        << retry.retries() << " retries (breaker "
+        << guard::Breaker::state_name(breaker.state()) << ", opened "
+        << breaker.opened() << "x)\n";
     engine.shutdown();
 
     // Guard round: an engine under a deliberately tiny memory budget sheds
@@ -335,9 +364,9 @@ int cmd_stats(int argc, char** argv) {
       shed_request.priority = serve::Priority::Batch;
       const auto shed_result =
           shed_engine.submit(std::move(shed_request)).get();
-      std::cout << "guard round: batch request "
-                << serve::status_name(shed_result.status) << " under a "
-                << tiny_budget.limit() << "-byte budget\n";
+      out << "guard round: batch request "
+          << serve::status_name(shed_result.status) << " under a "
+          << tiny_budget.limit() << "-byte budget\n";
       shed_engine.shutdown();
     }
 
@@ -362,8 +391,8 @@ int cmd_stats(int argc, char** argv) {
     llambo_campaign.budget = llambo_options.warmup + 1;
     llambo_campaign.seed = seed + 2;
     tune::run_campaign(llambo, pipeline.perf_model(), *size, llambo_campaign);
-    std::cout << "llambo degraded to direct generation: "
-              << (llambo.engine_degraded() ? "yes" : "no") << "\n";
+    out << "llambo degraded to direct generation: "
+        << (llambo.engine_degraded() ? "yes" : "no") << "\n";
   }
 
   // Prefix-cache round: two requests through a transformer-backed decoder
@@ -395,16 +424,27 @@ int cmd_stats(int argc, char** argv) {
     }
     cache_engine.shutdown();
     auto& reg = obs::Registry::global();
-    std::cout << "prefix-cache round: "
-              << reg.counter("cache.prefix.hits").value() << " hit(s), "
-              << reg.counter("cache.prefix.saved_prefill_tokens").value()
-              << " prefill tokens saved\n\n";
+    out << "prefix-cache round: "
+        << reg.counter("cache.prefix.hits").value() << " hit(s), "
+        << reg.counter("cache.prefix.saved_prefill_tokens").value()
+        << " prefill tokens saved\n\n";
   }
 
+  auto& registry = obs::Registry::global();
+  const auto verdicts = obs::SloMonitor::evaluate(
+      obs::MetricsSnapshot::from_registry(registry), obs::SloOptions{});
+  if (json) {
+    obs::write_stats_json(registry, verdicts, std::cout);
+    return 0;
+  }
   util::print_banner(std::cout, "obs metrics summary");
-  std::cout << obs::summary_table(obs::Registry::global()).to_text();
+  std::cout << obs::summary_table(registry).to_text();
+  if (!verdicts.empty()) {
+    util::print_banner(std::cout, "slo verdicts (whole run)");
+    std::cout << obs::SloMonitor::verdict_table(verdicts).to_text();
+  }
   std::cout << "\n(set LMPEEL_TRACE=<path> to capture a Chrome trace of "
-               "this run)\n";
+               "this run; --json for machine-readable output)\n";
   return 0;
 }
 
@@ -475,6 +515,110 @@ int cmd_soak(int argc, char** argv) {
   return report.passed(options.sick_window) ? 0 : 1;
 }
 
+// One refresh of the live dashboard: headline load signals from the latest
+// published snapshot plus SLO verdicts — windowed once the monitor has seen
+// two distinct snapshots, whole-run before that.
+void render_top(const obs::MetricsSnapshot& snap,
+                const obs::SloMonitor& monitor, const std::string& path) {
+  util::Table table({"signal", "value"});
+  const auto row = [&](const char* name, const std::string& value) {
+    table.add_row({name, value});
+  };
+  const auto count = [](double v) {
+    return std::to_string(static_cast<long long>(v));
+  };
+  row("stats t_s", util::Table::num(snap.t_s, 6));
+  row("queue depth", count(snap.gauge("serve.queue_depth")));
+  if (const auto* occupancy = snap.histogram("serve.batch_occupancy")) {
+    row("batch occupancy p50/p99", util::Table::num(occupancy->p50, 1) +
+                                       " / " +
+                                       util::Table::num(occupancy->p99, 1));
+  }
+  const double hits = snap.counter("cache.prefix.hits");
+  const double misses = snap.counter("cache.prefix.misses");
+  row("cache hit ratio",
+      hits + misses > 0.0 ? util::Table::num(hits / (hits + misses), 3)
+                          : "-");
+  const double limit = snap.gauge("guard.limit_bytes");
+  row("budget headroom bytes",
+      limit > 0.0 ? count(limit - snap.gauge("guard.reserved_bytes"))
+                  : "(unbounded)");
+  row("requests submitted", count(snap.counter("serve.requests_submitted")));
+  row("tokens generated", count(snap.counter("serve.tokens_generated")));
+  std::cout << "lmpeel top — " << path << "\n" << table.to_text() << '\n';
+
+  const bool windowed = monitor.window_size() >= 2;
+  const auto verdicts = windowed
+                            ? monitor.verdicts()
+                            : obs::SloMonitor::evaluate(snap,
+                                                        monitor.options());
+  if (!verdicts.empty()) {
+    std::cout << (windowed ? "slo (windowed)\n" : "slo (whole run)\n")
+              << obs::SloMonitor::verdict_table(verdicts).to_text();
+  }
+  std::cout.flush();
+}
+
+// Live SLO monitor over another process's stats stream.  The target runs
+// with LMPEEL_STATS_JSON=<path> (its obs layer atomically republishes the
+// whole registry there every LMPEEL_STATS_INTERVAL_MS); this side re-reads
+// the file, feeds a sliding-window SloMonitor, and redraws.  `--once`
+// renders a single frame without clearing the screen — the scriptable mode
+// the tests use.
+int cmd_top(int argc, char** argv) {
+  std::string path;
+  int interval_ms = 1000;
+  bool once = false;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--interval-ms" && i + 1 < argc) {
+      interval_ms = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (arg == "--once") {
+      once = true;
+    } else if (!arg.empty() && arg[0] != '-' && path.empty()) {
+      path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (path.empty()) {
+    if (const char* env = std::getenv("LMPEEL_STATS_JSON")) path = env;
+  }
+  if (path.empty()) {
+    std::cerr << "lmpeel top: no stats file — pass a path or set "
+                 "LMPEEL_STATS_JSON\n";
+    return usage();
+  }
+  if (interval_ms < 50) interval_ms = 50;
+
+  obs::SloMonitor monitor;
+  double last_t = -1.0;
+  for (;;) {
+    obs::MetricsSnapshot snap;
+    bool have = false;
+    {
+      std::ifstream in(path);
+      if (in) {
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        have = obs::MetricsSnapshot::parse_jsonl(buffer.str(), snap);
+      }
+    }
+    if (have && snap.t_s != last_t) {
+      monitor.observe(snap);
+      last_t = snap.t_s;
+    }
+    if (!once) std::cout << "\x1b[2J\x1b[H";  // clear screen, cursor home
+    if (have) {
+      render_top(snap, monitor, path);
+    } else {
+      std::cout << "lmpeel top: waiting for " << path << " …" << std::endl;
+    }
+    if (once) return have ? 0 : 1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}
+
 int cmd_tokenize(int argc, char** argv) {
   std::string text;
   for (int i = 0; i < argc; ++i) {
@@ -506,6 +650,7 @@ int main(int argc, char** argv) {
     if (command == "serve-bench") return cmd_serve_bench(argc - 2, argv + 2);
     if (command == "chaos") return cmd_chaos(argc - 2, argv + 2);
     if (command == "soak") return cmd_soak(argc - 2, argv + 2);
+    if (command == "top") return cmd_top(argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;

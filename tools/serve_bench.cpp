@@ -30,6 +30,7 @@
 #include "cache/prefix_cache.hpp"
 #include "lm/transformer.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "serve/client.hpp"
 #include "serve/decoder.hpp"
 #include "serve/engine.hpp"
@@ -62,6 +63,30 @@ double decode_only_tok_s() {
       static_cast<double>(reg.counter("lm.transformer.decode_tokens").value());
   const double step_s = reg.histogram("serve.step").sum();
   return step_s > 0.0 ? decoded / step_s : 0.0;
+}
+
+/// Whole-run SLO verdicts over the registry of the cell that just ran,
+/// printed and merged into the bench baseline under `name` — one
+/// value / burn / ok triple per objective, so the perf trajectory records
+/// not just how fast the engine went but whether the service held its
+/// objectives while doing it.
+void record_slo(const std::string& name) {
+  const auto snapshot =
+      obs::MetricsSnapshot::from_registry(obs::Registry::global());
+  const auto verdicts =
+      obs::SloMonitor::evaluate(snapshot, obs::SloOptions{});
+  if (verdicts.empty()) return;
+  util::print_banner(std::cout, "slo verdicts (" + name + ")");
+  std::cout << obs::SloMonitor::verdict_table(verdicts).to_text();
+  bench::BenchRecord record;
+  record.name = name;
+  for (const auto& verdict : verdicts) {
+    record.values.emplace_back(verdict.name, verdict.value);
+    record.values.emplace_back(verdict.name + "_burn", verdict.burn);
+    record.values.emplace_back(verdict.name + "_ok",
+                               verdict.ok ? 1.0 : 0.0);
+  }
+  bench::write_bench_record(record);
 }
 
 std::vector<int> make_prompt(std::uint64_t seed, std::size_t length,
@@ -280,6 +305,9 @@ int run_prefix_bench(bool quick, bool run_on, bool run_off) {
     bench::write_bench_record(record);
     (cache_on ? on : off) = std::move(result);
   }
+  // The registry still holds the last variant's run (cache-on when both
+  // ran); grade it so the baseline carries SLO rows for the cached path.
+  record_slo("serve_bench/prefix_slo");
   bench::emit("serve-bench: shared-prefix cache on/off", table);
   if (run_on && run_off) {
     LMPEEL_CHECK_MSG(on.generated == off.generated,
@@ -396,6 +424,9 @@ int cmd_serve_bench(int argc, char** argv) {
       }
     }
   }
+  // Grade the last cell (top concurrency, largest max_batch — the
+  // configuration the headline numbers come from).
+  record_slo("serve_bench/slo");
   bench::emit("serve-bench: concurrency x max_batch", table);
   if (serial_tok_s > 0.0 && best_batched_tok_s > 0.0) {
     std::cout << "batching speedup at conc " << top_conc
