@@ -164,7 +164,7 @@ PrefixCache::Lookup PrefixCache::acquire(std::span<const int> tokens,
     while (!ok && evict_one()) ok = budget_->try_reserve(surcharge);
     if (!ok) {
       --best->pins;
-      counter("cache.prefix.surcharge_denied").add();
+      counter("cache.prefix.hit_reserve_denied").add();
       counter("cache.prefix.misses").add();
       obs::timeline(obs::TimelineKind::PrefixMiss, obs::current_trace_id());
       return {};
@@ -184,8 +184,18 @@ void PrefixCache::copy_to(const Lookup& lookup,
   LMPEEL_CHECK(lookup.node != nullptr && lookup.tokens > 0);
   LMPEEL_CHECK(lookup.tokens <= lookup.node->depth);
   LMPEEL_CHECK_MSG(lookup.node->pins > 0, "copy_to on an unpinned lookup");
+  const bool zero_copy = lookup.node->kv.paged();
   dst.copy_prefix(lookup.node->kv, lookup.tokens);
   counter("cache.prefix.saved_prefill_tokens").add(lookup.tokens);
+  // A paged hit hands out page handles — no KV floats move.  The byte
+  // counter stays exact either way so the serve-bench gate ("pure hits
+  // copy zero bytes") can be asserted, not eyeballed.
+  if (zero_copy) {
+    counter("cache.prefix.zero_copy_hits").add();
+  } else {
+    counter("cache.prefix.hit_bytes_copied")
+        .add(lookup.tokens * bytes_per_token_);
+  }
 }
 
 void PrefixCache::release(Lookup& lookup) {

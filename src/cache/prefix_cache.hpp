@@ -41,6 +41,13 @@ struct PrefixCacheConfig {
   /// whole prompt (the radix tree dedups overlap).  Off = only hinted
   /// prefixes are stored.
   bool auto_insert_prompts = true;
+  /// Reservation granularity in tokens.  Set to the mem::PagePool's
+  /// page_tokens when node KvCaches are paged (DESIGN.md §14): a node's
+  /// pages are charged in whole-page units, so its reservation must round
+  /// the token count up to a page boundary to stay an upper bound on the
+  /// bytes it can end up owning once its sharers release.  0/1 = exact
+  /// per-token reservations (contiguous storage).
+  std::size_t page_tokens = 0;
 };
 
 /// Radix/trie store over token-id prefixes.  Each node owns a full-path
@@ -111,6 +118,11 @@ class PrefixCache {
 
  private:
   std::size_t node_bytes(std::size_t n_tokens) const noexcept {
+    if (config_.page_tokens > 1) {
+      const std::size_t pages =
+          (n_tokens + config_.page_tokens - 1) / config_.page_tokens;
+      return pages * config_.page_tokens * bytes_per_token_;
+    }
     return n_tokens * bytes_per_token_;
   }
   /// Reserves `bytes` for a new node, evicting as needed; false = give up.

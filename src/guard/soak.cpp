@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -17,6 +18,7 @@
 #include "guard/breaker.hpp"
 #include "guard/budget.hpp"
 #include "lm/transformer.hpp"
+#include "mem/page_pool.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/slo.hpp"
@@ -71,6 +73,27 @@ class SickWindowDecoder final : public serve::BatchDecoder {
   void abandon_prefix() override { inner_->abandon_prefix(); }
   std::size_t shed_cache(std::size_t bytes) override {
     return inner_->shed_cache(bytes);
+  }
+  std::size_t cost_slack_bytes() const override {
+    return inner_->cost_slack_bytes();
+  }
+  bool supports_chunked_prefill() const override {
+    return inner_->supports_chunked_prefill();
+  }
+  void start_chunked(std::size_t slot, std::span<const int> prompt,
+                     std::uint64_t seed,
+                     std::size_t shared_prefix_tokens = 0) override {
+    // Under two-stage scheduling admission is where the sick window bites
+    // (same containment path as start()); chunks of already-admitted
+    // prompts stay healthy, mirroring how step() does.
+    if (sick_->load(std::memory_order_relaxed)) {
+      throw std::runtime_error("soak sick window: prefill refused");
+    }
+    inner_->start_chunked(slot, prompt, seed, shared_prefix_tokens);
+  }
+  std::size_t prefill_chunk(std::size_t slot, std::size_t max_tokens,
+                            std::span<float> out, bool* done) override {
+    return inner_->prefill_chunk(slot, max_tokens, out, done);
   }
 
  private:
@@ -175,22 +198,27 @@ SoakReport run_soak(const SoakOptions& options) {
                                  .max_open_s = 1.0,
                                  .seed = options.seed});
 
-  // Prefix cache between budget and decoder: nodes uncharge into the
-  // budget on destruction and the decoder holds a raw pointer, so it must
-  // outlive the decoder and die before the budget.
-  cache::PrefixCacheConfig cache_config;
-  cache::PrefixCache prefix_cache(model, cache_config);
-
-  serve::TransformerBatchDecoder inner(model, options.max_batch);
-  if (options.prefix_cache) inner.set_prefix_cache(&prefix_cache);
-  std::atomic<bool> sick{false};
-  SickWindowDecoder decoder(inner, sick);
+  // Paged KV backing (DESIGN.md §14).  Declared right after the budget so
+  // it is destroyed immediately before it — after the engine, decoder and
+  // prefix cache in the scope below have released every page handle.
+  // That ordering is what makes the pool-drained grade meaningful: by the
+  // time it is sampled, nothing may legitimately hold a page.
+  mem::PagePoolConfig pool_config;
+  pool_config.page_tokens = 8;
+  pool_config.n_layer = static_cast<std::size_t>(model_config.n_layer);
+  pool_config.d_model = static_cast<std::size_t>(model_config.d_model);
+  std::optional<mem::PagePool> pool;
+  if (options.paged_kv) pool.emplace(pool_config);
 
   obs::Registry& reg = obs::Registry::global();
   const std::uint64_t hits0 = reg.counter("cache.prefix.hits").value();
   const std::uint64_t inserts0 = reg.counter("cache.prefix.inserts").value();
   const std::uint64_t evictions0 =
       reg.counter("cache.prefix.evictions").value();
+  const std::uint64_t cow0 = reg.counter("mem.pool.cow_copies").value();
+  const std::uint64_t exhausted0 = reg.counter("mem.pool.exhausted").value();
+  const std::uint64_t zero_copy0 =
+      reg.counter("cache.prefix.zero_copy_hits").value();
   // SLO window spanning the whole soak: one snapshot now, one at the end,
   // so the verdicts grade this run's deltas, not process-lifetime totals.
   obs::SloOptions slo_options;
@@ -200,81 +228,105 @@ SoakReport run_soak(const SoakOptions& options) {
   const std::string postmortem_before =
       obs::FlightRecorder::global().last_dump_path();
 
-  serve::EngineConfig engine_config;
-  engine_config.max_batch = options.max_batch;
-  engine_config.queue_capacity = options.queue_capacity;
-  engine_config.budget = &budget;
-  engine_config.queue_slo_s = options.queue_slo_s;
-  serve::Engine engine(decoder, engine_config);
-
   SoakReport report;
   report.budget_bytes = budget_bytes;
+  report.paged_kv = options.paged_kv;
 
-  // ---- client threads ---------------------------------------------------
   const serve::Priority kClasses[] = {
       serve::Priority::High, serve::Priority::Normal, serve::Priority::Batch,
       serve::Priority::Batch};
   SoakReport::ClassStats per_thread[4];
   std::atomic<std::size_t> crashes{0};
-  std::vector<std::thread> clients;
-  clients.reserve(4);
-  for (std::size_t c = 0; c < 4; ++c) {
-    clients.emplace_back([&, c] {
-      try {
-        util::Rng rng(options.seed, /*stream=*/0x50a0 + c);
-        serve::RetryOptions retry_options;
-        retry_options.max_attempts = 2;
-        retry_options.base_delay_s = 0.005;
-        retry_options.max_delay_s = 0.05;
-        retry_options.seed = options.seed + c;
-        retry_options.breaker = &breaker;
-        serve::RetryClient client(engine, retry_options);
-        while (Clock::now() < deadline) {
-          const serve::ServeResult result = client.generate(
-              soak_request(rng, model_config.vocab, kClasses[c],
-                           options.max_tokens, options.prefix_cache));
-          tally(per_thread[c], result.status);
-          if (result.status == serve::RequestStatus::BreakerOpen) {
-            // Nothing was submitted; don't spin on the open breaker.
-            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  {
+    // Prefix cache between pool and decoder: nodes uncharge into the
+    // budget (and release pages into the pool) on destruction and the
+    // decoder holds a raw pointer, so it must outlive the decoder and die
+    // before the pool and budget.  When paged, node reservations round up
+    // to page granularity so they stay upper bounds on owned bytes.
+    cache::PrefixCacheConfig cache_config;
+    if (pool) cache_config.page_tokens = pool->page_tokens();
+    cache::PrefixCache prefix_cache(model, cache_config);
+
+    serve::TransformerBatchDecoder inner(model, options.max_batch,
+                                         /*parallel=*/true,
+                                         pool ? &*pool : nullptr);
+    if (options.prefix_cache) inner.set_prefix_cache(&prefix_cache);
+    std::atomic<bool> sick{false};
+    SickWindowDecoder decoder(inner, sick);
+
+    serve::EngineConfig engine_config;
+    engine_config.max_batch = options.max_batch;
+    engine_config.queue_capacity = options.queue_capacity;
+    engine_config.budget = &budget;
+    engine_config.queue_slo_s = options.queue_slo_s;
+    // Chunks smaller than the longest soak prompt, so two-stage
+    // scheduling genuinely interleaves prefill slices with decode steps.
+    engine_config.prefill_chunk_tokens = 4;
+    serve::Engine engine(decoder, engine_config);
+
+    // ---- client threads -------------------------------------------------
+    std::vector<std::thread> clients;
+    clients.reserve(4);
+    for (std::size_t c = 0; c < 4; ++c) {
+      clients.emplace_back([&, c] {
+        try {
+          util::Rng rng(options.seed, /*stream=*/0x50a0 + c);
+          serve::RetryOptions retry_options;
+          retry_options.max_attempts = 2;
+          retry_options.base_delay_s = 0.005;
+          retry_options.max_delay_s = 0.05;
+          retry_options.seed = options.seed + c;
+          retry_options.breaker = &breaker;
+          serve::RetryClient client(engine, retry_options);
+          while (Clock::now() < deadline) {
+            const serve::ServeResult result = client.generate(
+                soak_request(rng, model_config.vocab, kClasses[c],
+                             options.max_tokens, options.prefix_cache));
+            tally(per_thread[c], result.status);
+            if (result.status == serve::RequestStatus::BreakerOpen) {
+              // Nothing was submitted; don't spin on the open breaker.
+              std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            }
+          }
+        } catch (...) {
+          crashes.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+
+    // ---- controller: sick window + RSS sampling -------------------------
+    const double warmup_s = options.seconds * 0.25;
+    const double sick_at_s = options.seconds * 0.4;
+    const double sick_len_s = std::min(0.5, options.seconds * 0.1);
+    bool sick_done = !options.sick_window;
+    while (Clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      const double elapsed =
+          std::chrono::duration<double>(Clock::now() - begin).count();
+      if (!sick_done && elapsed >= sick_at_s) {
+        sick.store(true, std::memory_order_relaxed);
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(sick_len_s));
+        sick.store(false, std::memory_order_relaxed);
+        sick_done = true;
+      }
+      if (elapsed >= warmup_s) {
+        // ~4 Hz is plenty: the check is about the trend, not the waveform.
+        if (const std::size_t kb = rss_kb(); kb != 0) {
+          if (report.rss_kb.empty() ||
+              std::chrono::duration<double>(Clock::now() - begin).count() >=
+                  warmup_s +
+                      0.25 * static_cast<double>(report.rss_kb.size())) {
+            report.rss_kb.push_back(kb);
           }
         }
-      } catch (...) {
-        crashes.fetch_add(1, std::memory_order_relaxed);
-      }
-    });
-  }
-
-  // ---- controller: sick window + RSS sampling ---------------------------
-  const double warmup_s = options.seconds * 0.25;
-  const double sick_at_s = options.seconds * 0.4;
-  const double sick_len_s = std::min(0.5, options.seconds * 0.1);
-  bool sick_done = !options.sick_window;
-  while (Clock::now() < deadline) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(50));
-    const double elapsed =
-        std::chrono::duration<double>(Clock::now() - begin).count();
-    if (!sick_done && elapsed >= sick_at_s) {
-      sick.store(true, std::memory_order_relaxed);
-      std::this_thread::sleep_for(
-          std::chrono::duration<double>(sick_len_s));
-      sick.store(false, std::memory_order_relaxed);
-      sick_done = true;
-    }
-    if (elapsed >= warmup_s) {
-      // ~4 Hz is plenty: the check is about the trend, not the waveform.
-      if (const std::size_t kb = rss_kb(); kb != 0) {
-        if (report.rss_kb.empty() ||
-            std::chrono::duration<double>(Clock::now() - begin).count() >=
-                warmup_s + 0.25 * static_cast<double>(report.rss_kb.size())) {
-          report.rss_kb.push_back(kb);
-        }
       }
     }
-  }
 
-  for (auto& client : clients) client.join();
-  engine.shutdown();
+    for (auto& client : clients) client.join();
+    engine.shutdown();
+  }
 
   // ---- grade ------------------------------------------------------------
   report.wall_s = std::chrono::duration<double>(Clock::now() - begin).count();
@@ -299,6 +351,12 @@ SoakReport run_soak(const SoakOptions& options) {
       reg.counter("cache.prefix.inserts").value() - inserts0;
   report.cache_evictions =
       reg.counter("cache.prefix.evictions").value() - evictions0;
+  report.pool_pages_end = pool ? pool->pages_in_use() : 0;
+  report.pool_cow_copies = reg.counter("mem.pool.cow_copies").value() - cow0;
+  report.pool_exhausted =
+      reg.counter("mem.pool.exhausted").value() - exhausted0;
+  report.pool_zero_copy_hits =
+      reg.counter("cache.prefix.zero_copy_hits").value() - zero_copy0;
   report.crashes = crashes.load();
   slo_monitor.observe(obs::MetricsSnapshot::from_registry(reg));
   report.slo = slo_monitor.verdicts();
@@ -314,6 +372,14 @@ SoakReport run_soak(const SoakOptions& options) {
   report.shed_ordering_ok = report.high.shed == 0 && report.normal.shed == 0;
   report.high_served = report.high.ok > 0 && report.high.shed == 0;
   report.breaker_exercised = breaker.opened() > 0;
+  report.pool_drained = !pool.has_value() || report.pool_pages_end == 0;
+  // Eviction under pressure: a half-load budget that actually denied
+  // reservations must also have squeezed cached state out — otherwise the
+  // cache hoarded bytes while live work was refused.  No denials = no
+  // pressure = nothing to grade.
+  report.eviction_pressure_ok = !options.prefix_cache ||
+                                report.cache_evictions > 0 ||
+                                report.reserve_denied == 0;
   // Leak heuristic: fail only when RSS grew at *every* sample step AND the
   // total growth is material (> 20% and > 16 MiB).  A healthy soak
   // plateaus once slots and scratch are warm.
@@ -367,6 +433,14 @@ util::Table soak_table(const SoakReport& report, bool sick_window) {
        std::to_string(report.cache_hits) + "/" +
            std::to_string(report.cache_inserts) + "/" +
            std::to_string(report.cache_evictions));
+  fact("kv backing", report.paged_kv ? "paged" : "contiguous");
+  if (report.paged_kv) {
+    fact("pool cow/exhausted/zero-copy",
+         std::to_string(report.pool_cow_copies) + "/" +
+             std::to_string(report.pool_exhausted) + "/" +
+             std::to_string(report.pool_zero_copy_hits));
+    fact("pool pages after teardown", std::to_string(report.pool_pages_end));
+  }
   if (!report.rss_kb.empty()) {
     fact("rss_kb first..last", std::to_string(report.rss_kb.front()) +
                                    ".." +
@@ -390,6 +464,8 @@ util::Table soak_table(const SoakReport& report, bool sick_window) {
   verdict("shed ordering (batch only)", report.shed_ordering_ok);
   verdict("high priority served", report.high_served);
   verdict("rss stable", report.rss_ok);
+  if (report.paged_kv) verdict("pool drained", report.pool_drained);
+  verdict("eviction under pressure", report.eviction_pressure_ok);
   if (sick_window) verdict("breaker exercised", report.breaker_exercised);
   verdict("PASSED", report.passed(sick_window));
   return table;

@@ -19,7 +19,12 @@
 //   * no leak: resident set size does not grow monotonically once the
 //     engine is warm;
 //   * breaker exercised: the sick window visibly opened the breaker (and
-//     recovery closed it again).
+//     recovery closed it again);
+//   * pool drained: with the default paged KV pool (DESIGN.md §14), every
+//     page is back on the free list once the engine and prefix cache are
+//     torn down — refcounted handles leaked nothing;
+//   * eviction under pressure: the half-load budget forced the prefix
+//     cache to actually evict (or there was no pressure at all).
 #pragma once
 
 #include <cstddef>
@@ -52,6 +57,12 @@ struct SoakOptions {
   /// cache sees hits, inserts and — under the half-load budget — LRU
   /// evictions, all while the §11 invariants stay graded.
   bool prefix_cache = true;
+  /// Back every slot's KV cache with a mem::PagePool (DESIGN.md §14): the
+  /// soak then also exercises page refcounting, copy-on-write and
+  /// zero-copy prefix sharing under sustained overload, and grades that
+  /// the pool drains completely at teardown.  `lmpeel soak
+  /// --contiguous-kv` is the escape hatch back to flat KV buffers.
+  bool paged_kv = true;
 };
 
 struct SoakReport {
@@ -80,6 +91,13 @@ struct SoakReport {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_inserts = 0;
   std::uint64_t cache_evictions = 0;
+  // Paged-pool activity (deltas / end state; all zero when
+  // options.paged_kv is off).
+  bool paged_kv = false;              ///< echoed from options
+  std::size_t pool_pages_end = 0;     ///< pages still held after teardown
+  std::uint64_t pool_cow_copies = 0;  ///< copy-on-write page copies
+  std::uint64_t pool_exhausted = 0;   ///< allocations refused at max_pages
+  std::uint64_t pool_zero_copy_hits = 0;  ///< prefix hits served by sharing
   std::size_t crashes = 0;  ///< exceptions that escaped a client loop
   std::vector<std::size_t> rss_kb;  ///< RSS samples after warmup (may be
                                     ///< empty off Linux)
@@ -97,12 +115,21 @@ struct SoakReport {
   bool high_served = false;       ///< High traffic kept completing
   bool rss_ok = false;            ///< no monotonic RSS growth post-warmup
   bool breaker_exercised = false; ///< sick window opened the breaker
+  /// Every pool page returned to the free list after teardown (true when
+  /// running contiguous — nothing to drain).
+  bool pool_drained = false;
+  /// The budget visibly squeezed the prefix cache: either LRU evictions
+  /// happened, or there was never any reservation pressure to evict for
+  /// (true when the prefix cache is off).
+  bool eviction_pressure_ok = false;
 
   /// Overall verdict — what `lmpeel soak`'s exit code reports.  The
-  /// breaker check only applies when the sick window ran.
+  /// breaker check only applies when the sick window ran; the pool and
+  /// eviction checks are pre-resolved to true when their feature is off.
   bool passed(bool sick_window_enabled = true) const noexcept {
     return crashes == 0 && budget_ok && shed_ordering_ok && high_served &&
-           rss_ok && (!sick_window_enabled || breaker_exercised);
+           rss_ok && pool_drained && eviction_pressure_ok &&
+           (!sick_window_enabled || breaker_exercised);
   }
 };
 

@@ -46,35 +46,51 @@ void add_into(Tensor& dst, const Tensor& src) {
 
 /// Softmax attention of one query over positions [0, n): writes the
 /// normalised probabilities into prow[0..n) and the blended values into
-/// ctx[0..hd).  `keys`/`values` are the first position's slices; rows are
-/// `key_stride`/`value_stride` floats apart.
-[[gnu::noinline]] void attend_row(const float* q, const float* keys,
-                                  std::size_t key_stride, const float* values,
-                                  std::size_t value_stride, std::size_t n,
+/// ctx[0..hd).  Key/value rows are gathered from `spans` — each span's
+/// `k`/`v` point at its first row and successive rows are `stride` floats
+/// apart; `head_off` selects the head slice within a row.  A contiguous
+/// cache passes exactly one span, a paged cache one span per page, and the
+/// per-position float operations are identical either way (only the pointer
+/// arithmetic between rows differs), so paged and contiguous attention are
+/// bit-identical by construction (DESIGN.md §14).
+[[gnu::noinline]] void attend_row(const float* q, const mem::KvSpan* spans,
+                                  std::size_t n_spans, std::size_t stride,
+                                  std::size_t head_off, std::size_t n,
                                   std::size_t hd, float scale, float* prow,
                                   float* ctx) {
   float hi = -1e30f;
-  for (std::size_t u = 0; u < n; ++u) {
-    const float* k = keys + u * key_stride;
-    float acc = 0.0f;
-    for (std::size_t c = 0; c < hd; ++c) acc += q[c] * k[c];
-    prow[u] = acc * scale;
-    hi = std::max(hi, prow[u]);
+  std::size_t u = 0;
+  for (std::size_t s = 0; s < n_spans && u < n; ++s) {
+    const float* kbase = spans[s].k + head_off;
+    const std::size_t rows = std::min(spans[s].tokens, n - u);
+    for (std::size_t r = 0; r < rows; ++r, ++u) {
+      const float* k = kbase + r * stride;
+      float acc = 0.0f;
+      for (std::size_t c = 0; c < hd; ++c) acc += q[c] * k[c];
+      prow[u] = acc * scale;
+      hi = std::max(hi, prow[u]);
+    }
   }
+  LMPEEL_CHECK(u == n);
   float sum = 0.0f;
-  for (std::size_t u = 0; u < n; ++u) {
-    prow[u] = std::exp(prow[u] - hi);
-    sum += prow[u];
+  for (std::size_t w = 0; w < n; ++w) {
+    prow[w] = std::exp(prow[w] - hi);
+    sum += prow[w];
   }
   const float inv = 1.0f / sum;
-  for (std::size_t u = 0; u < n; ++u) prow[u] *= inv;
+  for (std::size_t w = 0; w < n; ++w) prow[w] *= inv;
 
   std::fill_n(ctx, hd, 0.0f);
-  for (std::size_t u = 0; u < n; ++u) {
-    const float p = prow[u];
-    if (p == 0.0f) continue;
-    const float* v = values + u * value_stride;
-    for (std::size_t c = 0; c < hd; ++c) ctx[c] += p * v[c];
+  u = 0;
+  for (std::size_t s = 0; s < n_spans && u < n; ++s) {
+    const float* vbase = spans[s].v + head_off;
+    const std::size_t rows = std::min(spans[s].tokens, n - u);
+    for (std::size_t r = 0; r < rows; ++r, ++u) {
+      const float p = prow[u];
+      if (p == 0.0f) continue;
+      const float* v = vbase + r * stride;
+      for (std::size_t c = 0; c < hd; ++c) ctx[c] += p * v[c];
+    }
   }
 }
 
@@ -223,18 +239,19 @@ void TransformerLm::forward(std::span<const int> ids, Cache* cache,
 
     lc.ctx = Tensor(t_len, d);
     lc.probs.assign(n_head, Tensor());
+    // K/V rows live inside the packed QKV rows: one span whose k/v point
+    // at position 0's K/V slice, rows 3·d floats apart.
+    const mem::KvSpan qkv_span{lc.qkv.data() + d, lc.qkv.data() + 2 * d,
+                               t_len};
     for (std::size_t h = 0; h < n_head; ++h) {
       Tensor& probs = lc.probs[h];
       // Zero-initialised; attend_row fills [0, t] per row, the causal
       // remainder stays zero.
       probs = Tensor(t_len, t_len);
-      const std::size_t qo = h * hd;          // offset of q head
-      const std::size_t ko = d + h * hd;      // offset of k head
-      const std::size_t vo = 2 * d + h * hd;  // offset of v head
       for (std::size_t t = 0; t < t_len; ++t) {
-        attend_row(lc.qkv.data() + t * 3 * d + qo, lc.qkv.data() + ko,
-                   3 * d, lc.qkv.data() + vo, 3 * d, t + 1, hd, scale,
-                   probs.data() + t * t_len, lc.ctx.data() + t * d + h * hd);
+        attend_row(lc.qkv.data() + t * 3 * d + h * hd, &qkv_span, 1, 3 * d,
+                   h * hd, t + 1, hd, scale, probs.data() + t * t_len,
+                   lc.ctx.data() + t * d + h * hd);
       }
     }
 
@@ -297,18 +314,30 @@ void TransformerLm::prefill(KvCache& cache, std::span<const int> tokens,
   // these are the exact floats decode_batch would have appended.
   const auto d = static_cast<std::size_t>(config_.d_model);
   const std::size_t t_len = tokens.size();
-  cache.keys_.assign(layers_.size(), {});
-  cache.values_.assign(layers_.size(), {});
-  for (std::size_t l = 0; l < layers_.size(); ++l) {
-    const Tensor& qkv = fwd.layers[l].qkv;
-    std::vector<float>& kcache = cache.keys_[l];
-    std::vector<float>& vcache = cache.values_[l];
-    kcache.resize(t_len * d);
-    vcache.resize(t_len * d);
-    for (std::size_t t = 0; t < t_len; ++t) {
-      const float* row = qkv.data() + t * 3 * d;
-      std::copy_n(row + d, d, kcache.data() + t * d);
-      std::copy_n(row + 2 * d, d, vcache.data() + t * d);
+  if (cache.paged()) {
+    cache.paged_.grow(0, t_len);
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+      const Tensor& qkv = fwd.layers[l].qkv;
+      for (std::size_t t = 0; t < t_len; ++t) {
+        const float* row = qkv.data() + t * 3 * d;
+        std::copy_n(row + d, d, cache.paged_.k_row(l, t));
+        std::copy_n(row + 2 * d, d, cache.paged_.v_row(l, t));
+      }
+    }
+  } else {
+    cache.keys_.assign(layers_.size(), {});
+    cache.values_.assign(layers_.size(), {});
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+      const Tensor& qkv = fwd.layers[l].qkv;
+      std::vector<float>& kcache = cache.keys_[l];
+      std::vector<float>& vcache = cache.values_[l];
+      kcache.resize(t_len * d);
+      vcache.resize(t_len * d);
+      for (std::size_t t = 0; t < t_len; ++t) {
+        const float* row = qkv.data() + t * 3 * d;
+        std::copy_n(row + d, d, kcache.data() + t * d);
+        std::copy_n(row + 2 * d, d, vcache.data() + t * d);
+      }
     }
   }
   cache.length_ = t_len;
@@ -318,6 +347,21 @@ void TransformerLm::prefill(KvCache& cache, std::span<const int> tokens,
 void TransformerLm::KvCache::copy_prefix(const KvCache& src,
                                          std::size_t n_tokens) {
   LMPEEL_CHECK(n_tokens <= src.length_);
+  if (src.paged()) {
+    // Zero-copy fork: share the page handles covering [0, n_tokens).  No
+    // floats move; grow() copy-on-writes the boundary page at the first
+    // append, so both forks stay independent.
+    keys_.clear();
+    values_.clear();
+    paged_.reset();
+    if (!paged_.attached()) paged_.attach(src.paged_.pool());
+    paged_.share_from(src.paged_, n_tokens);
+    length_ = n_tokens;
+    account();
+    return;
+  }
+  LMPEEL_CHECK_MSG(!paged(),
+                   "cannot copy a contiguous prefix into a paged cache");
   keys_.assign(src.keys_.size(), {});
   values_.assign(src.values_.size(), {});
   if (n_tokens > 0) {
@@ -351,8 +395,11 @@ void TransformerLm::prefill_from(KvCache& cache, std::span<const int> suffix,
   const std::size_t s_len = suffix.size();
   LMPEEL_CHECK_MSG(s_len > 0, "prefill_from requires a non-empty suffix");
   LMPEEL_CHECK(base + s_len <= static_cast<std::size_t>(config_.max_seq));
-  LMPEEL_CHECK(cache.keys_.size() == layers_.size());
+  if (!cache.paged()) LMPEEL_CHECK(cache.keys_.size() == layers_.size());
   LMPEEL_CHECK(out.size() == static_cast<std::size_t>(config_.vocab));
+  // One grow covers all layers (a page packs every layer's K/V block);
+  // this is also where a shared boundary page copy-on-writes.
+  if (cache.paged()) cache.paged_.grow(base, base + s_len);
   const auto d = static_cast<std::size_t>(config_.d_model);
   const auto n_head = static_cast<std::size_t>(config_.n_head);
   const std::size_t hd = d / n_head;
@@ -370,6 +417,7 @@ void TransformerLm::prefill_from(KvCache& cache, std::span<const int> suffix,
 
   LayerNormCache ln_scratch;
   std::vector<float> prow;
+  std::vector<mem::KvSpan> spans;
   for (std::size_t l = 0; l < layers_.size(); ++l) {
     Layer& layer = layers_[l];
 
@@ -383,12 +431,23 @@ void TransformerLm::prefill_from(KvCache& cache, std::span<const int> suffix,
     // Append every suffix K/V row before attending: row t must see keys
     // for positions [0, base+t], all of which are in the cache once rows
     // 0..t are appended (attend_row then reads a strict prefix of it).
-    std::vector<float>& kcache = cache.keys_[l];
-    std::vector<float>& vcache = cache.values_[l];
-    for (std::size_t t = 0; t < s_len; ++t) {
-      const float* row = qkv.data() + t * 3 * d;
-      kcache.insert(kcache.end(), row + d, row + 2 * d);
-      vcache.insert(vcache.end(), row + 2 * d, row + 3 * d);
+    if (cache.paged()) {
+      for (std::size_t t = 0; t < s_len; ++t) {
+        const float* row = qkv.data() + t * 3 * d;
+        std::copy_n(row + d, d, cache.paged_.k_row(l, base + t));
+        std::copy_n(row + 2 * d, d, cache.paged_.v_row(l, base + t));
+      }
+      cache.paged_.spans(l, base + s_len, spans);
+    } else {
+      std::vector<float>& kcache = cache.keys_[l];
+      std::vector<float>& vcache = cache.values_[l];
+      for (std::size_t t = 0; t < s_len; ++t) {
+        const float* row = qkv.data() + t * 3 * d;
+        kcache.insert(kcache.end(), row + d, row + 2 * d);
+        vcache.insert(vcache.end(), row + 2 * d, row + 3 * d);
+      }
+      spans.assign(
+          1, mem::KvSpan{kcache.data(), vcache.data(), base + s_len});
     }
 
     Tensor ctx(s_len, d);
@@ -397,8 +456,8 @@ void TransformerLm::prefill_from(KvCache& cache, std::span<const int> suffix,
       prow.resize(t_len);
       const float* row = qkv.data() + t * 3 * d;
       for (std::size_t h = 0; h < n_head; ++h) {
-        attend_row(row + h * hd, kcache.data() + h * hd, d,
-                   vcache.data() + h * hd, d, t_len, hd, scale, prow.data(),
+        attend_row(row + h * hd, spans.data(), spans.size(), d, h * hd,
+                   t_len, hd, scale, prow.data(),
                    ctx.data() + t * d + h * hd);
       }
     }
@@ -446,11 +505,17 @@ void TransformerLm::decode_batch(std::span<KvCache* const> caches,
   Tensor x(batch, d);
   for (std::size_t b = 0; b < batch; ++b) {
     KvCache& cache = *caches[b];
-    if (cache.keys_.empty()) {
-      cache.keys_.assign(layers_.size(), {});
-      cache.values_.assign(layers_.size(), {});
+    if (cache.paged()) {
+      // Allocating here (and not per layer) keeps PoolExhausted confined
+      // to this loop: no K/V row has been written yet when it throws.
+      cache.paged_.grow(cache.length_, cache.length_ + 1);
+    } else {
+      if (cache.keys_.empty()) {
+        cache.keys_.assign(layers_.size(), {});
+        cache.values_.assign(layers_.size(), {});
+      }
+      LMPEEL_CHECK(cache.keys_.size() == layers_.size());
     }
-    LMPEEL_CHECK(cache.keys_.size() == layers_.size());
     LMPEEL_CHECK(cache.length_ + 1 <=
                  static_cast<std::size_t>(config_.max_seq));
     LMPEEL_CHECK(tokens[b] >= 0 && tokens[b] < config_.vocab);
@@ -460,6 +525,7 @@ void TransformerLm::decode_batch(std::span<KvCache* const> caches,
 
   LayerNormCache ln_scratch;
   std::vector<float> prow;  // per-(sequence, head) attention scratch
+  std::vector<mem::KvSpan> spans;
   for (std::size_t l = 0; l < layers_.size(); ++l) {
     Layer& layer = layers_[l];
 
@@ -473,17 +539,24 @@ void TransformerLm::decode_batch(std::span<KvCache* const> caches,
     Tensor ctx(batch, d);
     for (std::size_t b = 0; b < batch; ++b) {
       KvCache& cache = *caches[b];
-      std::vector<float>& kcache = cache.keys_[l];
-      std::vector<float>& vcache = cache.values_[l];
       const float* row = qkv.data() + b * 3 * d;
-      kcache.insert(kcache.end(), row + d, row + 2 * d);
-      vcache.insert(vcache.end(), row + 2 * d, row + 3 * d);
-
       const std::size_t t_len = cache.length_ + 1;
+      if (cache.paged()) {
+        std::copy_n(row + d, d, cache.paged_.k_row(l, cache.length_));
+        std::copy_n(row + 2 * d, d, cache.paged_.v_row(l, cache.length_));
+        cache.paged_.spans(l, t_len, spans);
+      } else {
+        std::vector<float>& kcache = cache.keys_[l];
+        std::vector<float>& vcache = cache.values_[l];
+        kcache.insert(kcache.end(), row + d, row + 2 * d);
+        vcache.insert(vcache.end(), row + 2 * d, row + 3 * d);
+        spans.assign(1, mem::KvSpan{kcache.data(), vcache.data(), t_len});
+      }
+
       prow.resize(t_len);
       for (std::size_t h = 0; h < n_head; ++h) {
-        attend_row(row + h * hd, kcache.data() + h * hd, d,
-                   vcache.data() + h * hd, d, t_len, hd, scale, prow.data(),
+        attend_row(row + h * hd, spans.data(), spans.size(), d, h * hd,
+                   t_len, hd, scale, prow.data(),
                    ctx.data() + b * d + h * hd);
       }
     }
@@ -524,6 +597,9 @@ void TransformerLm::decode(KvCache& cache, std::span<const int> tokens,
       .add(tokens.size());
   LMPEEL_CHECK(!tokens.empty());
   LMPEEL_CHECK(out.size() == static_cast<std::size_t>(config_.vocab));
+  // The serve paths (prefill/prefill_from/decode_batch) are the paged
+  // consumers; this single-sequence debug path stays contiguous-only.
+  LMPEEL_CHECK_MSG(!cache.paged(), "decode() requires a contiguous cache");
   const auto d = static_cast<std::size_t>(config_.d_model);
   const auto n_head = static_cast<std::size_t>(config_.n_head);
   const std::size_t hd = d / n_head;

@@ -22,6 +22,7 @@
 #include "guard/budget.hpp"
 #include "lm/language_model.hpp"
 #include "lm/tensor.hpp"
+#include "mem/paged_kv.hpp"
 
 namespace lmpeel::lm {
 
@@ -64,9 +65,11 @@ class TransformerLm final : public LanguageModel {
         detach();
         keys_ = std::move(other.keys_);
         values_ = std::move(other.values_);
+        paged_ = std::move(other.paged_);
         length_ = other.length_;
         budget_ = other.budget_;
         accounted_ = other.accounted_;
+        other.paged_.reset();
         other.length_ = 0;
         other.budget_ = nullptr;
         other.accounted_ = 0;
@@ -80,8 +83,18 @@ class TransformerLm final : public LanguageModel {
       length_ = 0;
       keys_.clear();
       values_.clear();
+      paged_.reset();
       account();
     }
+
+    /// Switches this cache to paged storage backed by `pool` (DESIGN.md
+    /// §14): rows live in refcounted mem::PagePool pages instead of the
+    /// per-layer contiguous vectors, and prefix sharing becomes zero-copy.
+    /// Null reverts to contiguous mode.  Only allowed while empty.
+    void attach_pool(mem::PagePool* pool) { paged_.attach(pool); }
+    bool paged() const noexcept { return paged_.attached(); }
+    mem::PagePool* pool() const noexcept { return paged_.pool(); }
+    std::size_t pages_held() const noexcept { return paged_.pages_held(); }
 
     /// Routes this cache's byte accounting through `budget` (null detaches);
     /// current contents are charged/released immediately.
@@ -92,7 +105,11 @@ class TransformerLm final : public LanguageModel {
       account();
     }
     /// Logical bytes currently cached (key + value rows across layers).
+    /// In paged mode this is 0: the PagePool charges the budget once per
+    /// in-use page centrally, so per-cache accounting here would double-
+    /// count shared pages.
     std::size_t bytes() const noexcept {
+      if (paged()) return 0;
       std::size_t total = 0;
       for (const auto& k : keys_) total += k.size() * sizeof(float);
       for (const auto& v : values_) total += v.size() * sizeof(float);
@@ -104,7 +121,9 @@ class TransformerLm final : public LanguageModel {
     /// budget binding is preserved and the byte delta re-accounted; src is
     /// never modified.  The copied rows are the exact floats prefill()
     /// stored, so a subsequent prefill_from() continues bit-identically
-    /// (DESIGN.md §12).
+    /// (DESIGN.md §12).  When both caches are paged on the same pool the
+    /// fork is zero-copy: page handles are shared and the boundary page
+    /// copy-on-writes only at the first append (DESIGN.md §14).
     void copy_prefix(const KvCache& src, std::size_t n_tokens);
 
     /// Recomputes bytes() and publishes the delta to the bound budget.  The
@@ -132,6 +151,7 @@ class TransformerLm final : public LanguageModel {
     friend class TransformerLm;
     std::vector<std::vector<float>> keys_;    // per layer, length*d floats
     std::vector<std::vector<float>> values_;  // per layer
+    mem::PagedKv paged_;                      // page table when paged()
     std::size_t length_ = 0;
     guard::Budget* budget_ = nullptr;
     std::size_t accounted_ = 0;

@@ -1,0 +1,153 @@
+#include "mem/page_pool.hpp"
+
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+
+namespace lmpeel::mem {
+
+/// One physical page.  `refs` is the handle count; the buffer itself is
+/// allocated once and recycled through the free list, never resized.
+struct PageHandle::Page {
+  std::unique_ptr<float[]> data;
+  std::atomic<std::size_t> refs{0};
+};
+
+// ---- PageHandle -----------------------------------------------------------
+
+PageHandle::PageHandle(const PageHandle& other) noexcept
+    : pool_(other.pool_), page_(other.page_) {
+  if (page_ != nullptr) pool_->retain(page_);
+}
+
+PageHandle& PageHandle::operator=(const PageHandle& other) noexcept {
+  if (this == &other) return *this;
+  if (other.page_ != nullptr) other.pool_->retain(other.page_);
+  reset();
+  pool_ = other.pool_;
+  page_ = other.page_;
+  return *this;
+}
+
+PageHandle::PageHandle(PageHandle&& other) noexcept
+    : pool_(other.pool_), page_(other.page_) {
+  other.pool_ = nullptr;
+  other.page_ = nullptr;
+}
+
+PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
+  if (this == &other) return *this;
+  reset();
+  pool_ = other.pool_;
+  page_ = other.page_;
+  other.pool_ = nullptr;
+  other.page_ = nullptr;
+  return *this;
+}
+
+PageHandle::~PageHandle() { reset(); }
+
+void PageHandle::reset() noexcept {
+  if (page_ != nullptr) pool_->release_page(page_);
+  pool_ = nullptr;
+  page_ = nullptr;
+}
+
+float* PageHandle::data() noexcept { return page_->data.get(); }
+
+const float* PageHandle::data() const noexcept { return page_->data.get(); }
+
+bool PageHandle::unique() const noexcept {
+  return page_ != nullptr &&
+         page_->refs.load(std::memory_order_acquire) == 1;
+}
+
+// ---- PagePool -------------------------------------------------------------
+
+PagePool::PagePool(PagePoolConfig config) : config_(config) {
+  LMPEEL_CHECK_MSG(config_.page_tokens > 0, "page_tokens must be >= 1");
+  LMPEEL_CHECK_MSG(config_.n_layer > 0 && config_.d_model > 0,
+                   "PagePool needs a real model shape");
+  page_floats_ =
+      config_.page_tokens * config_.n_layer * 2 * config_.d_model;
+}
+
+PagePool::~PagePool() {
+  // Every handle must be gone by now (callers keep the pool outermost in
+  // declaration order); return whatever is still charged so a bound budget
+  // never leaks accounted bytes even if teardown order was wrong.
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (budget_ != nullptr && charged_bytes_ > 0) {
+    budget_->uncharge(charged_bytes_);
+    charged_bytes_ = 0;
+  }
+}
+
+void PagePool::bind_budget(guard::Budget* budget) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (budget == budget_) return;
+  LMPEEL_CHECK_MSG(pages_in_use_.load(std::memory_order_relaxed) == 0,
+                   "bind_budget requires an idle pool");
+  budget_ = budget;
+}
+
+std::size_t PagePool::free_pages() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return free_.size();
+}
+
+void PagePool::publish_locked() noexcept {
+  const auto in_use =
+      static_cast<double>(pages_in_use_.load(std::memory_order_relaxed));
+  obs::Registry::global().gauge("mem.pool.pages_in_use").set(in_use);
+  obs::Registry::global().gauge("mem.pool.bytes_reserved")
+      .set(in_use * static_cast<double>(page_bytes()));
+}
+
+PageHandle PagePool::alloc() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PageHandle::Page* page = nullptr;
+  if (!free_.empty()) {
+    page = free_.back();
+    free_.pop_back();
+  } else {
+    if (config_.max_pages != 0 &&
+        pages_in_use_.load(std::memory_order_relaxed) >= config_.max_pages) {
+      exhausted_.fetch_add(1, std::memory_order_relaxed);
+      obs::Registry::global().counter("mem.pool.exhausted").add();
+      throw PoolExhausted(config_.max_pages);
+    }
+    auto owned = std::make_unique<PageHandle::Page>();
+    owned->data = std::make_unique<float[]>(page_floats_);
+    page = owned.get();
+    pages_.push_back(std::move(owned));
+  }
+  page->refs.store(1, std::memory_order_relaxed);
+  pages_in_use_.fetch_add(1, std::memory_order_relaxed);
+  if (budget_ != nullptr) budget_->charge(page_bytes());
+  charged_bytes_ += page_bytes();
+  // The exact-accounting invariant (DESIGN.md §14): one charge per in-use
+  // page, no matter how many sequences share it.
+  LMPEEL_CHECK(charged_bytes_ ==
+               pages_in_use_.load(std::memory_order_relaxed) * page_bytes());
+  publish_locked();
+  return PageHandle(this, page);
+}
+
+void PagePool::retain(PageHandle::Page* page) noexcept {
+  page->refs.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PagePool::release_page(PageHandle::Page* page) noexcept {
+  if (page->refs.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+  // Last reference: recycle the buffer and return its bytes.
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_.push_back(page);
+  pages_in_use_.fetch_sub(1, std::memory_order_relaxed);
+  if (budget_ != nullptr) budget_->uncharge(page_bytes());
+  charged_bytes_ -= page_bytes();
+  LMPEEL_CHECK(charged_bytes_ ==
+               pages_in_use_.load(std::memory_order_relaxed) * page_bytes());
+  publish_locked();
+}
+
+}  // namespace lmpeel::mem

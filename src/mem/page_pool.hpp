@@ -1,0 +1,148 @@
+// Paged KV memory pool (DESIGN.md §14).
+//
+// A PagePool carves fixed-size pages — page_tokens × n_layer × 2 (K and V)
+// × d_model floats — out of one guard::Budget-accounted arena.  Sequences
+// hold pages through refcounted PageHandles, so a prefix-cache hit can hand
+// the same physical rows to a serve slot with zero float copies; the slot
+// copy-on-writes only the partial boundary page it actually appends into
+// (mem::PagedKv).  Freed pages return to a free list and are recycled, so a
+// steady-state serve loop allocates no new arena memory.
+//
+// Accounting is exact by construction and checked on every transition:
+// bytes_reserved() == pages_in_use() * page_bytes(), always — a shared page
+// is charged once no matter how many sequences reference it.  Allocation
+// beyond max_pages throws PoolExhausted, which the serve engine maps to a
+// Shed (the pool protecting itself is load shedding, not a fault).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "guard/budget.hpp"
+
+namespace lmpeel::mem {
+
+/// Thrown when alloc() would exceed max_pages.  Callers on the serve path
+/// translate this into a Shed, never an EngineError: the pool refusing to
+/// grow is the overload policy working, not the decoder malfunctioning.
+struct PoolExhausted : std::runtime_error {
+  explicit PoolExhausted(std::size_t max_pages)
+      : std::runtime_error("mem::PagePool exhausted (max_pages = " +
+                           std::to_string(max_pages) + ")") {}
+};
+
+struct PagePoolConfig {
+  std::size_t page_tokens = 16;  ///< token positions per page
+  std::size_t n_layer = 1;      ///< transformer layers (K+V rows per token)
+  std::size_t d_model = 1;      ///< floats per K (or V) row
+  /// Hard cap on simultaneously in-use pages; 0 = unbounded (a bound
+  /// guard::Budget still applies through charge/uncharge).
+  std::size_t max_pages = 0;
+};
+
+class PagePool;
+
+/// Refcounted reference to one page.  Copying retains, destruction
+/// releases; when the last handle drops the page returns to the pool's
+/// free list and its bytes are uncharged.  unique() is the copy-on-write
+/// test: a writer may append into a page only while it is the sole owner.
+class PageHandle {
+ public:
+  PageHandle() = default;
+  PageHandle(const PageHandle& other) noexcept;
+  PageHandle& operator=(const PageHandle& other) noexcept;
+  PageHandle(PageHandle&& other) noexcept;
+  PageHandle& operator=(PageHandle&& other) noexcept;
+  ~PageHandle();
+
+  explicit operator bool() const noexcept { return page_ != nullptr; }
+  float* data() noexcept;
+  const float* data() const noexcept;
+  /// True when exactly one handle references the page (safe to write).
+  bool unique() const noexcept;
+  void reset() noexcept;
+
+ private:
+  friend class PagePool;
+  struct Page;
+  PageHandle(PagePool* pool, Page* page) noexcept
+      : pool_(pool), page_(page) {}
+
+  PagePool* pool_ = nullptr;
+  Page* page_ = nullptr;
+};
+
+/// Block allocator for KV pages.  alloc()/free transitions are mutex-
+/// serialised; handle refcount traffic is atomic, so concurrent sequences
+/// can share and drop pages without touching the pool lock until the last
+/// reference dies.  The pool must outlive every handle it issued.
+class PagePool {
+ public:
+  explicit PagePool(PagePoolConfig config);
+  ~PagePool();
+  PagePool(const PagePool&) = delete;
+  PagePool& operator=(const PagePool&) = delete;
+
+  const PagePoolConfig& config() const noexcept { return config_; }
+  std::size_t page_tokens() const noexcept { return config_.page_tokens; }
+  /// Floats in one page: page_tokens rows of d_model for K and V per layer.
+  std::size_t page_floats() const noexcept { return page_floats_; }
+  std::size_t page_bytes() const noexcept {
+    return page_floats_ * sizeof(float);
+  }
+  /// Offset of layer `layer`'s K block within a page; token rows are
+  /// d_model floats apart.  The V block follows at v_offset.
+  std::size_t k_offset(std::size_t layer) const noexcept {
+    return layer * 2 * config_.page_tokens * config_.d_model;
+  }
+  std::size_t v_offset(std::size_t layer) const noexcept {
+    return k_offset(layer) + config_.page_tokens * config_.d_model;
+  }
+
+  /// Takes one page (recycled from the free list when possible); the
+  /// returned handle is the sole reference.  Throws PoolExhausted at
+  /// max_pages.
+  PageHandle alloc();
+
+  /// Routes page accounting through `budget` (null detaches).  Must only
+  /// be called while no page is in use.
+  void bind_budget(guard::Budget* budget);
+
+  std::size_t pages_in_use() const noexcept {
+    return pages_in_use_.load(std::memory_order_relaxed);
+  }
+  /// Bytes currently held by in-use pages.  Invariant (checked on every
+  /// alloc/free under the pool lock): == pages_in_use() * page_bytes().
+  std::size_t bytes_reserved() const noexcept {
+    return pages_in_use() * page_bytes();
+  }
+  std::size_t free_pages() const;
+  std::uint64_t exhausted_count() const noexcept {
+    return exhausted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class PageHandle;
+  void retain(PageHandle::Page* page) noexcept;
+  void release_page(PageHandle::Page* page) noexcept;
+  void publish_locked() noexcept;
+
+  PagePoolConfig config_;
+  std::size_t page_floats_ = 0;
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<PageHandle::Page>> pages_;  ///< every page ever
+  std::vector<PageHandle::Page*> free_;                   ///< recycled pages
+  std::size_t charged_bytes_ = 0;  ///< bytes charged to the budget
+  guard::Budget* budget_ = nullptr;
+  std::atomic<std::size_t> pages_in_use_{0};
+  std::atomic<std::uint64_t> exhausted_{0};
+};
+
+}  // namespace lmpeel::mem

@@ -1,0 +1,95 @@
+#include "mem/paged_kv.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+
+namespace lmpeel::mem {
+
+void PagedKv::attach(PagePool* pool) {
+  if (pool == pool_) return;
+  LMPEEL_CHECK_MSG(pages_.empty(),
+                   "PagedKv::attach requires an empty page table");
+  pool_ = pool;
+}
+
+void PagedKv::grow(std::size_t old_len, std::size_t new_len) {
+  LMPEEL_CHECK_MSG(pool_ != nullptr, "PagedKv::grow without a pool");
+  LMPEEL_CHECK(new_len >= old_len);
+  const std::size_t pt = pool_->page_tokens();
+  const std::size_t valid = old_len % pt;
+  // Copy-on-write the partial boundary page before the first append into
+  // it: a page referenced by any other sequence (a prefix-cache node, a
+  // sibling slot) is immutable.  Only the `valid` rows this sequence
+  // logically owns are copied — the rest of the page is unwritten tail.
+  if (new_len > old_len && valid > 0) {
+    const std::size_t boundary = old_len / pt;
+    LMPEEL_CHECK(boundary < pages_.size());
+    if (!pages_[boundary].unique()) {
+      PageHandle fresh = pool_->alloc();
+      const float* src = pages_[boundary].data();
+      float* dst = fresh.data();
+      const std::size_t d = pool_->config().d_model;
+      for (std::size_t l = 0; l < pool_->config().n_layer; ++l) {
+        std::copy_n(src + pool_->k_offset(l), valid * d,
+                    dst + pool_->k_offset(l));
+        std::copy_n(src + pool_->v_offset(l), valid * d,
+                    dst + pool_->v_offset(l));
+      }
+      const std::size_t copied =
+          2 * pool_->config().n_layer * valid * d * sizeof(float);
+      obs::Registry::global().counter("mem.pool.cow_copies").add();
+      obs::Registry::global().counter("mem.pool.cow_bytes").add(copied);
+      pages_[boundary] = std::move(fresh);
+    }
+  }
+  const std::size_t needed = (new_len + pt - 1) / pt;
+  while (pages_.size() < needed) pages_.push_back(pool_->alloc());
+}
+
+void PagedKv::share_from(const PagedKv& src, std::size_t n_tokens) {
+  LMPEEL_CHECK_MSG(pool_ != nullptr, "PagedKv::share_from without a pool");
+  LMPEEL_CHECK_MSG(src.pool_ == pool_,
+                   "PagedKv::share_from across different pools");
+  pages_.clear();
+  if (n_tokens == 0) return;
+  const std::size_t pt = pool_->page_tokens();
+  const std::size_t needed = (n_tokens + pt - 1) / pt;
+  LMPEEL_CHECK(needed <= src.pages_.size());
+  pages_.reserve(needed);
+  for (std::size_t p = 0; p < needed; ++p) pages_.push_back(src.pages_[p]);
+  obs::Registry::global().counter("mem.pool.page_shares").add(needed);
+}
+
+float* PagedKv::k_row(std::size_t layer, std::size_t pos) noexcept {
+  const std::size_t pt = pool_->page_tokens();
+  return pages_[pos / pt].data() + pool_->k_offset(layer) +
+         (pos % pt) * pool_->config().d_model;
+}
+
+float* PagedKv::v_row(std::size_t layer, std::size_t pos) noexcept {
+  const std::size_t pt = pool_->page_tokens();
+  return pages_[pos / pt].data() + pool_->v_offset(layer) +
+         (pos % pt) * pool_->config().d_model;
+}
+
+void PagedKv::spans(std::size_t layer, std::size_t n_tokens,
+                    std::vector<KvSpan>& out) const {
+  out.clear();
+  if (n_tokens == 0) return;
+  const std::size_t pt = pool_->page_tokens();
+  const std::size_t needed = (n_tokens + pt - 1) / pt;
+  LMPEEL_CHECK(needed <= pages_.size());
+  out.reserve(needed);
+  for (std::size_t p = 0; p < needed; ++p) {
+    const float* base = pages_[p].data();
+    KvSpan span;
+    span.k = base + pool_->k_offset(layer);
+    span.v = base + pool_->v_offset(layer);
+    span.tokens = std::min(pt, n_tokens - p * pt);
+    out.push_back(span);
+  }
+}
+
+}  // namespace lmpeel::mem

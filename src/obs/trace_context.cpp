@@ -44,6 +44,7 @@ std::string_view timeline_kind_name(TimelineKind kind) noexcept {
     case TimelineKind::EngineFault: return "engine_fault";
     case TimelineKind::CampaignIter: return "campaign_iter";
     case TimelineKind::Quarantine: return "quarantine";
+    case TimelineKind::PrefillChunk: return "prefill_chunk";
   }
   return "unknown";
 }

@@ -72,6 +72,7 @@ enum class TimelineKind : std::uint8_t {
   EngineFault,     ///< contained decoder fault surfaced as EngineError
   CampaignIter,    ///< LLAMBO iteration finished; value = iteration index
   Quarantine,      ///< checkpoint quarantined (trace = 0: process-wide)
+  PrefillChunk,    ///< one chunked-prefill slice; value = tokens advanced
 };
 
 /// Stable lower-snake name ("prefix_hit", "decode_tick", …) used by every

@@ -9,18 +9,56 @@
 
 namespace lmpeel::serve {
 
+// ---- BatchDecoder defaults ------------------------------------------------
+
+void BatchDecoder::start_chunked(std::size_t slot, std::span<const int> prompt,
+                                 std::uint64_t seed,
+                                 std::size_t shared_prefix_tokens) {
+  (void)slot;
+  (void)prompt;
+  (void)seed;
+  (void)shared_prefix_tokens;
+  LMPEEL_CHECK_MSG(false, "start_chunked() on a decoder without "
+                          "chunked-prefill support");
+}
+
+std::size_t BatchDecoder::prefill_chunk(std::size_t slot,
+                                        std::size_t max_tokens,
+                                        std::span<float> out, bool* done) {
+  (void)slot;
+  (void)max_tokens;
+  (void)out;
+  (void)done;
+  LMPEEL_CHECK_MSG(false, "prefill_chunk() on a decoder without "
+                          "chunked-prefill support");
+  return 0;
+}
+
 // ---- TransformerBatchDecoder ---------------------------------------------
 
 TransformerBatchDecoder::TransformerBatchDecoder(lm::TransformerLm& model,
                                                  std::size_t slots,
-                                                 bool parallel)
+                                                 bool parallel,
+                                                 mem::PagePool* pool)
     : model_(&model), caches_(slots), sequences_(slots), parallel_(parallel),
-      surcharges_(slots, 0) {
+      pool_(pool), surcharges_(slots, 0), pending_prompt_(slots, 0),
+      insert_hints_(slots, 0) {
   LMPEEL_CHECK_MSG(slots > 0, "TransformerBatchDecoder needs >= 1 slot");
+  if (pool_ != nullptr) {
+    const lm::TransformerConfig& cfg = model_->config();
+    LMPEEL_CHECK_MSG(
+        pool_->config().n_layer == static_cast<std::size_t>(cfg.n_layer) &&
+            pool_->config().d_model == static_cast<std::size_t>(cfg.d_model),
+        "PagePool shape does not match the model");
+    for (auto& cache : caches_) cache.attach_pool(pool_);
+  }
 }
 
 void TransformerBatchDecoder::bind_budget(guard::Budget* budget) {
   budget_ = budget;
+  // The pool accounts pages centrally; per-cache accounting is a no-op in
+  // paged mode (KvCache::bytes() is 0) but kept bound for step scratch.
+  if (pool_ != nullptr) pool_->bind_budget(budget);
   for (auto& cache : caches_) cache.bind_budget(budget);
   if (prefix_cache_ != nullptr) prefix_cache_->bind_budget(budget);
 }
@@ -64,10 +102,9 @@ std::size_t TransformerBatchDecoder::shed_cache(std::size_t bytes) {
   return prefix_cache_->shed(bytes);
 }
 
-void TransformerBatchDecoder::start(std::size_t slot,
-                                    std::span<const int> prompt,
-                                    std::uint64_t seed, std::span<float> out,
-                                    std::size_t shared_prefix_tokens) {
+std::size_t TransformerBatchDecoder::begin_slot(std::size_t slot,
+                                                std::span<const int> prompt,
+                                                std::uint64_t seed) {
   LMPEEL_CHECK(slot < caches_.size());
   LMPEEL_CHECK_MSG(sequences_[slot].empty(), "start() on an occupied slot");
   LMPEEL_CHECK(!prompt.empty());
@@ -83,27 +120,89 @@ void TransformerBatchDecoder::start(std::size_t slot,
     LMPEEL_CHECK_MSG(reused < prompt.size(),
                      "prepared prefix does not fit this prompt");
     // The surcharge travels with the slot from here on: release(slot)
-    // returns it even if the prefill below throws.
+    // returns it even if the prefill throws.
     surcharges_[slot] = lookup.surcharge_bytes;
     if (reused > 0) prefix_cache_->copy_to(lookup, caches_[slot]);
     prefix_cache_->release(lookup);
   }
+  return reused;
+}
+
+void TransformerBatchDecoder::finish_prefill(std::size_t slot,
+                                             std::size_t insert_hint) {
+  if (prefix_cache_ == nullptr) return;
+  const std::vector<int>& prompt = sequences_[slot];
+  const std::size_t insert_len =
+      insert_hint > 0
+          ? std::min(insert_hint, prompt.size())
+          : (prefix_cache_->config().auto_insert_prompts ? prompt.size() : 0);
+  if (insert_len > 0) {
+    prefix_cache_->insert(
+        std::span<const int>(prompt).first(insert_len), caches_[slot]);
+  }
+}
+
+void TransformerBatchDecoder::start(std::size_t slot,
+                                    std::span<const int> prompt,
+                                    std::uint64_t seed, std::span<float> out,
+                                    std::size_t shared_prefix_tokens) {
+  const std::size_t reused = begin_slot(slot, prompt, seed);
   if (reused > 0) {
     model_->prefill_from(caches_[slot], prompt.subspan(reused), out);
   } else {
     model_->prefill(caches_[slot], prompt, out);
   }
   sequences_[slot].assign(prompt.begin(), prompt.end());
-  if (prefix_cache_ != nullptr) {
-    const std::size_t insert_len =
-        shared_prefix_tokens > 0
-            ? std::min(shared_prefix_tokens, prompt.size())
-            : (prefix_cache_->config().auto_insert_prompts ? prompt.size()
-                                                           : 0);
-    if (insert_len > 0) {
-      prefix_cache_->insert(prompt.first(insert_len), caches_[slot]);
-    }
+  finish_prefill(slot, shared_prefix_tokens);
+}
+
+void TransformerBatchDecoder::start_chunked(std::size_t slot,
+                                            std::span<const int> prompt,
+                                            std::uint64_t seed,
+                                            std::size_t shared_prefix_tokens) {
+  const std::size_t reused = begin_slot(slot, prompt, seed);
+  // Reused rows are already in the cache (cache.length() == reused), so
+  // only the remainder needs forwarding — prefill_chunk resumes from the
+  // cache's own length.
+  sequences_[slot].assign(prompt.begin(), prompt.end());
+  pending_prompt_[slot] = prompt.size() - reused;
+  insert_hints_[slot] = shared_prefix_tokens;
+  LMPEEL_CHECK(pending_prompt_[slot] > 0);
+}
+
+std::size_t TransformerBatchDecoder::prefill_chunk(std::size_t slot,
+                                                   std::size_t max_tokens,
+                                                   std::span<float> out,
+                                                   bool* done) {
+  LMPEEL_CHECK(slot < caches_.size());
+  LMPEEL_CHECK_MSG(pending_prompt_[slot] > 0,
+                   "prefill_chunk() without a pending chunked prefill");
+  LMPEEL_CHECK(max_tokens > 0 && done != nullptr);
+  const std::vector<int>& prompt = sequences_[slot];
+  const std::size_t base = caches_[slot].length();
+  LMPEEL_CHECK(base + pending_prompt_[slot] == prompt.size());
+  const std::size_t take = std::min(max_tokens, pending_prompt_[slot]);
+  const std::span<const int> chunk(prompt.data() + base, take);
+  const bool final_chunk = take == pending_prompt_[slot];
+  if (final_chunk) {
+    model_->prefill_from(caches_[slot], chunk, out);
+  } else {
+    // Mid-prompt logits are never sampled; feed a scratch buffer.  The
+    // chunk boundary cannot change any float: prefill_from rows only read
+    // K/V of earlier positions, which are identical however the prompt is
+    // sliced (DESIGN.md §12/§14).
+    chunk_logits_.resize(static_cast<std::size_t>(model_->vocab_size()));
+    model_->prefill_from(caches_[slot], chunk, chunk_logits_);
   }
+  pending_prompt_[slot] -= take;
+  if (final_chunk) {
+    finish_prefill(slot, insert_hints_[slot]);
+    insert_hints_[slot] = 0;
+    *done = true;
+  } else {
+    *done = false;
+  }
+  return take;
 }
 
 void TransformerBatchDecoder::step(std::span<const Step> steps,
@@ -121,6 +220,8 @@ void TransformerBatchDecoder::step(std::span<const Step> steps,
     const Step& s = steps[i];
     LMPEEL_CHECK(s.slot < caches_.size());
     LMPEEL_CHECK_MSG(!sequences_[s.slot].empty(), "step() on a free slot");
+    LMPEEL_CHECK_MSG(pending_prompt_[s.slot] == 0,
+                     "step() on a slot still prefilling");
     caches[i] = &caches_[s.slot];
     tokens[i] = s.token;
     sequences_[s.slot].push_back(s.token);
@@ -177,6 +278,8 @@ void TransformerBatchDecoder::release(std::size_t slot) {
   LMPEEL_CHECK(slot < caches_.size());
   caches_[slot].clear();
   sequences_[slot].clear();
+  pending_prompt_[slot] = 0;
+  insert_hints_[slot] = 0;
   if (surcharges_[slot] > 0) {
     if (prefix_cache_ != nullptr) {
       prefix_cache_->release_bytes(surcharges_[slot]);

@@ -26,6 +26,7 @@
 #include "lm/language_model.hpp"
 #include "lm/tensor.hpp"
 #include "lm/transformer.hpp"
+#include "mem/page_pool.hpp"
 
 namespace lmpeel::serve {
 
@@ -100,14 +101,42 @@ class BatchDecoder {
     (void)bytes;
     return 0;
   }
+
+  // ---- chunked prefill (DESIGN.md §14) ----------------------------------
+  /// Extra bytes the engine should reserve per request on top of
+  /// bytes_per_token() × tokens — page-rounding + copy-on-write slack for
+  /// paged backends.  0 for exact-byte backends.
+  virtual std::size_t cost_slack_bytes() const { return 0; }
+  /// True when start_chunked()/prefill_chunk() are implemented; the engine
+  /// only runs its two-stage scheduler against decoders that say yes.
+  virtual bool supports_chunked_prefill() const { return false; }
+  /// Binds `prompt` to `slot` like start(), but runs no model forward: the
+  /// prompt is prefilled incrementally by subsequent prefill_chunk() calls
+  /// so one long prompt cannot stall a whole tick.  The base class
+  /// CHECK-fails — callers must consult supports_chunked_prefill().
+  virtual void start_chunked(std::size_t slot, std::span<const int> prompt,
+                             std::uint64_t seed,
+                             std::size_t shared_prefix_tokens = 0);
+  /// Advances slot's pending prefill by up to `max_tokens` prompt tokens;
+  /// returns the tokens actually advanced.  When the prompt completes this
+  /// sets *done and writes the logits following the last prompt token into
+  /// `out` (vocab_size() floats) — the slot is then ready for step().
+  virtual std::size_t prefill_chunk(std::size_t slot, std::size_t max_tokens,
+                                    std::span<float> out, bool* done);
 };
 
 /// KV-cached batched decoder over a TransformerLm.  `parallel` enables
 /// splitting large step batches across the global thread pool.
 class TransformerBatchDecoder final : public BatchDecoder {
  public:
+  /// `pool` (optional) switches every slot's KvCache to paged storage
+  /// backed by that pool (DESIGN.md §14): prefix-cache hits then share
+  /// pages zero-copy and pool exhaustion surfaces as mem::PoolExhausted
+  /// from start/step, which the engine maps to a Shed.  The pool must
+  /// outlive the decoder and any prefix cache sharing it.
   TransformerBatchDecoder(lm::TransformerLm& model, std::size_t slots,
-                          bool parallel = true);
+                          bool parallel = true,
+                          mem::PagePool* pool = nullptr);
 
   int vocab_size() const override { return model_->vocab_size(); }
   std::size_t slots() const override { return caches_.size(); }
@@ -138,16 +167,43 @@ class TransformerBatchDecoder final : public BatchDecoder {
   void abandon_prefix() override;
   std::size_t shed_cache(std::size_t bytes) override;
 
+  std::size_t cost_slack_bytes() const override {
+    // Page rounding (≤ 1 page) plus one transient copy-on-write page.
+    return pool_ != nullptr ? 2 * pool_->page_bytes() : 0;
+  }
+  bool supports_chunked_prefill() const override { return true; }
+  void start_chunked(std::size_t slot, std::span<const int> prompt,
+                     std::uint64_t seed,
+                     std::size_t shared_prefix_tokens = 0) override;
+  std::size_t prefill_chunk(std::size_t slot, std::size_t max_tokens,
+                            std::span<float> out, bool* done) override;
+
+  mem::PagePool* pool() const noexcept { return pool_; }
+
  private:
+  /// Shared admission step of start()/start_chunked(): claims the slot,
+  /// consumes the pending prefix lookup (copying/sharing `reused` cached
+  /// tokens into the slot cache) and returns `reused`.
+  std::size_t begin_slot(std::size_t slot, std::span<const int> prompt,
+                         std::uint64_t seed);
+  /// Prefix-cache insertion once the whole prompt is prefilled.
+  void finish_prefill(std::size_t slot, std::size_t insert_hint);
+
   lm::TransformerLm* model_;
   std::vector<lm::TransformerLm::KvCache> caches_;
   std::vector<std::vector<int>> sequences_;  // per slot, for bound checks
   bool parallel_;
+  mem::PagePool* pool_ = nullptr;    // paged KV backing (null = contiguous)
   guard::Budget* budget_ = nullptr;  // step-scratch accounting
   cache::PrefixCache* prefix_cache_ = nullptr;
   cache::PrefixCache::Lookup pending_;  ///< prepare_prefix → start handoff
   bool pending_valid_ = false;
   std::vector<std::size_t> surcharges_;  ///< per-slot prefix-copy reservation
+  /// Per slot: prompt tokens not yet prefilled (0 = prefill complete); the
+  /// cache's own length() is the resume position within sequences_[slot].
+  std::vector<std::size_t> pending_prompt_;
+  std::vector<std::size_t> insert_hints_;  ///< per-slot shared_prefix_tokens
+  std::vector<float> chunk_logits_;        ///< discarded mid-chunk logits
 };
 
 /// Context-replay decoder for arbitrary LanguageModels.  Each step re-runs

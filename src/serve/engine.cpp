@@ -8,6 +8,7 @@
 #include "lm/language_model.hpp"
 #include "lm/sampler.hpp"
 #include "lm/trace.hpp"
+#include "mem/page_pool.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
@@ -77,6 +78,8 @@ Engine::Engine(BatchDecoder& decoder, EngineConfig config)
   LMPEEL_CHECK_MSG(config_.max_batch > 0, "max_batch must be >= 1");
   LMPEEL_CHECK_MSG(config_.queue_capacity > 0, "queue_capacity must be >= 1");
   config_.max_batch = std::min(config_.max_batch, decoder_->slots());
+  chunked_ = config_.prefill_chunk_tokens > 0 &&
+             decoder_->supports_chunked_prefill();
   if (config_.budget != nullptr) {
     decoder_->bind_budget(config_.budget);
     // Publish the limit alongside guard.reserved_bytes so headroom is
@@ -218,6 +221,7 @@ void Engine::scheduler_loop() {
     // defence, failing all in-flight work instead of dying.
     try {
       admit(prefill_logits);
+      prefill_stage(prefill_logits);
       if (!active_.empty()) step_active(logits);
     } catch (...) {
       obs::Registry::global().counter("serve.scheduler_tick_error").add();
@@ -244,9 +248,11 @@ std::size_t Engine::estimate_cost(const Request& request,
   const std::size_t vocab = static_cast<std::size_t>(decoder_->vocab_size());
   // 3 logits rows of slack: the prefill scratch row, this request's row of
   // the step logits tensor, and its share of the chunked step path's extra
-  // chunk buffer.  Overestimating is the point — accounted bytes must stay
-  // under the sum of reservations.
-  return tokens * decoder_->bytes_per_token() + 3 * vocab * sizeof(float);
+  // chunk buffer.  cost_slack_bytes covers backend-specific overhead (page
+  // rounding + copy-on-write for paged KV).  Overestimating is the point —
+  // accounted bytes must stay under the sum of reservations.
+  return tokens * decoder_->bytes_per_token() + 3 * vocab * sizeof(float) +
+         decoder_->cost_slack_bytes();
 }
 
 void Engine::note_shed(Priority priority, obs::TraceId trace) {
@@ -371,17 +377,29 @@ void Engine::admit(std::vector<float>& logits_scratch) {
     // fault here poisons only this slot, so fail this request and keep
     // admitting.  (The prefill logits are generate()'s first loop
     // iteration: sampling here pays TTFT at admission, not a batch later.)
-    SampleOutcome outcome;
+    // A PoolExhausted is load, not a fault: the request is shed, the
+    // engine-error health counter stays untouched.
+    SampleOutcome outcome = SampleOutcome::Continue;
     try {
-      {
-        obs::Span span("serve.prefill");
-        decoder_->start(active.slot, active.request.prompt,
-                        active.request.options.seed, logits_scratch,
-                        active.request.shared_prefix_tokens);
+      if (chunked_) {
+        // Two-stage path: bind the slot only; prefill_stage() forwards the
+        // prompt ≤ prefill_chunk_tokens per tick and samples the first
+        // token when it completes.
+        decoder_->start_chunked(active.slot, active.request.prompt,
+                                active.request.options.seed,
+                                active.request.shared_prefix_tokens);
+        active.prefilling = true;
+      } else {
+        {
+          obs::Span span("serve.prefill");
+          decoder_->start(active.slot, active.request.prompt,
+                          active.request.options.seed, logits_scratch,
+                          active.request.shared_prefix_tokens);
+        }
+        obs::timeline(obs::TimelineKind::Prefill, active.request.trace,
+                      static_cast<double>(active.request.prompt.size()));
+        outcome = sample_and_record(active, logits_scratch);
       }
-      obs::timeline(obs::TimelineKind::Prefill, active.request.trace,
-                    static_cast<double>(active.request.prompt.size()));
-      outcome = sample_and_record(active, logits_scratch);
     } catch (...) {
       try {
         // A wrapper may have thrown before forwarding start(): drop any
@@ -395,11 +413,19 @@ void Engine::admit(std::vector<float>& logits_scratch) {
       if (config_.budget != nullptr && active.reserved_bytes > 0) {
         config_.budget->release(active.reserved_bytes);
       }
-      note_engine_error();
-      obs::timeline(obs::TimelineKind::EngineFault, active.request.trace);
-      obs::FlightRecorder::global().dump("engine_error");
-      reject(active.promise, RequestStatus::EngineError, active.submitted,
-             active.request.trace);
+      try {
+        throw;
+      } catch (const mem::PoolExhausted&) {
+        note_shed(active.request.priority, active.request.trace);
+        reject(active.promise, RequestStatus::Shed, active.submitted,
+               active.request.trace);
+      } catch (...) {
+        note_engine_error();
+        obs::timeline(obs::TimelineKind::EngineFault, active.request.trace);
+        obs::FlightRecorder::global().dump("engine_error");
+        reject(active.promise, RequestStatus::EngineError, active.submitted,
+               active.request.trace);
+      }
       continue;
     }
     active_.push_back(std::move(active));
@@ -409,6 +435,58 @@ void Engine::admit(std::vector<float>& logits_scratch) {
       retire(active_.size() - 1, RequestStatus::EngineError);
     }
   }
+}
+
+void Engine::prefill_stage(std::vector<float>& logits_scratch) {
+  if (!chunked_) return;
+  obs::Registry& reg = obs::Registry::global();
+  std::size_t backlog = 0;
+  for (std::size_t i = 0; i < active_.size();) {
+    Active& a = active_[i];
+    if (!a.prefilling) {
+      ++i;
+      continue;
+    }
+    obs::TraceScope trace_scope(a.request.trace);
+    bool done = false;
+    std::size_t advanced = 0;
+    try {
+      obs::Span span("serve.prefill_chunk");
+      advanced = decoder_->prefill_chunk(
+          a.slot, config_.prefill_chunk_tokens, logits_scratch, &done);
+    } catch (const mem::PoolExhausted&) {
+      note_shed(a.request.priority, a.request.trace);
+      retire(i, RequestStatus::Shed);
+      continue;
+    } catch (...) {
+      // Same per-request containment as the single-stage prefill: this
+      // slot's state is unknown, the rest of the batch is fine.
+      obs::timeline(obs::TimelineKind::EngineFault, a.request.trace);
+      obs::FlightRecorder::global().dump("engine_error");
+      retire(i, RequestStatus::EngineError);
+      continue;
+    }
+    reg.counter("serve.prefill_stage.chunks").add();
+    reg.counter("serve.prefill_stage.tokens").add(advanced);
+    obs::timeline(obs::TimelineKind::PrefillChunk, a.request.trace,
+                  static_cast<double>(advanced));
+    if (!done) {
+      ++backlog;
+      ++i;
+      continue;
+    }
+    a.prefilling = false;
+    obs::timeline(obs::TimelineKind::Prefill, a.request.trace,
+                  static_cast<double>(a.request.prompt.size()));
+    switch (sample_and_record(a, logits_scratch)) {
+      case SampleOutcome::Continue: ++i; break;
+      case SampleOutcome::Finished: retire(i, RequestStatus::Ok); break;
+      case SampleOutcome::InvalidLogits:
+        retire(i, RequestStatus::EngineError);
+        break;
+    }
+  }
+  reg.gauge("serve.prefill_backlog").set(static_cast<double>(backlog));
 }
 
 void Engine::step_active(lm::Tensor& logits) {
@@ -427,17 +505,38 @@ void Engine::step_active(lm::Tensor& logits) {
   }
   if (active_.empty()) return;
 
-  reg.histogram("serve.batch_occupancy", occupancy_bounds())
-      .record(static_cast<double>(active_.size()));
-
-  std::vector<BatchDecoder::Step> steps(active_.size());
+  // Stage 2 runs only the sequences whose prompt is fully prefilled;
+  // prefilling requests hold their slot but contribute no step row.
+  std::vector<std::size_t> decoding;
+  decoding.reserve(active_.size());
   for (std::size_t i = 0; i < active_.size(); ++i) {
-    steps[i] = BatchDecoder::Step{active_[i].slot, active_[i].last_token};
+    if (!active_[i].prefilling) decoding.push_back(i);
+  }
+  if (decoding.empty()) return;
+
+  reg.histogram("serve.batch_occupancy", occupancy_bounds())
+      .record(static_cast<double>(decoding.size()));
+
+  std::vector<BatchDecoder::Step> steps(decoding.size());
+  for (std::size_t k = 0; k < decoding.size(); ++k) {
+    const Active& a = active_[decoding[k]];
+    steps[k] = BatchDecoder::Step{a.slot, a.last_token};
   }
   const Clock::time_point step_begin = Clock::now();
   try {
     obs::Span span("serve.step");
     decoder_->step(steps, logits);
+  } catch (const mem::PoolExhausted&) {
+    // The pool refused to grow mid-step: no K/V row was written for the
+    // failing sequence (decode_batch allocates before writing), but the
+    // batch's step is lost.  Shed the decoding set — overload, not a fault
+    // — and leave prefilling slots (which hold fewer pages) alone.
+    for (std::size_t k = decoding.size(); k > 0; --k) {
+      note_shed(active_[decoding[k - 1]].request.priority,
+                active_[decoding[k - 1]].request.trace);
+      retire(decoding[k - 1], RequestStatus::Shed);
+    }
+    return;
   } catch (...) {
     // The decoder threw mid-batch: the KV/context state of every involved
     // slot is unknown, so no sequence in the batch can continue.  Fail the
@@ -448,10 +547,12 @@ void Engine::step_active(lm::Tensor& logits) {
   }
   const double step_s = seconds_since(step_begin, Clock::now());
 
-  // Retire back to front so earlier indices stay valid.
+  // Retire back to front so earlier indices (both in active_ and in the
+  // ascending `decoding` list) stay valid.
   bool watchdog_fired = false;
-  for (std::size_t i = active_.size(); i > 0; --i) {
-    Active& a = active_[i - 1];
+  for (std::size_t k = decoding.size(); k > 0; --k) {
+    const std::size_t idx = decoding[k - 1];
+    Active& a = active_[idx];
     // Watchdog: a step that blew this request's latency budget means the
     // decoder is stalling; fail the request rather than let its caller
     // wait out an unbounded tail.
@@ -462,14 +563,14 @@ void Engine::step_active(lm::Tensor& logits) {
       reg.counter("serve.step_overrun").add();
       obs::timeline(obs::TimelineKind::Watchdog, a.request.trace, step_s);
       watchdog_fired = true;
-      retire(i - 1, RequestStatus::EngineError);
+      retire(idx, RequestStatus::EngineError);
       continue;
     }
-    switch (sample_and_record(a, logits.row(i - 1))) {
+    switch (sample_and_record(a, logits.row(k - 1))) {
       case SampleOutcome::Continue: break;
-      case SampleOutcome::Finished: retire(i - 1, RequestStatus::Ok); break;
+      case SampleOutcome::Finished: retire(idx, RequestStatus::Ok); break;
       case SampleOutcome::InvalidLogits:
-        retire(i - 1, RequestStatus::EngineError);
+        retire(idx, RequestStatus::EngineError);
         break;
     }
   }

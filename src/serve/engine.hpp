@@ -64,6 +64,13 @@ struct EngineConfig {
   /// Normal/High request that has already waited longer than this is shed
   /// rather than parked again — bounded staleness beats unbounded waits.
   double queue_slo_s = 0.0;
+  /// Chunked-prefill budget per scheduler tick (DESIGN.md §14).  When > 0
+  /// and the decoder supports_chunked_prefill(), admission binds the slot
+  /// without forwarding the prompt and a separate prefill stage advances
+  /// each prefilling request ≤ this many tokens per tick — so one long
+  /// prompt cannot stall the decode stage and short-request TTFT stays
+  /// bounded.  0 = legacy single-stage (prefill entirely at admission).
+  std::size_t prefill_chunk_tokens = 32;
 };
 
 class Engine {
@@ -115,6 +122,9 @@ class Engine {
     lm::Generation generation;
     double ttft_s = 0.0;
     int last_token = -1;  ///< token to feed the next decoder step
+    /// True while the prompt is still being chunk-prefilled: the request
+    /// occupies its slot but is skipped by the decode stage.
+    bool prefilling = false;
   };
 
   /// Outcome of feeding one logits row through the sampler.
@@ -128,7 +138,12 @@ class Engine {
   /// Fills free slots from the queue; returns false if there is neither
   /// active nor queued work and the engine should block for submits.
   void admit(std::vector<float>& logits_scratch);
-  /// One batched decode step over every active sequence.
+  /// Two-stage scheduling, stage 1: advances every prefilling request by up
+  /// to prefill_chunk_tokens prompt tokens; requests whose prompt completes
+  /// sample their first token (TTFT) and join the decode stage.
+  void prefill_stage(std::vector<float>& logits_scratch);
+  /// One batched decode step over every active sequence (stage 2: requests
+  /// still prefilling are skipped).
   void step_active(lm::Tensor& logits);
   /// Samples from `logits` exactly as lm::generate does and appends to the
   /// active sequence.  Validates the row for NaN/Inf first.
@@ -164,6 +179,7 @@ class Engine {
 
   BatchDecoder* decoder_;
   EngineConfig config_;
+  bool chunked_ = false;  ///< two-stage scheduling resolved at construction
   std::atomic<std::uint64_t> engine_errors_{0};
 
   std::mutex shutdown_mutex_;  // serialises shutdown()/join

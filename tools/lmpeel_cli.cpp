@@ -8,13 +8,18 @@
 //   lmpeel stats [--json] [size] [icl] [seed]    generation run + metrics
 //                                                summary (--json: one machine-
 //                                                readable object on stdout)
-//   lmpeel serve-bench [quick] [prefix] [--prefix on|off]
+//   lmpeel serve-bench [quick] [prefix|mixed] [--prefix on|off]
 //                                                load-test the serve engine;
 //                                                `prefix` measures shared-prefix
-//                                                KV reuse cache-on vs cache-off
+//                                                KV reuse cache-on vs cache-off,
+//                                                `mixed` long+short traffic on
+//                                                the paged two-stage scheduler
+//                                                vs the contiguous baseline
 //   lmpeel chaos [seed] [requests]               fault-injection survival run
 //   lmpeel soak [--seconds N] [--seed N] [--budget BYTES] [--no-sick-window]
-//               [--no-prefix-cache]              mixed-priority overload soak
+//               [--no-prefix-cache] [--contiguous-kv]
+//                                                mixed-priority overload soak
+//                                                (paged KV pool by default)
 //   lmpeel top [path] [--interval-ms N] [--once] live dashboard over another
 //                                                process's LMPEEL_STATS_JSON
 //                                                stream (queue depth, batch
@@ -52,6 +57,7 @@
 #include "guard/budget.hpp"
 #include "guard/soak.hpp"
 #include "lm/generate.hpp"
+#include "mem/page_pool.hpp"
 #include "obs/sinks.hpp"
 #include "obs/slo.hpp"
 #include "obs/span.hpp"
@@ -81,10 +87,10 @@ int usage() {
          "llambo-generative|llambo-sampling> <size> <budget> [seed]\n"
          "  lmpeel tokenize <text…>\n"
          "  lmpeel stats [--json] [size] [icl_count] [seed]\n"
-         "  lmpeel serve-bench [quick] [prefix] [--prefix on|off]\n"
+         "  lmpeel serve-bench [quick] [prefix|mixed] [--prefix on|off]\n"
          "  lmpeel chaos [seed] [requests]\n"
          "  lmpeel soak [--seconds N] [--seed N] [--budget BYTES] "
-         "[--no-sick-window] [--no-prefix-cache]\n"
+         "[--no-sick-window] [--no-prefix-cache] [--contiguous-kv]\n"
          "  lmpeel top [path] [--interval-ms N] [--once]\n";
   return 2;
 }
@@ -399,7 +405,9 @@ int cmd_stats(int argc, char** argv) {
   // share an 8-token prompt prefix.  The first prefills in full and seeds
   // the cache; the second forks its KV from the cached prefix and prefills
   // only its tail — so the cache.prefix.* rows (hits / inserts /
-  // saved_prefill_tokens) below are nonzero and inspectable.
+  // saved_prefill_tokens) below are nonzero and inspectable.  The slots
+  // run on a paged KV pool (DESIGN.md §14), so the hit is a zero-copy page
+  // share and the mem.pool.* rows surface too.
   {
     lm::TransformerConfig tiny;
     tiny.vocab = 64;
@@ -408,8 +416,16 @@ int cmd_stats(int argc, char** argv) {
     tiny.n_layer = 1;
     tiny.max_seq = 32;
     lm::TransformerLm transformer(tiny, /*seed=*/seed + 3);
-    serve::TransformerBatchDecoder decoder(transformer, /*slots=*/2);
-    cache::PrefixCache prefix_cache(transformer, {});
+    mem::PagePoolConfig pool_config;
+    pool_config.page_tokens = 4;
+    pool_config.n_layer = static_cast<std::size_t>(tiny.n_layer);
+    pool_config.d_model = static_cast<std::size_t>(tiny.d_model);
+    mem::PagePool pool(pool_config);
+    cache::PrefixCacheConfig cache_config;
+    cache_config.page_tokens = pool.page_tokens();
+    cache::PrefixCache prefix_cache(transformer, cache_config);
+    serve::TransformerBatchDecoder decoder(transformer, /*slots=*/2,
+                                           /*parallel=*/true, &pool);
     decoder.set_prefix_cache(&prefix_cache);
     serve::Engine cache_engine(decoder);
     for (const int tail : {31, 37}) {
@@ -427,7 +443,10 @@ int cmd_stats(int argc, char** argv) {
     out << "prefix-cache round: "
         << reg.counter("cache.prefix.hits").value() << " hit(s), "
         << reg.counter("cache.prefix.saved_prefill_tokens").value()
-        << " prefill tokens saved\n\n";
+        << " prefill tokens saved, "
+        << reg.counter("cache.prefix.zero_copy_hits").value()
+        << " zero-copy (" << reg.counter("mem.pool.page_shares").value()
+        << " page shares)\n\n";
   }
 
   auto& registry = obs::Registry::global();
@@ -479,7 +498,8 @@ int cmd_chaos(int argc, char** argv) {
 // threads against a budgeted engine, a mid-run sick window for the
 // breaker, and a graded report.  Exit 0 iff every property held — no
 // crashes, budget honoured, only Batch work shed, High priority served,
-// stable RSS, breaker exercised.
+// stable RSS, breaker exercised, paged pool fully drained at teardown and
+// the prefix cache evicting under reservation pressure.
 int cmd_soak(int argc, char** argv) {
   guard::SoakOptions options;
   for (int i = 0; i < argc; ++i) {
@@ -494,6 +514,8 @@ int cmd_soak(int argc, char** argv) {
       options.sick_window = false;
     } else if (arg == "--no-prefix-cache") {
       options.prefix_cache = false;
+    } else if (arg == "--contiguous-kv") {
+      options.paged_kv = false;
     } else {
       return usage();
     }
@@ -504,6 +526,7 @@ int cmd_soak(int argc, char** argv) {
             << (options.sick_window ? ", sick window on" : ", sick window off")
             << (options.prefix_cache ? ", prefix cache on"
                                      : ", prefix cache off")
+            << (options.paged_kv ? ", paged kv" : ", contiguous kv")
             << "\n";
   const auto report = guard::run_soak(options);
 

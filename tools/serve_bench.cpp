@@ -18,17 +18,30 @@
 // (DESIGN.md §12): every request repeats the same long prompt prefix with a
 // short unique tail, once with the prefix cache attached and once without.
 // Rows merge as serve_bench/prefix_{on,off}; generated tokens are checked
-// bit-identical between the two variants.
+// bit-identical between the two variants.  Slots run on a paged KV pool,
+// so cache-on hits are zero-copy page shares — the run asserts that pure
+// hits copied zero KV bytes.
+//
+// The `mixed` workload contrasts the paged two-stage scheduler against the
+// contiguous single-stage baseline (DESIGN.md §14) under antagonistic
+// traffic: a few clients stream long-prompt requests while many stream
+// short ones.  Single-stage admission prefills a long prompt in one gulp,
+// stalling every short request behind it; chunked prefill bounds that
+// stall.  Rows merge as serve_bench/mixed_{paged,contiguous} with short-
+// request TTFT percentiles and decode tokens/sec; generated tokens are
+// checked bit-identical between the two schedulers.
 #include <algorithm>
 #include <cstring>
 #include <future>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "cache/prefix_cache.hpp"
 #include "lm/transformer.hpp"
+#include "mem/page_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/slo.hpp"
 #include "serve/client.hpp"
@@ -165,6 +178,8 @@ struct PrefixCellResult {
   std::uint64_t prefill_tokens = 0;  ///< lm.transformer.forward_tokens
   std::uint64_t cache_hits = 0;
   std::uint64_t saved_prefill_tokens = 0;
+  std::uint64_t zero_copy_hits = 0;   ///< hits served by page sharing
+  std::uint64_t hit_bytes_copied = 0; ///< KV bytes copied on hits
   std::vector<std::vector<int>> generated;  ///< per-request token ids
 };
 
@@ -175,12 +190,26 @@ PrefixCellResult run_prefix_cell(lm::TransformerLm& model, bool cache_on,
                                  std::size_t gen_tokens) {
   obs::Registry::global().reset();
   constexpr std::size_t kBatch = 8;
-  serve::TransformerBatchDecoder decoder(model, /*slots=*/kBatch);
-  cache::PrefixCache prefix_cache(model, {});
+  // Paged slots (DESIGN.md §14): the pool outlives the cache and decoder
+  // because their page handles release into it on destruction.
+  mem::PagePoolConfig pool_config;
+  pool_config.page_tokens = 16;
+  pool_config.n_layer = static_cast<std::size_t>(model.config().n_layer);
+  pool_config.d_model = static_cast<std::size_t>(model.config().d_model);
+  mem::PagePool pool(pool_config);
+  cache::PrefixCacheConfig cache_config;
+  cache_config.page_tokens = pool.page_tokens();
+  cache::PrefixCache prefix_cache(model, cache_config);
+  serve::TransformerBatchDecoder decoder(model, /*slots=*/kBatch,
+                                         /*parallel=*/true, &pool);
   if (cache_on) decoder.set_prefix_cache(&prefix_cache);
   serve::EngineConfig config;
   config.max_batch = kBatch;
   config.queue_capacity = std::max<std::size_t>(64, requests);
+  // Single-stage prefill: chunking would interleave the whole first batch
+  // before any insert lands, turning one cold miss into kBatch of them.
+  // This cell isolates the cache effect; `mixed` measures the scheduler.
+  config.prefill_chunk_tokens = 0;
   serve::Engine engine(decoder, config);
 
   PrefixCellResult result;
@@ -240,6 +269,9 @@ PrefixCellResult run_prefix_cell(lm::TransformerLm& model, bool cache_on,
   result.cache_hits = reg.counter("cache.prefix.hits").value();
   result.saved_prefill_tokens =
       reg.counter("cache.prefix.saved_prefill_tokens").value();
+  result.zero_copy_hits = reg.counter("cache.prefix.zero_copy_hits").value();
+  result.hit_bytes_copied =
+      reg.counter("cache.prefix.hit_bytes_copied").value();
   return result;
 }
 
@@ -303,6 +335,16 @@ int run_prefix_bench(bool quick, bool run_on, bool run_off) {
         {"p50_ms", result.cell.p50_ms},
         {"p99_ms", result.cell.p99_ms}};
     bench::write_bench_record(record);
+    if (cache_on && result.cache_hits > 0) {
+      // The prefix is a whole number of pages, so every hit is pure: it
+      // must be served by sharing page handles, never by copying rows.
+      LMPEEL_CHECK_MSG(result.zero_copy_hits == result.cache_hits,
+                       "paged prefix hit fell back to copying");
+      LMPEEL_CHECK_MSG(result.hit_bytes_copied == 0,
+                       "pure prefix hits copied KV bytes");
+      std::cout << "zero-copy: " << result.zero_copy_hits
+                << " hit(s) served by page sharing, 0 KV bytes copied\n";
+    }
     (cache_on ? on : off) = std::move(result);
   }
   // The registry still holds the last variant's run (cache-on when both
@@ -323,11 +365,176 @@ int run_prefix_bench(bool quick, bool run_on, bool run_off) {
   return 0;
 }
 
+// ---- mixed long/short workload (DESIGN.md §14) ----------------------------
+
+struct MixedResult {
+  double wall_s = 0.0;
+  double decode_tokens_per_sec = 0.0;
+  double short_ttft_p50_ms = 0.0;
+  double short_ttft_p99_ms = 0.0;
+  double long_ttft_p50_ms = 0.0;
+  std::uint64_t prefill_chunks = 0;  ///< serve.prefill_stage.chunks
+  /// Per-request token ids, shorts then longs — must be bit-identical
+  /// between the paged/chunked and contiguous/single-stage variants.
+  std::vector<std::vector<int>> generated;
+};
+
+MixedResult run_mixed_cell(lm::TransformerLm& model, bool paged,
+                           std::size_t shorts, std::size_t longs,
+                           std::size_t short_prompt, std::size_t long_prompt,
+                           std::size_t short_gen, std::size_t long_gen) {
+  obs::Registry::global().reset();
+  constexpr std::size_t kBatch = 8;
+  std::optional<mem::PagePool> pool;
+  if (paged) {
+    mem::PagePoolConfig pool_config;
+    pool_config.page_tokens = 16;
+    pool_config.n_layer = static_cast<std::size_t>(model.config().n_layer);
+    pool_config.d_model = static_cast<std::size_t>(model.config().d_model);
+    pool.emplace(pool_config);
+  }
+  serve::TransformerBatchDecoder decoder(model, /*slots=*/kBatch,
+                                         /*parallel=*/true,
+                                         pool ? &*pool : nullptr);
+  serve::EngineConfig config;
+  config.max_batch = kBatch;
+  config.queue_capacity = std::max<std::size_t>(64, shorts + longs);
+  // The contrast under test: chunked two-stage scheduling vs legacy
+  // prefill-at-admission.  32-token slices keep each tick's prefill work
+  // an order of magnitude below a whole long prompt.
+  config.prefill_chunk_tokens = paged ? 32 : 0;
+  serve::Engine engine(decoder, config);
+
+  MixedResult result;
+  result.generated.resize(shorts + longs);
+  std::vector<double> short_ttft_ms(shorts);
+  std::vector<double> long_ttft_ms(longs);
+  // 4 short-traffic clients and 2 long-traffic ones: the longs keep at
+  // least one fat prefill in flight for most of the run, which is exactly
+  // the antagonist short-request TTFT suffers under single-stage
+  // scheduling.
+  util::ThreadPool clients(6);
+  util::Stopwatch wall;
+  std::vector<std::future<void>> futures;
+  for (std::size_t k = 0; k < 6; ++k) {
+    const bool is_long = k >= 4;
+    const std::size_t n = is_long ? longs : shorts;
+    const std::size_t workers = is_long ? 2 : 4;
+    const std::size_t w = is_long ? k - 4 : k;
+    const std::size_t lo = n * w / workers;
+    const std::size_t hi = n * (w + 1) / workers;
+    futures.push_back(clients.submit([&, is_long, lo, hi] {
+      for (std::size_t r = lo; r < hi; ++r) {
+        serve::Request request;
+        request.prompt = make_prompt(is_long ? 0x10000 + r : r,
+                                     is_long ? long_prompt : short_prompt,
+                                     model.config().vocab);
+        request.options.sampler.temperature = 0.0;
+        request.options.stop_on_eos = false;
+        request.options.max_tokens = is_long ? long_gen : short_gen;
+        request.options.seed = is_long ? 0x10000 + r : r;
+        auto served = engine.submit(std::move(request)).get();
+        LMPEEL_CHECK_MSG(served.status == serve::RequestStatus::Ok,
+                         "serve-bench mixed request rejected");
+        (is_long ? long_ttft_ms : short_ttft_ms)[r] = served.ttft_s * 1e3;
+        result.generated[is_long ? shorts + r : r] =
+            std::move(served.generation.tokens);
+      }
+    }));
+  }
+  for (auto& f : futures) f.get();
+  result.wall_s = wall.seconds();
+  result.decode_tokens_per_sec = decode_only_tok_s();
+  result.short_ttft_p50_ms = util::percentile(short_ttft_ms, 50.0);
+  result.short_ttft_p99_ms = util::percentile(short_ttft_ms, 99.0);
+  result.long_ttft_p50_ms = util::percentile(long_ttft_ms, 50.0);
+  result.prefill_chunks =
+      obs::Registry::global().counter("serve.prefill_stage.chunks").value();
+  return result;
+}
+
+int run_mixed_bench(bool quick) {
+  lm::TransformerConfig model_config;
+  model_config.vocab = bench::env_int("LMPEEL_SERVE_VOCAB", 512);
+  model_config.d_model = bench::env_int("LMPEEL_SERVE_DMODEL", 384);
+  model_config.n_head = bench::env_int("LMPEEL_SERVE_HEADS", 6);
+  model_config.n_layer = bench::env_int("LMPEEL_SERVE_LAYERS", 2);
+
+  const auto shorts = static_cast<std::size_t>(
+      bench::env_int("LMPEEL_SERVE_REQUESTS", quick ? 24 : 64));
+  const auto longs = std::max<std::size_t>(2, shorts / 5);
+  const auto short_prompt = static_cast<std::size_t>(
+      bench::env_int("LMPEEL_SERVE_PROMPT", 8));
+  const auto long_prompt = static_cast<std::size_t>(
+      bench::env_int("LMPEEL_SERVE_LONG_PROMPT", quick ? 160 : 320));
+  const auto short_gen = static_cast<std::size_t>(
+      bench::env_int("LMPEEL_SERVE_GEN", 16));
+  const std::size_t long_gen = 4;
+  model_config.max_seq = static_cast<int>(
+      std::max(long_prompt + long_gen, short_prompt + short_gen));
+
+  lm::TransformerLm model(model_config, /*seed=*/1);
+  std::cout << "model: d_model " << model_config.d_model << ", layers "
+            << model_config.n_layer << ", vocab " << model_config.vocab
+            << " (" << model.parameter_count() << " parameters)\n"
+            << "workload: " << shorts << " short requests (" << short_prompt
+            << " prompt / " << short_gen << " gen) vs " << longs
+            << " long (" << long_prompt << " prompt / " << long_gen
+            << " gen)\n";
+
+  util::Table table({"scheduler", "chunks", "short_p50_ms", "short_p99_ms",
+                     "long_p50_ms", "dec_tok_s", "wall_s"});
+  MixedResult paged, contiguous;
+  for (const bool use_paged : {false, true}) {
+    auto result = run_mixed_cell(model, use_paged, shorts, longs,
+                                 short_prompt, long_prompt, short_gen,
+                                 long_gen);
+    table.add_row({use_paged ? "paged+chunked" : "contiguous",
+                   std::to_string(result.prefill_chunks),
+                   util::Table::num(result.short_ttft_p50_ms),
+                   util::Table::num(result.short_ttft_p99_ms),
+                   util::Table::num(result.long_ttft_p50_ms),
+                   util::Table::num(result.decode_tokens_per_sec),
+                   util::Table::num(result.wall_s)});
+    bench::BenchRecord record;
+    record.name = use_paged ? "serve_bench/mixed_paged"
+                            : "serve_bench/mixed_contiguous";
+    record.wall_s = result.wall_s;
+    record.counters = bench::counter_snapshot();
+    record.values = {
+        {"short_ttft_p50_ms", result.short_ttft_p50_ms},
+        {"short_ttft_p99_ms", result.short_ttft_p99_ms},
+        {"long_ttft_p50_ms", result.long_ttft_p50_ms},
+        {"decode_tokens_per_sec", result.decode_tokens_per_sec}};
+    bench::write_bench_record(record);
+    (use_paged ? paged : contiguous) = std::move(result);
+  }
+  record_slo("serve_bench/mixed_slo");
+  bench::emit("serve-bench: mixed long/short traffic", table);
+  LMPEEL_CHECK_MSG(paged.generated == contiguous.generated,
+                   "paged two-stage scheduling changed generated tokens");
+  std::cout << "generated tokens bit-identical across schedulers\n";
+  const bool ttft_better =
+      paged.short_ttft_p99_ms < contiguous.short_ttft_p99_ms;
+  const bool decode_held =
+      paged.decode_tokens_per_sec >= 0.95 * contiguous.decode_tokens_per_sec;
+  std::cout << "short-request p99 TTFT: "
+            << util::Table::num(contiguous.short_ttft_p99_ms) << " -> "
+            << util::Table::num(paged.short_ttft_p99_ms) << " ms ("
+            << (ttft_better ? "improved" : "REGRESSED") << ")\n"
+            << "decode throughput: "
+            << util::Table::num(contiguous.decode_tokens_per_sec) << " -> "
+            << util::Table::num(paged.decode_tokens_per_sec) << " tok/s ("
+            << (decode_held ? "held" : "REGRESSED") << ")\n";
+  return ttft_better && decode_held ? 0 : 1;
+}
+
 }  // namespace
 
 int cmd_serve_bench(int argc, char** argv) {
   bool quick = false;
   bool prefix_mode = false;
+  bool mixed_mode = false;
   bool run_on = true;
   bool run_off = true;
   for (int i = 0; i < argc; ++i) {
@@ -335,6 +542,8 @@ int cmd_serve_bench(int argc, char** argv) {
       quick = true;
     } else if (std::strcmp(argv[i], "prefix") == 0) {
       prefix_mode = true;
+    } else if (std::strcmp(argv[i], "mixed") == 0) {
+      mixed_mode = true;
     } else if (std::strcmp(argv[i], "--prefix") == 0 && i + 1 < argc) {
       // --prefix on|off implies the prefix workload and restricts it to
       // one variant (both run by default, so the speedup line can print).
@@ -349,12 +558,13 @@ int cmd_serve_bench(int argc, char** argv) {
         return 2;
       }
     } else {
-      std::cerr << "usage: lmpeel serve-bench [quick] [prefix] "
+      std::cerr << "usage: lmpeel serve-bench [quick] [prefix|mixed] "
                    "[--prefix on|off]\n";
       return 2;
     }
   }
   if (prefix_mode) return run_prefix_bench(quick, run_on, run_off);
+  if (mixed_mode) return run_mixed_bench(quick);
 
   lm::TransformerConfig model_config;
   // Default shape: wide and shallow, ~59 MB of weights.  Big enough that
