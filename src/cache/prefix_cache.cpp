@@ -298,6 +298,42 @@ void PrefixCache::insert(std::span<const int> tokens,
   counter("cache.prefix.dup_inserts").add();
 }
 
+std::vector<std::vector<int>> PrefixCache::snapshot_prefixes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::vector<int>> prefixes;
+  // Leaves carry the longest paths; inner nodes are implied by their
+  // descendants (the radix tree dedups on re-insert), so leaves alone
+  // reproduce the whole tree on the successor.
+  // Each leaf's full token path is its parent-chain edges concatenated.
+  std::vector<const Node*> stack = {root_.get()};
+  std::vector<const Node*> leaves;
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (node != root_.get() && node->children.empty()) leaves.push_back(node);
+    for (const auto& [tok, child] : node->children) {
+      stack.push_back(child.get());
+    }
+  }
+  prefixes.reserve(leaves.size());
+  for (const Node* leaf : leaves) {
+    std::vector<int> tokens(leaf->depth);
+    std::size_t end = leaf->depth;
+    for (const Node* n = leaf; n != nullptr && n->parent != nullptr;
+         n = n->parent) {
+      end -= n->edge.size();
+      std::copy(n->edge.begin(), n->edge.end(),
+                tokens.begin() + static_cast<std::ptrdiff_t>(end));
+    }
+    prefixes.push_back(std::move(tokens));
+  }
+  std::sort(prefixes.begin(), prefixes.end(),
+            [](const std::vector<int>& a, const std::vector<int>& b) {
+              return a.size() > b.size();
+            });
+  return prefixes;
+}
+
 std::size_t PrefixCache::shed(std::size_t bytes) {
   std::lock_guard<std::mutex> lock(mutex_);
   std::size_t freed = 0;

@@ -112,6 +112,14 @@ class PrefixCache {
   /// detaches).  Must only be called while the cache is empty.
   void bind_budget(guard::Budget* budget);
 
+  /// The token-id paths of every cached leaf, longest first.  This is the
+  /// drain-migration payload (DESIGN.md §15): a Router moving a replica's
+  /// prefix affinity hands the *token ids* — never KV pages, which are
+  /// replica-local — to the successor, which re-prefills them once and
+  /// re-inserts.  Correctness does not depend on this (the cache is a pure
+  /// accelerator); only the first-request latency on the successor does.
+  std::vector<std::vector<int>> snapshot_prefixes() const;
+
   const PrefixCacheConfig& config() const noexcept { return config_; }
   std::size_t bytes() const;
   std::size_t node_count() const;

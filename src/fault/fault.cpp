@@ -17,6 +17,8 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::InfLogits: return "inf_logits";
     case FaultKind::StepDelay: return "step_delay";
     case FaultKind::QueuePressure: return "queue_pressure";
+    case FaultKind::ReplicaKill: return "replica_kill";
+    case FaultKind::ReplicaStall: return "replica_stall";
   }
   return "unknown";
 }
@@ -24,7 +26,8 @@ const char* fault_kind_name(FaultKind kind) {
 FaultPlan FaultPlan::from_seed(std::uint64_t seed,
                                const FaultPlanOptions& options) {
   const double total = options.p_throw + options.p_nan + options.p_inf +
-                       options.p_delay + options.p_queue_pressure;
+                       options.p_delay + options.p_queue_pressure +
+                       options.p_replica_kill + options.p_replica_stall;
   LMPEEL_CHECK_MSG(total <= 1.0, "fault probabilities sum over 1");
   // A dedicated stream id keeps the expansion independent of any other use
   // of the same seed elsewhere in a run.
@@ -49,6 +52,11 @@ FaultPlan FaultPlan::from_seed(std::uint64_t seed,
     } else if (u < (edge += options.p_queue_pressure)) {
       event.kind = FaultKind::QueuePressure;
       event.delay_s = options.queue_pressure_s;
+    } else if (u < (edge += options.p_replica_kill)) {
+      event.kind = FaultKind::ReplicaKill;
+    } else if (u < (edge += options.p_replica_stall)) {
+      event.kind = FaultKind::ReplicaStall;
+      event.delay_s = options.replica_stall_s;
     } else {
       continue;
     }

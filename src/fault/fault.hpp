@@ -38,7 +38,17 @@ enum class FaultKind : std::uint8_t {
   StepDelay,      ///< the op is delayed by delay_s (watchdog fodder)
   QueuePressure,  ///< a long stall that backs the admission queue up until
                   ///< the bounded queue sheds load with QueueFull
+  ReplicaKill,    ///< replica-level: Engine::kill() — in-flight work fails
+                  ///< with EngineError, the router must fail over
+  ReplicaStall,   ///< replica-level: the replica stops making progress for
+                  ///< delay_s, long enough to trip health probes
 };
+
+/// Kinds at or past this marker are replica-level: FaultyDecoder ignores
+/// them (a decoder cannot kill its own replica); the shard layer consumes
+/// them via FaultPlan and applies them to whole replicas.
+inline constexpr FaultKind kFirstReplicaFault = FaultKind::ReplicaKill;
+inline constexpr std::size_t kFaultKindCount = 7;
 
 const char* fault_kind_name(FaultKind kind);
 
@@ -69,6 +79,13 @@ struct FaultPlanOptions {
   double p_queue_pressure = 0.0;  ///< usually forced explicitly, not drawn
   double queue_pressure_s = 0.25; ///< stall for QueuePressure events
   std::size_t row_range = 8;      ///< rows are drawn from [0, row_range)
+  // Replica-level faults (DESIGN.md §15).  For these `row` is reinterpreted
+  // as the target replica index (taken modulo the fleet size) and `op`
+  // indexes router submissions rather than decoder calls.  Default 0 so
+  // decoder-only chaos plans are unchanged by the extension.
+  double p_replica_kill = 0.0;
+  double p_replica_stall = 0.0;
+  double replica_stall_s = 0.1;   ///< stall for ReplicaStall events
 };
 
 /// An immutable, op-sorted fault schedule.
@@ -128,7 +145,7 @@ class FaultInjector {
   std::size_t cursor_ = 0;  // next unconsumed index into plan_.events()
   std::atomic<std::size_t> ops_{0};
   std::atomic<std::size_t> injected_total_{0};
-  std::array<std::atomic<std::size_t>, 5> injected_by_kind_{};
+  std::array<std::atomic<std::size_t>, kFaultKindCount> injected_by_kind_{};
 };
 
 }  // namespace lmpeel::fault

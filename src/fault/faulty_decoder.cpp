@@ -47,6 +47,9 @@ void FaultyDecoder::start(std::size_t slot, std::span<const int> prompt,
       case FaultKind::NanLogits:
       case FaultKind::InfLogits:
         break;  // applied to the output below
+      case FaultKind::ReplicaKill:
+      case FaultKind::ReplicaStall:
+        break;  // replica-level: the shard layer applies these, not us
     }
   }
   inner_->start(slot, prompt, seed, out, shared_prefix_tokens);
@@ -70,6 +73,9 @@ void FaultyDecoder::step(std::span<const serve::BatchDecoder::Step> steps,
       case FaultKind::NanLogits:
       case FaultKind::InfLogits:
         break;
+      case FaultKind::ReplicaKill:
+      case FaultKind::ReplicaStall:
+        break;  // replica-level: the shard layer applies these, not us
     }
   }
   inner_->step(steps, logits);

@@ -4,7 +4,7 @@
 
 namespace lmpeel::guard {
 
-bool Budget::try_reserve(std::size_t bytes) noexcept {
+bool Budget::reserve_local(std::size_t bytes) noexcept {
   std::size_t cur = reserved_.load(std::memory_order_relaxed);
   for (;;) {
     const std::size_t next = cur + bytes;
@@ -15,18 +15,37 @@ bool Budget::try_reserve(std::size_t bytes) noexcept {
     }
     if (reserved_.compare_exchange_weak(cur, next,
                                         std::memory_order_relaxed)) {
-      obs::Registry::global().gauge("guard.reserved_bytes")
-          .set(static_cast<double>(next));
+      // Only the root budget publishes the fleet-wide gauge: per-replica
+      // children racing to set one global gauge would make it meaningless.
+      if (parent_ == nullptr) {
+        obs::Registry::global().gauge("guard.reserved_bytes")
+            .set(static_cast<double>(next));
+      }
       return true;
     }
   }
 }
 
+bool Budget::try_reserve(std::size_t bytes) noexcept {
+  if (!reserve_local(bytes)) return false;
+  // A child reservation must clear the global cap too; on parent denial the
+  // local meter rolls back so the child never holds phantom bytes.
+  if (parent_ != nullptr && !parent_->try_reserve(bytes)) {
+    reserved_.fetch_sub(bytes, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
 void Budget::release(std::size_t bytes) noexcept {
   const std::size_t prev =
       reserved_.fetch_sub(bytes, std::memory_order_relaxed);
-  obs::Registry::global().gauge("guard.reserved_bytes")
-      .set(static_cast<double>(prev - bytes));
+  if (parent_ == nullptr) {
+    obs::Registry::global().gauge("guard.reserved_bytes")
+        .set(static_cast<double>(prev - bytes));
+  } else {
+    parent_->release(bytes);
+  }
 }
 
 void Budget::charge(std::size_t bytes) noexcept {
@@ -38,6 +57,10 @@ void Budget::charge(std::size_t bytes) noexcept {
   while (now > peak &&
          !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
   }
+  if (parent_ != nullptr) {
+    parent_->charge(bytes);
+    return;
+  }
   obs::Registry& reg = obs::Registry::global();
   reg.gauge("guard.accounted_bytes").set(static_cast<double>(now));
   reg.gauge("guard.accounted_peak_bytes")
@@ -47,6 +70,10 @@ void Budget::charge(std::size_t bytes) noexcept {
 void Budget::uncharge(std::size_t bytes) noexcept {
   const std::size_t prev =
       accounted_.fetch_sub(bytes, std::memory_order_relaxed);
+  if (parent_ != nullptr) {
+    parent_->uncharge(bytes);
+    return;
+  }
   obs::Registry::global().gauge("guard.accounted_bytes")
       .set(static_cast<double>(prev - bytes));
 }

@@ -17,6 +17,15 @@
 // Both meters are lock-free atomics; a Budget is safe to share between the
 // scheduler thread, pool workers growing KV caches, and harness threads
 // reading the gauges.
+//
+// Budgets compose hierarchically (DESIGN.md §15): a child Budget forwards
+// every reservation and charge to its parent, so N per-replica children
+// under one global parent give each replica a local cap while the fleet
+// shares one global cap.  A reservation must clear *both* limits; when the
+// parent refuses, the child rolls its own meter back.  Because a replica's
+// requests release their reservations as they retire — even when the
+// replica is kill()ed, since every future resolves — a dying replica
+// drains its child back to zero and returns its bytes to the fleet.
 #pragma once
 
 #include <atomic>
@@ -29,12 +38,18 @@ class Budget {
  public:
   /// `limit_bytes` = 0 means unlimited: reservations always succeed but both
   /// meters still track, so accounting stays observable without enforcement.
-  explicit Budget(std::size_t limit_bytes = 0) : limit_(limit_bytes) {}
+  /// A non-null `parent` makes this a child budget: reservations and charges
+  /// propagate upward and must clear the parent's limit too.  The parent
+  /// must outlive the child, and the child's meters must drain to zero
+  /// before the parent is destroyed.
+  explicit Budget(std::size_t limit_bytes = 0, Budget* parent = nullptr)
+      : limit_(limit_bytes), parent_(parent) {}
 
   Budget(const Budget&) = delete;
   Budget& operator=(const Budget&) = delete;
 
   std::size_t limit() const noexcept { return limit_; }
+  Budget* parent() const noexcept { return parent_; }
 
   // ---- admission-side reservations --------------------------------------
   /// Reserves `bytes` against the limit; returns false (and counts a
@@ -64,7 +79,12 @@ class Budget {
   }
 
  private:
+  /// Adds `bytes` to this budget's own reserved meter if it fits under
+  /// limit_; does not consult the parent.  Returns false on denial.
+  bool reserve_local(std::size_t bytes) noexcept;
+
   const std::size_t limit_;
+  Budget* const parent_ = nullptr;
   std::atomic<std::size_t> reserved_{0};
   std::atomic<std::size_t> accounted_{0};
   std::atomic<std::size_t> peak_{0};

@@ -15,10 +15,12 @@
 #endif
 
 #include "cache/prefix_cache.hpp"
+#include "fault/fault.hpp"
 #include "guard/breaker.hpp"
 #include "guard/budget.hpp"
 #include "lm/transformer.hpp"
 #include "mem/page_pool.hpp"
+#include "shard/router.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/slo.hpp"
@@ -164,10 +166,318 @@ serve::Request soak_request(util::Rng& rng, int vocab,
   return request;
 }
 
+/// Decoder wrapper realising fault::FaultKind::ReplicaStall: arm() charges
+/// one stall window, and the next decoder op sleeps it off — the replica
+/// visibly stops making progress without corrupting any state.
+class StallDecoder final : public serve::BatchDecoder {
+ public:
+  explicit StallDecoder(serve::BatchDecoder& inner) : inner_(&inner) {}
+
+  void arm(double seconds) {
+    stall_s_.store(seconds, std::memory_order_relaxed);
+  }
+
+  int vocab_size() const override { return inner_->vocab_size(); }
+  std::size_t slots() const override { return inner_->slots(); }
+  std::size_t max_sequence_length() const override {
+    return inner_->max_sequence_length();
+  }
+  void start(std::size_t slot, std::span<const int> prompt,
+             std::uint64_t seed, std::span<float> out,
+             std::size_t shared_prefix_tokens = 0) override {
+    maybe_stall();
+    inner_->start(slot, prompt, seed, out, shared_prefix_tokens);
+  }
+  void step(std::span<const Step> steps, lm::Tensor& logits) override {
+    maybe_stall();
+    inner_->step(steps, logits);
+  }
+  void release(std::size_t slot) override { inner_->release(slot); }
+  std::string name() const override {
+    return "stall(" + inner_->name() + ")";
+  }
+  std::size_t bytes_per_token() const override {
+    return inner_->bytes_per_token();
+  }
+  void bind_budget(Budget* budget) override { inner_->bind_budget(budget); }
+  std::size_t prepare_prefix(std::span<const int> prompt) override {
+    return inner_->prepare_prefix(prompt);
+  }
+  void abandon_prefix() override { inner_->abandon_prefix(); }
+  std::size_t shed_cache(std::size_t bytes) override {
+    return inner_->shed_cache(bytes);
+  }
+  std::size_t cost_slack_bytes() const override {
+    return inner_->cost_slack_bytes();
+  }
+  bool supports_chunked_prefill() const override {
+    return inner_->supports_chunked_prefill();
+  }
+  void start_chunked(std::size_t slot, std::span<const int> prompt,
+                     std::uint64_t seed,
+                     std::size_t shared_prefix_tokens = 0) override {
+    maybe_stall();
+    inner_->start_chunked(slot, prompt, seed, shared_prefix_tokens);
+  }
+  std::size_t prefill_chunk(std::size_t slot, std::size_t max_tokens,
+                            std::span<float> out, bool* done) override {
+    return inner_->prefill_chunk(slot, max_tokens, out, done);
+  }
+
+ private:
+  void maybe_stall() {
+    const double s = stall_s_.exchange(0.0, std::memory_order_relaxed);
+    if (s > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(s));
+    }
+  }
+
+  serve::BatchDecoder* inner_;
+  std::atomic<double> stall_s_{0.0};
+};
+
+/// Fleet-mode soak (DESIGN.md §15): N replicas — identical weights,
+/// per-replica Budget children under one global cap — behind a
+/// shard::Router, with seeded replica kills and stalls from the extended
+/// fault::FaultPlan replacing the single-engine sick window.
+SoakReport run_fleet_soak(const SoakOptions& options) {
+  const Clock::time_point begin = Clock::now();
+  const Clock::time_point deadline =
+      begin + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(options.seconds));
+
+  lm::TransformerConfig model_config;
+  model_config.vocab = 64;
+  model_config.d_model = 32;
+  model_config.n_head = 2;
+  model_config.n_layer = 2;
+  model_config.max_seq = 128;
+
+  const std::size_t per_request_cost =
+      (kMaxPromptLen + options.max_tokens) *
+          (2 * static_cast<std::size_t>(model_config.n_layer) *
+           static_cast<std::size_t>(model_config.d_model) * sizeof(float)) +
+      3 * static_cast<std::size_t>(model_config.vocab) * sizeof(float);
+  const std::size_t child_limit = options.budget_bytes != 0
+                                      ? options.budget_bytes
+                                      : 2 * per_request_cost;
+
+  SoakReport report;
+  report.replicas = options.replicas;
+  report.budget_bytes = child_limit * options.replicas;
+  report.paged_kv = false;
+
+  // Budget hierarchy outlives every replica: a dying replica's retiring
+  // requests release their reservations through child -> parent, so the
+  // parent's meters must still exist when the engines tear down.
+  Budget global_budget(child_limit * options.replicas);
+  std::vector<std::unique_ptr<Budget>> child_budgets;
+  child_budgets.reserve(options.replicas);
+  for (std::size_t r = 0; r < options.replicas; ++r) {
+    child_budgets.push_back(
+        std::make_unique<Budget>(child_limit, &global_budget));
+  }
+
+  const serve::Priority kClasses[] = {
+      serve::Priority::High, serve::Priority::Normal, serve::Priority::Batch,
+      serve::Priority::Batch};
+  SoakReport::ClassStats per_thread[4];
+  std::atomic<std::size_t> crashes{0};
+  std::atomic<std::size_t> issued{0};
+  std::atomic<std::size_t> completed{0};
+  std::atomic<std::uint64_t> kills{0};
+  std::atomic<std::uint64_t> stalls{0};
+  std::uint64_t failover_attempts = 0;
+  std::uint64_t failover_successes = 0;
+
+  {
+    // Per-replica stacks.  Identical (config, seed) => identical weights —
+    // the determinism failover relies on.  Members tear down in reverse
+    // order: engine first, then decoder wrappers, cache, model.
+    struct ReplicaStack {
+      std::unique_ptr<lm::TransformerLm> model;
+      std::unique_ptr<cache::PrefixCache> cache;
+      std::unique_ptr<serve::TransformerBatchDecoder> decoder;
+      std::unique_ptr<StallDecoder> stall;
+      std::unique_ptr<serve::Engine> engine;
+    };
+    std::vector<ReplicaStack> fleet(options.replicas);
+    std::vector<shard::Replica> descriptors;
+    descriptors.reserve(options.replicas);
+    for (std::size_t r = 0; r < options.replicas; ++r) {
+      ReplicaStack& stack = fleet[r];
+      stack.model =
+          std::make_unique<lm::TransformerLm>(model_config, options.seed);
+      stack.cache = std::make_unique<cache::PrefixCache>(*stack.model);
+      stack.decoder = std::make_unique<serve::TransformerBatchDecoder>(
+          *stack.model, options.max_batch, /*parallel=*/false, nullptr);
+      if (options.prefix_cache) {
+        stack.decoder->set_prefix_cache(stack.cache.get());
+      }
+      stack.stall = std::make_unique<StallDecoder>(*stack.decoder);
+      serve::EngineConfig engine_config;
+      engine_config.max_batch = options.max_batch;
+      engine_config.queue_capacity = options.queue_capacity;
+      engine_config.budget = child_budgets[r].get();
+      engine_config.queue_slo_s = options.queue_slo_s;
+      engine_config.prefill_chunk_tokens = 4;
+      stack.engine =
+          std::make_unique<serve::Engine>(*stack.stall, engine_config);
+      descriptors.push_back(shard::Replica{
+          stack.engine.get(), stack.cache.get(),
+          "replica-" + std::to_string(r)});
+    }
+
+    shard::RouterConfig router_config;
+    router_config.seed = options.seed;
+    // A killed replica fails fast; don't demand many consecutive errors
+    // before the breaker stops lending it traffic.
+    router_config.breaker.failure_threshold = 2;
+    router_config.breaker.open_s = 0.05;
+    router_config.breaker.max_open_s = 0.5;
+    shard::Router router(std::move(descriptors), router_config);
+
+    // Seeded replica-level chaos schedule, op = router submission index.
+    fault::FaultPlanOptions plan_options;
+    plan_options.horizon = 512;
+    plan_options.p_throw = 0.0;
+    plan_options.p_nan = 0.0;
+    plan_options.p_inf = 0.0;
+    plan_options.p_delay = 0.0;
+    plan_options.p_queue_pressure = 0.0;
+    plan_options.p_replica_kill = options.kill_rate / 2.0;
+    plan_options.p_replica_stall = options.kill_rate / 2.0;
+    plan_options.replica_stall_s = 0.05;
+    plan_options.row_range = options.replicas;
+    fault::FaultPlan plan =
+        fault::FaultPlan::from_seed(options.seed, plan_options);
+    if (options.kill_rate > 0.0) {
+      bool has_kill = false;
+      for (const fault::FaultEvent& event : plan.events()) {
+        if (event.kind == fault::FaultKind::ReplicaKill) has_kill = true;
+      }
+      if (!has_kill) {
+        // Never let the failover grade pass vacuously at low rates.
+        fault::FaultEvent forced;
+        forced.op = 8;
+        forced.kind = fault::FaultKind::ReplicaKill;
+        forced.row = static_cast<std::size_t>(options.seed) %
+                     options.replicas;
+        plan = plan.with_event(forced);
+      }
+    }
+
+    std::vector<std::thread> clients;
+    clients.reserve(4);
+    for (std::size_t c = 0; c < 4; ++c) {
+      clients.emplace_back([&, c] {
+        try {
+          util::Rng rng(options.seed, /*stream=*/0x50a0 + c);
+          serve::RetryOptions retry_options;
+          retry_options.max_attempts = 2;
+          retry_options.base_delay_s = 0.005;
+          retry_options.max_delay_s = 0.05;
+          retry_options.seed = options.seed + c;
+          serve::RetryClient client(router, retry_options);
+          while (Clock::now() < deadline) {
+            issued.fetch_add(1, std::memory_order_relaxed);
+            const serve::ServeResult result = client.generate(
+                soak_request(rng, model_config.vocab, kClasses[c],
+                             options.max_tokens, options.prefix_cache));
+            completed.fetch_add(1, std::memory_order_relaxed);
+            tally(per_thread[c], result.status);
+          }
+        } catch (...) {
+          crashes.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+
+    // ---- chaos controller: apply replica events as submissions pass ----
+    obs::Registry& reg = obs::Registry::global();
+    std::size_t cursor = 0;
+    const auto& events = plan.events();
+    while (Clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      const std::size_t submitted = issued.load(std::memory_order_relaxed);
+      while (cursor < events.size() && events[cursor].op <= submitted) {
+        const fault::FaultEvent& event = events[cursor++];
+        const std::size_t target = event.row % options.replicas;
+        if (event.kind == fault::FaultKind::ReplicaKill) {
+          std::size_t alive = 0;
+          for (const ReplicaStack& stack : fleet) {
+            if (stack.engine->accepting()) ++alive;
+          }
+          // Grade failover, not fleet extinction: spare the last replica.
+          if (alive < 2 || !fleet[target].engine->accepting()) continue;
+          fleet[target].engine->kill();
+          kills.fetch_add(1, std::memory_order_relaxed);
+        } else if (event.kind == fault::FaultKind::ReplicaStall) {
+          fleet[target].stall->arm(event.delay_s);
+          stalls.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          continue;
+        }
+        reg.counter("fault.injected").add();
+        reg.counter(std::string("fault.injected.") +
+                    fault::fault_kind_name(event.kind))
+            .add();
+      }
+    }
+
+    for (auto& client : clients) client.join();
+    const shard::RouterStats router_stats = router.stats();
+    failover_attempts = router_stats.failover_attempts;
+    failover_successes = router_stats.failover_successes;
+  }
+
+  // ---- grade ------------------------------------------------------------
+  report.wall_s = std::chrono::duration<double>(Clock::now() - begin).count();
+  report.high = per_thread[0];
+  report.normal = per_thread[1];
+  report.batch = per_thread[2];
+  report.batch.submitted += per_thread[3].submitted;
+  report.batch.ok += per_thread[3].ok;
+  report.batch.shed += per_thread[3].shed;
+  report.batch.queue_full += per_thread[3].queue_full;
+  report.batch.engine_error += per_thread[3].engine_error;
+  report.batch.breaker_open += per_thread[3].breaker_open;
+  report.batch.other += per_thread[3].other;
+
+  report.accounted_peak_bytes = global_budget.accounted_peak();
+  report.reserve_denied = global_budget.denied();
+  report.crashes = crashes.load();
+  report.replica_kills = kills.load();
+  report.replica_stalls = stalls.load();
+  report.failover_attempts = failover_attempts;
+  report.failover_successes = failover_successes;
+  const std::size_t issued_total = issued.load();
+  const std::size_t completed_total = completed.load();
+  report.lost_requests =
+      issued_total > completed_total ? issued_total - completed_total : 0;
+
+  report.budget_ok = report.accounted_peak_bytes <= report.budget_bytes;
+  report.shed_ordering_ok = report.high.shed == 0 && report.normal.shed == 0;
+  report.high_served = report.high.ok > 0 && report.high.shed == 0;
+  // Single-engine-only grades hold trivially in fleet mode.
+  report.rss_ok = true;
+  report.pool_drained = true;
+  report.eviction_pressure_ok = true;
+  report.breaker_exercised = true;
+  report.failover_ok =
+      options.kill_rate == 0.0 ||
+      (report.replica_kills >= 1 && report.failover_successes >= 1);
+  report.no_lost_requests =
+      report.lost_requests == 0 && report.crashes == 0;
+  return report;
+}
+
 }  // namespace
 
 SoakReport run_soak(const SoakOptions& options) {
   LMPEEL_CHECK_MSG(options.seconds > 0.0, "soak needs a positive duration");
+  LMPEEL_CHECK_MSG(options.replicas >= 1, "soak needs at least one replica");
+  if (options.replicas > 1) return run_fleet_soak(options);
   const Clock::time_point begin = Clock::now();
   const Clock::time_point deadline =
       begin + std::chrono::duration_cast<Clock::duration>(
@@ -434,6 +744,15 @@ util::Table soak_table(const SoakReport& report, bool sick_window) {
            std::to_string(report.cache_inserts) + "/" +
            std::to_string(report.cache_evictions));
   fact("kv backing", report.paged_kv ? "paged" : "contiguous");
+  if (report.replicas > 1) {
+    fact("replicas", std::to_string(report.replicas));
+    fact("replica kills/stalls", std::to_string(report.replica_kills) + "/" +
+                                     std::to_string(report.replica_stalls));
+    fact("failover attempts/successes",
+         std::to_string(report.failover_attempts) + "/" +
+             std::to_string(report.failover_successes));
+    fact("lost requests", std::to_string(report.lost_requests));
+  }
   if (report.paged_kv) {
     fact("pool cow/exhausted/zero-copy",
          std::to_string(report.pool_cow_copies) + "/" +
@@ -466,6 +785,10 @@ util::Table soak_table(const SoakReport& report, bool sick_window) {
   verdict("rss stable", report.rss_ok);
   if (report.paged_kv) verdict("pool drained", report.pool_drained);
   verdict("eviction under pressure", report.eviction_pressure_ok);
+  if (report.replicas > 1) {
+    verdict("failover exercised", report.failover_ok);
+    verdict("no lost requests", report.no_lost_requests);
+  }
   if (sick_window) verdict("breaker exercised", report.breaker_exercised);
   verdict("PASSED", report.passed(sick_window));
   return table;

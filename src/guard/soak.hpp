@@ -63,6 +63,19 @@ struct SoakOptions {
   /// the pool drains completely at teardown.  `lmpeel soak
   /// --contiguous-kv` is the escape hatch back to flat KV buffers.
   bool paged_kv = true;
+  /// Fleet mode (DESIGN.md §15): > 1 runs this many engine replicas —
+  /// identical weights, per-replica guard::Budget children under one
+  /// global cap — behind a shard::Router, and the clients hammer the
+  /// router instead of a bare engine.  Replica-level chaos replaces the
+  /// sick window; the graded exit then additionally requires >= 1
+  /// successful failover and zero lost requests.
+  std::size_t replicas = 1;
+  /// Fleet mode only: per-submission probability of a seeded replica-level
+  /// fault (fault::FaultKind::ReplicaKill / ReplicaStall, equal odds).
+  /// When > 0 at least one kill is forced so the failover grade is never
+  /// vacuous.  The last live replica is never killed — the soak grades
+  /// failover, not fleet extinction.
+  double kill_rate = 0.0;
 };
 
 struct SoakReport {
@@ -109,6 +122,14 @@ struct SoakReport {
   /// passed(), because a deliberately overloaded soak sheds by design.
   std::vector<obs::SloVerdict> slo;
 
+  // Fleet-mode activity (DESIGN.md §15; defaults hold for replicas == 1).
+  std::size_t replicas = 1;             ///< echoed from options
+  std::uint64_t replica_kills = 0;      ///< Engine::kill()s applied
+  std::uint64_t replica_stalls = 0;     ///< stall windows applied
+  std::uint64_t failover_attempts = 0;  ///< router re-routes
+  std::uint64_t failover_successes = 0; ///< re-routes that returned Ok
+  std::uint64_t lost_requests = 0;      ///< issued but never resolved
+
   // ---- graded properties ------------------------------------------------
   bool budget_ok = false;         ///< accounted peak <= budget
   bool shed_ordering_ok = false;  ///< no Normal/High request was ever shed
@@ -122,14 +143,21 @@ struct SoakReport {
   /// happened, or there was never any reservation pressure to evict for
   /// (true when the prefix cache is off).
   bool eviction_pressure_ok = false;
+  /// Fleet mode with kills: >= 1 replica was killed AND >= 1 request
+  /// failed over successfully.  Pre-resolved true when kill_rate == 0 or
+  /// replicas == 1.
+  bool failover_ok = true;
+  /// Every issued request resolved with a terminal status — a killed
+  /// replica may fail work over, but may not eat it.
+  bool no_lost_requests = true;
 
   /// Overall verdict — what `lmpeel soak`'s exit code reports.  The
   /// breaker check only applies when the sick window ran; the pool and
   /// eviction checks are pre-resolved to true when their feature is off.
   bool passed(bool sick_window_enabled = true) const noexcept {
     return crashes == 0 && budget_ok && shed_ordering_ok && high_served &&
-           rss_ok && pool_drained && eviction_pressure_ok &&
-           (!sick_window_enabled || breaker_exercised);
+           rss_ok && pool_drained && eviction_pressure_ok && failover_ok &&
+           no_lost_requests && (!sick_window_enabled || breaker_exercised);
   }
 };
 

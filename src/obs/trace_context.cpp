@@ -45,6 +45,7 @@ std::string_view timeline_kind_name(TimelineKind kind) noexcept {
     case TimelineKind::CampaignIter: return "campaign_iter";
     case TimelineKind::Quarantine: return "quarantine";
     case TimelineKind::PrefillChunk: return "prefill_chunk";
+    case TimelineKind::ReplicaFailover: return "replica_failover";
   }
   return "unknown";
 }

@@ -73,6 +73,8 @@ enum class TimelineKind : std::uint8_t {
   CampaignIter,    ///< LLAMBO iteration finished; value = iteration index
   Quarantine,      ///< checkpoint quarantined (trace = 0: process-wide)
   PrefillChunk,    ///< one chunked-prefill slice; value = tokens advanced
+  ReplicaFailover, ///< router re-routed after replica death; value = the
+                   ///< replica index the request landed on
 };
 
 /// Stable lower-snake name ("prefix_hit", "decode_tick", …) used by every

@@ -1,35 +1,60 @@
-// Blocking client helpers over Engine's futures API.
+// The client-facing surface of the serving stack (DESIGN.md §9/§15).
+//
+// Client is the one seam everything above the engine speaks: submit a
+// Request, get a future<ServeResult>.  serve::Engine implements it for a
+// single replica; shard::Router implements it for a fleet of replicas with
+// prefix-affinity routing and failover — and because both sides of that
+// seam are just Clients, the LLAMBO tuners, the sweep and the load
+// harnesses are replica-count agnostic.  A remote transport later slots in
+// at exactly this interface.
 //
 // The sweep and the LLAMBO tuners don't care about futures — they want the
 // lm::generate call shape back.  generate_sync is that adapter; generate_all
 // submits a whole batch before waiting so the engine can actually batch it.
 #pragma once
 
+#include <future>
 #include <span>
 #include <utility>
 #include <vector>
 
-#include "serve/engine.hpp"
+#include "serve/request.hpp"
 
 namespace lmpeel::serve {
 
+/// Abstract request/response surface.  Implementations must resolve every
+/// submitted future with a definite status — no hangs, no dropped promises
+/// — and must never block submit() on model work.
+class Client {
+ public:
+  virtual ~Client() = default;
+
+  /// Submits a request; never blocks on model work.  Invalid or refused
+  /// requests resolve with the refusal status instead of throwing.
+  virtual std::future<ServeResult> submit(Request request) = 0;
+
+  /// False once the client has stopped taking work (shutdown / all
+  /// replicas dead): submits will be refused with ShutDown.
+  virtual bool accepting() const = 0;
+};
+
 /// Submits one request and blocks for the result.
-inline ServeResult generate_sync(Engine& engine, std::span<const int> prompt,
+inline ServeResult generate_sync(Client& client, std::span<const int> prompt,
                                  const lm::GenerateOptions& options) {
   Request request;
   request.prompt.assign(prompt.begin(), prompt.end());
   request.options = options;
-  return engine.submit(std::move(request)).get();
+  return client.submit(std::move(request)).get();
 }
 
 /// Submits every request up front, then collects results in input order —
 /// the batched analogue of a loop over lm::generate.
-inline std::vector<ServeResult> generate_all(Engine& engine,
+inline std::vector<ServeResult> generate_all(Client& client,
                                              std::vector<Request> requests) {
   std::vector<std::future<ServeResult>> futures;
   futures.reserve(requests.size());
   for (auto& request : requests) {
-    futures.push_back(engine.submit(std::move(request)));
+    futures.push_back(client.submit(std::move(request)));
   }
   std::vector<ServeResult> results;
   results.reserve(futures.size());

@@ -83,9 +83,14 @@ Engine::Engine(BatchDecoder& decoder, EngineConfig config)
   if (config_.budget != nullptr) {
     decoder_->bind_budget(config_.budget);
     // Publish the limit alongside guard.reserved_bytes so headroom is
-    // computable from a metrics snapshot alone (`lmpeel top`).
+    // computable from a metrics snapshot alone (`lmpeel top`).  The gauge
+    // is global, so publish the root of the budget hierarchy: N replicas
+    // with child budgets would otherwise each clobber it with their local
+    // cap, and the root's gauges are what the children roll up into.
+    const guard::Budget* root = config_.budget;
+    while (root->parent() != nullptr) root = root->parent();
     obs::Registry::global().gauge("guard.limit_bytes")
-        .set(static_cast<double>(config_.budget->limit()));
+        .set(static_cast<double>(root->limit()));
   }
   free_slots_.reserve(config_.max_batch);
   // Highest slot index on top so slots are handed out in 0,1,2,… order.
@@ -177,6 +182,18 @@ void Engine::shutdown() {
   if (scheduler_.joinable()) scheduler_.join();
 }
 
+void Engine::kill() {
+  {
+    std::lock_guard lock(mutex_);
+    if (!killed_) obs::Registry::global().counter("serve.killed").add();
+    stopping_ = true;
+    killed_ = true;
+  }
+  cv_.notify_all();
+  std::lock_guard shutdown_lock(shutdown_mutex_);
+  if (scheduler_.joinable()) scheduler_.join();
+}
+
 bool Engine::accepting() const {
   std::lock_guard lock(mutex_);
   return !stopping_;
@@ -205,6 +222,8 @@ void Engine::scheduler_loop() {
       static_cast<std::size_t>(decoder_->vocab_size()));
   lm::Tensor logits;
   for (;;) {
+    bool draining = false;
+    bool killed = false;
     {
       std::unique_lock lock(mutex_);
       // active_ is scheduler-private; reading it inside the predicate is
@@ -213,6 +232,25 @@ void Engine::scheduler_loop() {
         return stopping_ || !queue_.empty() || !active_.empty();
       });
       if (stopping_ && queue_.empty() && active_.empty()) return;
+      draining = stopping_;
+      killed = killed_;
+    }
+    if (killed) {
+      // Hard kill: in-flight sequences fail with EngineError — the
+      // retryable "replica died" status a Router/RetryClient resubmits
+      // elsewhere.  admit() below still drains the queue (ShutDown).
+      fail_all_active(RequestStatus::EngineError);
+    } else if (draining) {
+      // Graceful shutdown: a request still mid-prefill has produced no
+      // tokens a caller could use, and letting it finish its prefill just
+      // to decode zero steps delays the drain.  Retire it as Cancelled —
+      // not ShutDown, because it *was* admitted — before the prefill
+      // stage runs again (tests/test_serve_shutdown.cpp).
+      for (std::size_t i = active_.size(); i > 0; --i) {
+        if (active_[i - 1].prefilling) {
+          retire(i - 1, RequestStatus::Cancelled);
+        }
+      }
     }
     // Tick-level exception containment: a throwing decoder (or sampler) must
     // never escape this thread — an escaped exception would std::terminate

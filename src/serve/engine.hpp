@@ -39,6 +39,7 @@
 
 #include "guard/budget.hpp"
 #include "lm/tensor.hpp"
+#include "serve/client.hpp"
 #include "serve/decoder.hpp"
 #include "serve/request.hpp"
 #include "util/rng.hpp"
@@ -73,12 +74,12 @@ struct EngineConfig {
   std::size_t prefill_chunk_tokens = 32;
 };
 
-class Engine {
+class Engine final : public Client {
  public:
   /// The decoder must outlive the engine.  Starts the scheduler thread.
   Engine(BatchDecoder& decoder, EngineConfig config = {});
   /// Calls shutdown().
-  ~Engine();
+  ~Engine() override;
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -86,17 +87,28 @@ class Engine {
   /// Submits a request; never blocks on model work.  Invalid requests
   /// (expired deadline, over-long prompt, full queue, stopped engine) are
   /// rejected with a ready future carrying the refusal status.
-  std::future<ServeResult> submit(Request request);
+  std::future<ServeResult> submit(Request request) override;
 
-  /// Stops intake, fails everything still queued with ShutDown, runs the
-  /// scheduler until all in-flight sequences retire naturally, then joins.
-  /// Idempotent and safe to race from multiple threads.
+  /// Stops intake, fails everything still queued with ShutDown, retires
+  /// requests still mid-prefill with Cancelled (they have produced nothing
+  /// a caller could use), runs the scheduler until every decoding sequence
+  /// retires naturally, then joins.  Idempotent and safe to race from
+  /// multiple threads.
   void shutdown();
+
+  /// Crash simulation (DESIGN.md §15): stops intake and fails every
+  /// in-flight sequence with EngineError — the status a caller's
+  /// RetryClient/Router treats as "this replica just died, resubmit
+  /// elsewhere".  Queued work is refused with ShutDown.  Every future
+  /// still resolves (no lost requests); the decoder is NOT drained
+  /// gracefully, mirroring a replica taken out mid-decode.  Idempotent,
+  /// and safe to interleave with shutdown().
+  void kill();
 
   const EngineConfig& config() const noexcept { return config_; }
 
   /// False once shutdown has begun: submits will be refused with ShutDown.
-  bool accepting() const;
+  bool accepting() const override;
   /// Requests retired with EngineError since construction — the health
   /// signal degradation layers (LLAMBO fallback, RetryClient callers) read.
   std::uint64_t engine_errors() const noexcept {
@@ -183,10 +195,11 @@ class Engine {
   std::atomic<std::uint64_t> engine_errors_{0};
 
   std::mutex shutdown_mutex_;  // serialises shutdown()/join
-  mutable std::mutex mutex_;   // guards queue_ and stopping_
+  mutable std::mutex mutex_;   // guards queue_, stopping_ and killed_
   std::condition_variable cv_;
   std::deque<Queued> queue_;
   bool stopping_ = false;
+  bool killed_ = false;  ///< kill(): fail in-flight instead of draining
 
   std::vector<Active> active_;       // scheduler thread only
   std::vector<std::size_t> free_slots_;

@@ -12,8 +12,8 @@
 
 namespace lmpeel::serve {
 
-RetryClient::RetryClient(Engine& engine, RetryOptions options)
-    : engine_(&engine),
+RetryClient::RetryClient(Client& client, RetryOptions options)
+    : client_(&client),
       options_(options),
       rng_(options.seed, /*stream=*/0x3e77) {
   LMPEEL_CHECK_MSG(options_.max_attempts >= 1, "max_attempts must be >= 1");
@@ -23,13 +23,20 @@ RetryClient::RetryClient(Engine& engine, RetryOptions options)
                    "jitter must be in [0, 1]");
 }
 
-double RetryClient::backoff_delay_s(std::size_t retry) {
+util::Rng RetryClient::jitter_stream(obs::TraceId trace) const {
+  // mix64 decorrelates the stream even for adjacent trace ids; xor with a
+  // constant keeps stream 0 (the legacy client-wide stream id space) out
+  // of reach.
+  return util::Rng(options_.seed, util::mix64(trace) ^ 0x3e77);
+}
+
+double RetryClient::backoff_delay_s(std::size_t retry, util::Rng& rng) const {
   const double uncapped =
       options_.base_delay_s *
       std::pow(options_.multiplier, static_cast<double>(retry));
   const double capped = std::min(options_.max_delay_s, uncapped);
   // Scale into [1 - jitter, 1] so the cap is a hard bound.
-  const double scale = 1.0 - options_.jitter * rng_.uniform();
+  const double scale = 1.0 - options_.jitter * rng.uniform();
   return capped * scale;
 }
 
@@ -38,6 +45,10 @@ ServeResult RetryClient::generate(Request request) {
   // Mint the trace here (not per submit) so every attempt of this call —
   // including breaker refusals the engine never sees — shares one lane.
   if (request.trace == 0) request.trace = obs::mint_trace_id();
+  // Per-request jitter stream: same-seed clients on different replicas
+  // carry different trace ids, so their backoff schedules decorrelate
+  // instead of locking step (tests/test_fault.cpp).
+  util::Rng jitter = jitter_stream(request.trace);
   ServeResult result;
   bool submitted = false;
   for (std::size_t attempt = 0;; ++attempt) {
@@ -53,8 +64,8 @@ ServeResult RetryClient::generate(Request request) {
       }
       return result;
     }
-    // Resubmission needs the request again, so hand the engine a copy.
-    result = engine_->submit(request).get();
+    // Resubmission needs the request again, so hand the client a copy.
+    result = client_->submit(request).get();
     submitted = true;
     if (options_.breaker != nullptr) {
       if (result.status == RequestStatus::Ok) {
@@ -67,8 +78,8 @@ ServeResult RetryClient::generate(Request request) {
         attempt + 1 >= options_.max_attempts) {
       return result;
     }
-    const double delay_s = backoff_delay_s(attempt);
-    ++retries_;
+    const double delay_s = backoff_delay_s(attempt, jitter);
+    retries_.fetch_add(1, std::memory_order_relaxed);
     reg.counter("serve.retry").add();
     reg.counter(std::string("serve.retry.") + status_name(result.status))
         .add();

@@ -4,9 +4,13 @@
 // contained decoder fault — both are transient, so the right client-side
 // response is to back off and resubmit rather than give up or hammer the
 // queue.  RetryClient implements capped exponential backoff with
-// deterministic jitter: the jitter stream is a seeded util::Rng, so a
-// retry schedule is exactly reproducible from (options.seed) — the same
-// property the fault layer relies on everywhere else.
+// deterministic jitter.  The jitter stream generate() uses is derived from
+// (options.seed, request TraceId), not from the client alone: two clients
+// configured with the same seed against different replicas draw from
+// *different* streams (their requests carry different trace ids), so a
+// fleet of identically-seeded retriers never locks step and hammers a
+// recovering replica in unison — while any single request's schedule stays
+// exactly reproducible from (seed, trace).
 //
 // A RetryClient can additionally be wrapped around a guard::Breaker
 // (DESIGN.md §11): when the breaker is open the client refuses locally
@@ -14,10 +18,12 @@
 // the breaker, and a half-open breaker lets exactly one probe through.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
 #include "guard/breaker.hpp"
+#include "serve/client.hpp"
 #include "serve/engine.hpp"
 #include "util/rng.hpp"
 
@@ -42,8 +48,9 @@ struct RetryOptions {
 
 class RetryClient {
  public:
-  /// The engine must outlive the client.
-  explicit RetryClient(Engine& engine, RetryOptions options = {});
+  /// The client (single engine or a shard::Router fleet) must outlive
+  /// this wrapper.
+  explicit RetryClient(Client& client, RetryOptions options = {});
 
   /// Submits `request`, blocking for the result; on QueueFull/EngineError
   /// sleeps the backoff delay and resubmits, up to max_attempts total.
@@ -53,20 +60,32 @@ class RetryClient {
 
   /// The backoff delay used before retry number `retry` (0-based), in
   /// seconds: min(max_delay_s, base_delay_s * multiplier^retry) scaled by
-  /// the next jitter draw.  Consumes one draw from the jitter stream —
-  /// generate() and direct calls see the same deterministic sequence.
-  double backoff_delay_s(std::size_t retry);
+  /// the next jitter draw from `rng` — generate() derives that stream per
+  /// request from (seed, trace); direct callers pass their own.
+  double backoff_delay_s(std::size_t retry, util::Rng& rng) const;
+  /// Legacy per-client stream variant (kept for schedule inspection in
+  /// tests): consumes one draw from the client-wide jitter stream.
+  double backoff_delay_s(std::size_t retry) {
+    return backoff_delay_s(retry, rng_);
+  }
+  /// The jitter stream generate() uses for `trace`: Rng(seed, mix of the
+  /// trace id).  Exposed so tests can reproduce a request's exact backoff
+  /// schedule and prove two same-seed clients don't lock-step.
+  util::Rng jitter_stream(obs::TraceId trace) const;
 
-  /// Retries performed across all generate() calls so far.
-  std::size_t retries() const noexcept { return retries_; }
+  /// Retries performed across all generate() calls so far.  Atomic:
+  /// a Router drives one RetryClient per replica from many workers.
+  std::size_t retries() const noexcept {
+    return retries_.load(std::memory_order_relaxed);
+  }
 
   const RetryOptions& options() const noexcept { return options_; }
 
  private:
-  Engine* engine_;
+  Client* client_;
   RetryOptions options_;
-  util::Rng rng_;
-  std::size_t retries_ = 0;
+  util::Rng rng_;  ///< legacy client-wide stream (backoff_delay_s(retry))
+  std::atomic<std::size_t> retries_{0};
 };
 
 }  // namespace lmpeel::serve

@@ -1,0 +1,364 @@
+#include "shard/router.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace_context.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace lmpeel::shard {
+
+namespace {
+
+obs::Counter& counter(const char* name) {
+  return obs::Registry::global().counter(name);
+}
+
+}  // namespace
+
+const char* health_name(Health health) {
+  switch (health) {
+    case Health::Healthy: return "healthy";
+    case Health::Degraded: return "degraded";
+    case Health::Draining: return "draining";
+    case Health::Dead: return "dead";
+  }
+  return "unknown";
+}
+
+Router::Router(std::vector<Replica> replicas, RouterConfig config)
+    : config_(config) {
+  LMPEEL_CHECK_MSG(!replicas.empty(), "Router needs at least one replica");
+  LMPEEL_CHECK_MSG(config_.virtual_nodes > 0, "virtual_nodes must be >= 1");
+  replicas_.reserve(replicas.size());
+  for (std::size_t i = 0; i < replicas.size(); ++i) {
+    LMPEEL_CHECK_MSG(replicas[i].client != nullptr,
+                     "Router replica has no client");
+    auto state = std::make_unique<ReplicaState>();
+    state->replica = std::move(replicas[i]);
+    if (state->replica.name.empty()) {
+      state->replica.name = "replica-" + std::to_string(i);
+    }
+    guard::BreakerOptions breaker_options = config_.breaker;
+    // Per-replica jitter stream so breaker cooldown probes decorrelate
+    // across the fleet — the same reason RetryClient jitters per request.
+    breaker_options.seed = util::hash_combine(config_.seed, i);
+    state->breaker = std::make_unique<guard::Breaker>(breaker_options);
+    serve::RetryOptions retry_options = config_.retry;
+    retry_options.breaker = state->breaker.get();
+    retry_options.seed = util::hash_combine(config_.seed, 0x9e77 + i);
+    state->retry = std::make_unique<serve::RetryClient>(
+        *state->replica.client, retry_options);
+    replicas_.push_back(std::move(state));
+  }
+  // The ring is immutable: replica death is handled by skipping at lookup
+  // time, so the survivors' affinity never churns when a replica dies and
+  // comes back in a later fleet generation.
+  ring_.reserve(replicas_.size() * config_.virtual_nodes);
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    for (std::size_t v = 0; v < config_.virtual_nodes; ++v) {
+      const std::uint64_t h = util::mix64(
+          util::hash_combine(util::hash_combine(config_.seed, i), v));
+      ring_.emplace_back(h, i);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+  obs::Registry::global().gauge("shard.replicas")
+      .set(static_cast<double>(replicas_.size()));
+  const std::size_t workers =
+      config_.workers > 0 ? config_.workers : 4 * replicas_.size();
+  pool_ = std::make_unique<util::ThreadPool>(workers);
+}
+
+Router::~Router() {
+  {
+    // New submits refuse with ShutDown from here on; in-flight worker
+    // tasks keep running — the pool destructor drains the queue, so every
+    // accepted future resolves before this returns.
+    std::lock_guard lock(submit_mutex_);
+    stopping_.store(true, std::memory_order_release);
+  }
+  pool_.reset();
+}
+
+std::span<const int> Router::route_key(const serve::Request& request) {
+  if (request.shared_prefix_tokens > 0 &&
+      request.shared_prefix_tokens <= request.prompt.size()) {
+    return std::span<const int>(request.prompt.data(),
+                                request.shared_prefix_tokens);
+  }
+  return std::span<const int>(request.prompt.data(), request.prompt.size());
+}
+
+std::uint64_t Router::hash_tokens(std::span<const int> tokens) const {
+  std::uint64_t h = util::mix64(config_.seed ^ 0x5a4dULL);
+  for (const int token : tokens) {
+    h = util::hash_combine(h, static_cast<std::uint64_t>(
+                                  static_cast<std::uint32_t>(token)));
+  }
+  return util::mix64(h);
+}
+
+std::vector<std::size_t> Router::preference_order(
+    std::span<const int> prefix_tokens) const {
+  const std::uint64_t key = hash_tokens(prefix_tokens);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), key,
+      [](const std::pair<std::uint64_t, std::size_t>& entry,
+         std::uint64_t value) { return entry.first < value; });
+  std::vector<std::size_t> order;
+  order.reserve(replicas_.size());
+  std::vector<bool> seen(replicas_.size(), false);
+  // Clockwise walk from the key's position; each distinct replica joins
+  // the order once, so the full walk is the failover preference list.
+  for (std::size_t step = 0; step < ring_.size(); ++step) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (!seen[it->second]) {
+      seen[it->second] = true;
+      order.push_back(it->second);
+      if (order.size() == replicas_.size()) break;
+    }
+    ++it;
+  }
+  return order;
+}
+
+Health Router::probe(std::size_t i) {
+  ReplicaState& state = *replicas_[i];
+  const Health sticky = state.health.load(std::memory_order_acquire);
+  if (sticky == Health::Dead || sticky == Health::Draining) return sticky;
+  if (!state.replica.client->accepting()) {
+    if (state.health.exchange(Health::Dead, std::memory_order_acq_rel) !=
+        Health::Dead) {
+      counter("shard.replica.dead").add();
+    }
+    return Health::Dead;
+  }
+  const bool degraded =
+      state.breaker->state() != guard::Breaker::State::Closed ||
+      state.consecutive_errors.load(std::memory_order_relaxed) >=
+          config_.degrade_after_errors;
+  const Health next = degraded ? Health::Degraded : Health::Healthy;
+  if (state.health.exchange(next, std::memory_order_acq_rel) != next &&
+      next == Health::Degraded) {
+    counter("shard.replica.degraded").add();
+  }
+  return next;
+}
+
+std::size_t Router::probe_all() {
+  std::size_t admittable_count = 0;
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (admittable(probe(i))) ++admittable_count;
+  }
+  obs::Registry::global().gauge("shard.replicas_admittable")
+      .set(static_cast<double>(admittable_count));
+  return admittable_count;
+}
+
+bool Router::accepting() const {
+  if (stopping_.load(std::memory_order_acquire)) return false;
+  for (const auto& state : replicas_) {
+    const Health health = state->health.load(std::memory_order_acquire);
+    if (health == Health::Dead || health == Health::Draining) continue;
+    if (state->replica.client->accepting()) return true;
+  }
+  return false;
+}
+
+std::future<serve::ServeResult> Router::submit(serve::Request request) {
+  // Trace identity is minted here so every failover attempt — across
+  // replicas — shares one timeline lane.
+  if (request.trace == 0) request.trace = obs::mint_trace_id();
+  std::promise<serve::ServeResult> promise;
+  std::future<serve::ServeResult> future = promise.get_future();
+  std::lock_guard lock(submit_mutex_);
+  if (stopping_.load(std::memory_order_acquire)) {
+    serve::ServeResult result;
+    result.status = serve::RequestStatus::ShutDown;
+    counter("serve.rejected.shut_down").add();
+    promise.set_value(std::move(result));
+    return future;
+  }
+  counter("shard.routed").add();
+  // The worker owns the blocking failover loop; submit() never waits on
+  // model work.  shared_ptr because std::function requires copyable.
+  auto shared_promise =
+      std::make_shared<std::promise<serve::ServeResult>>(std::move(promise));
+  auto shared_request =
+      std::make_shared<serve::Request>(std::move(request));
+  pool_->submit([this, shared_promise, shared_request]() mutable {
+    serve_one(std::move(*shared_request), std::move(*shared_promise));
+  });
+  return future;
+}
+
+void Router::serve_one(serve::Request request,
+                       std::promise<serve::ServeResult> promise) {
+  const std::vector<std::size_t> order = preference_order(route_key(request));
+  serve::ServeResult last;
+  last.status = serve::RequestStatus::ShutDown;
+  bool attempted = false;
+  bool failed_over = false;
+  for (const std::size_t idx : order) {
+    ReplicaState& state = *replicas_[idx];
+    if (!admittable(probe(idx))) continue;
+    if (failed_over) {
+      // Count the re-route before the attempt so a hang would still be
+      // visible in metrics; the fallback prefill re-warms the prefix on
+      // this replica's cache as a side effect of the resubmission.
+      failover_attempts_.fetch_add(1, std::memory_order_relaxed);
+      counter("shard.failover.attempts").add();
+      obs::timeline(obs::TimelineKind::ReplicaFailover, request.trace,
+                    static_cast<double>(idx));
+    }
+    state.routed.fetch_add(1, std::memory_order_relaxed);
+    state.outstanding.fetch_add(1, std::memory_order_acq_rel);
+    serve::ServeResult result = state.retry->generate(request);
+    state.outstanding.fetch_sub(1, std::memory_order_acq_rel);
+    attempted = true;
+    switch (result.status) {
+      case serve::RequestStatus::Ok:
+        state.consecutive_errors.store(0, std::memory_order_relaxed);
+        if (failed_over) {
+          failover_successes_.fetch_add(1, std::memory_order_relaxed);
+          counter("shard.failover.success").add();
+        }
+        promise.set_value(std::move(result));
+        return;
+      case serve::RequestStatus::EngineError:
+      case serve::RequestStatus::ShutDown:
+      case serve::RequestStatus::BreakerOpen:
+      case serve::RequestStatus::QueueFull:
+        // Replica-level failure (died, sick, or saturated past its retry
+        // budget): record it and walk the ring.  Determinism makes the
+        // resubmission safe — the fallback recomputes the identical
+        // generation from the request seed; the failed attempt's partial
+        // output is discarded with `result`.
+        note_replica_failure(idx, result.status);
+        failed_over = true;
+        last = std::move(result);
+        continue;
+      default:
+        // Request-level verdicts (Shed, Cancelled, DeadlineExpired,
+        // PromptTooLong) hold on every replica; failing over would just
+        // burn a second replica's admission queue on the same answer.
+        promise.set_value(std::move(result));
+        return;
+    }
+  }
+  failover_exhausted_.fetch_add(1, std::memory_order_relaxed);
+  counter("shard.failover.exhausted").add();
+  if (!attempted || last.status == serve::RequestStatus::EngineError) {
+    // Nothing admittable, or the last live replica died under us: the
+    // fleet cannot serve this request.  ShutDown is the truthful fleet
+    // status — and unlike EngineError it tells a RetryClient above us not
+    // to hammer a dead fleet.
+    last.generation = {};
+    last.status = serve::RequestStatus::ShutDown;
+  }
+  promise.set_value(std::move(last));
+}
+
+void Router::note_replica_failure(std::size_t i, serve::RequestStatus status) {
+  ReplicaState& state = *replicas_[i];
+  if (status == serve::RequestStatus::ShutDown ||
+      !state.replica.client->accepting()) {
+    Health expected = state.health.load(std::memory_order_acquire);
+    while (expected != Health::Dead && expected != Health::Draining &&
+           !state.health.compare_exchange_weak(expected, Health::Dead,
+                                               std::memory_order_acq_rel)) {
+    }
+    if (expected != Health::Dead && expected != Health::Draining) {
+      counter("shard.replica.dead").add();
+    }
+    return;
+  }
+  const std::size_t errors =
+      state.consecutive_errors.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (errors >= config_.degrade_after_errors) {
+    if (state.health.exchange(Health::Degraded, std::memory_order_acq_rel) ==
+        Health::Healthy) {
+      counter("shard.replica.degraded").add();
+    }
+  }
+}
+
+std::size_t Router::drain(std::size_t i) {
+  LMPEEL_CHECK_MSG(i < replicas_.size(), "drain: bad replica index");
+  ReplicaState& state = *replicas_[i];
+  Health expected = state.health.load(std::memory_order_acquire);
+  while (expected != Health::Draining &&
+         !state.health.compare_exchange_weak(expected, Health::Draining,
+                                             std::memory_order_acq_rel)) {
+  }
+  drains_.fetch_add(1, std::memory_order_relaxed);
+  counter("shard.drain").add();
+  // Admission is off; in-flight decode finishes naturally.  Only the
+  // router-tracked count matters — work submitted around the router is
+  // the owner's problem, by the same contract as Engine::shutdown().
+  while (state.outstanding.load(std::memory_order_acquire) > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  if (state.replica.cache == nullptr) return 0;
+
+  // Successor = the next live replica clockwise from the drained one's
+  // first ring position — the same place the ring sends its keys now.
+  std::size_t successor = replicas_.size();
+  for (std::size_t step = 1; step < replicas_.size(); ++step) {
+    const std::size_t candidate = (i + step) % replicas_.size();
+    if (admittable(probe(candidate))) {
+      successor = candidate;
+      break;
+    }
+  }
+  if (successor == replicas_.size()) return 0;  // nowhere to migrate
+
+  // Token ids only: KV pages are replica-local, so the successor replays
+  // each prefix as a one-token warm request and its own cache re-inserts.
+  // Longest first (snapshot order) so the campaign ICL blocks — the
+  // affinity that matters — migrate even under the cap.
+  const auto prefixes = state.replica.cache->snapshot_prefixes();
+  std::size_t migrated = 0;
+  for (const std::vector<int>& prefix : prefixes) {
+    if (migrated >= config_.migrate_limit) break;
+    if (prefix.size() < 2) continue;
+    serve::Request warm;
+    warm.prompt = prefix;
+    warm.options.max_tokens = 1;
+    warm.priority = serve::Priority::Batch;
+    warm.shared_prefix_tokens = prefix.size();
+    warm.trace = obs::mint_trace_id();
+    const serve::ServeResult result =
+        replicas_[successor]->retry->generate(std::move(warm));
+    if (result.status != serve::RequestStatus::Ok) continue;
+    ++migrated;
+    counter("shard.drain.migrated_prefixes").add();
+  }
+  migrated_prefixes_.fetch_add(migrated, std::memory_order_relaxed);
+  return migrated;
+}
+
+RouterStats Router::stats() const {
+  RouterStats stats;
+  stats.routed.reserve(replicas_.size());
+  for (const auto& state : replicas_) {
+    stats.routed.push_back(state->routed.load(std::memory_order_relaxed));
+  }
+  stats.failover_attempts =
+      failover_attempts_.load(std::memory_order_relaxed);
+  stats.failover_successes =
+      failover_successes_.load(std::memory_order_relaxed);
+  stats.failover_exhausted =
+      failover_exhausted_.load(std::memory_order_relaxed);
+  stats.drains = drains_.load(std::memory_order_relaxed);
+  stats.migrated_prefixes =
+      migrated_prefixes_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace lmpeel::shard

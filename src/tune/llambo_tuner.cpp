@@ -9,7 +9,6 @@
 #include "obs/metrics.hpp"
 #include "prompt/parser.hpp"
 #include "serve/client.hpp"
-#include "serve/engine.hpp"
 #include "util/check.hpp"
 #include "util/math.hpp"
 

@@ -27,7 +27,7 @@ class Breaker;
 }  // namespace lmpeel::guard
 
 namespace lmpeel::serve {
-class Engine;
+class Client;
 }  // namespace lmpeel::serve
 
 namespace lmpeel::tune {
@@ -48,11 +48,13 @@ struct LlamboOptions {
   /// classification labels"); 2..4 supported ("good", "fair", "poor",
   /// "bad").
   std::size_t n_classes = 2;
-  /// When set, surrogate generations are submitted to this engine (all
-  /// candidates of a proposal in one batch) instead of serial lm::generate
-  /// calls.  Results are bit-identical either way; the engine must be
-  /// backed by the same model passed to the tuner.  Not owned.
-  serve::Engine* engine = nullptr;
+  /// When set, surrogate generations are submitted to this serving client
+  /// (all candidates of a proposal in one batch) instead of serial
+  /// lm::generate calls.  Any serve::Client works — a single Engine or a
+  /// shard::Router fleet; the campaign is replica-count agnostic.  Results
+  /// are bit-identical either way; the client's replicas must be backed by
+  /// the same model config+seed passed to the tuner.  Not owned.
+  serve::Client* engine = nullptr;
   /// Optional circuit breaker guarding the engine route (DESIGN.md §11).
   /// While open, batches go straight to lm::generate (counter
   /// tune.breaker_skip) without writing the engine off permanently —

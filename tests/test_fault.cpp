@@ -242,6 +242,107 @@ TEST(RetryClient, BackoffMathIsDeterministicAndBounded) {
   EXPECT_EQ(exact.backoff_delay_s(9), 0.05);
 }
 
+// The fleet anti-lock-step property (DESIGN.md §15): generate() draws
+// jitter from (seed, TraceId), so two identically-seeded clients whose
+// requests carry different trace ids back off on *different* schedules —
+// they never hammer a recovering replica in unison — while any one
+// request's schedule stays exactly reproducible from (seed, trace).
+TEST(RetryClient, PerRequestJitterStreamsDecorrelateSameSeedClients) {
+  lm::TransformerLm model(tiny_config(), 3);
+  serve::TransformerBatchDecoder decoder(model, 1);
+  serve::Engine engine(decoder);
+
+  serve::RetryOptions options;
+  options.base_delay_s = 0.01;
+  options.multiplier = 2.0;
+  options.max_delay_s = 1.0;  // uncapped over 6 retries: jitter visible
+  options.jitter = 0.5;
+  options.seed = 99;
+  serve::RetryClient a(engine, options);
+  serve::RetryClient b(engine, options);
+
+  const obs::TraceId trace_a = obs::mint_trace_id();
+  const obs::TraceId trace_b = obs::mint_trace_id();
+  ASSERT_NE(trace_a, trace_b);
+
+  const auto schedule = [&](serve::RetryClient& client, obs::TraceId trace) {
+    util::Rng rng = client.jitter_stream(trace);
+    std::vector<double> delays;
+    for (std::size_t retry = 0; retry < 6; ++retry) {
+      delays.push_back(client.backoff_delay_s(retry, rng));
+    }
+    return delays;
+  };
+
+  // Reproducible: the same (seed, trace) pair yields the same schedule from
+  // either client object.
+  EXPECT_EQ(schedule(a, trace_a), schedule(a, trace_a));
+  EXPECT_EQ(schedule(a, trace_a), schedule(b, trace_a));
+
+  // Decorrelated: different requests (trace ids) draw different schedules,
+  // even from two clients configured identically.
+  EXPECT_NE(schedule(a, trace_a), schedule(b, trace_b));
+  EXPECT_NE(schedule(a, trace_a), schedule(a, trace_b));
+}
+
+// Seeded replica-level fault plans: kill/stall events are drawn only when
+// their probabilities are set, land in [0, row_range) and replay
+// identically from the same seed — the property the fleet soak's chaos
+// controller and the chaos-matrix tests rest on.
+TEST(FaultPlanReplica, SeededReplicaEventsAreDeterministicAndBounded) {
+  fault::FaultPlanOptions options;
+  options.horizon = 256;
+  options.p_throw = 0.0;
+  options.p_nan = 0.0;
+  options.p_inf = 0.0;
+  options.p_delay = 0.0;
+  options.p_replica_kill = 0.04;
+  options.p_replica_stall = 0.04;
+  options.replica_stall_s = 0.05;
+  options.row_range = 4;
+
+  const auto plan = fault::FaultPlan::from_seed(7, options);
+  const auto replay = fault::FaultPlan::from_seed(7, options);
+  ASSERT_FALSE(plan.empty());
+  ASSERT_EQ(plan.events().size(), replay.events().size());
+  bool saw_kill = false;
+  bool saw_stall = false;
+  for (std::size_t i = 0; i < plan.events().size(); ++i) {
+    const auto& event = plan.events()[i];
+    EXPECT_EQ(event.op, replay.events()[i].op);
+    EXPECT_EQ(event.kind, replay.events()[i].kind);
+    EXPECT_EQ(event.row, replay.events()[i].row);
+    EXPECT_LT(event.op, options.horizon);
+    EXPECT_LT(event.row, options.row_range);
+    // Decoder-fault probabilities are zero, so only replica kinds appear.
+    EXPECT_GE(static_cast<std::uint8_t>(event.kind),
+              static_cast<std::uint8_t>(fault::kFirstReplicaFault));
+    saw_kill |= event.kind == fault::FaultKind::ReplicaKill;
+    saw_stall |= event.kind == fault::FaultKind::ReplicaStall;
+    if (event.kind == fault::FaultKind::ReplicaStall) {
+      EXPECT_EQ(event.delay_s, options.replica_stall_s);
+    }
+  }
+  EXPECT_TRUE(saw_kill);
+  EXPECT_TRUE(saw_stall);
+
+  // A different seed draws a different schedule.
+  const auto other = fault::FaultPlan::from_seed(8, options);
+  const bool identical =
+      plan.events().size() == other.events().size() &&
+      [&] {
+        for (std::size_t i = 0; i < plan.events().size(); ++i) {
+          if (plan.events()[i].op != other.events()[i].op ||
+              plan.events()[i].kind != other.events()[i].kind ||
+              plan.events()[i].row != other.events()[i].row) {
+            return false;
+          }
+        }
+        return true;
+      }();
+  EXPECT_FALSE(identical);
+}
+
 TEST(RetryClient, QueueFullRetriesUntilServed) {
   obs::Registry::global().reset();
   lm::TransformerLm model(tiny_config(), 5);

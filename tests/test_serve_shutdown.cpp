@@ -121,6 +121,89 @@ TEST(ServeShutdown, ConcurrentDoubleShutdownFromManyThreads) {
   }
 }
 
+/// Forwards to a real TransformerBatchDecoder but makes every prefill chunk
+/// slow and observable, so a test can catch the engine with a request that
+/// is admitted to a slot yet still mid-prefill.
+class SlowChunkDecoder final : public BatchDecoder {
+ public:
+  explicit SlowChunkDecoder(TransformerBatchDecoder& inner) : inner_(&inner) {}
+
+  int vocab_size() const override { return inner_->vocab_size(); }
+  std::size_t slots() const override { return inner_->slots(); }
+  std::size_t max_sequence_length() const override {
+    return inner_->max_sequence_length();
+  }
+  void start(std::size_t slot, std::span<const int> prompt,
+             std::uint64_t seed, std::span<float> out,
+             std::size_t shared_prefix_tokens = 0) override {
+    inner_->start(slot, prompt, seed, out, shared_prefix_tokens);
+  }
+  void step(std::span<const Step> steps, lm::Tensor& logits) override {
+    inner_->step(steps, logits);
+  }
+  void release(std::size_t slot) override { inner_->release(slot); }
+  std::string name() const override { return "slow-chunk"; }
+  std::size_t bytes_per_token() const override {
+    return inner_->bytes_per_token();
+  }
+  void bind_budget(guard::Budget* budget) override {
+    inner_->bind_budget(budget);
+  }
+  bool supports_chunked_prefill() const override { return true; }
+  void start_chunked(std::size_t slot, std::span<const int> prompt,
+                     std::uint64_t seed,
+                     std::size_t shared_prefix_tokens = 0) override {
+    inner_->start_chunked(slot, prompt, seed, shared_prefix_tokens);
+  }
+  std::size_t prefill_chunk(std::size_t slot, std::size_t max_tokens,
+                            std::span<float> out, bool* done) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    const std::size_t advanced =
+        inner_->prefill_chunk(slot, max_tokens, out, done);
+    chunks_.fetch_add(1);
+    return advanced;
+  }
+
+  std::size_t chunks() const { return chunks_.load(); }
+
+ private:
+  TransformerBatchDecoder* inner_;
+  std::atomic<std::size_t> chunks_{0};
+};
+
+// A graceful shutdown must retire a request whose chunked prefill is still
+// in flight as Cancelled — not hang waiting for the prompt to finish, and
+// not mislabel it ShutDown (it *was* admitted) or EngineError (nothing
+// failed).  An earlier engine only swept the queued backlog, so a
+// mid-prefill request's future never resolved.
+TEST(ServeShutdown, ShutdownMidPrefillChunkRetiresRequestAsCancelled) {
+  lm::TransformerLm model(tiny_config(), 17);
+  TransformerBatchDecoder inner(model, 2);
+  SlowChunkDecoder decoder(inner);
+  EngineConfig config;
+  config.max_batch = 2;
+  config.prefill_chunk_tokens = 4;
+  Engine engine(decoder, config);
+
+  Request request = tiny_request(0);
+  request.prompt.assign(24, 7);  // 6 chunks x >=25ms each
+  request.options.max_tokens = 2;
+  auto future = engine.submit(std::move(request));
+
+  // Wait until at least one chunk has run — the request is provably
+  // admitted and provably not finished prefilling (5 chunks remain).
+  for (std::size_t spin = 0; spin < 400 && decoder.chunks() < 1; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(decoder.chunks(), 1u);
+  engine.shutdown();
+
+  const auto result = future.get();
+  EXPECT_EQ(result.status, RequestStatus::Cancelled)
+      << status_name(result.status);
+  EXPECT_TRUE(result.generation.tokens.empty());
+}
+
 TEST(ServeShutdown, SubmitHammerRacingShutdownResolvesEveryFuture) {
   lm::TransformerLm model(tiny_config(), 17);
   for (std::size_t round = 0; round < 3; ++round) {

@@ -8,7 +8,7 @@
 //   lmpeel stats [--json] [size] [icl] [seed]    generation run + metrics
 //                                                summary (--json: one machine-
 //                                                readable object on stdout)
-//   lmpeel serve-bench [quick] [prefix|mixed] [--prefix on|off]
+//   lmpeel serve-bench [quick] [prefix|mixed|shard] [--prefix on|off]
 //                                                load-test the serve engine;
 //                                                `prefix` measures shared-prefix
 //                                                KV reuse cache-on vs cache-off,
@@ -18,8 +18,12 @@
 //   lmpeel chaos [seed] [requests]               fault-injection survival run
 //   lmpeel soak [--seconds N] [--seed N] [--budget BYTES] [--no-sick-window]
 //               [--no-prefix-cache] [--contiguous-kv]
+//               [--replicas N] [--kill-rate R]
 //                                                mixed-priority overload soak
-//                                                (paged KV pool by default)
+//                                                (paged KV pool by default);
+//                                                --replicas > 1 runs the fleet
+//                                                soak behind shard::Router with
+//                                                seeded replica kills/stalls
 //   lmpeel top [path] [--interval-ms N] [--once] live dashboard over another
 //                                                process's LMPEEL_STATS_JSON
 //                                                stream (queue depth, batch
@@ -87,10 +91,12 @@ int usage() {
          "llambo-generative|llambo-sampling> <size> <budget> [seed]\n"
          "  lmpeel tokenize <text…>\n"
          "  lmpeel stats [--json] [size] [icl_count] [seed]\n"
-         "  lmpeel serve-bench [quick] [prefix|mixed] [--prefix on|off]\n"
+         "  lmpeel serve-bench [quick] [prefix|mixed|shard] "
+         "[--prefix on|off]\n"
          "  lmpeel chaos [seed] [requests]\n"
          "  lmpeel soak [--seconds N] [--seed N] [--budget BYTES] "
-         "[--no-sick-window] [--no-prefix-cache] [--contiguous-kv]\n"
+         "[--no-sick-window] [--no-prefix-cache] [--contiguous-kv] "
+         "[--replicas N] [--kill-rate R]\n"
          "  lmpeel top [path] [--interval-ms N] [--once]\n";
   return 2;
 }
@@ -500,6 +506,12 @@ int cmd_chaos(int argc, char** argv) {
 // crashes, budget honoured, only Batch work shed, High priority served,
 // stable RSS, breaker exercised, paged pool fully drained at teardown and
 // the prefix cache evicting under reservation pressure.
+//
+// --replicas N (N > 1) switches to the fleet soak (DESIGN.md §15): N
+// engine replicas behind a shard::Router, per-replica budget children
+// under one global cap, and --kill-rate seeded replica kills/stalls in
+// place of the sick window.  The graded exit then additionally requires
+// at least one successful failover and zero lost requests.
 int cmd_soak(int argc, char** argv) {
   guard::SoakOptions options;
   for (int i = 0; i < argc; ++i) {
@@ -516,26 +528,37 @@ int cmd_soak(int argc, char** argv) {
       options.prefix_cache = false;
     } else if (arg == "--contiguous-kv") {
       options.paged_kv = false;
+    } else if (arg == "--replicas" && i + 1 < argc) {
+      options.replicas = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--kill-rate" && i + 1 < argc) {
+      options.kill_rate = std::strtod(argv[++i], nullptr);
     } else {
       return usage();
     }
   }
-  if (options.seconds <= 0.0) return usage();
+  if (options.seconds <= 0.0 || options.replicas == 0) return usage();
+  if (options.kill_rate < 0.0 || options.kill_rate > 1.0) return usage();
 
+  // The sick window is a single-engine fixture; fleet mode replaces it
+  // with replica-level chaos, so its grade must not be demanded there.
+  const bool sick = options.sick_window && options.replicas <= 1;
   std::cout << "soak: " << options.seconds << " s, seed " << options.seed
-            << (options.sick_window ? ", sick window on" : ", sick window off")
+            << (sick ? ", sick window on" : ", sick window off")
             << (options.prefix_cache ? ", prefix cache on"
                                      : ", prefix cache off")
-            << (options.paged_kv ? ", paged kv" : ", contiguous kv")
-            << "\n";
+            << (options.paged_kv ? ", paged kv" : ", contiguous kv");
+  if (options.replicas > 1) {
+    std::cout << ", " << options.replicas << " replicas, kill rate "
+              << options.kill_rate;
+  }
+  std::cout << "\n";
   const auto report = guard::run_soak(options);
 
   util::print_banner(std::cout, "soak report");
-  std::cout << guard::soak_table(report, options.sick_window).to_text()
-            << '\n';
+  std::cout << guard::soak_table(report, sick).to_text() << '\n';
   util::print_banner(std::cout, "obs metrics summary");
   std::cout << obs::summary_table(obs::Registry::global()).to_text();
-  return report.passed(options.sick_window) ? 0 : 1;
+  return report.passed(sick) ? 0 : 1;
 }
 
 // One refresh of the live dashboard: headline load signals from the latest

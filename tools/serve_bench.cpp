@@ -30,12 +30,25 @@
 // stall.  Rows merge as serve_bench/mixed_{paged,contiguous} with short-
 // request TTFT percentiles and decode tokens/sec; generated tokens are
 // checked bit-identical between the two schedulers.
+//
+// The `shard` workload scales out (DESIGN.md §15): campaign-style traffic
+// (a handful of shared ICL prefixes, short unique tails) through a
+// shard::Router over 1 and then 3 single-threaded engine replicas, with
+// client concurrency scaled to keep every replica's batch fed.  Rows merge
+// as serve_bench/shard_r{1,3} with aggregate decode tokens/sec and the
+// prefix-cache hit rate.  The gates: 3 replicas sustain >= 2.5x the
+// aggregate decode throughput of 1 (on machines with >= 3 cores; with
+// fewer the gate degrades to router overhead <= 15%), prefix affinity
+// keeps the fleet hit rate no worse than the single replica's, and
+// generated tokens are bit-identical across replica counts.
 #include <algorithm>
 #include <cstring>
 #include <future>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -47,6 +60,7 @@
 #include "serve/client.hpp"
 #include "serve/decoder.hpp"
 #include "serve/engine.hpp"
+#include "shard/router.hpp"
 #include "util/check.hpp"
 #include "util/math.hpp"
 #include "util/rng.hpp"
@@ -529,12 +543,221 @@ int run_mixed_bench(bool quick) {
   return ttft_better && decode_held ? 0 : 1;
 }
 
+// ---- sharded fleet workload (DESIGN.md §15) -------------------------------
+
+struct ShardCellResult {
+  CellResult cell;
+  /// Decode tokens over wall clock — with N independent single-threaded
+  /// replicas decoding concurrently this is the aggregate fleet rate (the
+  /// per-compute-second serve.step ratio would double-count overlap).
+  double aggregate_decode_tok_s = 0.0;
+  double hit_rate = 0.0;  ///< cache.prefix hits / (hits + misses)
+  std::vector<std::vector<int>> generated;  ///< per-request token ids
+};
+
+ShardCellResult run_shard_cell(const lm::TransformerConfig& model_config,
+                               std::size_t replicas, std::size_t requests,
+                               const std::vector<std::vector<int>>& prefixes,
+                               std::size_t tail_len, std::size_t gen_tokens) {
+  obs::Registry::global().reset();
+  constexpr std::size_t kBatch = 4;
+  // Identical (config, seed) per replica — the determinism the router's
+  // failover contract rests on, and what makes the r1-vs-r3 bit-identical
+  // check below meaningful.  Decoders are single-threaded so aggregate
+  // scaling comes from replica concurrency, not intra-op threads.
+  struct Stack {
+    std::unique_ptr<lm::TransformerLm> model;
+    std::unique_ptr<cache::PrefixCache> cache;
+    std::unique_ptr<serve::TransformerBatchDecoder> decoder;
+    std::unique_ptr<serve::Engine> engine;
+  };
+  std::vector<Stack> fleet(replicas);
+  std::vector<shard::Replica> descriptors;
+  for (std::size_t r = 0; r < replicas; ++r) {
+    Stack& stack = fleet[r];
+    stack.model = std::make_unique<lm::TransformerLm>(model_config,
+                                                      /*seed=*/1);
+    stack.cache = std::make_unique<cache::PrefixCache>(*stack.model);
+    stack.decoder = std::make_unique<serve::TransformerBatchDecoder>(
+        *stack.model, /*slots=*/kBatch, /*parallel=*/false);
+    stack.decoder->set_prefix_cache(stack.cache.get());
+    serve::EngineConfig config;
+    config.max_batch = kBatch;
+    config.queue_capacity = std::max<std::size_t>(64, requests);
+    // Single-stage prefill: admission inserts the prefix before the next
+    // request's lookup, so the hit-rate column measures affinity, not
+    // chunking interleave.
+    config.prefill_chunk_tokens = 0;
+    stack.engine = std::make_unique<serve::Engine>(*stack.decoder, config);
+    descriptors.push_back(shard::Replica{stack.engine.get(),
+                                         stack.cache.get(),
+                                         "replica-" + std::to_string(r)});
+  }
+  shard::RouterConfig router_config;
+  router_config.seed = 1;
+  shard::Router router(std::move(descriptors), router_config);
+
+  ShardCellResult result;
+  result.generated.resize(requests);
+  // Enough closed-loop clients to keep every replica's batch full.
+  const std::size_t concurrency = replicas * kBatch;
+  util::ThreadPool clients(concurrency);
+  util::Stopwatch wall;
+  std::vector<std::future<std::vector<double>>> futures;
+  for (std::size_t k = 0; k < concurrency; ++k) {
+    const std::size_t lo = requests * k / concurrency;
+    const std::size_t hi = requests * (k + 1) / concurrency;
+    futures.push_back(clients.submit([&router, &prefixes, &result, lo, hi,
+                                      tail_len, &model_config,
+                                      gen_tokens]() -> std::vector<double> {
+      std::vector<double> latencies_ms;
+      latencies_ms.reserve(hi - lo);
+      for (std::size_t r = lo; r < hi; ++r) {
+        serve::Request request;
+        const auto& prefix = prefixes[r % prefixes.size()];
+        request.prompt = prefix;
+        const auto tail =
+            make_prompt(0x5a0 + r, tail_len, model_config.vocab);
+        request.prompt.insert(request.prompt.end(), tail.begin(),
+                              tail.end());
+        request.shared_prefix_tokens = prefix.size();
+        request.options.sampler.temperature = 0.0;
+        request.options.stop_on_eos = false;
+        request.options.max_tokens = gen_tokens;
+        request.options.seed = r;
+        util::Stopwatch latency;
+        auto served = router.submit(std::move(request)).get();
+        LMPEEL_CHECK_MSG(served.status == serve::RequestStatus::Ok,
+                         "serve-bench shard request rejected");
+        LMPEEL_CHECK_MSG(served.generation.tokens.size() == gen_tokens,
+                         "serve-bench shard generation truncated");
+        latencies_ms.push_back(latency.milliseconds());
+        result.generated[r] = std::move(served.generation.tokens);
+      }
+      return latencies_ms;
+    }));
+  }
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(requests);
+  for (auto& f : futures) {
+    const auto client_latencies = f.get();
+    latencies_ms.insert(latencies_ms.end(), client_latencies.begin(),
+                        client_latencies.end());
+  }
+  result.cell.wall_s = wall.seconds();
+  result.cell.tokens_per_sec =
+      static_cast<double>(requests * gen_tokens) / result.cell.wall_s;
+  auto& reg = obs::Registry::global();
+  result.aggregate_decode_tok_s =
+      static_cast<double>(reg.counter("lm.transformer.decode_tokens").value()) /
+      result.cell.wall_s;
+  result.cell.decode_tokens_per_sec = result.aggregate_decode_tok_s;
+  result.cell.p50_ms = util::percentile(latencies_ms, 50.0);
+  result.cell.p99_ms = util::percentile(latencies_ms, 99.0);
+  const auto hits = static_cast<double>(reg.counter("cache.prefix.hits").value());
+  const auto misses =
+      static_cast<double>(reg.counter("cache.prefix.misses").value());
+  result.hit_rate = hits + misses > 0.0 ? hits / (hits + misses) : 0.0;
+  return result;
+}
+
+int run_shard_bench(bool quick) {
+  lm::TransformerConfig model_config;
+  model_config.vocab = bench::env_int("LMPEEL_SERVE_VOCAB", 512);
+  model_config.d_model = bench::env_int("LMPEEL_SERVE_DMODEL", 384);
+  model_config.n_head = bench::env_int("LMPEEL_SERVE_HEADS", 6);
+  model_config.n_layer = bench::env_int("LMPEEL_SERVE_LAYERS", 2);
+
+  const auto requests = static_cast<std::size_t>(
+      bench::env_int("LMPEEL_SERVE_REQUESTS", quick ? 24 : 96));
+  const auto prefix_len = static_cast<std::size_t>(
+      bench::env_int("LMPEEL_SERVE_PREFIX", quick ? 64 : 128));
+  const auto tail_len = static_cast<std::size_t>(
+      bench::env_int("LMPEEL_SERVE_TAIL", 8));
+  const auto gen_tokens = static_cast<std::size_t>(
+      bench::env_int("LMPEEL_SERVE_GEN", quick ? 16 : 32));
+  model_config.max_seq =
+      static_cast<int>(prefix_len + tail_len + gen_tokens);
+
+  // A few distinct campaign prefixes — more than any replica count under
+  // test, so affinity (not luck) decides whether a prefix's requests all
+  // find the cache warm.
+  std::vector<std::vector<int>> prefixes;
+  for (std::uint64_t p = 0; p < 4; ++p) {
+    prefixes.push_back(
+        make_prompt(0xca3 + p, prefix_len, model_config.vocab));
+  }
+  std::cout << "model: d_model " << model_config.d_model << ", layers "
+            << model_config.n_layer << ", vocab " << model_config.vocab
+            << "\nworkload: " << requests << " requests over "
+            << prefixes.size() << " shared " << prefix_len
+            << "-token prefixes, " << tail_len << "-token tails, "
+            << gen_tokens << " generated tokens each\n";
+
+  util::Table table({"replicas", "requests", "wall_s", "tok_s",
+                     "agg_dec_tok_s", "hit_rate", "p50_ms", "p99_ms"});
+  ShardCellResult r1, r3;
+  for (const std::size_t replicas : {std::size_t{1}, std::size_t{3}}) {
+    auto result = run_shard_cell(model_config, replicas, requests, prefixes,
+                                 tail_len, gen_tokens);
+    table.add_row({std::to_string(replicas), std::to_string(requests),
+                   util::Table::num(result.cell.wall_s),
+                   util::Table::num(result.cell.tokens_per_sec),
+                   util::Table::num(result.aggregate_decode_tok_s),
+                   util::Table::num(result.hit_rate, 3),
+                   util::Table::num(result.cell.p50_ms),
+                   util::Table::num(result.cell.p99_ms)});
+    bench::BenchRecord record;
+    record.name = "serve_bench/shard_r" + std::to_string(replicas);
+    record.wall_s = result.cell.wall_s;
+    record.counters = bench::counter_snapshot();
+    record.values = {
+        {"tokens_per_sec", result.cell.tokens_per_sec},
+        {"aggregate_decode_tok_s", result.aggregate_decode_tok_s},
+        {"hit_rate", result.hit_rate},
+        {"p50_ms", result.cell.p50_ms},
+        {"p99_ms", result.cell.p99_ms}};
+    bench::write_bench_record(record);
+    (replicas == 1 ? r1 : r3) = std::move(result);
+  }
+  record_slo("serve_bench/shard_slo");
+  bench::emit("serve-bench: sharded fleet scaling", table);
+  LMPEEL_CHECK_MSG(r1.generated == r3.generated,
+                   "replica count changed generated tokens");
+  std::cout << "generated tokens bit-identical across replica counts\n";
+  const double speedup =
+      r1.aggregate_decode_tok_s > 0.0
+          ? r3.aggregate_decode_tok_s / r1.aggregate_decode_tok_s
+          : 0.0;
+  // The scaling gate needs the hardware to scale on: three decoding
+  // replicas cannot beat one by 2.5x while time-slicing fewer than three
+  // cores.  On smaller machines the gate degrades to "the router layer is
+  // not the bottleneck" — 3 replicas on one core must still deliver at
+  // least 85% of the single-replica rate.
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const bool can_scale = hw >= 3;
+  const double target = can_scale ? 2.5 : 0.85;
+  const bool throughput_ok = speedup >= target;
+  const bool affinity_ok = r3.hit_rate >= r1.hit_rate - 1e-9;
+  std::cout << "aggregate decode scaling 1 -> 3 replicas: "
+            << util::Table::num(speedup, 3) << "x (gate >= "
+            << util::Table::num(target, 2) << "x"
+            << (can_scale ? "" : ", overhead-only: " + std::to_string(hw) +
+                                     " core(s)")
+            << ", " << (throughput_ok ? "ok" : "FAILED") << ")\n"
+            << "prefix-affinity hit rate: " << util::Table::num(r1.hit_rate, 3)
+            << " -> " << util::Table::num(r3.hit_rate, 3) << " ("
+            << (affinity_ok ? "held" : "REGRESSED") << ")\n";
+  return throughput_ok && affinity_ok ? 0 : 1;
+}
+
 }  // namespace
 
 int cmd_serve_bench(int argc, char** argv) {
   bool quick = false;
   bool prefix_mode = false;
   bool mixed_mode = false;
+  bool shard_mode = false;
   bool run_on = true;
   bool run_off = true;
   for (int i = 0; i < argc; ++i) {
@@ -544,6 +767,8 @@ int cmd_serve_bench(int argc, char** argv) {
       prefix_mode = true;
     } else if (std::strcmp(argv[i], "mixed") == 0) {
       mixed_mode = true;
+    } else if (std::strcmp(argv[i], "shard") == 0) {
+      shard_mode = true;
     } else if (std::strcmp(argv[i], "--prefix") == 0 && i + 1 < argc) {
       // --prefix on|off implies the prefix workload and restricts it to
       // one variant (both run by default, so the speedup line can print).
@@ -558,13 +783,14 @@ int cmd_serve_bench(int argc, char** argv) {
         return 2;
       }
     } else {
-      std::cerr << "usage: lmpeel serve-bench [quick] [prefix|mixed] "
+      std::cerr << "usage: lmpeel serve-bench [quick] [prefix|mixed|shard] "
                    "[--prefix on|off]\n";
       return 2;
     }
   }
   if (prefix_mode) return run_prefix_bench(quick, run_on, run_off);
   if (mixed_mode) return run_mixed_bench(quick);
+  if (shard_mode) return run_shard_bench(quick);
 
   lm::TransformerConfig model_config;
   // Default shape: wide and shallow, ~59 MB of weights.  Big enough that
