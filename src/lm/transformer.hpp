@@ -126,6 +126,25 @@ class TransformerLm final : public LanguageModel {
     /// copy-on-writes only at the first append (DESIGN.md §14).
     void copy_prefix(const KvCache& src, std::size_t n_tokens);
 
+    /// Serializes the first `n_tokens` positions into layer-major row dumps
+    /// (`keys`/`values` each become n_layer·n_tokens·d_model floats) —
+    /// the disk-spill path for cold prefix-cache entries (DESIGN.md §16).
+    /// Works for both storage modes; the exported floats are the exact
+    /// rows prefill() stored, so a cache rebuilt by restore_rows()
+    /// continues bit-identically.
+    void export_rows(std::size_t n_tokens, std::size_t n_layer,
+                     std::size_t d_model, std::vector<float>& keys,
+                     std::vector<float>& values) const;
+
+    /// Inverse of export_rows(): replaces this cache's contents with the
+    /// dumped rows.  Restores into whichever storage mode this cache is
+    /// currently in (paged caches stay paged — may throw
+    /// mem::PoolExhausted; contiguous stay contiguous), so a spilled entry
+    /// reloads correctly regardless of which mode wrote it.
+    void restore_rows(std::size_t n_tokens, std::size_t n_layer,
+                      std::size_t d_model, std::span<const float> keys,
+                      std::span<const float> values);
+
     /// Recomputes bytes() and publishes the delta to the bound budget.  The
     /// model calls this after every growth; with no budget it is a no-op.
     void account() {

@@ -211,8 +211,10 @@ void write_trace_file(const Registry& registry, const std::string& path) {
     write_chrome_trace(registry, out);
   }
   // Atomic replace: a crash (or unwritable path) mid-flush cannot leave a
-  // truncated trace where a complete one used to be.
-  util::atomic_write_file(path, out.str());
+  // truncated trace where a complete one used to be.  Non-durable: a trace
+  // lost to a power cut is an acceptable cost for skipping the fsyncs on
+  // this hot exit path (DESIGN.md §16).
+  util::atomic_write_file(path, out.str(), /*durable=*/false);
 }
 
 namespace {
@@ -271,7 +273,10 @@ void publish_stats_once(const std::string& path) {
   out << "{\"type\":\"meta\",\"t_s\":" << num(now_us() / 1e6) << "}\n";
   write_jsonl(Registry::global(), out);
   try {
-    util::atomic_write_file(path, out.str());
+    // Non-durable: the publisher rewrites this file every few hundred ms;
+    // two fsyncs per refresh would be pure overhead for a live dashboard
+    // whose next frame supersedes this one anyway.
+    util::atomic_write_file(path, out.str(), /*durable=*/false);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "[lmpeel.obs] stats publish failed: %s\n",
                  e.what());

@@ -46,6 +46,7 @@ std::string_view timeline_kind_name(TimelineKind kind) noexcept {
     case TimelineKind::Quarantine: return "quarantine";
     case TimelineKind::PrefillChunk: return "prefill_chunk";
     case TimelineKind::ReplicaFailover: return "replica_failover";
+    case TimelineKind::ReplicaRevive: return "replica_revive";
   }
   return "unknown";
 }

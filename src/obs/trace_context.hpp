@@ -75,6 +75,8 @@ enum class TimelineKind : std::uint8_t {
   PrefillChunk,    ///< one chunked-prefill slice; value = tokens advanced
   ReplicaFailover, ///< router re-routed after replica death; value = the
                    ///< replica index the request landed on
+  ReplicaRevive,   ///< revive() began resurrecting a replica (trace = 0);
+                   ///< value = the replica index
 };
 
 /// Stable lower-snake name ("prefix_hit", "decode_tick", …) used by every

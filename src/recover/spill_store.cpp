@@ -1,0 +1,247 @@
+#include "recover/spill_store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <dirent.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#define LMPEEL_SPILL_POSIX 1
+#endif
+
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+#include "util/crc32.hpp"
+#include "util/fileio.hpp"
+
+namespace lmpeel::recover {
+
+namespace {
+
+// File layout: magic, then a CRC over everything after the CRC field, then
+// dims, token path, and the layer-major K/V row dumps.
+//   "LMPKVSP1" | u32 crc | u32 n_tokens | u32 n_layer | u32 d_model
+//   | i32 tokens[n_tokens] | f32 keys[n*L*D] | f32 values[n*L*D]
+constexpr char kMagic[8] = {'L', 'M', 'P', 'K', 'V', 'S', 'P', '1'};
+
+void put_u32(std::string& out, std::uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  out.append(b, 4);
+}
+
+std::uint32_t get_u32(const char* p) {
+  std::uint32_t v = 0;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+/// FNV-1a over the token path — only used to build a stable filename; the
+/// full path is stored inside the file, so hash collisions merely share a
+/// name prefix (the length suffix disambiguates all practical cases).
+std::uint64_t path_hash(std::span<const int> tokens) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (int t : tokens) {
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(t));
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+struct ParsedSpill {
+  std::vector<int> tokens;
+  std::vector<float> keys;
+  std::vector<float> values;
+};
+
+/// Decodes and CRC-validates a spill file body; false = not a valid spill
+/// file for a model with these dims.
+bool parse_spill(const std::string& raw, std::size_t n_layer,
+                 std::size_t d_model, ParsedSpill& out) {
+  constexpr std::size_t kHeader = 8 + 4 + 4 + 4 + 4;
+  if (raw.size() < kHeader) return false;
+  if (std::memcmp(raw.data(), kMagic, 8) != 0) return false;
+  const std::uint32_t crc = get_u32(raw.data() + 8);
+  if (util::crc32(raw.data() + 12, raw.size() - 12) != crc) return false;
+  const std::size_t n_tokens = get_u32(raw.data() + 12);
+  if (get_u32(raw.data() + 16) != n_layer) return false;
+  if (get_u32(raw.data() + 20) != d_model) return false;
+  const std::size_t rows = n_tokens * n_layer * d_model;
+  const std::size_t expect =
+      kHeader + n_tokens * sizeof(int) + 2 * rows * sizeof(float);
+  if (raw.size() != expect || n_tokens == 0) return false;
+  out.tokens.resize(n_tokens);
+  std::memcpy(out.tokens.data(), raw.data() + kHeader,
+              n_tokens * sizeof(int));
+  out.keys.resize(rows);
+  out.values.resize(rows);
+  const char* p = raw.data() + kHeader + n_tokens * sizeof(int);
+  std::memcpy(out.keys.data(), p, rows * sizeof(float));
+  std::memcpy(out.values.data(), p + rows * sizeof(float),
+              rows * sizeof(float));
+  return true;
+}
+
+}  // namespace
+
+SpillStore::SpillStore(std::string dir, const lm::TransformerConfig& config)
+    : dir_(std::move(dir)),
+      n_layer_(static_cast<std::size_t>(config.n_layer)),
+      d_model_(static_cast<std::size_t>(config.d_model)) {
+#ifdef LMPEEL_SPILL_POSIX
+  ::mkdir(dir_.c_str(), 0755);  // EEXIST is the common, fine case
+  DIR* d = ::opendir(dir_.c_str());
+  if (d != nullptr) {
+    while (const dirent* ent = ::readdir(d)) {
+      const std::string name = ent->d_name;
+      const std::string suffix = ".kvspill";
+      if (name.size() <= suffix.size() ||
+          name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+              0) {
+        continue;
+      }
+      const std::string path = dir_ + "/" + name;
+      std::string raw;
+      ParsedSpill parsed;
+      if (!util::read_file(path, raw) ||
+          !parse_spill(raw, n_layer_, d_model_, parsed)) {
+        continue;
+      }
+      entries_[std::move(parsed.tokens)] = Entry{path, raw.size()};
+    }
+    ::closedir(d);
+  }
+#endif
+  std::lock_guard<std::mutex> lock(mutex_);
+  publish_locked();
+}
+
+std::string SpillStore::file_path(std::span<const int> tokens) const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%016llx_%zu.kvspill",
+                static_cast<unsigned long long>(path_hash(tokens)),
+                tokens.size());
+  return dir_ + "/" + buf;
+}
+
+void SpillStore::publish_locked() const {
+  std::size_t total = 0;
+  for (const auto& [tokens, entry] : entries_) total += entry.file_bytes;
+  obs::Registry::global().gauge("recover.spill_bytes")
+      .set(static_cast<double>(total));
+}
+
+bool SpillStore::spill(std::span<const int> tokens,
+                       const lm::TransformerLm::KvCache& kv) {
+  if (tokens.empty() || kv.length() < tokens.size()) return false;
+  std::vector<int> key(tokens.begin(), tokens.end());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (entries_.count(key) > 0) return true;  // already on disk
+  }
+  std::vector<float> keys, values;
+  kv.export_rows(tokens.size(), n_layer_, d_model_, keys, values);
+
+  std::string body;
+  body.reserve(12 + keys.size() * 2 * sizeof(float));
+  put_u32(body, static_cast<std::uint32_t>(tokens.size()));
+  put_u32(body, static_cast<std::uint32_t>(n_layer_));
+  put_u32(body, static_cast<std::uint32_t>(d_model_));
+  body.append(reinterpret_cast<const char*>(tokens.data()),
+              tokens.size() * sizeof(int));
+  body.append(reinterpret_cast<const char*>(keys.data()),
+              keys.size() * sizeof(float));
+  body.append(reinterpret_cast<const char*>(values.data()),
+              values.size() * sizeof(float));
+
+  std::string file;
+  file.reserve(12 + body.size());
+  file.append(kMagic, 8);
+  put_u32(file, util::crc32(body));
+  file.append(body);
+
+  const std::string path = file_path(tokens);
+  try {
+    // Durable: a spilled entry is a promise the revive path relies on.
+    util::atomic_write_file(path, file);
+  } catch (const std::exception&) {
+    return false;  // disk trouble degrades to a dropped entry
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_[std::move(key)] = Entry{path, file.size()};
+  obs::Registry::global().counter("recover.spill_writes").add();
+  publish_locked();
+  return true;
+}
+
+std::size_t SpillStore::longest_prefix(std::span<const int> tokens,
+                                       std::size_t max_tokens) const {
+  const std::size_t cap = std::min(tokens.size(), max_tokens);
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t best = 0;
+  for (const auto& [stored, entry] : entries_) {
+    if (stored.size() <= best || stored.size() > cap) continue;
+    if (std::equal(stored.begin(), stored.end(), tokens.begin())) {
+      best = stored.size();
+    }
+  }
+  return best;
+}
+
+bool SpillStore::load(std::span<const int> tokens, std::size_t n,
+                      lm::TransformerLm::KvCache& kv) {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(std::vector<int>(tokens.begin(),
+                                             tokens.begin() +
+                                                 static_cast<std::ptrdiff_t>(
+                                                     n)));
+    if (it == entries_.end()) return false;
+    path = it->second.path;
+  }
+  std::string raw;
+  ParsedSpill parsed;
+  if (!util::read_file(path, raw) ||
+      !parse_spill(raw, n_layer_, d_model_, parsed) ||
+      parsed.tokens.size() != n) {
+    // The file is gone or damaged: drop the index entry so we stop
+    // advertising it.
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.erase(std::vector<int>(
+        tokens.begin(), tokens.begin() + static_cast<std::ptrdiff_t>(n)));
+    publish_locked();
+    return false;
+  }
+  kv.restore_rows(n, n_layer_, d_model_, parsed.keys, parsed.values);
+  obs::Registry::global().counter("recover.spill_hits").add();
+  return true;
+}
+
+std::vector<std::vector<int>> SpillStore::spilled_prefixes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::vector<int>> out;
+  out.reserve(entries_.size());
+  for (const auto& [tokens, entry] : entries_) out.push_back(tokens);
+  std::sort(out.begin(), out.end(),
+            [](const std::vector<int>& a, const std::vector<int>& b) {
+              return a.size() > b.size();
+            });
+  return out;
+}
+
+std::size_t SpillStore::entry_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::size_t SpillStore::spilled_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& [tokens, entry] : entries_) total += entry.file_bytes;
+  return total;
+}
+
+}  // namespace lmpeel::recover

@@ -1,0 +1,65 @@
+// Disk-backed KV spill store (DESIGN.md §16, LBANN data_store style).
+//
+// Implements cache::KvSpillBackend over a directory of flat files: each
+// spilled prefix becomes one CRC-sealed `.kvspill` file holding the token
+// path plus the raw K/V rows (the exact floats the evicted node held, so a
+// reloaded prefill continues bit-identically).  The store re-indexes the
+// directory on construction, which is what makes spill state survive a
+// replica kill: a revived replica pointed at the same directory finds its
+// cold prefixes waiting on disk.
+//
+// Spilled bytes live outside any guard::Budget — that is the point of
+// spilling: disk holds what RAM cannot — and are published on the
+// `recover.spill_bytes` gauge instead.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cache/prefix_cache.hpp"
+#include "lm/transformer.hpp"
+
+namespace lmpeel::recover {
+
+class SpillStore final : public cache::KvSpillBackend {
+ public:
+  /// Binds the store to `dir` (created if missing) and indexes any
+  /// `.kvspill` files already there whose layer/width dims match `config`
+  /// (mismatched or unreadable files are ignored — they belong to another
+  /// model or died mid-write before the atomic rename).
+  SpillStore(std::string dir, const lm::TransformerConfig& config);
+
+  // ---- cache::KvSpillBackend ------------------------------------------
+  bool spill(std::span<const int> tokens,
+             const lm::TransformerLm::KvCache& kv) override;
+  std::size_t longest_prefix(std::span<const int> tokens,
+                             std::size_t max_tokens) const override;
+  bool load(std::span<const int> tokens, std::size_t n,
+            lm::TransformerLm::KvCache& kv) override;
+  std::vector<std::vector<int>> spilled_prefixes() const override;
+
+  const std::string& dir() const noexcept { return dir_; }
+  std::size_t entry_count() const;
+  /// Total bytes currently on disk across entries.
+  std::size_t spilled_bytes() const;
+
+ private:
+  std::string file_path(std::span<const int> tokens) const;
+  void publish_locked() const;
+
+  std::string dir_;
+  std::size_t n_layer_;
+  std::size_t d_model_;
+
+  struct Entry {
+    std::string path;
+    std::size_t file_bytes = 0;
+  };
+  mutable std::mutex mutex_;
+  std::map<std::vector<int>, Entry> entries_;
+};
+
+}  // namespace lmpeel::recover

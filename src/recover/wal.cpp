@@ -1,0 +1,220 @@
+#include "recover/wal.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define LMPEEL_WAL_POSIX 1
+#endif
+
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+#include "util/crc32.hpp"
+#include "util/fileio.hpp"
+
+namespace lmpeel::recover {
+
+namespace {
+
+// Frame layout on disk (host little-endian — journals are machine-local
+// crash-recovery state, not an interchange format):
+//   [u32 payload_len][u32 crc32(seq_le || payload)][u64 seq][payload]
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8;
+// A single journal record is one campaign iteration or one request ack —
+// bounded; a larger length field means we are reading garbage, not a
+// record, so stop instead of trying to allocate it.
+constexpr std::uint32_t kMaxPayload = 1u << 20;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  out.append(b, 4);
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  out.append(b, 8);
+}
+
+std::uint32_t frame_crc(std::uint64_t seq, std::string_view payload) {
+  std::string sealed;
+  sealed.reserve(8 + payload.size());
+  put_u64(sealed, seq);
+  sealed.append(payload);
+  return util::crc32(sealed);
+}
+
+std::string encode_frame(std::uint64_t seq, std::string_view payload) {
+  std::string frame;
+  frame.reserve(kHeaderBytes + payload.size());
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  put_u32(frame, frame_crc(seq, payload));
+  put_u64(frame, seq);
+  frame.append(payload);
+  return frame;
+}
+
+}  // namespace
+
+namespace {
+
+/// Longest-valid-prefix scan shared by scan() and replay(); `valid_end`
+/// receives the byte offset just past the last valid frame and the return
+/// value says whether the leftover suffix (if any) needs quarantine.
+bool scan_frames(const std::string& raw, std::vector<WalRecord>& records,
+                 std::size_t& valid_end) {
+  std::size_t pos = 0;
+  valid_end = 0;
+  bool torn_tail = false;  // damage explainable as a crashed append
+  bool damaged = false;    // damage that needs quarantine
+  std::uint64_t prev_seq = 0;
+  while (pos < raw.size()) {
+    if (raw.size() - pos < kHeaderBytes) {
+      torn_tail = true;
+      break;
+    }
+    std::uint32_t len = 0, crc = 0;
+    std::uint64_t seq = 0;
+    std::memcpy(&len, raw.data() + pos, 4);
+    std::memcpy(&crc, raw.data() + pos + 4, 4);
+    std::memcpy(&seq, raw.data() + pos + 8, 8);
+    if (len > kMaxPayload) {
+      damaged = true;
+      break;
+    }
+    if (raw.size() - pos - kHeaderBytes < len) {
+      torn_tail = true;
+      break;
+    }
+    std::string_view payload(raw.data() + pos + kHeaderBytes, len);
+    if (frame_crc(seq, payload) != crc) {
+      damaged = true;
+      break;
+    }
+    if (seq <= prev_seq) {
+      // Duplicate or regressing sequence number: replaying it would redo
+      // acked work, so treat the whole suffix as corrupt.
+      damaged = true;
+      break;
+    }
+    prev_seq = seq;
+    records.push_back({seq, std::string(payload)});
+    pos += kHeaderBytes + len;
+    valid_end = pos;
+  }
+  return damaged || (torn_tail && valid_end < raw.size());
+}
+
+}  // namespace
+
+WalReplay Wal::scan(const std::string& path) {
+  WalReplay result;
+  std::string raw;
+  if (!util::read_file(path, raw) || raw.empty()) return result;
+  std::size_t valid_end = 0;
+  scan_frames(raw, result.records, valid_end);
+  return result;
+}
+
+WalReplay Wal::replay(const std::string& path) {
+  WalReplay result;
+  std::string raw;
+  if (!util::read_file(path, raw) || raw.empty()) return result;
+  std::size_t valid_end = 0;
+  if (scan_frames(raw, result.records, valid_end)) {
+    // Quarantine the raw file (same convention as the checkpoint loader:
+    // preserve the evidence under `<path>.corrupt`) and heal the journal by
+    // rewriting the valid prefix, so the next append continues a clean log.
+    result.quarantined = true;
+    result.corrupt_path = path + ".corrupt";
+    std::remove(result.corrupt_path.c_str());
+    if (std::rename(path.c_str(), result.corrupt_path.c_str()) != 0) {
+      result.corrupt_path.clear();
+    }
+    if (valid_end > 0) {
+      util::atomic_write_file(path, std::string_view(raw.data(), valid_end));
+    }
+    obs::Registry::global().counter("recover.wal_quarantined").add();
+  }
+  obs::Registry::global()
+      .counter("recover.wal_replayed_records")
+      .add(result.records.size());
+  return result;
+}
+
+Wal::Wal(std::string path, WalOptions options)
+    : path_(std::move(path)), options_(options) {
+  recovered_ = replay(path_);
+  if (!recovered_.records.empty()) {
+    next_seq_ = recovered_.records.back().seq + 1;
+  }
+#ifdef LMPEEL_WAL_POSIX
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+  LMPEEL_CHECK_MSG(fd_ >= 0, "cannot open journal for append: " + path_);
+#endif
+}
+
+Wal::~Wal() {
+#ifdef LMPEEL_WAL_POSIX
+  if (fd_ >= 0) {
+    if (options_.durable && appended_ > 0) ::fsync(fd_);
+    ::close(fd_);
+  }
+#endif
+}
+
+std::uint64_t Wal::append(std::string_view payload) {
+  LMPEEL_CHECK_MSG(payload.size() <= kMaxPayload,
+                   "journal payload too large: " + path_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t seq = next_seq_++;
+  const std::string frame = encode_frame(seq, payload);
+#ifdef LMPEEL_WAL_POSIX
+  // One write(2) per frame: either the whole record lands or the tail is
+  // torn — replay() tolerates the latter, never a half-written header
+  // followed by a later complete record.
+  std::size_t done = 0;
+  while (done < frame.size()) {
+    const ::ssize_t n =
+        ::write(fd_, frame.data() + done, frame.size() - done);
+    if (n < 0) {
+      util::check_failed("write", __FILE__, __LINE__,
+                         "journal append failed: " + path_);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  if (options_.durable) {
+    LMPEEL_CHECK_MSG(::fsync(fd_) == 0,
+                     "journal fsync failed: " + path_);
+  }
+#else
+  // No POSIX fds: fall back to buffered append (no durability guarantee on
+  // this platform, but replay framing still works).
+  std::FILE* f = std::fopen(path_.c_str(), "ab");
+  LMPEEL_CHECK_MSG(f != nullptr, "cannot open journal for append: " + path_);
+  const std::size_t n = std::fwrite(frame.data(), 1, frame.size(), f);
+  std::fclose(f);
+  LMPEEL_CHECK_MSG(n == frame.size(), "journal append failed: " + path_);
+#endif
+  ++appended_;
+  obs::Registry::global().counter("recover.wal_appends").add();
+  return seq;
+}
+
+void Wal::sync() {
+#ifdef LMPEEL_WAL_POSIX
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ >= 0 && appended_ > 0) ::fsync(fd_);
+#endif
+}
+
+std::uint64_t Wal::appended() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return appended_;
+}
+
+}  // namespace lmpeel::recover

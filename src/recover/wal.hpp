@@ -1,0 +1,107 @@
+// Write-ahead journal: CRC-framed, fsync'd append log (DESIGN.md §16).
+//
+// The checkpoint layer (tune/checkpoint.hpp) makes campaign state crash
+// *atomic* — a resumed process sees a complete snapshot — but a snapshot
+// cadence of N means up to N-1 iterations of work die with the process.
+// The Wal closes that gap: every unit of work appends one framed record
+// *before* the system acts on it (append-before-ack), so replay after a
+// kill at any point reconstructs exactly the work that was promised.
+//
+//   * Framing — each record is [u32 payload_len][u32 crc][u64 seq][payload]
+//     where the CRC seals seq+payload.  Sequence numbers are strictly
+//     increasing, so a duplicated record (a torn rewrite, a double append
+//     from foreign tooling) is detected as corruption, not replayed twice.
+//   * Durability — append() writes the whole frame in one write(2) and
+//     fsync()s before returning (WalOptions::durable opts out for tests).
+//     An ack given after append() is therefore a promise that survives
+//     power loss.
+//   * Replay — replay() scans the file and returns the longest valid
+//     prefix of records.  A torn tail (the crash landed mid-append) is
+//     expected and tolerated; any damage — truncation, a flipped bit, a
+//     duplicate or regressing sequence number — quarantines the raw file
+//     to `<path>.corrupt` (the same convention the checkpoint loader uses)
+//     and rewrites the valid prefix back to `path`, so the journal is
+//     clean again by the time the caller sees the records.
+//
+// Consumers: campaign iterations (tune/campaign.cpp, layered under the
+// hexfloat checkpoints) and accepted serve requests (shard::Router's
+// request journal — the zero-lost / zero-duplicated accounting the revive
+// drill asserts).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lmpeel::recover {
+
+struct WalOptions {
+  /// fsync after every append (the append-before-ack guarantee).  Off =
+  /// buffered appends for tests and hot non-critical journals.
+  bool durable = true;
+};
+
+struct WalRecord {
+  std::uint64_t seq = 0;
+  std::string payload;
+};
+
+/// Result of scanning a journal file.
+struct WalReplay {
+  std::vector<WalRecord> records;  ///< longest valid record prefix
+  /// True when damage was found past the valid prefix: the raw file moved
+  /// to `corrupt_path` and the valid records were rewritten to the
+  /// original path.
+  bool quarantined = false;
+  std::string corrupt_path;
+};
+
+class Wal {
+ public:
+  /// Opens `path` for appending, first replaying (and, if damaged,
+  /// quarantine-healing) whatever is already there so new records continue
+  /// the sequence.  The replayed records are available via recovered().
+  explicit Wal(std::string path, WalOptions options = {});
+  ~Wal();
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Appends one record and (when durable) fsyncs before returning; the
+  /// returned sequence number is the record's identity on replay.
+  /// Thread-safe.  Throws std::runtime_error if the write fails — callers
+  /// must not ack work whose append did not return.
+  std::uint64_t append(std::string_view payload);
+
+  /// fsyncs the journal fd (no-op when nothing was appended).
+  void sync();
+
+  const std::string& path() const noexcept { return path_; }
+  /// Records found on open — the crash-recovery inbox.
+  const WalReplay& recovered() const noexcept { return recovered_; }
+  /// Records appended through this handle (excludes recovered ones).
+  std::uint64_t appended() const noexcept;
+
+  /// Scans `path` without opening it for append: returns the longest valid
+  /// prefix, quarantining any damaged suffix as described above.  A
+  /// missing or empty file replays to zero records (not an error).
+  static WalReplay replay(const std::string& path);
+
+  /// Read-only variant of replay(): same longest-valid-prefix result but
+  /// never renames or rewrites anything.  Safe on a journal that is still
+  /// being appended to (a concurrent append can look like a torn tail —
+  /// that must not quarantine a healthy live file).
+  static WalReplay scan(const std::string& path);
+
+ private:
+  std::string path_;
+  WalOptions options_;
+  WalReplay recovered_;
+  mutable std::mutex mutex_;
+  int fd_ = -1;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t appended_ = 0;
+};
+
+}  // namespace lmpeel::recover

@@ -46,6 +46,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -55,6 +56,7 @@
 
 #include "cache/prefix_cache.hpp"
 #include "guard/breaker.hpp"
+#include "recover/wal.hpp"
 #include "serve/client.hpp"
 #include "serve/retry.hpp"
 #include "util/thread_pool.hpp"
@@ -62,10 +64,11 @@
 namespace lmpeel::shard {
 
 enum class Health : std::uint8_t {
-  Healthy,   ///< accepting, breaker closed, no recent errors
-  Degraded,  ///< accepting but breaker open or errors observed recently
-  Draining,  ///< drain() in progress/finished: no new admissions, sticky
-  Dead,      ///< stopped accepting (shutdown or kill), sticky
+  Healthy,    ///< accepting, breaker closed, no recent errors
+  Degraded,   ///< accepting but breaker open or errors observed recently
+  Draining,   ///< drain() in progress/finished: no new admissions, sticky
+  Dead,       ///< stopped accepting (shutdown or kill); sticky until revive()
+  Recovering, ///< revive() in progress: not admittable, not routable
 };
 
 const char* health_name(Health health);
@@ -78,6 +81,23 @@ struct Replica {
   serve::Client* client = nullptr;
   cache::PrefixCache* cache = nullptr;  ///< null = nothing to migrate
   std::string name;                     ///< metrics/report label
+  /// Resurrection hook (DESIGN.md §16): called by Router::revive() to
+  /// restart the replica's engine, returning the request surface of the
+  /// fresh instance (null = restart failed).  The previous client object
+  /// must stay valid until the Router is destroyed — a killed engine
+  /// answers accepting() == false, which is all the router ever asks of
+  /// it.  Null hook = revive() can only re-admit the existing client.
+  std::function<serve::Client*()> restart;
+};
+
+/// What Router::revive() did, for drills and the soak report.
+struct ReviveReport {
+  bool ok = false;            ///< replica is Healthy again
+  double mttr_s = 0.0;        ///< kill (or drain) → Healthy, seconds
+  std::size_t wal_replayed = 0;  ///< journal records found on replay
+  std::size_t rewarmed = 0;      ///< prefixes re-warmed into the cache
+  std::size_t probes = 0;        ///< probe requests issued
+  std::uint64_t ring_generation = 0;  ///< generation after the re-add
 };
 
 struct RouterConfig {
@@ -97,8 +117,18 @@ struct RouterConfig {
   /// with a closed breaker.
   std::size_t degrade_after_errors = 1;
   /// Most prefixes migrated per drain (longest first — the campaign ICL
-  /// blocks — so the valuable affinity moves even under a cap).
+  /// blocks — so the valuable affinity moves even under a cap).  Also caps
+  /// the prefixes re-warmed by revive().
   std::size_t migrate_limit = 64;
+  /// Request journal (DESIGN.md §16): accepted submissions and their acks
+  /// are appended so a drill can prove zero lost / zero duplicated
+  /// requests across kill→revive cycles.  Not owned; null = off.
+  recover::Wal* journal = nullptr;
+  /// Consecutive probe successes revive() requires before re-admitting a
+  /// replica to the ring.
+  std::size_t revive_probes = 3;
+  /// Prompt used for revive probe requests (1 decode token each).
+  std::vector<int> probe_prompt = {1, 2};
   std::uint64_t seed = 0;  ///< ring + breaker jitter seed
 };
 
@@ -109,6 +139,7 @@ struct RouterStats {
   std::uint64_t failover_exhausted = 0;
   std::uint64_t drains = 0;
   std::uint64_t migrated_prefixes = 0;
+  std::uint64_t revives = 0;
 };
 
 class Router final : public serve::Client {
@@ -145,6 +176,24 @@ class Router final : public serve::Client {
   /// the ring successor via warm requests.  Returns the number migrated.
   std::size_t drain(std::size_t i);
 
+  /// Resurrects a Dead or Draining replica (DESIGN.md §16 rejoin state
+  /// machine): Dead → Recovering → probation → Healthy.  Restarts the
+  /// engine through the Replica::restart hook (or re-admits the existing
+  /// client if it is accepting again), replays the request journal,
+  /// re-warms the replica's prefix cache by warm requests (spilled entries
+  /// reload lazily through the cache's own backend), then requires
+  /// revive_probes consecutive probe successes before bumping the ring
+  /// generation and flipping the replica Healthy — in-flight lookups never
+  /// see a half-joined replica because the flip is one atomic store.
+  /// Returns !ok (replica back to Dead) if any step fails.
+  ReviveReport revive(std::size_t i);
+
+  /// Bumped once per completed rejoin; lets drills assert an in-flight
+  /// request observed either the pre- or post-revive ring, never a hybrid.
+  std::uint64_t ring_generation() const noexcept {
+    return ring_generation_.load(std::memory_order_acquire);
+  }
+
   /// The replica indices that would serve `prefix_tokens`, preference
   /// order (ring owner first, then successors), ignoring health.  Exposed
   /// for tests asserting affinity stability.
@@ -158,12 +207,17 @@ class Router final : public serve::Client {
  private:
   struct ReplicaState {
     Replica replica;
+    /// The live request surface; starts as replica.client and is swapped
+    /// by revive() after a restart.  Readers synchronise through `health`
+    /// (release store on rejoin, acquire load before use).
+    std::atomic<serve::Client*> client{nullptr};
     std::unique_ptr<guard::Breaker> breaker;
     std::unique_ptr<serve::RetryClient> retry;
     std::atomic<Health> health{Health::Healthy};
     std::atomic<std::size_t> outstanding{0};   ///< router-tracked in-flight
     std::atomic<std::size_t> consecutive_errors{0};
     std::atomic<std::uint64_t> routed{0};
+    std::atomic<double> died_at{0.0};  ///< monotonic seconds at death; MTTR
   };
 
   /// The affinity key: the shared-prefix block when hinted, else the whole
@@ -176,6 +230,12 @@ class Router final : public serve::Client {
   /// Marks replica `i` dead/degraded after a failed attempt and bumps the
   /// transition metrics.
   void note_replica_failure(std::size_t i, serve::RequestStatus status);
+  /// Marks `state` Dead unless already sticky (Dead/Draining/Recovering),
+  /// stamping died_at for MTTR; returns true on the transition.
+  bool mark_dead(ReplicaState& state);
+  /// Appends one `<kind> <trace-hex> <status>` record to the request
+  /// journal (no-op without one).
+  void journal_append(const char* kind, std::uint64_t trace, int status);
   bool admittable(Health health) const noexcept {
     return health == Health::Healthy || health == Health::Degraded;
   }
@@ -193,6 +253,9 @@ class Router final : public serve::Client {
   std::atomic<std::uint64_t> failover_exhausted_{0};
   std::atomic<std::uint64_t> drains_{0};
   std::atomic<std::uint64_t> migrated_prefixes_{0};
+  std::atomic<std::uint64_t> revives_{0};
+  std::atomic<std::uint64_t> ring_generation_{0};
+  mutable std::mutex revive_mutex_;  ///< serialises revive() and drain()
 
   mutable std::mutex submit_mutex_;  ///< serialises submit vs ~Router
   std::unique_ptr<util::ThreadPool> pool_;  // last member: joins first

@@ -2,14 +2,39 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 
 #include "obs/flight_recorder.hpp"
 #include "obs/span.hpp"
 #include "obs/trace_context.hpp"
+#include "recover/wal.hpp"
 #include "tune/checkpoint.hpp"
 #include "util/check.hpp"
 
 namespace lmpeel::tune {
+
+namespace {
+
+/// Decodes an "eval <iteration> <config_index> <runtime_hexfloat>" journal
+/// record; false = not an eval record (foreign payloads are skipped, not
+/// errors — the journal format is shared with other record kinds).
+bool parse_eval_record(const std::string& payload, std::size_t& index,
+                       std::size_t& config_index, double& runtime) {
+  if (payload.rfind("eval ", 0) != 0) return false;
+  const char* p = payload.c_str() + 5;
+  char* end = nullptr;
+  index = std::strtoull(p, &end, 10);
+  if (end == p) return false;
+  p = end;
+  config_index = std::strtoull(p, &end, 10);
+  if (end == p) return false;
+  p = end;
+  runtime = std::strtod(p, &end);  // %a hexfloat: exact double round-trip
+  return end != p;
+}
+
+}  // namespace
 
 double CampaignResult::best_runtime() const {
   LMPEEL_CHECK(!best_so_far.empty());
@@ -47,6 +72,15 @@ CampaignResult run_campaign(Tuner& tuner, const perf::Syr2kModel& model,
   double best = 0.0;
 
   const CheckpointOptions& ckpt = options.checkpoint;
+  std::unique_ptr<recover::Wal> wal;
+  if (!ckpt.wal_path.empty()) {
+    // Without resume a leftover journal would shadow this fresh run's
+    // records on the *next* resume — start it over.
+    if (!ckpt.resume) std::remove(ckpt.wal_path.c_str());
+    // The ctor replays (and quarantine-heals) whatever survived the last
+    // process; the records feed the resume replay below.
+    wal = std::make_unique<recover::Wal>(ckpt.wal_path);
+  }
   std::size_t start = 0;
   if (!ckpt.path.empty() && ckpt.resume) {
     std::optional<CampaignCheckpoint> loaded;
@@ -92,6 +126,37 @@ CampaignResult run_campaign(Tuner& tuner, const perf::Syr2kModel& model,
       registry.counter("tune.checkpoint_resume").add();
     }
   }
+  if (wal != nullptr && ckpt.resume) {
+    // The journal's tail extends the checkpoint: records past the snapshot
+    // are the evaluations whose append-before-ack outlived the process.
+    // Re-proposing and re-measuring replays them bit-identically — the
+    // recorded config index and hexfloat runtime are cross-checked, and
+    // both RNG streams advance exactly as in the original run.
+    for (const recover::WalRecord& rec : wal->recovered().records) {
+      std::size_t index = 0;
+      std::size_t config_index = 0;
+      double runtime = 0.0;
+      if (!parse_eval_record(rec.payload, index, config_index, runtime)) {
+        continue;
+      }
+      if (index < start) continue;  // already inside the checkpoint
+      if (index != start || index >= options.budget) break;  // gap: stop
+      perf::Sample sample;
+      sample.config = tuner.propose(propose_rng);
+      sample.config_index = space.index_of(sample.config);
+      LMPEEL_CHECK_MSG(sample.config_index == config_index,
+                       "journal replay diverged from tuner proposals");
+      sample.runtime = model.measure(sample.config, size, measure_rng);
+      LMPEEL_CHECK_MSG(sample.runtime == runtime,
+                       "journal replay runtime mismatch");
+      tuner.observe(sample.config, sample.runtime);
+      best = index == 0 ? sample.runtime : std::min(best, sample.runtime);
+      result.evaluated.push_back(sample);
+      result.best_so_far.push_back(best);
+      ++start;
+      registry.counter("tune.wal_resumed_evals").add();
+    }
+  }
 
   const auto write_checkpoint = [&] {
     CampaignCheckpoint snapshot;
@@ -114,6 +179,15 @@ CampaignResult run_campaign(Tuner& tuner, const perf::Syr2kModel& model,
     }
     sample.config_index = space.index_of(sample.config);
     sample.runtime = model.measure(sample.config, size, measure_rng);
+    if (wal != nullptr) {
+      // Append-before-ack: the evaluation is durable before the tuner
+      // state or the running best absorbs it, so a kill after this line
+      // replays it instead of losing it.
+      char record[96];
+      std::snprintf(record, sizeof(record), "eval %zu %zu %a", i,
+                    sample.config_index, sample.runtime);
+      wal->append(record);
+    }
     {
       obs::Span observe_span("tune.observe");
       tuner.observe(sample.config, sample.runtime);

@@ -41,6 +41,15 @@ struct CheckpointOptions {
   std::string path;         ///< empty = checkpointing off
   std::size_t every = 1;    ///< write cadence in evaluations
   bool resume = true;       ///< load an existing checkpoint at `path`
+  /// Write-ahead journal layered under the checkpoint (DESIGN.md §16):
+  /// every evaluation appends one fsync'd record *before* the tuner
+  /// observes it, so a kill between checkpoints loses nothing — resume
+  /// replays the checkpoint, then the journal's tail, and continues
+  /// bit-identically from the exact iteration that died.  Empty = off.
+  /// Independent of `path`: a journal with no checkpoint replays the whole
+  /// history.  `resume` gates journal replay too (off = the journal is
+  /// truncated and restarted).
+  std::string wal_path;
 };
 
 struct CampaignOptions {

@@ -4,11 +4,42 @@
 #include <fstream>
 #include <sstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define LMPEEL_HAVE_FSYNC 1
+#endif
+
 #include "util/check.hpp"
 
 namespace lmpeel::util {
 
-void atomic_write_file(const std::string& path, std::string_view contents) {
+namespace {
+
+#ifdef LMPEEL_HAVE_FSYNC
+/// fsync() of an existing file or directory by path; best effort for the
+/// directory case (some filesystems refuse O_RDONLY directory fds — the
+/// rename is still atomic, just not yet durable there).
+void fsync_path(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+/// Directory part of `path` ("." when the path has no separator).
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+#endif
+
+}  // namespace
+
+void atomic_write_file(const std::string& path, std::string_view contents,
+                       bool durable) {
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
@@ -23,11 +54,35 @@ void atomic_write_file(const std::string& path, std::string_view contents) {
                    "write to temp file failed: " + tmp);
     }
   }
+#ifdef LMPEEL_HAVE_FSYNC
+  if (durable) {
+    // The data blocks must be on disk before the rename points a durable
+    // name at them — otherwise a power loss can surface the new name with
+    // stale or empty contents (DESIGN.md §16).
+    const int fd = ::open(tmp.c_str(), O_RDONLY);
+    if (fd >= 0) {
+      const int rc = ::fsync(fd);
+      ::close(fd);
+      if (rc != 0) {
+        std::remove(tmp.c_str());
+        check_failed("fsync", __FILE__, __LINE__,
+                     "cannot fsync temp file: " + tmp);
+      }
+    }
+  }
+#else
+  (void)durable;
+#endif
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     check_failed("rename", __FILE__, __LINE__,
                  "cannot rename " + tmp + " -> " + path);
   }
+#ifdef LMPEEL_HAVE_FSYNC
+  // The rename itself lives in the directory; sync it so the new entry —
+  // not just the bytes — survives power loss.
+  if (durable) fsync_path(parent_dir(path));
+#endif
 }
 
 bool read_file(const std::string& path, std::string& out) {

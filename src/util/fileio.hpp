@@ -6,6 +6,15 @@
 // place.  rename(2) is atomic on POSIX, so a reader — including a resumed
 // process after a crash mid-write — sees either the previous complete file
 // or the new complete file, never a truncated hybrid.
+//
+// Atomicity alone is not durability (DESIGN.md §16): rename() without
+// fsync() can be reordered past the data blocks by the filesystem, so a
+// power loss shortly after the rename may surface the *new* name with
+// *empty or stale* contents.  Durable writes therefore fsync the temp file
+// before the rename and the parent directory after it — the sequence
+// checkpoints, WALs and postmortems rely on.  Hot, non-critical writers
+// (the trace sink, the live stats publisher) opt out: losing their last
+// frame to a power cut is fine, paying two fsyncs per refresh is not.
 #pragma once
 
 #include <string>
@@ -13,10 +22,15 @@
 
 namespace lmpeel::util {
 
-/// Writes `contents` to `path` via temp-file + rename.  Throws
-/// std::runtime_error (via LMPEEL_CHECK) if the temp file cannot be
-/// written or the rename fails; the temp file is removed on failure.
-void atomic_write_file(const std::string& path, std::string_view contents);
+/// Writes `contents` to `path` via temp-file + rename.  When `durable`
+/// (the default) the temp file is fsync'd before the rename and the parent
+/// directory after it, so the completed write survives power loss — pass
+/// false only for hot best-effort writers where a lost update is
+/// acceptable.  Throws std::runtime_error (via LMPEEL_CHECK) if the temp
+/// file cannot be written or the rename fails; the temp file is removed on
+/// failure.
+void atomic_write_file(const std::string& path, std::string_view contents,
+                       bool durable = true);
 
 /// Reads a whole file into a string; returns false if it cannot be opened.
 bool read_file(const std::string& path, std::string& out);

@@ -8,22 +8,29 @@
 //   lmpeel stats [--json] [size] [icl] [seed]    generation run + metrics
 //                                                summary (--json: one machine-
 //                                                readable object on stdout)
-//   lmpeel serve-bench [quick] [prefix|mixed|shard] [--prefix on|off]
+//   lmpeel serve-bench [quick] [prefix|mixed|shard|recover]
+//                      [--prefix on|off]
 //                                                load-test the serve engine;
 //                                                `prefix` measures shared-prefix
 //                                                KV reuse cache-on vs cache-off,
 //                                                `mixed` long+short traffic on
 //                                                the paged two-stage scheduler
-//                                                vs the contiguous baseline
+//                                                vs the contiguous baseline,
+//                                                `recover` kills and revives a
+//                                                replica and gates post-revive
+//                                                decode throughput
 //   lmpeel chaos [seed] [requests]               fault-injection survival run
 //   lmpeel soak [--seconds N] [--seed N] [--budget BYTES] [--no-sick-window]
 //               [--no-prefix-cache] [--contiguous-kv]
-//               [--replicas N] [--kill-rate R]
+//               [--replicas N] [--kill-rate R] [--restart-rate R]
 //                                                mixed-priority overload soak
 //                                                (paged KV pool by default);
 //                                                --replicas > 1 runs the fleet
 //                                                soak behind shard::Router with
-//                                                seeded replica kills/stalls
+//                                                seeded replica kills/stalls;
+//                                                --restart-rate resurrects
+//                                                killed replicas through the
+//                                                full revive protocol
 //   lmpeel top [path] [--interval-ms N] [--once] live dashboard over another
 //                                                process's LMPEEL_STATS_JSON
 //                                                stream (queue depth, batch
@@ -91,12 +98,12 @@ int usage() {
          "llambo-generative|llambo-sampling> <size> <budget> [seed]\n"
          "  lmpeel tokenize <text…>\n"
          "  lmpeel stats [--json] [size] [icl_count] [seed]\n"
-         "  lmpeel serve-bench [quick] [prefix|mixed|shard] "
+         "  lmpeel serve-bench [quick] [prefix|mixed|shard|recover] "
          "[--prefix on|off]\n"
          "  lmpeel chaos [seed] [requests]\n"
          "  lmpeel soak [--seconds N] [--seed N] [--budget BYTES] "
          "[--no-sick-window] [--no-prefix-cache] [--contiguous-kv] "
-         "[--replicas N] [--kill-rate R]\n"
+         "[--replicas N] [--kill-rate R] [--restart-rate R]\n"
          "  lmpeel top [path] [--interval-ms N] [--once]\n";
   return 2;
 }
@@ -512,6 +519,10 @@ int cmd_chaos(int argc, char** argv) {
 // under one global cap, and --kill-rate seeded replica kills/stalls in
 // place of the sick window.  The graded exit then additionally requires
 // at least one successful failover and zero lost requests.
+// --restart-rate adds resurrection (DESIGN.md §16): killed replicas come
+// back through Router::revive — engine restart, cache re-warm, probation
+// probes, atomic ring re-add — and the exit also requires at least one
+// completed rejoin when kills happened.
 int cmd_soak(int argc, char** argv) {
   guard::SoakOptions options;
   for (int i = 0; i < argc; ++i) {
@@ -532,12 +543,17 @@ int cmd_soak(int argc, char** argv) {
       options.replicas = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--kill-rate" && i + 1 < argc) {
       options.kill_rate = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--restart-rate" && i + 1 < argc) {
+      options.restart_rate = std::strtod(argv[++i], nullptr);
     } else {
       return usage();
     }
   }
   if (options.seconds <= 0.0 || options.replicas == 0) return usage();
   if (options.kill_rate < 0.0 || options.kill_rate > 1.0) return usage();
+  if (options.restart_rate < 0.0 || options.restart_rate > 1.0) {
+    return usage();
+  }
 
   // The sick window is a single-engine fixture; fleet mode replaces it
   // with replica-level chaos, so its grade must not be demanded there.
@@ -549,7 +565,8 @@ int cmd_soak(int argc, char** argv) {
             << (options.paged_kv ? ", paged kv" : ", contiguous kv");
   if (options.replicas > 1) {
     std::cout << ", " << options.replicas << " replicas, kill rate "
-              << options.kill_rate;
+              << options.kill_rate << ", restart rate "
+              << options.restart_rate;
   }
   std::cout << "\n";
   const auto report = guard::run_soak(options);

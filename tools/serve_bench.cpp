@@ -41,6 +41,17 @@
 // fewer the gate degrades to router overhead <= 15%), prefix affinity
 // keeps the fleet hit rate no worse than the single replica's, and
 // generated tokens are bit-identical across replica counts.
+//
+// The `recover` workload measures resurrection (DESIGN.md §16): the same
+// campaign traffic over 3 replicas, then the busiest replica is killed and
+// brought back through shard::Router::revive (engine restart, cache
+// re-warm, probation probes, ring re-add), and the workload runs again.
+// Rows merge as serve_bench/recover_mttr (kill -> Healthy seconds, probes,
+// re-warmed prefixes) and serve_bench/recover_post_revive (pre/post decode
+// tok/s).  The gates: the revive completes, generated tokens are
+// bit-identical before and after (the resurrected replica serves the same
+// answers), and — on machines with >= 3 cores — post-revive aggregate
+// decode throughput holds >= 90% of pre-kill.
 #include <algorithm>
 #include <cstring>
 #include <future>
@@ -589,9 +600,11 @@ ShardCellResult run_shard_cell(const lm::TransformerConfig& model_config,
     // chunking interleave.
     config.prefill_chunk_tokens = 0;
     stack.engine = std::make_unique<serve::Engine>(*stack.decoder, config);
-    descriptors.push_back(shard::Replica{stack.engine.get(),
-                                         stack.cache.get(),
-                                         "replica-" + std::to_string(r)});
+    shard::Replica descriptor;
+    descriptor.client = stack.engine.get();
+    descriptor.cache = stack.cache.get();
+    descriptor.name = "replica-" + std::to_string(r);
+    descriptors.push_back(std::move(descriptor));
   }
   shard::RouterConfig router_config;
   router_config.seed = 1;
@@ -751,6 +764,207 @@ int run_shard_bench(bool quick) {
   return throughput_ok && affinity_ok ? 0 : 1;
 }
 
+// ---- crash-recovery workload (DESIGN.md §16) ------------------------------
+
+struct RecoverPhaseResult {
+  double wall_s = 0.0;
+  double decode_tok_s = 0.0;  ///< aggregate fleet rate over this phase
+  std::vector<std::vector<int>> generated;  ///< per-request token ids
+};
+
+/// One closed-loop pass of the campaign workload through the router,
+/// measured by decode-counter delta so phases compose on one registry.
+RecoverPhaseResult run_recover_phase(
+    shard::Router& router, const lm::TransformerConfig& model_config,
+    std::size_t requests, const std::vector<std::vector<int>>& prefixes,
+    std::size_t tail_len, std::size_t gen_tokens, std::size_t concurrency) {
+  RecoverPhaseResult result;
+  result.generated.resize(requests);
+  auto& reg = obs::Registry::global();
+  const auto decoded0 = reg.counter("lm.transformer.decode_tokens").value();
+  util::ThreadPool clients(concurrency);
+  util::Stopwatch wall;
+  std::vector<std::future<void>> futures;
+  for (std::size_t k = 0; k < concurrency; ++k) {
+    const std::size_t lo = requests * k / concurrency;
+    const std::size_t hi = requests * (k + 1) / concurrency;
+    futures.push_back(clients.submit([&router, &prefixes, &result, lo, hi,
+                                      tail_len, &model_config, gen_tokens] {
+      for (std::size_t r = lo; r < hi; ++r) {
+        serve::Request request;
+        const auto& prefix = prefixes[r % prefixes.size()];
+        request.prompt = prefix;
+        const auto tail =
+            make_prompt(0x5a0 + r, tail_len, model_config.vocab);
+        request.prompt.insert(request.prompt.end(), tail.begin(),
+                              tail.end());
+        request.shared_prefix_tokens = prefix.size();
+        request.options.sampler.temperature = 0.0;
+        request.options.stop_on_eos = false;
+        request.options.max_tokens = gen_tokens;
+        request.options.seed = r;
+        auto served = router.submit(std::move(request)).get();
+        LMPEEL_CHECK_MSG(served.status == serve::RequestStatus::Ok,
+                         "serve-bench recover request rejected");
+        LMPEEL_CHECK_MSG(served.generation.tokens.size() == gen_tokens,
+                         "serve-bench recover generation truncated");
+        result.generated[r] = std::move(served.generation.tokens);
+      }
+    }));
+  }
+  for (auto& f : futures) f.get();
+  result.wall_s = wall.seconds();
+  const auto decoded =
+      reg.counter("lm.transformer.decode_tokens").value() - decoded0;
+  result.decode_tok_s =
+      result.wall_s > 0.0 ? static_cast<double>(decoded) / result.wall_s
+                          : 0.0;
+  return result;
+}
+
+int run_recover_bench(bool quick) {
+  lm::TransformerConfig model_config;
+  model_config.vocab = bench::env_int("LMPEEL_SERVE_VOCAB", 512);
+  model_config.d_model = bench::env_int("LMPEEL_SERVE_DMODEL", 384);
+  model_config.n_head = bench::env_int("LMPEEL_SERVE_HEADS", 6);
+  model_config.n_layer = bench::env_int("LMPEEL_SERVE_LAYERS", 2);
+
+  const auto requests = static_cast<std::size_t>(
+      bench::env_int("LMPEEL_SERVE_REQUESTS", quick ? 24 : 96));
+  const auto prefix_len = static_cast<std::size_t>(
+      bench::env_int("LMPEEL_SERVE_PREFIX", quick ? 64 : 128));
+  const auto tail_len = static_cast<std::size_t>(
+      bench::env_int("LMPEEL_SERVE_TAIL", 8));
+  const auto gen_tokens = static_cast<std::size_t>(
+      bench::env_int("LMPEEL_SERVE_GEN", quick ? 16 : 32));
+  model_config.max_seq =
+      static_cast<int>(prefix_len + tail_len + gen_tokens);
+
+  std::vector<std::vector<int>> prefixes;
+  for (std::uint64_t p = 0; p < 4; ++p) {
+    prefixes.push_back(
+        make_prompt(0xca3 + p, prefix_len, model_config.vocab));
+  }
+  std::cout << "model: d_model " << model_config.d_model << ", layers "
+            << model_config.n_layer << ", vocab " << model_config.vocab
+            << "\nworkload: " << requests << " requests over "
+            << prefixes.size() << " shared " << prefix_len
+            << "-token prefixes, " << gen_tokens
+            << " generated tokens each; kill + revive between passes\n";
+
+  obs::Registry::global().reset();
+  constexpr std::size_t kReplicas = 3;
+  constexpr std::size_t kBatch = 4;
+  struct Stack {
+    std::unique_ptr<lm::TransformerLm> model;
+    std::unique_ptr<cache::PrefixCache> cache;
+    std::unique_ptr<serve::TransformerBatchDecoder> decoder;
+    /// Killed engines parked by the restart hook; must outlive the router
+    /// (its state may still point at them — shard/router.hpp contract).
+    std::vector<std::unique_ptr<serve::Engine>> retired;
+    std::unique_ptr<serve::Engine> engine;
+  };
+  std::vector<Stack> fleet(kReplicas);
+  std::vector<shard::Replica> descriptors;
+  for (std::size_t r = 0; r < kReplicas; ++r) {
+    Stack& stack = fleet[r];
+    stack.model = std::make_unique<lm::TransformerLm>(model_config,
+                                                      /*seed=*/1);
+    stack.cache = std::make_unique<cache::PrefixCache>(*stack.model);
+    stack.decoder = std::make_unique<serve::TransformerBatchDecoder>(
+        *stack.model, /*slots=*/kBatch, /*parallel=*/false);
+    stack.decoder->set_prefix_cache(stack.cache.get());
+    serve::EngineConfig config;
+    config.max_batch = kBatch;
+    config.queue_capacity = std::max<std::size_t>(64, requests);
+    config.prefill_chunk_tokens = 0;
+    stack.engine = std::make_unique<serve::Engine>(*stack.decoder, config);
+    shard::Replica descriptor;
+    descriptor.client = stack.engine.get();
+    descriptor.cache = stack.cache.get();
+    descriptor.name = "replica-" + std::to_string(r);
+    descriptor.restart = [&stack, config]() -> serve::Client* {
+      stack.retired.push_back(std::move(stack.engine));
+      stack.engine = std::make_unique<serve::Engine>(*stack.decoder, config);
+      return stack.engine.get();
+    };
+    descriptors.push_back(std::move(descriptor));
+  }
+  shard::RouterConfig router_config;
+  router_config.seed = 1;
+  shard::Router router(std::move(descriptors), router_config);
+  const std::size_t concurrency = kReplicas * kBatch;
+
+  const RecoverPhaseResult pre = run_recover_phase(
+      router, model_config, requests, prefixes, tail_len, gen_tokens,
+      concurrency);
+
+  // Kill the replica that owns the first campaign prefix — the most
+  // affinity-loaded target — then resurrect it through the full protocol.
+  const std::size_t victim = router.preference_order(prefixes[0]).front();
+  fleet[victim].engine->kill();
+  router.probe(victim);  // death is detected lazily; make revive eligible
+  const shard::ReviveReport revived = router.revive(victim);
+  LMPEEL_CHECK_MSG(revived.ok, "serve-bench recover: revive failed");
+
+  const RecoverPhaseResult post = run_recover_phase(
+      router, model_config, requests, prefixes, tail_len, gen_tokens,
+      concurrency);
+
+  const double ratio =
+      pre.decode_tok_s > 0.0 ? post.decode_tok_s / pre.decode_tok_s : 0.0;
+  util::Table table({"phase", "requests", "wall_s", "agg_dec_tok_s"});
+  table.add_row({"pre-kill", std::to_string(requests),
+                 util::Table::num(pre.wall_s),
+                 util::Table::num(pre.decode_tok_s)});
+  table.add_row({"post-revive", std::to_string(requests),
+                 util::Table::num(post.wall_s),
+                 util::Table::num(post.decode_tok_s)});
+
+  bench::BenchRecord mttr_record;
+  mttr_record.name = "serve_bench/recover_mttr";
+  mttr_record.wall_s = revived.mttr_s;
+  mttr_record.counters = bench::counter_snapshot();
+  mttr_record.values = {
+      {"mttr_s", revived.mttr_s},
+      {"probes", static_cast<double>(revived.probes)},
+      {"rewarmed_prefixes", static_cast<double>(revived.rewarmed)},
+      {"ring_generation", static_cast<double>(revived.ring_generation)}};
+  bench::write_bench_record(mttr_record);
+  bench::BenchRecord post_record;
+  post_record.name = "serve_bench/recover_post_revive";
+  post_record.wall_s = post.wall_s;
+  post_record.values = {
+      {"pre_decode_tok_s", pre.decode_tok_s},
+      {"post_decode_tok_s", post.decode_tok_s},
+      {"post_over_pre", ratio}};
+  bench::write_bench_record(post_record);
+  record_slo("serve_bench/recover_slo");
+  bench::emit("serve-bench: kill + revive recovery", table);
+
+  LMPEEL_CHECK_MSG(pre.generated == post.generated,
+                   "revive changed generated tokens");
+  std::cout << "generated tokens bit-identical across the kill/revive\n"
+            << "revive: MTTR " << util::Table::num(revived.mttr_s, 3)
+            << " s, " << revived.probes << " probe(s), "
+            << revived.rewarmed << " prefix(es) re-warmed\n";
+  // Three replicas decoding concurrently need three cores for the
+  // post-revive throughput comparison to measure recovery rather than
+  // scheduler time-slicing noise; below that the ratio is report-only.
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const bool gate_throughput = hw >= 3;
+  const bool throughput_ok = !gate_throughput || ratio >= 0.90;
+  std::cout << "post-revive decode throughput: "
+            << util::Table::num(pre.decode_tok_s) << " -> "
+            << util::Table::num(post.decode_tok_s) << " tok/s ("
+            << util::Table::num(100.0 * ratio, 1) << "% of pre-kill, gate "
+            << (gate_throughput
+                    ? ">= 90%"
+                    : "report-only: " + std::to_string(hw) + " core(s)")
+            << ", " << (throughput_ok ? "ok" : "FAILED") << ")\n";
+  return throughput_ok ? 0 : 1;
+}
+
 }  // namespace
 
 int cmd_serve_bench(int argc, char** argv) {
@@ -758,6 +972,7 @@ int cmd_serve_bench(int argc, char** argv) {
   bool prefix_mode = false;
   bool mixed_mode = false;
   bool shard_mode = false;
+  bool recover_mode = false;
   bool run_on = true;
   bool run_off = true;
   for (int i = 0; i < argc; ++i) {
@@ -769,6 +984,8 @@ int cmd_serve_bench(int argc, char** argv) {
       mixed_mode = true;
     } else if (std::strcmp(argv[i], "shard") == 0) {
       shard_mode = true;
+    } else if (std::strcmp(argv[i], "recover") == 0) {
+      recover_mode = true;
     } else if (std::strcmp(argv[i], "--prefix") == 0 && i + 1 < argc) {
       // --prefix on|off implies the prefix workload and restricts it to
       // one variant (both run by default, so the speedup line can print).
@@ -783,14 +1000,15 @@ int cmd_serve_bench(int argc, char** argv) {
         return 2;
       }
     } else {
-      std::cerr << "usage: lmpeel serve-bench [quick] [prefix|mixed|shard] "
-                   "[--prefix on|off]\n";
+      std::cerr << "usage: lmpeel serve-bench [quick] "
+                   "[prefix|mixed|shard|recover] [--prefix on|off]\n";
       return 2;
     }
   }
   if (prefix_mode) return run_prefix_bench(quick, run_on, run_off);
   if (mixed_mode) return run_mixed_bench(quick);
   if (shard_mode) return run_shard_bench(quick);
+  if (recover_mode) return run_recover_bench(quick);
 
   lm::TransformerConfig model_config;
   // Default shape: wide and shallow, ~59 MB of weights.  Big enough that
