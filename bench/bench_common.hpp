@@ -46,6 +46,10 @@ struct BenchRecord {
   double wall_s = 0.0;
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, double>> values;
+  /// Free-form string annotations (host CPU feature level, weight format,
+  /// …) — facts a perf-trajectory reader needs to compare rows fairly
+  /// across machines but that aren't numeric measurements.
+  std::vector<std::pair<std::string, std::string>> labels;
 };
 
 /// Snapshot of every counter in `registry`, ready for a BenchRecord.
@@ -96,6 +100,15 @@ inline void write_bench_record(const BenchRecord& record) {
       if (i > 0) entry << ", ";
       entry << '"' << obs::json_escape(record.values[i].first)
             << "\": " << record.values[i].second;
+    }
+    entry << "}";
+  }
+  if (!record.labels.empty()) {
+    entry << ", \"labels\": {";
+    for (std::size_t i = 0; i < record.labels.size(); ++i) {
+      if (i > 0) entry << ", ";
+      entry << '"' << obs::json_escape(record.labels[i].first) << "\": \""
+            << obs::json_escape(record.labels[i].second) << '"';
     }
     entry << "}";
   }

@@ -98,6 +98,6 @@ int main() {
                       "bound.\n");
   std::cout << "generations analysed: " << observer.generations << "\n";
   bench::write_bench_record({"needles_vs_xgboost", bench_span.seconds(),
-                             bench::counter_snapshot(), {}});
+                             bench::counter_snapshot(), {}, {}});
   return 0;
 }

@@ -65,6 +65,7 @@ int main() {
   std::cout << "The negative result is size-robust: no rung of the ladder "
                "yields a usable mean R².\n";
   bench::write_bench_record(
-      {"sweep_all_sizes", bench_span.seconds(), bench::counter_snapshot(), {}});
+      {"sweep_all_sizes", bench_span.seconds(), bench::counter_snapshot(),
+       {}, {}});
   return 0;
 }

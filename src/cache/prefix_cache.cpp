@@ -25,7 +25,7 @@ obs::Counter& counter(const char* name) {
 /// parent's buffers).
 struct PrefixCache::Node {
   std::vector<int> edge;
-  lm::TransformerLm::KvCache kv;
+  lm::KvCache kv;
   std::size_t depth = 0;            ///< tokens from root through this edge
   Node* parent = nullptr;
   std::map<int, std::unique_ptr<Node>> children;
@@ -34,7 +34,7 @@ struct PrefixCache::Node {
   std::size_t reserved_bytes = 0;   ///< guard reservation held for kv
 };
 
-PrefixCache::PrefixCache(lm::TransformerLm& model, PrefixCacheConfig config)
+PrefixCache::PrefixCache(lm::KvBackend& model, PrefixCacheConfig config)
     : model_(&model), config_(config), root_(std::make_unique<Node>()) {
   const lm::TransformerConfig& cfg = model_->config();
   bytes_per_token_ = 2 * static_cast<std::size_t>(cfg.n_layer) *
@@ -170,7 +170,7 @@ PrefixCache::Lookup PrefixCache::acquire(std::span<const int> tokens,
         config_.spill->longest_prefix(tokens.first(cap), cap);
     if (spilled > matched &&
         spilled >= std::max<std::size_t>(config_.min_insert_tokens, 1)) {
-      lm::TransformerLm::KvCache reloaded;
+      lm::KvCache reloaded;
       if (config_.reload_pool != nullptr) {
         reloaded.attach_pool(config_.reload_pool);
       }
@@ -223,7 +223,7 @@ PrefixCache::Lookup PrefixCache::acquire(std::span<const int> tokens,
 }
 
 void PrefixCache::copy_to(const Lookup& lookup,
-                          lm::TransformerLm::KvCache& dst) {
+                          lm::KvCache& dst) {
   std::lock_guard<std::mutex> lock(mutex_);
   LMPEEL_CHECK(lookup.node != nullptr && lookup.tokens > 0);
   LMPEEL_CHECK(lookup.tokens <= lookup.node->depth);
@@ -256,7 +256,7 @@ void PrefixCache::release_bytes(std::size_t bytes) {
 }
 
 void PrefixCache::insert(std::span<const int> tokens,
-                         const lm::TransformerLm::KvCache& src) {
+                         const lm::KvCache& src) {
   if (tokens.size() < std::max<std::size_t>(config_.min_insert_tokens, 1)) {
     return;
   }
@@ -266,7 +266,7 @@ void PrefixCache::insert(std::span<const int> tokens,
 }
 
 PrefixCache::Node* PrefixCache::insert_locked(
-    std::span<const int> tokens, const lm::TransformerLm::KvCache& src) {
+    std::span<const int> tokens, const lm::KvCache& src) {
   Node* node = root_.get();
   std::size_t depth = 0;
   while (depth < tokens.size()) {

@@ -27,7 +27,7 @@
 #include <vector>
 
 #include "guard/budget.hpp"
-#include "lm/transformer.hpp"
+#include "lm/backend.hpp"
 
 namespace lmpeel::cache {
 
@@ -49,7 +49,7 @@ class KvSpillBackend {
   /// under the token path.  Best effort: false = not stored (entry is
   /// simply lost, as without a backend).  Idempotent per path.
   virtual bool spill(std::span<const int> tokens,
-                     const lm::TransformerLm::KvCache& kv) = 0;
+                     const lm::KvCache& kv) = 0;
   /// Longest stored prefix of `tokens` with length <= max_tokens (0 =
   /// none).
   virtual std::size_t longest_prefix(std::span<const int> tokens,
@@ -58,7 +58,7 @@ class KvSpillBackend {
   /// be empty and already in the caller's storage mode).  false = not
   /// stored / unreadable / pool exhausted.
   virtual bool load(std::span<const int> tokens, std::size_t n,
-                    lm::TransformerLm::KvCache& kv) = 0;
+                    lm::KvCache& kv) = 0;
   /// Token paths of every stored entry (longest first) — the revive
   /// re-warm inventory.
   virtual std::vector<std::vector<int>> spilled_prefixes() const = 0;
@@ -99,7 +99,7 @@ struct PrefixCacheConfig {
 /// with them).
 class PrefixCache {
  public:
-  explicit PrefixCache(lm::TransformerLm& model, PrefixCacheConfig config = {});
+  explicit PrefixCache(lm::KvBackend& model, PrefixCacheConfig config = {});
   ~PrefixCache();
   PrefixCache(const PrefixCache&) = delete;
   PrefixCache& operator=(const PrefixCache&) = delete;
@@ -126,7 +126,7 @@ class PrefixCache {
 
   /// Copies the matched prefix into `dst` (KvCache::copy_prefix) and bumps
   /// the saved-prefill-tokens counter.  Requires a hit Lookup.
-  void copy_to(const Lookup& lookup, lm::TransformerLm::KvCache& dst);
+  void copy_to(const Lookup& lookup, lm::KvCache& dst);
 
   /// Unpins the Lookup's node (no-op for a miss) and resets it.  The
   /// surcharge reservation stays with the caller — return it through
@@ -142,7 +142,7 @@ class PrefixCache {
   /// node.  Never throws resource errors — if bytes cannot be reserved the
   /// insert is skipped and counted.
   void insert(std::span<const int> tokens,
-              const lm::TransformerLm::KvCache& src);
+              const lm::KvCache& src);
 
   /// Evicts LRU unpinned leaves until >= `bytes` are freed or nothing is
   /// evictable; returns the bytes actually freed.  The serve engine calls
@@ -183,12 +183,12 @@ class PrefixCache {
   /// insert() body; requires mutex_ held.  Returns the node holding
   /// exactly tokens.size() positions, or null when the insert was skipped.
   Node* insert_locked(std::span<const int> tokens,
-                      const lm::TransformerLm::KvCache& src);
+                      const lm::KvCache& src);
   /// Full token path of `node` (root-chain edges concatenated).
   static std::vector<int> path_of(const Node* node);
   void publish() const;
 
-  lm::TransformerLm* model_;
+  lm::KvBackend* model_;
   PrefixCacheConfig config_;
   std::size_t bytes_per_token_;
   guard::Budget* budget_ = nullptr;

@@ -1,0 +1,46 @@
+// A/B comparison helpers for alternate inference backends (DESIGN.md §17).
+//
+// The quantized backend trades bit-exactness for speed; what it must NOT
+// trade away is conclusions — which candidate a surrogate ranks first,
+// which configuration a campaign converges to.  These helpers measure the
+// two layers of that contract between any reference/variant LanguageModel
+// pair: raw per-step logit drift along a greedy rollout, and whether score
+// vectors produced by the two backends induce the same ordering.  They are
+// backend-agnostic (two f32 models, f32 vs int8, anything implementing
+// lm::LanguageModel), so the eval layer stays independent of lmpeel::quant.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "lm/language_model.hpp"
+
+namespace lmpeel::eval {
+
+/// Drift between two models along one greedy rollout.
+struct DriftReport {
+  int steps = 0;                ///< positions compared (prompt end + decodes)
+  float max_abs_drift = 0.0f;   ///< max |ref - variant| over all logits
+  double rms_drift = 0.0;       ///< RMS over all compared logits
+  bool greedy_paths_agree = true;  ///< same argmax at every step
+};
+
+/// Rolls `reference` out greedily for `steps` tokens from `prompt`,
+/// evaluating both models' logits at every step on the *same* context (the
+/// reference's path, so drift can't compound through token divergence) and
+/// accumulating the drift stats.
+DriftReport logit_drift(lm::LanguageModel& reference,
+                        lm::LanguageModel& variant,
+                        std::span<const int> prompt, int steps);
+
+/// Indices of `scores` ordered best (largest) first.  Ties break toward
+/// the lower index, so equal-score panels still compare deterministically.
+std::vector<std::size_t> ranking_desc(std::span<const double> scores);
+
+/// True when both score vectors induce exactly the same ranking — the
+/// "conclusions preserved" check for a candidate panel (Fig. 2 orderings,
+/// §IV table rows).
+bool same_ranking(std::span<const double> a, std::span<const double> b);
+
+}  // namespace lmpeel::eval

@@ -1,0 +1,44 @@
+// Shared per-row decode kernels (attention, tied head, embedding).
+//
+// These are the three kernels both forward() and decode_batch() — and, since
+// DESIGN.md §17, the quantized backend — execute per position.  All paths
+// must produce bit-identical floats for the same sequence (the serve
+// engine's batched-vs-sequential equivalence guarantee, and the quantized
+// backend's "KV rows are exact f32 attention" property), which holds only
+// if they execute the *same* machine code — hence noinline definitions in
+// one TU compiled without per-file SIMD flags, so no call site gets its own
+// differently-contracted inlined copy.
+#pragma once
+
+#include <cstddef>
+
+#include "lm/tensor.hpp"
+#include "mem/paged_kv.hpp"
+
+namespace lmpeel::lm {
+
+/// Softmax attention of one query over positions [0, n): writes the
+/// normalised probabilities into prow[0..n) and the blended values into
+/// ctx[0..hd).  Key/value rows are gathered from `spans` — each span's
+/// `k`/`v` point at its first row and successive rows are `stride` floats
+/// apart; `head_off` selects the head slice within a row.  A contiguous
+/// cache passes exactly one span, a paged cache one span per page, and the
+/// per-position float operations are identical either way (only the pointer
+/// arithmetic between rows differs), so paged and contiguous attention are
+/// bit-identical by construction (DESIGN.md §14).
+[[gnu::noinline]] void attend_row(const float* q, const mem::KvSpan* spans,
+                                  std::size_t n_spans, std::size_t stride,
+                                  std::size_t head_off, std::size_t n,
+                                  std::size_t hd, float scale, float* prow,
+                                  float* ctx);
+
+/// Weight-tied output head for one row: out[v] = f_row · tok_emb[v].
+[[gnu::noinline]] void tied_head_row(const Tensor& tok_emb,
+                                     const float* f_row, int vocab,
+                                     float* out);
+
+/// Token + positional embedding for one row.
+[[gnu::noinline]] void embed_row(const Tensor& tok_emb, const Tensor& pos_emb,
+                                 int id, std::size_t pos, float* row);
+
+}  // namespace lmpeel::lm

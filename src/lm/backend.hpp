@@ -1,0 +1,69 @@
+// The KV-cached decoding seam (DESIGN.md §17).
+//
+// serve::TransformerBatchDecoder and cache::PrefixCache only ever touch a
+// model through this surface: its shape (config), one-shot prefill,
+// incremental prefill_from, and the batched single-token decode step.
+// TransformerLm (f32, trainable) and quant::QuantizedLm (int8/fp16,
+// inference-only) both implement it, so the whole serve / prefix-cache /
+// paged-KV / recovery stack runs against either backend unchanged — KV rows
+// are f32 in every backend, which is what keeps the prefix-cache and spill
+// bit-identity guarantees weight-format-independent.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "lm/kv_cache.hpp"
+#include "lm/tensor.hpp"
+
+namespace lmpeel::lm {
+
+struct TransformerConfig {
+  int vocab = 0;
+  int d_model = 64;
+  int n_head = 4;
+  int n_layer = 2;
+  int max_seq = 256;
+};
+
+class KvBackend {
+ public:
+  virtual ~KvBackend() = default;
+
+  /// Shape of the decoder this backend serves (vocab, d_model, layers,
+  /// max_seq) — the serve layer derives bytes-per-token and admission
+  /// limits from it.
+  virtual const TransformerConfig& config() const noexcept = 0;
+
+  virtual int vocab_size() const = 0;
+
+  /// Reseeds any backend-internal stochasticity; deterministic backends
+  /// ignore it (kept for LanguageModel parity — the serve engine calls it
+  /// once per request).
+  virtual void set_seed(std::uint64_t /*seed*/) {}
+
+  /// Seeds an *empty* cache with the key/value pairs of every position of
+  /// `tokens` in one full pass, returning the logits after the last token
+  /// in `out` (vocab_size() floats).
+  virtual void prefill(KvCache& cache, std::span<const int> tokens,
+                       std::span<float> out) = 0;
+
+  /// Extends a cache already holding cache.length() prefix positions with
+  /// `suffix` (non-empty), returning the logits after the last suffix
+  /// token.  Delegates to prefill() when the cache is empty.
+  virtual void prefill_from(KvCache& cache, std::span<const int> suffix,
+                            std::span<float> out) = 0;
+
+  /// Advances caches.size() independent sequences by one token each in a
+  /// single batched step; row i of `logits_out` ([B, vocab]) receives the
+  /// logits following tokens[i].
+  virtual void decode_batch(std::span<KvCache* const> caches,
+                            std::span<const int> tokens,
+                            Tensor& logits_out) = 0;
+
+  /// Short identifier for bench rows and reports ("f32", "int8", "fp16").
+  virtual std::string backend_name() const = 0;
+};
+
+}  // namespace lmpeel::lm

@@ -1,0 +1,106 @@
+#include "lm/kv_cache.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace lmpeel::lm {
+
+void KvCache::copy_prefix(const KvCache& src, std::size_t n_tokens) {
+  LMPEEL_CHECK(n_tokens <= src.length_);
+  if (src.paged()) {
+    // Zero-copy fork: share the page handles covering [0, n_tokens).  No
+    // floats move; grow() copy-on-writes the boundary page at the first
+    // append, so both forks stay independent.
+    keys_.clear();
+    values_.clear();
+    paged_.reset();
+    if (!paged_.attached()) paged_.attach(src.paged_.pool());
+    paged_.share_from(src.paged_, n_tokens);
+    length_ = n_tokens;
+    account();
+    return;
+  }
+  LMPEEL_CHECK_MSG(!paged(),
+                   "cannot copy a contiguous prefix into a paged cache");
+  keys_.assign(src.keys_.size(), {});
+  values_.assign(src.values_.size(), {});
+  if (n_tokens > 0) {
+    // src rows are `d` floats, contiguous by position.
+    const std::size_t d = src.keys_.front().size() / src.length_;
+    for (std::size_t l = 0; l < src.keys_.size(); ++l) {
+      keys_[l].assign(src.keys_[l].begin(),
+                      src.keys_[l].begin() +
+                          static_cast<std::ptrdiff_t>(n_tokens * d));
+      values_[l].assign(src.values_[l].begin(),
+                        src.values_[l].begin() +
+                            static_cast<std::ptrdiff_t>(n_tokens * d));
+    }
+  }
+  length_ = n_tokens;
+  account();
+}
+
+void KvCache::export_rows(std::size_t n_tokens, std::size_t n_layer,
+                          std::size_t d_model, std::vector<float>& keys,
+                          std::vector<float>& values) const {
+  LMPEEL_CHECK(n_tokens <= length_);
+  keys.assign(n_tokens * n_layer * d_model, 0.0f);
+  values.assign(n_tokens * n_layer * d_model, 0.0f);
+  if (n_tokens == 0) return;
+  if (paged()) {
+    std::vector<mem::KvSpan> spans;
+    for (std::size_t l = 0; l < n_layer; ++l) {
+      float* kdst = keys.data() + l * n_tokens * d_model;
+      float* vdst = values.data() + l * n_tokens * d_model;
+      paged_.spans(l, n_tokens, spans);
+      std::size_t t = 0;
+      for (const mem::KvSpan& s : spans) {
+        std::copy_n(s.k, s.tokens * d_model, kdst + t * d_model);
+        std::copy_n(s.v, s.tokens * d_model, vdst + t * d_model);
+        t += s.tokens;
+      }
+      LMPEEL_CHECK(t == n_tokens);
+    }
+  } else {
+    LMPEEL_CHECK(keys_.size() >= n_layer);
+    for (std::size_t l = 0; l < n_layer; ++l) {
+      std::copy_n(keys_[l].data(), n_tokens * d_model,
+                  keys.data() + l * n_tokens * d_model);
+      std::copy_n(values_[l].data(), n_tokens * d_model,
+                  values.data() + l * n_tokens * d_model);
+    }
+  }
+}
+
+void KvCache::restore_rows(std::size_t n_tokens, std::size_t n_layer,
+                           std::size_t d_model, std::span<const float> keys,
+                           std::span<const float> values) {
+  LMPEEL_CHECK(keys.size() == n_tokens * n_layer * d_model);
+  LMPEEL_CHECK(values.size() == keys.size());
+  clear();
+  if (paged()) {
+    paged_.grow(0, n_tokens);
+    for (std::size_t l = 0; l < n_layer; ++l) {
+      const float* ksrc = keys.data() + l * n_tokens * d_model;
+      const float* vsrc = values.data() + l * n_tokens * d_model;
+      for (std::size_t t = 0; t < n_tokens; ++t) {
+        std::copy_n(ksrc + t * d_model, d_model, paged_.k_row(l, t));
+        std::copy_n(vsrc + t * d_model, d_model, paged_.v_row(l, t));
+      }
+    }
+  } else {
+    keys_.assign(n_layer, {});
+    values_.assign(n_layer, {});
+    for (std::size_t l = 0; l < n_layer; ++l) {
+      const float* ksrc = keys.data() + l * n_tokens * d_model;
+      const float* vsrc = values.data() + l * n_tokens * d_model;
+      keys_[l].assign(ksrc, ksrc + n_tokens * d_model);
+      values_[l].assign(vsrc, vsrc + n_tokens * d_model);
+    }
+  }
+  length_ = n_tokens;
+  account();
+}
+
+}  // namespace lmpeel::lm

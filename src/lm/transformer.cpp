@@ -5,6 +5,7 @@
 #include <istream>
 #include <ostream>
 
+#include "lm/attention.hpp"
 #include "obs/span.hpp"
 #include "util/check.hpp"
 
@@ -37,84 +38,10 @@ void add_into(Tensor& dst, const Tensor& src) {
   for (std::size_t i = 0; i < dst.size(); ++i) d[i] += s[i];
 }
 
-// The three per-row kernels below are shared between forward() and
-// decode_batch().  Both paths must produce bit-identical floats for the
-// same sequence (the serve engine's batched-vs-sequential equivalence
-// guarantee), which holds only if they execute the *same* machine code —
-// hence noinline, so neither call site gets its own differently-contracted
-// inlined copy.
-
-/// Softmax attention of one query over positions [0, n): writes the
-/// normalised probabilities into prow[0..n) and the blended values into
-/// ctx[0..hd).  Key/value rows are gathered from `spans` — each span's
-/// `k`/`v` point at its first row and successive rows are `stride` floats
-/// apart; `head_off` selects the head slice within a row.  A contiguous
-/// cache passes exactly one span, a paged cache one span per page, and the
-/// per-position float operations are identical either way (only the pointer
-/// arithmetic between rows differs), so paged and contiguous attention are
-/// bit-identical by construction (DESIGN.md §14).
-[[gnu::noinline]] void attend_row(const float* q, const mem::KvSpan* spans,
-                                  std::size_t n_spans, std::size_t stride,
-                                  std::size_t head_off, std::size_t n,
-                                  std::size_t hd, float scale, float* prow,
-                                  float* ctx) {
-  float hi = -1e30f;
-  std::size_t u = 0;
-  for (std::size_t s = 0; s < n_spans && u < n; ++s) {
-    const float* kbase = spans[s].k + head_off;
-    const std::size_t rows = std::min(spans[s].tokens, n - u);
-    for (std::size_t r = 0; r < rows; ++r, ++u) {
-      const float* k = kbase + r * stride;
-      float acc = 0.0f;
-      for (std::size_t c = 0; c < hd; ++c) acc += q[c] * k[c];
-      prow[u] = acc * scale;
-      hi = std::max(hi, prow[u]);
-    }
-  }
-  LMPEEL_CHECK(u == n);
-  float sum = 0.0f;
-  for (std::size_t w = 0; w < n; ++w) {
-    prow[w] = std::exp(prow[w] - hi);
-    sum += prow[w];
-  }
-  const float inv = 1.0f / sum;
-  for (std::size_t w = 0; w < n; ++w) prow[w] *= inv;
-
-  std::fill_n(ctx, hd, 0.0f);
-  u = 0;
-  for (std::size_t s = 0; s < n_spans && u < n; ++s) {
-    const float* vbase = spans[s].v + head_off;
-    const std::size_t rows = std::min(spans[s].tokens, n - u);
-    for (std::size_t r = 0; r < rows; ++r, ++u) {
-      const float p = prow[u];
-      if (p == 0.0f) continue;
-      const float* v = vbase + r * stride;
-      for (std::size_t c = 0; c < hd; ++c) ctx[c] += p * v[c];
-    }
-  }
-}
-
-/// Weight-tied output head for one row: out[v] = f_row · tok_emb[v].
-[[gnu::noinline]] void tied_head_row(const Tensor& tok_emb,
-                                     const float* f_row, int vocab,
-                                     float* out) {
-  const std::size_t d = tok_emb.cols();
-  for (int v = 0; v < vocab; ++v) {
-    const float* e = tok_emb.data() + static_cast<std::size_t>(v) * d;
-    float acc = 0.0f;
-    for (std::size_t c = 0; c < d; ++c) acc += f_row[c] * e[c];
-    out[v] = acc;
-  }
-}
-
-/// Token + positional embedding for one row.
-[[gnu::noinline]] void embed_row(const Tensor& tok_emb, const Tensor& pos_emb,
-                                 int id, std::size_t pos, float* row) {
-  const std::size_t d = tok_emb.cols();
-  const float* te = tok_emb.data() + static_cast<std::size_t>(id) * d;
-  const float* pe = pos_emb.data() + pos * d;
-  for (std::size_t c = 0; c < d; ++c) row[c] = te[c] + pe[c];
-}
+// The per-row kernels shared between forward(), decode_batch() and the
+// quantized backend (attend_row / tied_head_row / embed_row) live in
+// lm/attention.cpp — one noinline machine-code copy for every caller, which
+// is what the bit-identity guarantees rest on.
 
 }  // namespace
 
@@ -342,108 +269,6 @@ void TransformerLm::prefill(KvCache& cache, std::span<const int> tokens,
   }
   cache.length_ = t_len;
   cache.account();
-}
-
-void TransformerLm::KvCache::copy_prefix(const KvCache& src,
-                                         std::size_t n_tokens) {
-  LMPEEL_CHECK(n_tokens <= src.length_);
-  if (src.paged()) {
-    // Zero-copy fork: share the page handles covering [0, n_tokens).  No
-    // floats move; grow() copy-on-writes the boundary page at the first
-    // append, so both forks stay independent.
-    keys_.clear();
-    values_.clear();
-    paged_.reset();
-    if (!paged_.attached()) paged_.attach(src.paged_.pool());
-    paged_.share_from(src.paged_, n_tokens);
-    length_ = n_tokens;
-    account();
-    return;
-  }
-  LMPEEL_CHECK_MSG(!paged(),
-                   "cannot copy a contiguous prefix into a paged cache");
-  keys_.assign(src.keys_.size(), {});
-  values_.assign(src.values_.size(), {});
-  if (n_tokens > 0) {
-    // src rows are `d` floats, contiguous by position.
-    const std::size_t d = src.keys_.front().size() / src.length_;
-    for (std::size_t l = 0; l < src.keys_.size(); ++l) {
-      keys_[l].assign(src.keys_[l].begin(),
-                      src.keys_[l].begin() +
-                          static_cast<std::ptrdiff_t>(n_tokens * d));
-      values_[l].assign(src.values_[l].begin(),
-                        src.values_[l].begin() +
-                            static_cast<std::ptrdiff_t>(n_tokens * d));
-    }
-  }
-  length_ = n_tokens;
-  account();
-}
-
-void TransformerLm::KvCache::export_rows(std::size_t n_tokens,
-                                         std::size_t n_layer,
-                                         std::size_t d_model,
-                                         std::vector<float>& keys,
-                                         std::vector<float>& values) const {
-  LMPEEL_CHECK(n_tokens <= length_);
-  keys.assign(n_tokens * n_layer * d_model, 0.0f);
-  values.assign(n_tokens * n_layer * d_model, 0.0f);
-  if (n_tokens == 0) return;
-  if (paged()) {
-    std::vector<mem::KvSpan> spans;
-    for (std::size_t l = 0; l < n_layer; ++l) {
-      float* kdst = keys.data() + l * n_tokens * d_model;
-      float* vdst = values.data() + l * n_tokens * d_model;
-      paged_.spans(l, n_tokens, spans);
-      std::size_t t = 0;
-      for (const mem::KvSpan& s : spans) {
-        std::copy_n(s.k, s.tokens * d_model, kdst + t * d_model);
-        std::copy_n(s.v, s.tokens * d_model, vdst + t * d_model);
-        t += s.tokens;
-      }
-      LMPEEL_CHECK(t == n_tokens);
-    }
-  } else {
-    LMPEEL_CHECK(keys_.size() >= n_layer);
-    for (std::size_t l = 0; l < n_layer; ++l) {
-      std::copy_n(keys_[l].data(), n_tokens * d_model,
-                  keys.data() + l * n_tokens * d_model);
-      std::copy_n(values_[l].data(), n_tokens * d_model,
-                  values.data() + l * n_tokens * d_model);
-    }
-  }
-}
-
-void TransformerLm::KvCache::restore_rows(std::size_t n_tokens,
-                                          std::size_t n_layer,
-                                          std::size_t d_model,
-                                          std::span<const float> keys,
-                                          std::span<const float> values) {
-  LMPEEL_CHECK(keys.size() == n_tokens * n_layer * d_model);
-  LMPEEL_CHECK(values.size() == keys.size());
-  clear();
-  if (paged()) {
-    paged_.grow(0, n_tokens);
-    for (std::size_t l = 0; l < n_layer; ++l) {
-      const float* ksrc = keys.data() + l * n_tokens * d_model;
-      const float* vsrc = values.data() + l * n_tokens * d_model;
-      for (std::size_t t = 0; t < n_tokens; ++t) {
-        std::copy_n(ksrc + t * d_model, d_model, paged_.k_row(l, t));
-        std::copy_n(vsrc + t * d_model, d_model, paged_.v_row(l, t));
-      }
-    }
-  } else {
-    keys_.assign(n_layer, {});
-    values_.assign(n_layer, {});
-    for (std::size_t l = 0; l < n_layer; ++l) {
-      const float* ksrc = keys.data() + l * n_tokens * d_model;
-      const float* vsrc = values.data() + l * n_tokens * d_model;
-      keys_[l].assign(ksrc, ksrc + n_tokens * d_model);
-      values_[l].assign(vsrc, vsrc + n_tokens * d_model);
-    }
-  }
-  length_ = n_tokens;
-  account();
 }
 
 void TransformerLm::prefill_from(KvCache& cache, std::span<const int> suffix,

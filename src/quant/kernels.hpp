@@ -1,0 +1,53 @@
+// Arch-dispatched dequant-matmul inner kernels (DESIGN.md §17).
+//
+// The int8 kernel is the load-bearing one: products of int8 weights and
+// int8 activations are exact in int32 and integer addition is associative,
+// so every arch produces *identical* int32 accumulators for the same
+// inputs — scalar, AVX2 and AVX-512 differ only in how many lanes they
+// chew per cycle.  The float work (activation quantization before, a
+// single scale multiply + bias add after) lives in one shared non-SIMD TU
+// (qtensor.cpp), so the whole int8 matmul is bit-identical across archs.
+//
+// The fp16 kernels accumulate in f32 with arch-specific lane order, so
+// they are deterministic per arch but not identical across archs — the
+// A/B drift harness is the correctness bar there.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "quant/arch.hpp"
+
+namespace lmpeel::quant {
+
+/// acc[i*n + j] = sum_k qa[i*k_len + k] * qbt[j*k_len + k]  (int32 exact).
+/// `qa` holds m quantized activation rows, `qbt` n transposed weight rows;
+/// both row-major with row length k_len.
+using I8GemmFn = void (*)(const std::int8_t* qa, std::size_t m,
+                          const std::int8_t* qbt, std::size_t n,
+                          std::size_t k_len, std::int32_t* acc);
+
+/// out[i*n + j] = sum_k a[i*k_len + k] * half_to_float(hbt[j*k_len + k]).
+/// Widening fp16→f32 is exact; the f32 accumulation order is
+/// arch-specific.
+using F16GemmFn = void (*)(const float* a, std::size_t m,
+                           const std::uint16_t* hbt, std::size_t n,
+                           std::size_t k_len, float* out);
+
+struct KernelSet {
+  I8GemmFn i8_gemm = nullptr;
+  F16GemmFn f16_gemm = nullptr;
+};
+
+/// The kernel table for `arch`; CHECK-fails unless arch_supported(arch).
+const KernelSet& kernels(Arch arch);
+
+namespace detail {
+// One table per kernel TU; unsupported archs return the scalar table
+// (kernels() never hands those out because arch_supported() is false).
+const KernelSet& scalar_kernels();
+const KernelSet& avx2_kernels();
+const KernelSet& avx512_kernels();
+}  // namespace detail
+
+}  // namespace lmpeel::quant

@@ -1,0 +1,106 @@
+// AVX2 kernel table.  Compiled with -mavx2 -mf16c -ffp-contract=off (see
+// src/CMakeLists.txt); falls back to the scalar table when the toolchain
+// lacks those flags.
+//
+// int8 dot: 16 int8 lanes per iteration — sign-extend both operands to
+// 16-bit (vpmovsxbw), multiply-add adjacent pairs into int32 lanes
+// (vpmaddwd), accumulate, then one horizontal reduce per dot.  Integer
+// adds are associative, so the result equals the scalar loop bit for bit.
+#include "quant/kernels.hpp"
+
+#ifdef __AVX2__
+
+#include <immintrin.h>
+
+namespace lmpeel::quant {
+
+namespace {
+
+std::int32_t hsum_epi32(__m256i v) {
+  const __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  __m128i s = _mm_add_epi32(lo, hi);
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtsi128_si32(s);
+}
+
+void i8_gemm_avx2(const std::int8_t* qa, std::size_t m,
+                  const std::int8_t* qbt, std::size_t n, std::size_t k_len,
+                  std::int32_t* acc) {
+  const std::size_t k_vec = k_len & ~std::size_t{15};
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::int8_t* b = qbt + j * k_len;
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::int8_t* a = qa + i * k_len;
+      __m256i vacc = _mm256_setzero_si256();
+      for (std::size_t k = 0; k < k_vec; k += 16) {
+        const __m256i va = _mm256_cvtepi8_epi16(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + k)));
+        const __m256i vb = _mm256_cvtepi8_epi16(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + k)));
+        vacc = _mm256_add_epi32(vacc, _mm256_madd_epi16(va, vb));
+      }
+      std::int32_t sum = hsum_epi32(vacc);
+      for (std::size_t k = k_vec; k < k_len; ++k) {
+        sum += static_cast<std::int32_t>(a[k]) *
+               static_cast<std::int32_t>(b[k]);
+      }
+      acc[i * n + j] = sum;
+    }
+  }
+}
+
+float hsum_ps(__m256 v) {
+  __m128 s = _mm_add_ps(_mm256_castps256_ps128(v),
+                        _mm256_extractf128_ps(v, 1));
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_movehdup_ps(s));
+  return _mm_cvtss_f32(s);
+}
+
+void f16_gemm_avx2(const float* a, std::size_t m, const std::uint16_t* hbt,
+                   std::size_t n, std::size_t k_len, float* out) {
+  const std::size_t k_vec = k_len & ~std::size_t{7};
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::uint16_t* b = hbt + j * k_len;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float* arow = a + i * k_len;
+      __m256 vacc = _mm256_setzero_ps();
+      for (std::size_t k = 0; k < k_vec; k += 8) {
+        const __m256 vb = _mm256_cvtph_ps(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + k)));
+        const __m256 va = _mm256_loadu_ps(arow + k);
+        vacc = _mm256_add_ps(vacc, _mm256_mul_ps(va, vb));
+      }
+      float sum = hsum_ps(vacc);
+      for (std::size_t k = k_vec; k < k_len; ++k) {
+        sum += arow[k] * _cvtsh_ss(b[k]);
+      }
+      out[i * n + j] = sum;
+    }
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+const KernelSet& avx2_kernels() {
+  static const KernelSet set{&i8_gemm_avx2, &f16_gemm_avx2};
+  return set;
+}
+
+}  // namespace detail
+
+}  // namespace lmpeel::quant
+
+#else  // !__AVX2__
+
+namespace lmpeel::quant::detail {
+
+const KernelSet& avx2_kernels() { return scalar_kernels(); }
+
+}  // namespace lmpeel::quant::detail
+
+#endif

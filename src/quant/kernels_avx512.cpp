@@ -1,0 +1,89 @@
+// AVX-512 kernel table.  Compiled with -mavx512f -mavx512bw -mavx512vl
+// -mavx512dq -mf16c -ffp-contract=off; falls back to the scalar table when
+// the toolchain lacks those flags.
+//
+// int8 dot: 32 int8 lanes per iteration — vpmovsxbw to 512-bit int16,
+// vpmaddwd into 16 int32 lanes, accumulate, one reduce per dot.  Same
+// exact-int32 argument as the AVX2 TU, just twice the lane width.
+#include "quant/kernels.hpp"
+
+#if defined(__AVX512F__) && defined(__AVX512BW__)
+
+#include <immintrin.h>
+
+namespace lmpeel::quant {
+
+namespace {
+
+void i8_gemm_avx512(const std::int8_t* qa, std::size_t m,
+                    const std::int8_t* qbt, std::size_t n, std::size_t k_len,
+                    std::int32_t* acc) {
+  const std::size_t k_vec = k_len & ~std::size_t{31};
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::int8_t* b = qbt + j * k_len;
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::int8_t* a = qa + i * k_len;
+      __m512i vacc = _mm512_setzero_si512();
+      for (std::size_t k = 0; k < k_vec; k += 32) {
+        const __m512i va = _mm512_cvtepi8_epi16(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + k)));
+        const __m512i vb = _mm512_cvtepi8_epi16(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + k)));
+        vacc = _mm512_add_epi32(vacc, _mm512_madd_epi16(va, vb));
+      }
+      std::int32_t sum = static_cast<std::int32_t>(
+          _mm512_reduce_add_epi32(vacc));
+      for (std::size_t k = k_vec; k < k_len; ++k) {
+        sum += static_cast<std::int32_t>(a[k]) *
+               static_cast<std::int32_t>(b[k]);
+      }
+      acc[i * n + j] = sum;
+    }
+  }
+}
+
+void f16_gemm_avx512(const float* a, std::size_t m, const std::uint16_t* hbt,
+                     std::size_t n, std::size_t k_len, float* out) {
+  const std::size_t k_vec = k_len & ~std::size_t{15};
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::uint16_t* b = hbt + j * k_len;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float* arow = a + i * k_len;
+      __m512 vacc = _mm512_setzero_ps();
+      for (std::size_t k = 0; k < k_vec; k += 16) {
+        const __m512 vb = _mm512_cvtph_ps(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + k)));
+        const __m512 va = _mm512_loadu_ps(arow + k);
+        vacc = _mm512_add_ps(vacc, _mm512_mul_ps(va, vb));
+      }
+      float sum = _mm512_reduce_add_ps(vacc);
+      for (std::size_t k = k_vec; k < k_len; ++k) {
+        sum += arow[k] * _cvtsh_ss(b[k]);
+      }
+      out[i * n + j] = sum;
+    }
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+const KernelSet& avx512_kernels() {
+  static const KernelSet set{&i8_gemm_avx512, &f16_gemm_avx512};
+  return set;
+}
+
+}  // namespace detail
+
+}  // namespace lmpeel::quant
+
+#else  // !(__AVX512F__ && __AVX512BW__)
+
+namespace lmpeel::quant::detail {
+
+const KernelSet& avx512_kernels() { return scalar_kernels(); }
+
+}  // namespace lmpeel::quant::detail
+
+#endif

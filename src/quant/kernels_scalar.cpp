@@ -1,0 +1,101 @@
+// Portable scalar kernels — the reference the SIMD tables must match
+// exactly (int8) and the fallback every machine can run.  This TU gets no
+// -m flags.  kernels() lives here too so there is exactly one dispatch
+// point.
+#include "quant/kernels.hpp"
+
+#include "util/check.hpp"
+
+namespace lmpeel::quant {
+
+namespace {
+
+void i8_gemm_scalar(const std::int8_t* qa, std::size_t m,
+                    const std::int8_t* qbt, std::size_t n, std::size_t k_len,
+                    std::int32_t* acc) {
+  // j-outer so one weight row stays hot while every activation row dots
+  // against it — weights stream through the cache once per call, which is
+  // the whole memory-traffic win of the quantized path.
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::int8_t* b = qbt + j * k_len;
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::int8_t* a = qa + i * k_len;
+      std::int32_t sum = 0;
+      for (std::size_t k = 0; k < k_len; ++k) {
+        sum += static_cast<std::int32_t>(a[k]) *
+               static_cast<std::int32_t>(b[k]);
+      }
+      acc[i * n + j] = sum;
+    }
+  }
+}
+
+// Software fp16→f32 widening (exact for every finite half).  Shared with
+// qtensor.cpp via quant::half_to_float; duplicated here as a local so this
+// TU stays dependency-free for the hot loop.
+float h2f(std::uint16_t h) {
+  const std::uint32_t sign = (static_cast<std::uint32_t>(h) & 0x8000u) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1fu;
+  std::uint32_t man = h & 0x3ffu;
+  std::uint32_t bits;
+  if (exp == 0) {
+    if (man == 0) {
+      bits = sign;
+    } else {
+      int k = 0;
+      while ((man & 0x400u) == 0) {
+        man <<= 1;
+        ++k;
+      }
+      bits = sign | (static_cast<std::uint32_t>(113 - k) << 23) |
+             ((man & 0x3ffu) << 13);
+    }
+  } else if (exp == 31) {
+    bits = sign | 0x7f800000u | (man << 13);
+  } else {
+    bits = sign | ((exp + 112u) << 23) | (man << 13);
+  }
+  float out;
+  __builtin_memcpy(&out, &bits, sizeof(out));
+  return out;
+}
+
+void f16_gemm_scalar(const float* a, std::size_t m, const std::uint16_t* hbt,
+                     std::size_t n, std::size_t k_len, float* out) {
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::uint16_t* b = hbt + j * k_len;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float* arow = a + i * k_len;
+      float sum = 0.0f;
+      for (std::size_t k = 0; k < k_len; ++k) sum += arow[k] * h2f(b[k]);
+      out[i * n + j] = sum;
+    }
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+const KernelSet& scalar_kernels() {
+  static const KernelSet set{&i8_gemm_scalar, &f16_gemm_scalar};
+  return set;
+}
+
+}  // namespace detail
+
+const KernelSet& kernels(Arch arch) {
+  LMPEEL_CHECK_MSG(arch_supported(arch),
+                   "quant kernels requested for an unsupported arch");
+  switch (arch) {
+    case Arch::kAvx512:
+      return detail::avx512_kernels();
+    case Arch::kAvx2:
+      return detail::avx2_kernels();
+    case Arch::kScalar:
+      break;
+  }
+  return detail::scalar_kernels();
+}
+
+}  // namespace lmpeel::quant

@@ -1,0 +1,97 @@
+// Quantized weight storage (DESIGN.md §17).
+//
+// QTensor: per-tensor symmetric int8 — one f32 scale for the whole tensor,
+// q = round(w / scale) clamped to [-127, 127] (symmetric: -128 unused so
+// the range is sign-balanced).  HTensor: fp16 storage with software
+// round-to-nearest-even conversion (one implementation, so the round trip
+// is deterministic everywhere).  Both store weight matrices *transposed*
+// ([out, in] rows of length k) so the dot kernels stream contiguous rows.
+//
+// All the float work around the int8 kernels — activation row
+// quantization before, the single scale multiply + bias add after — lives
+// in this TU, compiled without SIMD flags: every arch path calls the same
+// machine code for it, which together with the exact-int32 kernels makes
+// the whole int8 matmul bit-identical across scalar/AVX2/AVX-512.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lm/tensor.hpp"
+#include "quant/kernels.hpp"
+
+namespace lmpeel::quant {
+
+/// f32 → fp16 bits, round-to-nearest-even (overflow → ±inf, NaN → 0x7e00).
+std::uint16_t float_to_half(float value);
+/// fp16 bits → f32, exact for every finite half.
+float half_to_float(std::uint16_t h);
+
+/// Per-tensor symmetric int8 weights, stored transposed: row j holds
+/// output-column j of the source matrix (k values), so kernel dots run
+/// along contiguous memory.
+struct QTensor {
+  std::size_t n = 0;        ///< output columns of the source [k, n] matrix
+  std::size_t k = 0;        ///< inner dimension
+  float scale = 0.0f;       ///< dequant: w ≈ q · scale
+  std::vector<std::int8_t> q;  ///< n rows × k values
+
+  // Quantization-error summary for quant-check.
+  float max_abs_error = 0.0f;
+  double rms_error = 0.0;
+
+  /// Quantizes a [k, n] weight matrix (the matmul layout) transposed.
+  static QTensor from_matmul_weights(const lm::Tensor& w);
+  /// Quantizes a [n, k] row-major matrix (tok_emb) row for row.
+  static QTensor from_rows(const lm::Tensor& w);
+
+  std::size_t bytes() const noexcept {
+    return q.size() * sizeof(std::int8_t) + sizeof(float);
+  }
+};
+
+/// fp16 weights, same transposed layout.
+struct HTensor {
+  std::size_t n = 0;
+  std::size_t k = 0;
+  std::vector<std::uint16_t> h;  ///< n rows × k values
+
+  float max_abs_error = 0.0f;
+  double rms_error = 0.0;
+
+  static HTensor from_matmul_weights(const lm::Tensor& w);
+  static HTensor from_rows(const lm::Tensor& w);
+
+  std::size_t bytes() const noexcept {
+    return h.size() * sizeof(std::uint16_t);
+  }
+};
+
+/// Quantizes one activation row: scale = max|a| / 127, q = round(a/scale)
+/// (all-zero rows get scale 0 and zero codes).  Deterministic shared
+/// implementation — every arch path runs this exact code.
+void quantize_row_i8(const float* a, std::size_t k, std::int8_t* q,
+                     float& scale);
+
+/// Reusable buffers for the fused matmuls (avoids per-call allocation on
+/// the decode path).
+struct QuantScratch {
+  std::vector<std::int8_t> qa;
+  std::vector<float> a_scale;
+  std::vector<std::int32_t> acc;
+};
+
+/// out[m, n] = dequant(quantize(a) · wᵀ) (+ bias row broadcast when
+/// non-null).  `a` is [m, k]; `wt` holds the transposed weights.  The int8
+/// accumulations come from `ks` (arch-specific speed, identical int32);
+/// quantization and the final out = acc · (a_scale·w_scale) + bias run
+/// here, shared across archs.
+void qmatmul(const lm::Tensor& a, const QTensor& wt, const lm::Tensor* bias,
+             const KernelSet& ks, QuantScratch& scratch, lm::Tensor& out);
+
+/// fp16 variant: out[m, n] = a · half(wt)ᵀ (+ bias).  Deterministic per
+/// arch (f32 accumulation order is the kernel's own).
+void hmatmul(const lm::Tensor& a, const HTensor& wt, const lm::Tensor* bias,
+             const KernelSet& ks, lm::Tensor& out);
+
+}  // namespace lmpeel::quant

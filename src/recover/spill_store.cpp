@@ -134,7 +134,7 @@ void SpillStore::publish_locked() const {
 }
 
 bool SpillStore::spill(std::span<const int> tokens,
-                       const lm::TransformerLm::KvCache& kv) {
+                       const lm::KvCache& kv) {
   if (tokens.empty() || kv.length() < tokens.size()) return false;
   std::vector<int> key(tokens.begin(), tokens.end());
   {
@@ -191,7 +191,7 @@ std::size_t SpillStore::longest_prefix(std::span<const int> tokens,
 }
 
 bool SpillStore::load(std::span<const int> tokens, std::size_t n,
-                      lm::TransformerLm::KvCache& kv) {
+                      lm::KvCache& kv) {
   std::string path;
   {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -20,7 +20,7 @@
 #include <vector>
 
 #include "cache/prefix_cache.hpp"
-#include "lm/transformer.hpp"
+#include "lm/backend.hpp"
 
 namespace lmpeel::recover {
 
@@ -34,11 +34,11 @@ class SpillStore final : public cache::KvSpillBackend {
 
   // ---- cache::KvSpillBackend ------------------------------------------
   bool spill(std::span<const int> tokens,
-             const lm::TransformerLm::KvCache& kv) override;
+             const lm::KvCache& kv) override;
   std::size_t longest_prefix(std::span<const int> tokens,
                              std::size_t max_tokens) const override;
   bool load(std::span<const int> tokens, std::size_t n,
-            lm::TransformerLm::KvCache& kv) override;
+            lm::KvCache& kv) override;
   std::vector<std::vector<int>> spilled_prefixes() const override;
 
   const std::string& dir() const noexcept { return dir_; }

@@ -36,7 +36,7 @@ std::size_t BatchDecoder::prefill_chunk(std::size_t slot,
 
 // ---- TransformerBatchDecoder ---------------------------------------------
 
-TransformerBatchDecoder::TransformerBatchDecoder(lm::TransformerLm& model,
+TransformerBatchDecoder::TransformerBatchDecoder(lm::KvBackend& model,
                                                  std::size_t slots,
                                                  bool parallel,
                                                  mem::PagePool* pool)
@@ -214,7 +214,7 @@ void TransformerBatchDecoder::step(std::span<const Step> steps,
     logits = lm::Tensor(batch, vocab);
   }
 
-  std::vector<lm::TransformerLm::KvCache*> caches(batch);
+  std::vector<lm::KvCache*> caches(batch);
   std::vector<int> tokens(batch);
   for (std::size_t i = 0; i < batch; ++i) {
     const Step& s = steps[i];
@@ -253,7 +253,7 @@ void TransformerBatchDecoder::step(std::span<const Step> steps,
     futures.push_back(pool.submit([this, &caches, &tokens, &chunk_logits, c,
                                    lo, hi] {
       model_->decode_batch(
-          std::span<lm::TransformerLm::KvCache* const>(caches).subspan(
+          std::span<lm::KvCache* const>(caches).subspan(
               lo, hi - lo),
           std::span<const int>(tokens).subspan(lo, hi - lo), chunk_logits[c]);
     }));

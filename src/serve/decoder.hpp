@@ -23,9 +23,9 @@
 
 #include "cache/prefix_cache.hpp"
 #include "guard/budget.hpp"
+#include "lm/backend.hpp"
 #include "lm/language_model.hpp"
 #include "lm/tensor.hpp"
-#include "lm/transformer.hpp"
 #include "mem/page_pool.hpp"
 
 namespace lmpeel::serve {
@@ -125,7 +125,8 @@ class BatchDecoder {
                                     std::span<float> out, bool* done);
 };
 
-/// KV-cached batched decoder over a TransformerLm.  `parallel` enables
+/// KV-cached batched decoder over any lm::KvBackend — the f32 TransformerLm
+/// or the quantized quant::QuantizedLm (DESIGN.md §17).  `parallel` enables
 /// splitting large step batches across the global thread pool.
 class TransformerBatchDecoder final : public BatchDecoder {
  public:
@@ -134,7 +135,7 @@ class TransformerBatchDecoder final : public BatchDecoder {
   /// pages zero-copy and pool exhaustion surfaces as mem::PoolExhausted
   /// from start/step, which the engine maps to a Shed.  The pool must
   /// outlive the decoder and any prefix cache sharing it.
-  TransformerBatchDecoder(lm::TransformerLm& model, std::size_t slots,
+  TransformerBatchDecoder(lm::KvBackend& model, std::size_t slots,
                           bool parallel = true,
                           mem::PagePool* pool = nullptr);
 
@@ -189,8 +190,8 @@ class TransformerBatchDecoder final : public BatchDecoder {
   /// Prefix-cache insertion once the whole prompt is prefilled.
   void finish_prefill(std::size_t slot, std::size_t insert_hint);
 
-  lm::TransformerLm* model_;
-  std::vector<lm::TransformerLm::KvCache> caches_;
+  lm::KvBackend* model_;
+  std::vector<lm::KvCache> caches_;
   std::vector<std::vector<int>> sequences_;  // per slot, for bound checks
   bool parallel_;
   mem::PagePool* pool_ = nullptr;    // paged KV backing (null = contiguous)

@@ -36,6 +36,12 @@
 //                                                stream (queue depth, batch
 //                                                occupancy, cache hit ratio,
 //                                                budget headroom, SLO burn)
+//   lmpeel quant-check [int8|fp16] [seed]        quantized-backend health
+//                                                report: dispatched kernel
+//                                                arch, per-tensor scales and
+//                                                quantization error, weight
+//                                                bytes vs f32, and max logit
+//                                                drift on a seeded prompt
 //
 // Tuners: random | gbt | anneal | genetic | llambo-discriminative |
 //         llambo-generative | llambo-sampling
@@ -44,6 +50,8 @@
 // span events and writes a Chrome trace_event file (or JSONL when the path
 // ends in .jsonl) at exit.
 #include <chrono>
+#include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -73,6 +81,8 @@
 #include "obs/slo.hpp"
 #include "obs/span.hpp"
 #include "prompt/parser.hpp"
+#include "quant/arch.hpp"
+#include "quant/quantized_lm.hpp"
 #include "serve/decoder.hpp"
 #include "serve/engine.hpp"
 #include "serve/retry.hpp"
@@ -104,7 +114,8 @@ int usage() {
          "  lmpeel soak [--seconds N] [--seed N] [--budget BYTES] "
          "[--no-sick-window] [--no-prefix-cache] [--contiguous-kv] "
          "[--replicas N] [--kill-rate R] [--restart-rate R]\n"
-         "  lmpeel top [path] [--interval-ms N] [--once]\n";
+         "  lmpeel top [path] [--interval-ms N] [--once]\n"
+         "  lmpeel quant-check [int8|fp16] [seed]\n";
   return 2;
 }
 
@@ -682,6 +693,107 @@ int cmd_top(int argc, char** argv) {
   }
 }
 
+// Health report for the quantized backend (DESIGN.md §17): which kernel
+// arch CPUID dispatch picked, what quantizing a seeded reference model
+// costs per tensor (scale, max/rms error, bytes), and how far the
+// quantized logits drift from f32 on a seeded prompt.  The drift lands in
+// the quant.max_abs_logit_drift gauge as well as stdout, so a stats sink
+// can watch it.
+int cmd_quant_check(int argc, char** argv) {
+  auto format = quant::WeightFormat::kInt8;
+  std::uint64_t seed = 1;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "int8") {
+      format = quant::WeightFormat::kInt8;
+    } else if (arg == "fp16") {
+      format = quant::WeightFormat::kFp16;
+    } else if (!arg.empty() && std::isdigit(arg[0]) != 0) {
+      seed = std::strtoull(arg.c_str(), nullptr, 10);
+    } else {
+      return usage();
+    }
+  }
+
+  const quant::Arch arch = quant::dispatched_arch();
+  std::cout << "dispatched kernel arch: " << quant::arch_name(arch)
+            << " (host best: "
+            << quant::arch_name(quant::best_supported_arch());
+  if (std::getenv("LMPEEL_FORCE_ARCH") != nullptr) {
+    std::cout << ", forced by LMPEEL_FORCE_ARCH";
+  }
+  std::cout << ")\n";
+
+  lm::TransformerConfig config;
+  config.vocab = 512;
+  config.d_model = 96;
+  config.n_head = 4;
+  config.n_layer = 2;
+  config.max_seq = 64;
+  lm::TransformerLm model(config, seed);
+  quant::QuantizedLm quantized(model, format, arch);
+  std::cout << "reference model: d_model " << config.d_model << ", layers "
+            << config.n_layer << ", vocab " << config.vocab << ", seed "
+            << seed << " (" << model.parameter_count() << " parameters)\n"
+            << "weight format: " << quant::format_name(format) << ", "
+            << quantized.weight_bytes() << " bytes ("
+            << util::Table::num(
+                   static_cast<double>(quantized.weight_bytes()) /
+                       static_cast<double>(quantized.f32_weight_bytes()),
+                   3)
+            << "x f32)\n";
+
+  util::Table table({"tensor", "shape", "scale", "max_err", "rms_err",
+                     "bytes"});
+  for (const auto& report : quantized.tensor_reports()) {
+    table.add_row({report.name,
+                   std::to_string(report.rows) + "x" +
+                       std::to_string(report.cols),
+                   format == quant::WeightFormat::kInt8
+                       ? util::Table::num(report.scale, 6)
+                       : "-",
+                   util::Table::num(report.max_abs_error, 6),
+                   util::Table::num(report.rms_error, 6),
+                   std::to_string(report.bytes)});
+  }
+  util::print_banner(std::cout, "per-tensor quantization");
+  std::cout << table.to_text();
+
+  // Seeded drift probe: greedy logits after a fixed prompt, f32 vs
+  // quantized.  Deterministic on a given host+format+arch, so this number
+  // is comparable run to run.
+  util::Rng rng(seed, /*stream=*/0x9c);
+  std::vector<int> prompt(24);
+  for (auto& id : prompt) {
+    id = static_cast<int>(rng.uniform_int(5, config.vocab - 1));
+  }
+  std::vector<float> f32_logits(config.vocab), q_logits(config.vocab);
+  model.next_logits(prompt, f32_logits);
+  quantized.next_logits(prompt, q_logits);
+  float max_drift = 0.0f;
+  double sq = 0.0;
+  int argmax_f32 = 0, argmax_q = 0;
+  for (int v = 0; v < config.vocab; ++v) {
+    const float drift = std::abs(q_logits[v] - f32_logits[v]);
+    max_drift = std::max(max_drift, drift);
+    sq += static_cast<double>(drift) * drift;
+    if (f32_logits[v] > f32_logits[argmax_f32]) argmax_f32 = v;
+    if (q_logits[v] > q_logits[argmax_q]) argmax_q = v;
+  }
+  obs::Registry::global()
+      .gauge("quant.max_abs_logit_drift")
+      .set(static_cast<double>(max_drift));
+  std::cout << "logit drift on seeded prompt (" << prompt.size()
+            << " tokens): max "
+            << util::Table::num(static_cast<double>(max_drift), 6) << ", rms "
+            << util::Table::num(std::sqrt(sq / config.vocab), 6)
+            << ", greedy argmax " << (argmax_f32 == argmax_q ? "agrees"
+                                                             : "DIFFERS")
+            << " (f32 " << argmax_f32 << ", "
+            << quant::format_name(format) << " " << argmax_q << ")\n";
+  return 0;
+}
+
 int cmd_tokenize(int argc, char** argv) {
   std::string text;
   for (int i = 0; i < argc; ++i) {
@@ -714,6 +826,7 @@ int main(int argc, char** argv) {
     if (command == "chaos") return cmd_chaos(argc - 2, argv + 2);
     if (command == "soak") return cmd_soak(argc - 2, argv + 2);
     if (command == "top") return cmd_top(argc - 2, argv + 2);
+    if (command == "quant-check") return cmd_quant_check(argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;

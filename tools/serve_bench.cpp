@@ -64,8 +64,11 @@
 
 #include "bench_common.hpp"
 #include "cache/prefix_cache.hpp"
+#include "guard/budget.hpp"
 #include "lm/transformer.hpp"
 #include "mem/page_pool.hpp"
+#include "quant/arch.hpp"
+#include "quant/quantized_lm.hpp"
 #include "obs/metrics.hpp"
 #include "obs/slo.hpp"
 #include "serve/client.hpp"
@@ -138,7 +141,14 @@ std::vector<int> make_prompt(std::uint64_t seed, std::size_t length,
   return prompt;
 }
 
-CellResult run_cell(lm::TransformerLm& model, std::size_t concurrency,
+/// Host CPU feature level for bench-row labels: which kernel tier this
+/// machine's numbers were measured on (rows from different tiers are not
+/// comparable).
+const char* host_cpu_arch() {
+  return quant::arch_name(quant::best_supported_arch());
+}
+
+CellResult run_cell(lm::KvBackend& model, std::size_t concurrency,
                     std::size_t max_batch, std::size_t requests,
                     std::size_t prompt_len, std::size_t gen_tokens) {
   obs::Registry::global().reset();
@@ -965,6 +975,134 @@ int run_recover_bench(bool quick) {
   return throughput_ok ? 0 : 1;
 }
 
+// The `quant` workload (DESIGN.md §17): the decode-heavy default grid run
+// against the f32 backend and its int8/fp16 quantizations of the *same*
+// weights, on the CPUID-dispatched kernel arch.  Rows merge as
+// serve_bench/quant_{f32,int8,fp16} with decode-only tok/s, weight bytes
+// (measured through guard::Budget accounting, not computed on faith) and
+// the speedup vs f32.  Gates, per the kernel tier actually dispatched:
+// int8 decode-only speedup >= 2.0x on AVX-512 hosts, >= 1.3x on AVX2,
+// report-only on scalar; quantized weight bytes <= 0.55x f32 for both
+// formats everywhere.
+int run_quant_bench(bool quick) {
+  lm::TransformerConfig model_config;
+  model_config.vocab = bench::env_int("LMPEEL_SERVE_VOCAB", 512);
+  model_config.d_model = bench::env_int("LMPEEL_SERVE_DMODEL", 768);
+  model_config.n_head = bench::env_int("LMPEEL_SERVE_HEADS", 8);
+  model_config.n_layer = bench::env_int("LMPEEL_SERVE_LAYERS", 2);
+  const auto requests = static_cast<std::size_t>(
+      bench::env_int("LMPEEL_SERVE_REQUESTS", quick ? 16 : 64));
+  const auto prompt_len = static_cast<std::size_t>(
+      bench::env_int("LMPEEL_SERVE_PROMPT", 8));
+  const auto gen_tokens = static_cast<std::size_t>(
+      bench::env_int("LMPEEL_SERVE_GEN", quick ? 16 : 64));
+  model_config.max_seq = static_cast<int>(prompt_len + gen_tokens);
+  const std::size_t concurrency = 4;
+  const std::size_t max_batch = 8;
+
+  const quant::Arch arch = quant::dispatched_arch();
+  lm::TransformerLm f32(model_config, /*seed=*/1);
+  std::cout << "model: d_model " << model_config.d_model << ", layers "
+            << model_config.n_layer << ", vocab " << model_config.vocab
+            << " (" << f32.parameter_count() << " parameters)\n"
+            << "kernel arch: " << quant::arch_name(arch) << " (host best "
+            << host_cpu_arch() << ")\n"
+            << "workload: " << requests << " requests x " << gen_tokens
+            << " tokens, prompt length " << prompt_len << ", conc "
+            << concurrency << ", max_batch " << max_batch << "\n";
+
+  struct Variant {
+    std::string name;
+    lm::KvBackend* backend;
+    std::size_t weight_bytes;
+    CellResult cell;
+  };
+  quant::QuantizedLm int8(f32, quant::WeightFormat::kInt8, arch);
+  quant::QuantizedLm fp16(f32, quant::WeightFormat::kFp16, arch);
+  // Weight footprints through guard accounting: bind, read, detach.
+  const auto measured_bytes = [](quant::QuantizedLm& q) {
+    guard::Budget budget(std::size_t{1} << 32);
+    q.bind_weight_budget(&budget);
+    const std::size_t bytes = budget.accounted();
+    q.bind_weight_budget(nullptr);
+    return bytes;
+  };
+  std::vector<Variant> variants;
+  variants.push_back(
+      {"f32", &f32, f32.parameter_count() * sizeof(float), {}});
+  variants.push_back({"int8", &int8, measured_bytes(int8), {}});
+  variants.push_back({"fp16", &fp16, measured_bytes(fp16), {}});
+
+  util::Table table({"backend", "weight_mb", "ratio", "wall_s", "tok_s",
+                     "dec_tok_s", "speedup", "p50_ms", "p99_ms"});
+  const double f32_bytes = static_cast<double>(variants[0].weight_bytes);
+  for (auto& v : variants) {
+    v.cell = run_cell(*v.backend, concurrency, max_batch, requests,
+                      prompt_len, gen_tokens);
+    const double dec_speedup =
+        variants[0].cell.decode_tokens_per_sec > 0.0
+            ? v.cell.decode_tokens_per_sec /
+                  variants[0].cell.decode_tokens_per_sec
+            : 0.0;
+    const double ratio = static_cast<double>(v.weight_bytes) / f32_bytes;
+    table.add_row({v.name,
+                   util::Table::num(static_cast<double>(v.weight_bytes) /
+                                    (1024.0 * 1024.0)),
+                   util::Table::num(ratio, 3),
+                   util::Table::num(v.cell.wall_s),
+                   util::Table::num(v.cell.tokens_per_sec),
+                   util::Table::num(v.cell.decode_tokens_per_sec),
+                   util::Table::num(dec_speedup, 3),
+                   util::Table::num(v.cell.p50_ms),
+                   util::Table::num(v.cell.p99_ms)});
+    bench::BenchRecord record;
+    record.name = "serve_bench/quant_" + v.name;
+    record.wall_s = v.cell.wall_s;
+    record.counters = bench::counter_snapshot();
+    record.values = {{"tokens_per_sec", v.cell.tokens_per_sec},
+                     {"decode_tokens_per_sec", v.cell.decode_tokens_per_sec},
+                     {"p50_ms", v.cell.p50_ms},
+                     {"p99_ms", v.cell.p99_ms},
+                     {"weight_bytes", static_cast<double>(v.weight_bytes)},
+                     {"weight_ratio_vs_f32", ratio},
+                     {"decode_speedup_vs_f32", dec_speedup}};
+    record.labels = {{"cpu_arch", host_cpu_arch()},
+                     {"kernel_arch", quant::arch_name(arch)},
+                     {"weight_format", v.name}};
+    bench::write_bench_record(record);
+  }
+  bench::emit("serve-bench quant: backend comparison", table);
+
+  bool ok = true;
+  for (std::size_t i = 1; i < variants.size(); ++i) {
+    const double ratio =
+        static_cast<double>(variants[i].weight_bytes) / f32_bytes;
+    const bool bytes_ok = ratio <= 0.55;
+    ok = ok && bytes_ok;
+    std::cout << variants[i].name << " weight bytes: "
+              << util::Table::num(ratio, 3) << "x f32 (gate <= 0.55, "
+              << (bytes_ok ? "ok" : "FAILED") << ")\n";
+  }
+  const double int8_speedup =
+      variants[0].cell.decode_tokens_per_sec > 0.0
+          ? variants[1].cell.decode_tokens_per_sec /
+                variants[0].cell.decode_tokens_per_sec
+          : 0.0;
+  double speedup_gate = 0.0;  // scalar tier: report-only
+  if (arch == quant::Arch::kAvx512) speedup_gate = 2.0;
+  if (arch == quant::Arch::kAvx2) speedup_gate = 1.3;
+  const bool speedup_ok = speedup_gate == 0.0 || int8_speedup >= speedup_gate;
+  ok = ok && speedup_ok;
+  std::cout << "int8 decode-only speedup vs f32: "
+            << util::Table::num(int8_speedup, 3) << "x (gate "
+            << (speedup_gate > 0.0
+                    ? ">= " + util::Table::num(speedup_gate, 1) + " on " +
+                          quant::arch_name(arch)
+                    : std::string("report-only on scalar"))
+            << ", " << (speedup_ok ? "ok" : "FAILED") << ")\n";
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int cmd_serve_bench(int argc, char** argv) {
@@ -973,6 +1111,7 @@ int cmd_serve_bench(int argc, char** argv) {
   bool mixed_mode = false;
   bool shard_mode = false;
   bool recover_mode = false;
+  bool quant_mode = false;
   bool run_on = true;
   bool run_off = true;
   for (int i = 0; i < argc; ++i) {
@@ -986,6 +1125,8 @@ int cmd_serve_bench(int argc, char** argv) {
       shard_mode = true;
     } else if (std::strcmp(argv[i], "recover") == 0) {
       recover_mode = true;
+    } else if (std::strcmp(argv[i], "quant") == 0) {
+      quant_mode = true;
     } else if (std::strcmp(argv[i], "--prefix") == 0 && i + 1 < argc) {
       // --prefix on|off implies the prefix workload and restricts it to
       // one variant (both run by default, so the speedup line can print).
@@ -1001,7 +1142,7 @@ int cmd_serve_bench(int argc, char** argv) {
       }
     } else {
       std::cerr << "usage: lmpeel serve-bench [quick] "
-                   "[prefix|mixed|shard|recover] [--prefix on|off]\n";
+                   "[prefix|mixed|shard|recover|quant] [--prefix on|off]\n";
       return 2;
     }
   }
@@ -1009,6 +1150,7 @@ int cmd_serve_bench(int argc, char** argv) {
   if (mixed_mode) return run_mixed_bench(quick);
   if (shard_mode) return run_shard_bench(quick);
   if (recover_mode) return run_recover_bench(quick);
+  if (quant_mode) return run_quant_bench(quick);
 
   lm::TransformerConfig model_config;
   // Default shape: wide and shallow, ~59 MB of weights.  Big enough that
@@ -1074,6 +1216,7 @@ int cmd_serve_bench(int argc, char** argv) {
                          {"decode_tokens_per_sec", cell.decode_tokens_per_sec},
                          {"p50_ms", cell.p50_ms},
                          {"p99_ms", cell.p99_ms}};
+        record.labels = {{"cpu_arch", host_cpu_arch()}};
         bench::write_bench_record(record);
       }
     }
